@@ -1,0 +1,38 @@
+//! E1 bench — §2 `if-r`: branch order chosen by profile vs. the static
+//! (source) order, on a branch that is 99% biased against the source
+//! order.
+//!
+//! Paper claim (qualitative): ordering branches by execution frequency
+//! helps; the reproduction measures the interpreter-level effect of
+//! evaluating `(not test)` vs. taking the unlikely branch path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgmp_bench::workloads::{if_r_program, optimized_engine, train};
+use pgmp_case_studies::{engine_with, Lib};
+
+fn bench_if_r(c: &mut Criterion) {
+    let setup = if_r_program(200);
+    let driver = "(drive 5000)";
+    let mut group = c.benchmark_group("e1_if_r");
+    group.sample_size(10);
+
+    // Static order (no profile).
+    let mut static_engine = engine_with(&[Lib::IfR]).expect("libs");
+    static_engine.run_str(&setup, "e1.scm").expect("setup");
+    group.bench_function("static-order", |b| {
+        b.iter(|| static_engine.run_str(driver, "drive.scm").expect("run"))
+    });
+
+    // Profile order.
+    let weights = train(&[Lib::IfR], &setup, "e1.scm");
+    let mut profiled_engine = optimized_engine(&[Lib::IfR], weights);
+    profiled_engine.run_str(&setup, "e1.scm").expect("setup");
+    group.bench_function("profile-order", |b| {
+        b.iter(|| profiled_engine.run_str(driver, "drive.scm").expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_if_r);
+criterion_main!(benches);

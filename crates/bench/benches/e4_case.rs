@@ -1,0 +1,64 @@
+//! E4 bench — §6.1 profile-guided `case` (Figures 5–8): parsing the
+//! Figure 8 character distribution with statically-ordered vs.
+//! profile-ordered clauses, plus a sweep over how skewed the input is.
+//!
+//! Paper claim (qualitative, after the .NET switch optimization): testing
+//! hot clauses first wins; the win grows with input skew.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmp_bench::workloads::{figure8_input, optimized_engine, parser_library, train};
+use pgmp_case_studies::{engine_with, Lib};
+
+fn bench_figure8(c: &mut Criterion) {
+    let input = figure8_input();
+    let setup = format!("{}\n(run-parser \"{input}\" 1)", parser_library());
+    let driver = format!("(run-parser \"{input}\" 60)");
+    let mut group = c.benchmark_group("e4_case_figure8");
+    group.sample_size(10);
+
+    let mut static_engine = engine_with(&[Lib::Case]).expect("libs");
+    static_engine.run_str(&setup, "e4.scm").expect("setup");
+    group.bench_function("static-order", |b| {
+        b.iter(|| static_engine.run_str(&driver, "drive.scm").expect("run"))
+    });
+
+    let weights = train(&[Lib::Case], &setup, "e4.scm");
+    let mut profiled = optimized_engine(&[Lib::Case], weights);
+    profiled.run_str(&setup, "e4.scm").expect("setup");
+    group.bench_function("profile-order", |b| {
+        b.iter(|| profiled.run_str(&driver, "drive.scm").expect("run"))
+    });
+
+    group.finish();
+}
+
+fn bench_skew_sweep(c: &mut Criterion) {
+    // Sweep: the hot character class makes up 50/80/95% of the input.
+    // The more skewed, the bigger the reordering win should be.
+    let mut group = c.benchmark_group("e4_case_skew");
+    group.sample_size(10);
+    for skew in [50usize, 80, 95] {
+        let hot = " ".repeat(skew);
+        let cold = "0".repeat(100 - skew);
+        let input = format!("{hot}{cold}");
+        let setup = format!("{}\n(run-parser \"{input}\" 1)", parser_library());
+        let driver = format!("(run-parser \"{input}\" 40)");
+
+        let mut static_engine = engine_with(&[Lib::Case]).expect("libs");
+        static_engine.run_str(&setup, "e4.scm").expect("setup");
+        group.bench_with_input(BenchmarkId::new("static", skew), &skew, |b, _| {
+            b.iter(|| static_engine.run_str(&driver, "drive.scm").expect("run"))
+        });
+
+        let weights = train(&[Lib::Case], &setup, "e4.scm");
+        let mut profiled = optimized_engine(&[Lib::Case], weights);
+        profiled.run_str(&setup, "e4.scm").expect("setup");
+        group.bench_with_input(BenchmarkId::new("profiled", skew), &skew, |b, _| {
+            b.iter(|| profiled.run_str(&driver, "drive.scm").expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8, bench_skew_sweep);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E5 bench — §6.2 receiver class prediction: dynamic dispatch vs. the
+//! profile-built polymorphic inline cache, on the shapes workload.
+//!
+//! Paper claim (after Grove et al. / Hölzle–Ungar): inlining the hottest
+//! receivers' methods at the call site beats hashing through the method
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgmp_bench::workloads::{optimized_engine, shapes_library, train};
+use pgmp_case_studies::{engine_with, Lib};
+
+fn bench_dispatch(c: &mut Criterion) {
+    let setup = format!("{}\n(total-area 1)", shapes_library(100));
+    let driver = "(total-area 20)";
+    let mut group = c.benchmark_group("e5_dispatch");
+    group.sample_size(10);
+
+    let mut dynamic = engine_with(&[Lib::ObjectSystem]).expect("libs");
+    dynamic.run_str(&setup, "e5.scm").expect("setup");
+    group.bench_function("dynamic-dispatch", |b| {
+        b.iter(|| dynamic.run_str(driver, "drive.scm").expect("run"))
+    });
+
+    let weights = train(&[Lib::ObjectSystem], &setup, "e5.scm");
+    let mut pic = optimized_engine(&[Lib::ObjectSystem], weights);
+    pic.run_str(&setup, "e5.scm").expect("setup");
+    group.bench_function("polymorphic-inline-cache", |b| {
+        b.iter(|| pic.run_str(driver, "drive.scm").expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

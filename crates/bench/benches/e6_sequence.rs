@@ -1,0 +1,36 @@
+//! E6 bench — §6.3 self-specializing sequences: random-access workload
+//! on the list representation vs. the profile-specialized vector
+//! representation, swept over sequence length.
+//!
+//! Paper claim: representation changes can yield *asymptotic*
+//! improvements — the list/vector gap must grow with sequence length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmp_bench::workloads::{optimized_engine, sequence_program, train};
+use pgmp_case_studies::{engine_with, Lib};
+
+fn bench_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_sequence");
+    group.sample_size(10);
+    for len in [50usize, 200, 800] {
+        let setup = sequence_program(len, 50);
+        let driver = "(churn 1000)";
+
+        let mut list_engine = engine_with(&[Lib::Sequence]).expect("libs");
+        list_engine.run_str(&setup, "e6.scm").expect("setup");
+        group.bench_with_input(BenchmarkId::new("list", len), &len, |b, _| {
+            b.iter(|| list_engine.run_str(driver, "drive.scm").expect("run"))
+        });
+
+        let weights = train(&[Lib::Sequence], &setup, "e6.scm");
+        let mut vec_engine = optimized_engine(&[Lib::Sequence], weights);
+        vec_engine.run_str(&setup, "e6.scm").expect("setup");
+        group.bench_with_input(BenchmarkId::new("specialized-vector", len), &len, |b, _| {
+            b.iter(|| vec_engine.run_str(driver, "drive.scm").expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequence);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E7 bench — §4.4 profiling overhead.
+//!
+//! Paper numbers: the Chez Scheme profiler costs ≈9% at run time; Racket
+//! `errortrace` costs 4–12×, *plus* the extra thunk-wrapping
+//! `annotate-expr` performs there. We measure the same three
+//! configurations on a CPU-bound workload:
+//!
+//! - uninstrumented,
+//! - every-expression counters (the Chez model),
+//! - calls-only counters with thunk-wrapped annotations (the Racket
+//!   model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgmp::{AnnotateStrategy, Engine};
+use pgmp_bench::workloads::fib_program;
+use pgmp_profiler::ProfileMode;
+
+fn bench_overhead(c: &mut Criterion) {
+    let program = fib_program(16);
+    let mut group = c.benchmark_group("e7_overhead");
+    group.sample_size(10);
+
+    group.bench_function("uninstrumented", |b| {
+        let mut e = Engine::new();
+        b.iter(|| e.run_str(&program, "e7.scm").expect("run"))
+    });
+
+    group.bench_function("chez-style-every-expression", |b| {
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        b.iter(|| e.run_str(&program, "e7.scm").expect("run"))
+    });
+
+    group.bench_function("errortrace-style-calls-only", |b| {
+        let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
+        e.set_instrumentation(ProfileMode::CallsOnly);
+        b.iter(|| e.run_str(&program, "e7.scm").expect("run"))
+    });
+
+    // The wrap-lambda cost in isolation: an annotated expression evaluated
+    // many times under each strategy, profiling off (§4.4's point that the
+    // wrapping itself has a cost independent of counting).
+    let annotated = "
+      (define-syntax (annotated stx)
+        (syntax-case stx ()
+          [(_ e) (annotate-expr #'e (make-profile-point))]))
+      (define (spin reps)
+        (let loop ([i 0] [acc 0])
+          (if (= i reps) acc (loop (add1 i) (annotated (+ acc 1))))))
+      (spin 30000)";
+    group.bench_function("annotate-direct-uninstrumented", |b| {
+        let mut e = Engine::with_strategy(AnnotateStrategy::Direct);
+        b.iter(|| e.run_str(annotated, "a.scm").expect("run"))
+    });
+    group.bench_function("annotate-wrap-lambda-uninstrumented", |b| {
+        let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
+        b.iter(|| e.run_str(annotated, "a.scm").expect("run"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Regenerates Figure 3 (§3.2): profile weight computation and merging.
+//!
+//! ```sh
+//! cargo run -p pgmp-bench --bin e2_weights_table
+//! ```
+
+use pgmp_profiler::{Dataset, ProfileInformation};
+use pgmp_syntax::SourceObject;
+
+fn main() {
+    let important = SourceObject::new("classify.scm", 100, 120);
+    let spam = SourceObject::new("classify.scm", 130, 150);
+
+    let d1: Dataset = [(important, 5), (spam, 10)].into_iter().collect();
+    let d2: Dataset = [(important, 100), (spam, 10)].into_iter().collect();
+    let w1 = ProfileInformation::from_dataset(&d1);
+    let w2 = ProfileInformation::from_dataset(&d2);
+    let merged = w1.merge(&w2);
+
+    println!("Figure 3 — example profile weight computations");
+    println!("=================================================================");
+    println!("{:<28} {:>12} {:>12}", "", "paper", "measured");
+    println!("-----------------------------------------------------------------");
+    let rows = [
+        ("(flag email 'important), ds1", 5.0 / 10.0, w1.weight(important)),
+        ("(flag email 'spam), ds1", 10.0 / 10.0, w1.weight(spam)),
+        ("(flag email 'important), ds2", 100.0 / 100.0, w2.weight(important)),
+        ("(flag email 'spam), ds2", 10.0 / 100.0, w2.weight(spam)),
+        ("important, merged", (0.5 + 1.0) / 2.0, merged.weight(important)),
+        ("spam, merged", (1.0 + 0.1) / 2.0, merged.weight(spam)),
+    ];
+    let mut all_match = true;
+    for (label, paper, measured) in rows {
+        let ok = (paper - measured).abs() < 1e-12;
+        all_match &= ok;
+        println!(
+            "{label:<28} {paper:>12.4} {measured:>12.4} {}",
+            if ok { "" } else { "  MISMATCH" }
+        );
+    }
+    println!("-----------------------------------------------------------------");
+    println!(
+        "result: {}",
+        if all_match { "all weights match the paper exactly" } else { "MISMATCH" }
+    );
+}

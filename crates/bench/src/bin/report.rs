@@ -1,0 +1,214 @@
+//! The full evaluation report: regenerates every experiment (E1–E10) and
+//! prints paper-vs-measured, one section per table/figure.
+//!
+//! ```sh
+//! cargo run --release -p pgmp-bench --bin report
+//! ```
+
+use pgmp::workflow::run_three_pass;
+use pgmp_bench::workloads::{
+    figure8_input, if_r_program, optimized_engine, parser_library, sequence_program,
+    shapes_library, train,
+};
+use pgmp_case_studies::{engine_with, loc_counts, two_pass, Lib};
+use pgmp_profiler::{Dataset, ProfileInformation};
+use pgmp_syntax::SourceObject;
+use std::time::{Duration, Instant};
+
+fn header(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+fn timed(engine: &mut pgmp::Engine, driver: &str) -> Duration {
+    engine.run_str(driver, "warm.scm").expect("warmup");
+    let t0 = Instant::now();
+    for _ in 0..3 {
+        engine.run_str(driver, "timed.scm").expect("run");
+    }
+    t0.elapsed() / 3
+}
+
+fn speedup_row(name: &str, baseline: Duration, optimized: Duration) {
+    println!(
+        "  {name}: baseline {baseline:.2?}, optimized {optimized:.2?}  -> {:.2}x",
+        baseline.as_secs_f64() / optimized.as_secs_f64()
+    );
+}
+
+fn e1() {
+    header("E1 (Figures 1-2): if-r branch reordering");
+    let result = two_pass(
+        &[Lib::IfR],
+        "(define (subject-contains email s) (string-contains? email s))
+         (define (flag email tag) tag)
+         (define (classify email)
+           (if-r (subject-contains email \"PLDI\")
+             (flag email 'important)
+             (flag email 'spam)))
+         (let loop ([i 0])
+           (unless (= i 5) (classify \"PLDI mail\") (loop (add1 i))))
+         (let loop ([i 0])
+           (unless (= i 10) (classify \"spam mail\") (loop (add1 i))))",
+        "classify.scm",
+    )
+    .expect("two pass");
+    let swapped = result
+        .expansion_text
+        .contains("(if (not (subject-contains email \"PLDI\"))");
+    println!("  paper:    5x important / 10x spam training swaps the branches (Fig. 2)");
+    println!("  measured: branches swapped = {swapped}");
+
+    let setup = if_r_program(200);
+    let mut static_e = engine_with(&[Lib::IfR]).unwrap();
+    static_e.run_str(&setup, "e1.scm").unwrap();
+    let t_static = timed(&mut static_e, "(drive 4000)");
+    let mut prof_e = optimized_engine(&[Lib::IfR], train(&[Lib::IfR], &setup, "e1.scm"));
+    prof_e.run_str(&setup, "e1.scm").unwrap();
+    let t_prof = timed(&mut prof_e, "(drive 4000)");
+    speedup_row("99%-biased branch", t_static, t_prof);
+    println!("  note:     the paper calls if-r \"not a meaningful optimization\" (section 2);");
+    println!("            on a tree-walker the added (not ...) makes it a slight pessimization,");
+    println!("            which is the faithful outcome at this level.");
+}
+
+fn e2() {
+    header("E2 (Figure 3): weights and merging");
+    let important = SourceObject::new("c.scm", 0, 1);
+    let spam = SourceObject::new("c.scm", 2, 3);
+    let d1: Dataset = [(important, 5), (spam, 10)].into_iter().collect();
+    let d2: Dataset = [(important, 100), (spam, 10)].into_iter().collect();
+    let merged = ProfileInformation::from_dataset(&d1)
+        .merge(&ProfileInformation::from_dataset(&d2));
+    println!("  paper:    important (0.5+1)/2 = 0.75 ; spam (1+0.1)/2 = 0.55");
+    println!(
+        "  measured: important {} ; spam {}",
+        merged.weight(important),
+        merged.weight(spam)
+    );
+}
+
+fn e4() {
+    header("E4 (Figures 5-8): profile-guided case");
+    let input = figure8_input();
+    let setup = format!("{}\n(run-parser \"{input}\" 1)", parser_library());
+    let program = format!("{}\n(run-parser \"{input}\" 3)", parser_library());
+    let result = two_pass(&[Lib::Case], &program, "parse.scm").expect("two pass");
+    let parse_line = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (parse"))
+        .unwrap();
+    let order_ok = {
+        let p = |s: &str| parse_line.find(s).unwrap();
+        p("white-space") < p("start-paren")
+            && p("start-paren") < p("end-paren")
+            && p("end-paren") < p("(digit stream)")
+    };
+    println!("  paper:    clauses reordered 55/23/23/10 -> ws, (, ), digits (Fig. 8)");
+    println!("  measured: clause order matches Figure 8 = {order_ok}");
+
+    let mut static_e = engine_with(&[Lib::Case]).unwrap();
+    static_e.run_str(&setup, "e4.scm").unwrap();
+    let t_static = timed(&mut static_e, &format!("(run-parser \"{input}\" 60)"));
+    let mut prof_e = optimized_engine(&[Lib::Case], train(&[Lib::Case], &setup, "e4.scm"));
+    prof_e.run_str(&setup, "e4.scm").unwrap();
+    let t_prof = timed(&mut prof_e, &format!("(run-parser \"{input}\" 60)"));
+    speedup_row("Figure 8 distribution", t_static, t_prof);
+}
+
+fn e5() {
+    header("E5 (Figures 9-12): receiver class prediction");
+    let setup = format!("{}\n(total-area 1)", shapes_library(100));
+    let mut dynamic = engine_with(&[Lib::ObjectSystem]).unwrap();
+    dynamic.run_str(&setup, "e5.scm").unwrap();
+    let t_dyn = timed(&mut dynamic, "(total-area 15)");
+    let weights = train(&[Lib::ObjectSystem], &setup, "e5.scm");
+    let mut pic = optimized_engine(&[Lib::ObjectSystem], weights);
+    pic.run_str(&setup, "e5.scm").unwrap();
+    let t_pic = timed(&mut pic, "(total-area 15)");
+    println!("  paper:    inline the hottest classes at each call site (PIC), sorted");
+    speedup_row("70/20/10 class mix", t_dyn, t_pic);
+}
+
+fn e6() {
+    header("E6 (Figures 13-14): data-structure specialization");
+    for len in [50usize, 200, 800] {
+        let setup = sequence_program(len, 50);
+        let mut list_e = engine_with(&[Lib::Sequence]).unwrap();
+        list_e.run_str(&setup, "e6.scm").unwrap();
+        let t_list = timed(&mut list_e, "(churn 600)");
+        let weights = train(&[Lib::Sequence], &setup, "e6.scm");
+        let mut vec_e = optimized_engine(&[Lib::Sequence], weights);
+        vec_e.run_str(&setup, "e6.scm").unwrap();
+        let t_vec = timed(&mut vec_e, "(churn 600)");
+        speedup_row(&format!("random access, len {len}"), t_list, t_vec);
+    }
+    println!("  paper:    asymptotic improvement -> speedup must grow with length");
+}
+
+fn e8() {
+    header("E8 (section 4.3): three-pass source+block consistency");
+    let report = run_three_pass(
+        "(define-syntax (if-r stx)
+           (syntax-case stx ()
+             [(_ test t f)
+              (if (< (profile-query #'t) (profile-query #'f))
+                  #'(if (not test) f t)
+                  #'(if test t f))]))
+         (define (bucket n) (if-r (= (modulo n 100) 0) 'rare 'common))
+         (let loop ([i 0] [c 0])
+           (if (= i 4000) c (loop (add1 i) (if (eqv? (bucket i) 'common) (add1 c) c))))",
+        "e8.scm",
+    )
+    .expect("three pass");
+    println!("  paper:    pass-3 block-level code remains valid (stable CFGs)");
+    println!("  measured: stable = {}", report.stable);
+    println!(
+        "  layout:   fall-through {:.3} -> {:.3}",
+        report.baseline_metrics.fallthrough_ratio(),
+        report.optimized_metrics.fallthrough_ratio()
+    );
+}
+
+fn e11() {
+    header("E11 (extension): profile-guided inlining");
+    let program = "
+      (define-inlinable (double x) (* 2 x))
+      (define (drive n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (inline-call double i))))))
+      (drive 2000)";
+    let mut plain = engine_with(&[Lib::Inline]).unwrap();
+    plain.run_str(program, "e11.scm").unwrap();
+    let t_plain = timed(&mut plain, "(drive 8000)");
+    let weights = train(&[Lib::Inline], program, "e11.scm");
+    let mut inlined = optimized_engine(&[Lib::Inline], weights);
+    inlined.run_str(program, "e11.scm").unwrap();
+    let t_inline = timed(&mut inlined, "(drive 8000)");
+    println!("  paper:    intro cites Arnold et al.: profile-guided inlining beats static");
+    speedup_row("hot call site", t_plain, t_inline);
+}
+
+fn e9() {
+    header("E9 (section 6): meta-program sizes");
+    for (name, loc) in loc_counts() {
+        println!("  {name}: {loc} lines");
+    }
+}
+
+fn main() {
+    println!("pgmp reproduction — full evaluation report");
+    println!("(shape reproduction: who wins and by roughly what factor;");
+    println!(" absolute numbers are interpreter-substrate specific)");
+    e1();
+    e2();
+    e4();
+    e5();
+    e6();
+    e8();
+    e9();
+    e11();
+    println!("\nE3 (Figure 4 API), E7 (section 4.4 overhead) and E10 (proc macros)");
+    println!("have dedicated harnesses: tests/e3_api.rs, e7_overhead_table,");
+    println!("tests/e10_proc_macros.rs, and the Criterion benches.");
+}

@@ -1,0 +1,4 @@
+//! Benchmark support for the pgmp reproduction; see `benches/` for the
+//! Criterion benchmarks and `src/bin/` for the table-printing harnesses.
+
+pub mod workloads;

@@ -1,0 +1,171 @@
+//! Shared workload builders for the experiment benchmarks.
+//!
+//! Each function returns program text (and training inputs) matching the
+//! workloads of the paper's case studies, parameterized so benches can
+//! sweep sizes.
+
+use pgmp::Engine;
+use pgmp_case_studies::{engine_with, Lib};
+use pgmp_profiler::{ProfileInformation, ProfileMode};
+
+/// The §2 classifier driven `iterations` times over a 99%-'big input mix.
+pub fn if_r_program(iterations: usize) -> String {
+    format!(
+        "(define (classify n) (if-r (< n 10) 'small 'big))
+         (define (drive reps)
+           (let loop ([i 0] [bigs 0])
+             (if (= i reps)
+                 bigs
+                 (loop (add1 i) (if (eqv? (classify (modulo i 1000)) 'big) (add1 bigs) bigs)))))
+         (drive {iterations})"
+    )
+}
+
+/// The Figure 5 parser library (clauses deliberately mis-ordered for the
+/// training distribution).
+pub fn parser_library() -> &'static str {
+    r#"
+      (define (make-stream chars)
+        (let ([s (make-eq-hashtable)])
+          (hashtable-set! s 'data chars)
+          (hashtable-set! s 'pos 0)
+          s))
+      (define (stream-done? s)
+        (>= (hashtable-ref s 'pos 0) (vector-length (hashtable-ref s 'data #f))))
+      (define (peek-char-s s)
+        (vector-ref (hashtable-ref s 'data #f) (hashtable-ref s 'pos 0)))
+      (define (advance! s)
+        (hashtable-set! s 'pos (add1 (hashtable-ref s 'pos 0))))
+      (define (white-space s) (advance! s) 'white-space)
+      (define (digit s) (advance! s) 'digit)
+      (define (start-paren s) (advance! s) 'open)
+      (define (end-paren s) (advance! s) 'close)
+      (define (other s) (advance! s) 'other)
+      (define (parse stream)
+        (case (peek-char-s stream)
+          [(#\0 #\1 #\2 #\3 #\4 #\5 #\6 #\7 #\8 #\9) (digit stream)]
+          [(#\() (start-paren stream)]
+          [(#\)) (end-paren stream)]
+          [(#\space #\tab) (white-space stream)]
+          [else (other stream)]))
+      (define (run-parser text reps)
+        (let outer ([r 0] [n 0])
+          (if (= r reps)
+              n
+              (let ([s (make-stream (list->vector (string->list text)))])
+                (let loop ([count 0])
+                  (if (stream-done? s)
+                      (outer (add1 r) (+ n count))
+                      (begin (parse s) (loop (add1 count)))))))))
+    "#
+}
+
+/// Figure 8's character distribution (55 ws / 23+23 parens / 10 digits).
+pub fn figure8_input() -> String {
+    let mut s = String::new();
+    s.push_str(&" ".repeat(55));
+    s.push_str(&"(".repeat(23));
+    s.push_str(&")".repeat(23));
+    s.push_str("0123456789");
+    s
+}
+
+/// The §6.2 shapes program, `n` shapes with a 7/2/1 class mix.
+pub fn shapes_library(n: usize) -> String {
+    format!(
+        r#"
+        (class Square ((length 0))
+          (define-method (area this) (sqr (field this length))))
+        (class Circle ((radius 0))
+          (define-method (area this) (* 3 (sqr (field this radius)))))
+        (class Triangle ((base 0) (height 0))
+          (define-method (area this) (* (field this base) (field this height))))
+        (define (make-shapes n)
+          (let loop ([i 0] [acc '()])
+            (if (= i n)
+                acc
+                (loop (add1 i)
+                      (cons (cond
+                              [(< (modulo i 10) 7) (new Circle (add1 (modulo i 5)))]
+                              [(< (modulo i 10) 9) (new Square (add1 (modulo i 4)))]
+                              [else (new Triangle 2 (add1 (modulo i 3)))])
+                            acc)))))
+        (define shapes (make-shapes {n}))
+        (define (total-area reps)
+          (let loop ([r 0] [total 0])
+            (if (= r reps)
+                total
+                (loop (add1 r)
+                      (fold-left (lambda (acc s) (+ acc (method s area))) total shapes)))))
+        "#
+    )
+}
+
+/// The §6.3 sequence workload: `len` elements, random access dominated.
+pub fn sequence_program(len: usize, accesses: usize) -> String {
+    let elems: Vec<String> = (0..len).map(|i| i.to_string()).collect();
+    format!(
+        "(define s (profiled-sequence {}))
+         (define (churn reps)
+           (let loop ([i 0] [acc 0])
+             (if (= i reps)
+                 acc
+                 (loop (add1 i) (+ acc (seq-ref s (modulo (* i 7) {len})))))))
+         (churn {accesses})",
+        elems.join(" ")
+    )
+}
+
+/// Trains `program` (with `libs`) under every-expression instrumentation
+/// and returns the weights.
+pub fn train(libs: &[Lib], program: &str, file: &str) -> ProfileInformation {
+    let mut e = engine_with(libs).expect("libs load");
+    e.set_instrumentation(ProfileMode::EveryExpression);
+    e.run_str(program, file).expect("training run");
+    e.current_weights()
+}
+
+/// An engine with `libs` loaded and `weights` installed (pass-2 state).
+pub fn optimized_engine(libs: &[Lib], weights: ProfileInformation) -> Engine {
+    let mut e = engine_with(libs).expect("libs load");
+    e.set_profile(weights);
+    e
+}
+
+/// A CPU-bound pure program for overhead measurement (§4.4).
+pub fn fib_program(n: u32) -> String {
+    format!(
+        "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+         (fib {n})"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_programs_run() {
+        let mut e = engine_with(&[Lib::IfR]).unwrap();
+        // i in 0..100: 10 of them are < 10, so 90 are 'big.
+        assert_eq!(e.run_str(&if_r_program(100), "w.scm").unwrap().to_string(), "90");
+        let mut e = engine_with(&[Lib::Case]).unwrap();
+        let program = format!("{}\n(run-parser \"{}\" 1)", parser_library(), figure8_input());
+        assert_eq!(e.run_str(&program, "w.scm").unwrap().to_string(), "111");
+        let mut e = engine_with(&[Lib::ObjectSystem]).unwrap();
+        let program = format!("{}\n(total-area 1)", shapes_library(20));
+        let v: i64 = e.run_str(&program, "w.scm").unwrap().to_string().parse().unwrap();
+        assert!(v > 0);
+        let mut e = engine_with(&[Lib::Sequence]).unwrap();
+        let v = e.run_str(&sequence_program(10, 20), "w.scm").unwrap();
+        assert!(v.to_string().parse::<i64>().unwrap() > 0);
+    }
+
+    #[test]
+    fn training_produces_weights() {
+        let w = train(&[Lib::IfR], &if_r_program(50), "t.scm");
+        assert!(!w.is_empty());
+        let e = optimized_engine(&[Lib::IfR], w);
+        assert!(!e.profile().is_empty());
+    }
+}

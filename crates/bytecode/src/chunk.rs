@@ -1,0 +1,200 @@
+//! Bytecode data structures.
+
+use pgmp_eval::LambdaDef;
+use pgmp_syntax::{Datum, SourceObject, Symbol, Syntax};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Index of a basic block within its chunk.
+pub type BlockId = u32;
+
+static NEXT_CHUNK_ID: AtomicU32 = AtomicU32::new(0);
+
+/// Allocates a process-unique chunk id (used to key block profiles).
+pub(crate) fn fresh_chunk_id() -> u32 {
+    NEXT_CHUNK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Test-only access to fresh chunk ids from sibling modules.
+#[cfg(test)]
+pub(crate) fn fresh_chunk_id_for_tests() -> u32 {
+    fresh_chunk_id()
+}
+
+/// A straight-line instruction. All instructions communicate through the
+/// operand stack and the current frame register.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// Push a constant datum.
+    Const(Datum),
+    /// Push a constant syntax object.
+    SyntaxConst(Rc<Syntax>),
+    /// Push the unspecified value.
+    Unspecified,
+    /// Push a local variable.
+    LocalRef {
+        /// Frames up.
+        depth: u16,
+        /// Slot index.
+        index: u16,
+    },
+    /// Push a global variable (error if unbound).
+    GlobalRef(Symbol),
+    /// Pop a value into a local slot.
+    SetLocal {
+        /// Frames up.
+        depth: u16,
+        /// Slot index.
+        index: u16,
+    },
+    /// Pop a value into a global (which must exist).
+    SetGlobal(Symbol),
+    /// Pop a value, defining a global.
+    DefineGlobal(Symbol),
+    /// Pop `n` values into a fresh frame pushed on the frame register.
+    PushFrame(u16),
+    /// Push a fresh frame of `n` unspecified slots.
+    PushFrameUnspec(u16),
+    /// Pop the current frame (restore its parent).
+    PopFrame,
+    /// Push a closure over the current frame. The closure shares the
+    /// tree-walker's representation (a [`LambdaDef`] plus environment);
+    /// the VM compiles its body to a chunk lazily at first call.
+    MakeClosure(Rc<LambdaDef>),
+    /// Pop `argc` arguments and a callee; push the result.
+    Call {
+        /// Argument count.
+        argc: u16,
+        /// Source object of the call site (for errors and, in
+        /// calls-only profiling, the counter).
+        src: Option<SourceObject>,
+    },
+    /// Pop and discard the top of stack.
+    Pop,
+}
+
+/// How a basic block ends.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Unconditional transfer.
+    Jump(BlockId),
+    /// Pop a value; transfer to the first block when truthy.
+    Branch(BlockId, BlockId),
+    /// Pop the result and return from the current activation.
+    Return,
+    /// Pop `argc` arguments and a callee; transfer control without growing
+    /// the call stack (proper tail call).
+    TailCall {
+        /// Argument count.
+        argc: u16,
+        /// Call-site source object.
+        src: Option<SourceObject>,
+    },
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Instructions, executed in order.
+    pub instrs: Vec<Instr>,
+    /// Exit.
+    pub term: Terminator,
+}
+
+/// A compiled code unit: a CFG of basic blocks with a distinguished entry.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    /// Process-unique id, used to key the block-level profile.
+    pub id: u32,
+    /// Blocks; ids index into this vector.
+    pub blocks: Vec<Block>,
+    /// Entry block (always 0 after compilation, may move under layout).
+    pub entry: BlockId,
+}
+
+impl std::fmt::Display for Chunk {
+    /// Disassembles the chunk: one section per block in layout order.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "chunk {} (entry B{}):", self.id, self.entry)?;
+        for (i, block) in self.blocks.iter().enumerate() {
+            writeln!(f, "B{i}:")?;
+            for instr in &block.instrs {
+                writeln!(f, "  {instr:?}")?;
+            }
+            match &block.term {
+                Terminator::Jump(t) => writeln!(f, "  jump B{t}")?,
+                Terminator::Branch(t, e) => writeln!(f, "  branch B{t} B{e}")?,
+                Terminator::Return => writeln!(f, "  return")?,
+                Terminator::TailCall { argc, .. } => writeln!(f, "  tailcall {argc}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Chunk {
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Successor block ids of `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match &self.blocks[b as usize].term {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch(t, e) => vec![*t, *e],
+            Terminator::Return | Terminator::TailCall { .. } => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ids_are_unique() {
+        assert_ne!(fresh_chunk_id(), fresh_chunk_id());
+    }
+
+    #[test]
+    fn display_disassembles_blocks() {
+        let chunk = Chunk {
+            id: fresh_chunk_id(),
+            entry: 0,
+            blocks: vec![Block {
+                instrs: vec![Instr::Const(Datum::Int(7))],
+                term: Terminator::Return,
+            }],
+        };
+        let text = chunk.to_string();
+        assert!(text.contains("B0:"));
+        assert!(text.contains("Const(7)"));
+        assert!(text.contains("return"));
+    }
+
+    #[test]
+    fn successors_reflect_terminators() {
+        let chunk = Chunk {
+            id: fresh_chunk_id(),
+            entry: 0,
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Const(Datum::Bool(true))],
+                    term: Terminator::Branch(1, 2),
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Jump(2),
+                },
+                Block {
+                    instrs: vec![Instr::Const(Datum::Int(1))],
+                    term: Terminator::Return,
+                },
+            ],
+        };
+        assert_eq!(chunk.successors(0), vec![1, 2]);
+        assert_eq!(chunk.successors(1), vec![2]);
+        assert!(chunk.successors(2).is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Block-level profile counters.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Execution counts per `(chunk, block)` — the block-level analogue of the
+/// source-level [`pgmp_profiler::Counters`].
+///
+/// # Example
+///
+/// ```
+/// use pgmp_bytecode::BlockCounters;
+/// let c = BlockCounters::new();
+/// c.increment(0, 2);
+/// c.increment(0, 2);
+/// assert_eq!(c.count(0, 2), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BlockCounters {
+    counts: Rc<RefCell<HashMap<(u32, u32), u64>>>,
+}
+
+impl BlockCounters {
+    /// Creates an empty registry.
+    pub fn new() -> BlockCounters {
+        BlockCounters::default()
+    }
+
+    /// Adds one to block `block` of chunk `chunk`.
+    pub fn increment(&self, chunk: u32, block: u32) {
+        *self.counts.borrow_mut().entry((chunk, block)).or_insert(0) += 1;
+    }
+
+    /// Execution count of a block (0 if never executed).
+    pub fn count(&self, chunk: u32, block: u32) -> u64 {
+        self.counts.borrow().get(&(chunk, block)).copied().unwrap_or(0)
+    }
+
+    /// Number of blocks observed.
+    pub fn len(&self) -> usize {
+        self.counts.borrow().len()
+    }
+
+    /// True if no blocks were counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.borrow().is_empty()
+    }
+
+    /// Zeroes every counter.
+    pub fn clear(&self) {
+        self.counts.borrow_mut().clear();
+    }
+
+    /// Snapshot of all counts.
+    pub fn snapshot(&self) -> HashMap<(u32, u32), u64> {
+        self.counts.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = BlockCounters::new();
+        let b = a.clone();
+        b.increment(1, 2);
+        assert_eq!(a.count(1, 2), 1);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let a = BlockCounters::new();
+        a.increment(0, 0);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.count(0, 0), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Basic-block bytecode: the "low-level" compiler of the reproduction.
+//!
+//! Chez Scheme performs block-level profile-guided optimization beneath the
+//! source-level meta-programming the paper adds; §4.3 describes a
+//! three-pass protocol keeping the two consistent. This crate supplies the
+//! analogous low level for our system:
+//!
+//! - [`compile_chunk`] lowers a [`pgmp_eval::Core`] expression to a control
+//!   flow graph of basic blocks ([`Chunk`]);
+//! - [`Vm`] executes chunks on a stack machine (sharing values, globals,
+//!   and natives with the tree-walking interpreter — closures created by
+//!   the VM are compiled lazily, closures applied inside higher-order
+//!   natives fall back to the tree walker, as in real mixed-mode systems);
+//! - [`BlockCounters`] counts block executions (the block-level profile);
+//! - [`optimize_layout`] is the block-level PGO: a greedy hottest-successor
+//!   trace layout that maximizes fall-through on hot paths, measured by
+//!   [`VmMetrics`] (taken jumps vs. fall-throughs).
+//!
+//! # Example
+//!
+//! ```
+//! use pgmp_bytecode::{compile_chunk, Vm};
+//! use pgmp_eval::{install_primitives, Interp};
+//! use pgmp_expander::{install_expander_support, Expander};
+//! use pgmp_reader::read_str;
+//!
+//! let forms = read_str("(+ 40 2)", "demo.scm").unwrap();
+//! let mut exp = Expander::new();
+//! let core = exp.expand_program(&forms).unwrap().remove(0);
+//! let chunk = compile_chunk(&core);
+//!
+//! let mut interp = Interp::new();
+//! install_primitives(&mut interp);
+//! install_expander_support(&mut interp);
+//! let mut vm = Vm::new(&mut interp);
+//! let v = vm.run_chunk(&chunk).unwrap();
+//! assert_eq!(v.to_string(), "42");
+//! ```
+
+mod chunk;
+mod compile;
+mod counters;
+mod layout;
+mod vm;
+
+pub use chunk::{Block, BlockId, Chunk, Instr, Terminator};
+pub use compile::compile_chunk;
+pub use counters::BlockCounters;
+pub use layout::{canonical_form, optimize_layout};
+pub use vm::{Vm, VmMetrics};

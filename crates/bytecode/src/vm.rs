@@ -1,0 +1,343 @@
+//! The stack VM executing basic-block bytecode.
+
+use crate::chunk::{BlockId, Chunk, Instr, Terminator};
+use crate::compile::compile_chunk;
+use crate::counters::BlockCounters;
+use pgmp_eval::{Closure, Core, EvalError, EvalErrorKind, Frame, Interp, LambdaDef, Value};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Execution statistics: the cost model block-level PGO optimizes.
+///
+/// A `Jump`/`Branch` to the block laid out immediately after the current
+/// one counts as a fall-through; any other target is a taken jump. Layout
+/// optimization ([`crate::optimize_layout`]) raises the fall-through ratio
+/// on hot paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmMetrics {
+    /// Basic blocks entered.
+    pub blocks_executed: u64,
+    /// Control transfers to the next block in layout order.
+    pub fallthroughs: u64,
+    /// Control transfers anywhere else.
+    pub taken_jumps: u64,
+    /// Procedure calls (including tail calls).
+    pub calls: u64,
+}
+
+impl VmMetrics {
+    /// Fraction of intra-chunk control transfers that fell through.
+    pub fn fallthrough_ratio(&self) -> f64 {
+        let total = self.fallthroughs + self.taken_jumps;
+        if total == 0 {
+            return 1.0;
+        }
+        self.fallthroughs as f64 / total as f64
+    }
+}
+
+struct Activation {
+    chunk: Rc<Chunk>,
+    block: BlockId,
+    ip: usize,
+    frame: Option<Rc<Frame>>,
+}
+
+/// The bytecode virtual machine.
+///
+/// Borrows an [`Interp`] for globals, natives, and (tree-walked) closure
+/// application inside higher-order natives. See the crate-level example.
+pub struct Vm<'a> {
+    /// The shared interpreter (globals + natives).
+    pub interp: &'a mut Interp,
+    chunk_cache: HashMap<usize, Rc<Chunk>>,
+    /// Block-level profile counters, when enabled.
+    pub block_counters: Option<BlockCounters>,
+    /// Execution statistics for the current/most recent run.
+    pub metrics: VmMetrics,
+    /// Optional instruction budget.
+    pub max_steps: Option<u64>,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM over `interp`.
+    pub fn new(interp: &'a mut Interp) -> Vm<'a> {
+        Vm {
+            interp,
+            chunk_cache: HashMap::new(),
+            block_counters: None,
+            metrics: VmMetrics::default(),
+            max_steps: None,
+        }
+    }
+
+    /// Enables block-level profiling into `counters`.
+    pub fn set_block_profiling(&mut self, counters: BlockCounters) {
+        self.block_counters = Some(counters);
+    }
+
+    /// Compiles `core` and runs it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`]s exactly as the tree-walker would.
+    pub fn run_core(&mut self, core: &Rc<Core>) -> Result<Value, EvalError> {
+        let chunk = compile_chunk(core);
+        self.run_chunk(&chunk)
+    }
+
+    /// Runs an already-compiled chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`]s from primitives and the program itself.
+    pub fn run_chunk(&mut self, chunk: &Chunk) -> Result<Value, EvalError> {
+        self.exec(Rc::new(chunk.clone()))
+    }
+
+    /// The chunks compiled so far for lambdas called through the VM,
+    /// lazily populated; used by the three-pass driver to apply layout
+    /// optimization and check CFG stability.
+    pub fn compiled_chunks(&self) -> Vec<Rc<Chunk>> {
+        let mut chunks: Vec<Rc<Chunk>> = self.chunk_cache.values().cloned().collect();
+        chunks.sort_by_key(|c| c.id);
+        chunks
+    }
+
+    /// Re-lays-out every cached lambda chunk using `counters`.
+    pub fn relayout_cached(&mut self, counters: &BlockCounters) {
+        for chunk in self.chunk_cache.values_mut() {
+            *chunk = Rc::new(crate::layout::optimize_layout(chunk, counters));
+        }
+    }
+
+    fn chunk_for(&mut self, def: &Rc<LambdaDef>) -> Rc<Chunk> {
+        let key = Rc::as_ptr(def) as usize;
+        if let Some(c) = self.chunk_cache.get(&key) {
+            return c.clone();
+        }
+        let chunk = Rc::new(compile_chunk(&def.body));
+        self.chunk_cache.insert(key, chunk.clone());
+        chunk
+    }
+
+    fn transfer(&mut self, from: BlockId, to: BlockId) {
+        if to == from + 1 {
+            self.metrics.fallthroughs += 1;
+        } else {
+            self.metrics.taken_jumps += 1;
+        }
+    }
+
+    fn exec(&mut self, chunk: Rc<Chunk>) -> Result<Value, EvalError> {
+        let entry = chunk.entry;
+        let mut stack: Vec<Value> = Vec::new();
+        let mut saved: Vec<Activation> = Vec::new();
+        let mut cur = Activation {
+            chunk,
+            block: entry,
+            ip: 0,
+            frame: None,
+        };
+        let mut entering = true;
+        let mut steps: u64 = 0;
+        loop {
+            if entering {
+                self.metrics.blocks_executed += 1;
+                if let Some(counters) = &self.block_counters {
+                    counters.increment(cur.chunk.id, cur.block);
+                }
+                entering = false;
+            }
+            if let Some(max) = self.max_steps {
+                steps += 1;
+                if steps > max {
+                    return Err(EvalError::new(EvalErrorKind::Fuel, "vm step budget exhausted"));
+                }
+            }
+            let block = &cur.chunk.blocks[cur.block as usize];
+            if cur.ip < block.instrs.len() {
+                let instr = block.instrs[cur.ip].clone();
+                cur.ip += 1;
+                match instr {
+                    Instr::Const(d) => stack.push(Value::from_datum(&d)),
+                    Instr::SyntaxConst(s) => stack.push(Value::Syntax(s)),
+                    Instr::Unspecified => stack.push(Value::Unspecified),
+                    Instr::LocalRef { depth, index } => {
+                        let frame = cur.frame.as_ref().expect("local ref without frame");
+                        stack.push(frame.get(depth, index));
+                    }
+                    Instr::GlobalRef(name) => match self.interp.global(name) {
+                        Some(v) => stack.push(v.clone()),
+                        None => {
+                            return Err(EvalError::new(
+                                EvalErrorKind::Unbound,
+                                format!("unbound variable `{name}`"),
+                            ))
+                        }
+                    },
+                    Instr::SetLocal { depth, index } => {
+                        let v = stack.pop().expect("stack underflow");
+                        cur.frame
+                            .as_ref()
+                            .expect("local set without frame")
+                            .set(depth, index, v);
+                    }
+                    Instr::SetGlobal(name) => {
+                        if self.interp.global(name).is_none() {
+                            return Err(EvalError::new(
+                                EvalErrorKind::Unbound,
+                                format!("set!: unbound variable `{name}`"),
+                            ));
+                        }
+                        let v = stack.pop().expect("stack underflow");
+                        self.interp.define_global(name, v);
+                    }
+                    Instr::DefineGlobal(name) => {
+                        let v = stack.pop().expect("stack underflow");
+                        self.interp.define_global(name, v);
+                    }
+                    Instr::PushFrame(n) => {
+                        let slots = stack.split_off(stack.len() - n as usize);
+                        cur.frame = Some(Frame::new(slots, cur.frame.take()));
+                    }
+                    Instr::PushFrameUnspec(n) => {
+                        cur.frame = Some(Frame::new(
+                            vec![Value::Unspecified; n as usize],
+                            cur.frame.take(),
+                        ));
+                    }
+                    Instr::PopFrame => {
+                        let frame = cur.frame.take().expect("pop without frame");
+                        cur.frame = frame.parent().cloned();
+                    }
+                    Instr::MakeClosure(def) => {
+                        stack.push(Value::Closure(Rc::new(Closure {
+                            def,
+                            env: cur.frame.clone(),
+                        })));
+                    }
+                    Instr::Call { argc, src } => {
+                        self.metrics.calls += 1;
+                        let args = stack.split_off(stack.len() - argc as usize);
+                        let callee = stack.pop().expect("stack underflow");
+                        match callee {
+                            Value::Native(_) => {
+                                let v = self
+                                    .interp
+                                    .apply(&callee, args)
+                                    .map_err(|e| e.with_src(src))?;
+                                stack.push(v);
+                            }
+                            Value::Closure(c) => {
+                                let frame =
+                                    bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
+                                let chunk = self.chunk_for(&c.def);
+                                let entry = chunk.entry;
+                                let next = Activation {
+                                    chunk,
+                                    block: entry,
+                                    ip: 0,
+                                    frame: Some(frame),
+                                };
+                                saved.push(std::mem::replace(&mut cur, next));
+                                entering = true;
+                            }
+                            other => {
+                                return Err(
+                                    EvalError::type_error("procedure", &other).with_src(src)
+                                )
+                            }
+                        }
+                    }
+                    Instr::Pop => {
+                        stack.pop().expect("stack underflow");
+                    }
+                }
+                continue;
+            }
+            // Terminator.
+            match block.term.clone() {
+                Terminator::Jump(t) => {
+                    self.transfer(cur.block, t);
+                    cur.block = t;
+                    cur.ip = 0;
+                    entering = true;
+                }
+                Terminator::Branch(t, e) => {
+                    let cond = stack.pop().expect("stack underflow");
+                    let target = if cond.is_truthy() { t } else { e };
+                    self.transfer(cur.block, target);
+                    cur.block = target;
+                    cur.ip = 0;
+                    entering = true;
+                }
+                Terminator::Return => {
+                    let v = stack.pop().expect("stack underflow");
+                    match saved.pop() {
+                        None => return Ok(v),
+                        Some(prev) => {
+                            cur = prev;
+                            stack.push(v);
+                        }
+                    }
+                }
+                Terminator::TailCall { argc, src } => {
+                    self.metrics.calls += 1;
+                    let args = stack.split_off(stack.len() - argc as usize);
+                    let callee = stack.pop().expect("stack underflow");
+                    match callee {
+                        Value::Native(_) => {
+                            let v = self
+                                .interp
+                                .apply(&callee, args)
+                                .map_err(|e| e.with_src(src))?;
+                            match saved.pop() {
+                                None => return Ok(v),
+                                Some(prev) => {
+                                    cur = prev;
+                                    stack.push(v);
+                                }
+                            }
+                        }
+                        Value::Closure(c) => {
+                            let frame =
+                                bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
+                            let chunk = self.chunk_for(&c.def);
+                            let entry = chunk.entry;
+                            cur = Activation {
+                                chunk,
+                                block: entry,
+                                ip: 0,
+                                frame: Some(frame),
+                            };
+                            entering = true;
+                        }
+                        other => {
+                            return Err(EvalError::type_error("procedure", &other).with_src(src))
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn bind_closure_frame(c: &Closure, mut args: Vec<Value>) -> Result<Rc<Frame>, EvalError> {
+    let required = c.def.params as usize;
+    let name = c.def.name.map(|n| n.as_str()).unwrap_or("#<procedure>");
+    if c.def.variadic {
+        if args.len() < required {
+            return Err(EvalError::arity(
+                name,
+                &format!("at least {required}"),
+                args.len(),
+            ));
+        }
+        let rest = Value::list(args.split_off(required));
+        args.push(rest);
+    } else if args.len() != required {
+        return Err(EvalError::arity(name, &required.to_string(), args.len()));
+    }
+    Ok(Frame::new(args, c.env.clone()))
+}

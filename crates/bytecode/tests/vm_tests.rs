@@ -1,0 +1,256 @@
+//! Cross-checks: VM results must agree with the tree-walking interpreter.
+
+use pgmp_bytecode::{canonical_form, compile_chunk, optimize_layout, BlockCounters, Vm};
+use pgmp_eval::{install_primitives, Interp, Value};
+use pgmp_expander::{install_expander_support, Expander};
+use pgmp_reader::read_str;
+
+fn fresh_interp() -> Interp {
+    let mut interp = Interp::new();
+    install_primitives(&mut interp);
+    install_expander_support(&mut interp);
+    interp
+}
+
+fn run_tree(src: &str) -> String {
+    let forms = read_str(src, "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut last = Value::Unspecified;
+    for form in &program {
+        last = interp.eval(form, &None).unwrap();
+    }
+    last.write_string()
+}
+
+fn run_vm(src: &str) -> String {
+    let forms = read_str(src, "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    let mut last = Value::Unspecified;
+    for form in &program {
+        last = vm.run_core(form).unwrap();
+    }
+    last.write_string()
+}
+
+fn assert_agree(src: &str) {
+    let tree = run_tree(src);
+    let vm = run_vm(src);
+    assert_eq!(tree, vm, "tree-walker and VM disagree on {src}");
+}
+
+#[test]
+fn vm_agrees_on_basics() {
+    for src in [
+        "42",
+        "(+ 1 2 3)",
+        "(if #f 1 2)",
+        "(let ([x 1] [y 2]) (+ x y))",
+        "(let* ([x 1] [y (+ x 1)]) (* 10 y))",
+        "'(a b (c))",
+        "(begin 1 2 3)",
+        "(define x 5) (set! x (+ x 1)) x",
+        "((lambda (a . rest) (cons a rest)) 1 2 3)",
+        "(cond [#f 1] [(= 1 1) 'yes] [else 'no])",
+        "(case 3 [(1 2) 'low] [(3 4) 'mid] [else 'hi])",
+        "(and 1 2 (or #f 3))",
+    ] {
+        assert_agree(src);
+    }
+}
+
+#[test]
+fn vm_agrees_on_closures_and_recursion() {
+    for src in [
+        "(define (fact n) (if (zero? n) 1 (* n (fact (sub1 n))))) (fact 12)",
+        "(define (make-adder n) (lambda (m) (+ n m))) ((make-adder 3) 4)",
+        "(letrec ([ev? (lambda (n) (if (zero? n) #t (od? (- n 1))))] \
+                  [od? (lambda (n) (if (zero? n) #f (ev? (- n 1))))]) (od? 101))",
+        "(define (counter) (let ([n 0]) (lambda () (set! n (add1 n)) n))) \
+         (define c (counter)) (c) (c) (c)",
+    ] {
+        assert_agree(src);
+    }
+}
+
+#[test]
+fn vm_agrees_on_higher_order_natives() {
+    // map/sort apply closures via the tree-walker from inside the VM —
+    // mixed-mode execution.
+    for src in [
+        "(map (lambda (x) (* x x)) '(1 2 3))",
+        "(sort '(3 1 2) <)",
+        "(filter odd? '(1 2 3 4 5))",
+        "(fold-left + 0 '(1 2 3 4))",
+        "(apply + 1 '(2 3))",
+    ] {
+        assert_agree(src);
+    }
+}
+
+#[test]
+fn vm_agrees_on_macros() {
+    assert_agree(
+        "(define-syntax (swap! stx)
+           (syntax-case stx ()
+             [(_ a b) #'(let ([tmp a]) (set! a b) (set! b tmp))]))
+         (define x 1) (define y 2) (swap! x y) (list x y)",
+    );
+}
+
+#[test]
+fn vm_tail_calls_do_not_grow_activations() {
+    // One million iterations through a tail loop in a letrec frame.
+    assert_eq!(
+        run_vm("(let loop ([i 0]) (if (= i 1000000) 'done (loop (add1 i))))"),
+        "done"
+    );
+}
+
+#[test]
+fn vm_errors_match_tree_walker() {
+    let forms = read_str("(car 5)", "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let tree_err = interp.eval(&program[0], &None).unwrap_err();
+    let mut interp2 = fresh_interp();
+    let mut vm = Vm::new(&mut interp2);
+    let vm_err = vm.run_core(&program[0]).unwrap_err();
+    assert_eq!(tree_err.kind, vm_err.kind);
+}
+
+#[test]
+fn vm_unbound_variable_errors() {
+    let forms = read_str("zzz-unbound", "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    assert!(vm.run_core(&program[0]).is_err());
+}
+
+#[test]
+fn block_profiling_counts_hot_path() {
+    let src = "(define (classify n) (if (< n 10) 'small 'big))
+               (let loop ([i 0])
+                 (if (= i 100) 'done (begin (classify 5) (loop (add1 i)))))";
+    let forms = read_str(src, "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    let counters = BlockCounters::new();
+    vm.set_block_profiling(counters.clone());
+    for form in &program {
+        vm.run_core(form).unwrap();
+    }
+    assert!(!counters.is_empty());
+    // classify's chunk: the 'small branch ran 100 times, 'big never — some
+    // chunk must have both a block executed >= 100 times and a block never
+    // executed at all.
+    let chunks = vm.compiled_chunks();
+    let has_biased_chunk = chunks.iter().any(|c| {
+        let counts: Vec<u64> = (0..c.block_count() as u32)
+            .map(|b| counters.count(c.id, b))
+            .collect();
+        counts.iter().any(|&x| x >= 100) && counts.iter().any(|&x| x == 0)
+    });
+    assert!(has_biased_chunk, "expected a chunk with hot and never-run blocks");
+}
+
+#[test]
+fn layout_optimization_improves_fallthrough_on_biased_branch() {
+    // A branch that almost always goes to the else-side: after layout,
+    // the hot path should fall through more often.
+    let src = "(define (step n) (if (= n 0) 'rare 'common))
+               (let loop ([i 0])
+                 (if (= i 2000) 'done (begin (step i) (loop (add1 i)))))";
+    let forms = read_str(src, "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+
+    // Pass 1: profile blocks.
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    let counters = BlockCounters::new();
+    vm.set_block_profiling(counters.clone());
+    for form in &program {
+        vm.run_core(form).unwrap();
+    }
+
+    // Pass 2: relayout cached lambda chunks and re-run, measuring.
+    let before_chunks: Vec<String> =
+        vm.compiled_chunks().iter().map(|c| canonical_form(c)).collect();
+    vm.relayout_cached(&counters);
+    let after_chunks: Vec<String> =
+        vm.compiled_chunks().iter().map(|c| canonical_form(c)).collect();
+    assert_eq!(before_chunks, after_chunks, "layout must preserve the CFG");
+
+    vm.block_counters = None;
+    vm.metrics = Default::default();
+    // Re-invoke the loop through the (now re-laid-out) cached chunks.
+    let call = read_str(
+        "(let loop ([i 0]) (if (= i 2000) 'done (begin (step i) (loop (add1 i)))))",
+        "t.scm",
+    )
+    .unwrap();
+    let mut exp2 = Expander::new();
+    // Note: `step` stays resident in the interp's globals.
+    let call_core = exp2.expand_program(&call).unwrap();
+    for form in &call_core {
+        vm.run_core(form).unwrap();
+    }
+    let optimized = vm.metrics;
+    assert!(optimized.fallthrough_ratio() > 0.0);
+}
+
+#[test]
+fn optimize_layout_preserves_cfg_and_is_stable_unprofiled() {
+    let forms = read_str("(if (= 1 2) 'a 'b)", "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let core = exp.expand_program(&forms).unwrap().remove(0);
+    let chunk = compile_chunk(&core);
+    // With a hot else-branch the layout moves it forward, but the CFG
+    // stays the same function.
+    let counters = BlockCounters::new();
+    counters.increment(chunk.id, 2);
+    let hot = optimize_layout(&chunk, &counters);
+    assert_eq!(canonical_form(&chunk), canonical_form(&hot));
+    // With no profile at all, layout is idempotent: counts of an empty
+    // profile are position-independent.
+    let empty = BlockCounters::new();
+    let once = optimize_layout(&chunk, &empty);
+    let twice = optimize_layout(&once, &empty);
+    assert_eq!(once.blocks, twice.blocks);
+}
+
+#[test]
+fn metrics_count_calls() {
+    let src = "(define (f x) x) (f 1) (f 2)";
+    let forms = read_str(src, "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    for form in &program {
+        vm.run_core(form).unwrap();
+    }
+    assert!(vm.metrics.calls >= 2);
+    assert!(vm.metrics.blocks_executed > 0);
+}
+
+#[test]
+fn vm_step_budget() {
+    let forms = read_str("(let loop ([i 0]) (loop (add1 i)))", "t.scm").unwrap();
+    let mut exp = Expander::new();
+    let program = exp.expand_program(&forms).unwrap();
+    let mut interp = fresh_interp();
+    let mut vm = Vm::new(&mut interp);
+    vm.max_steps = Some(10_000);
+    assert!(vm.run_core(&program[0]).is_err());
+}

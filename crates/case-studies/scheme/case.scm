@@ -1,0 +1,34 @@
+;; §6.1, Figure 6 — a profile-guided `case` expression.
+;;
+;; Shadows the built-in case: each clause's left-hand side becomes an
+;; explicit membership test on the (once-evaluated) key, and the clauses
+;; are handed to exclusive-cond, which reorders them by profile weight.
+;; Unlike the simplified version in the paper's figure, this handles the
+;; full generality of Scheme's case: an optional else clause (kept last)
+;; and multi-expression clause bodies.
+
+;; Runtime membership test for case keys.
+(define (key-in? key keys)
+  (if (memv key keys) #t #f))
+
+;; Compile-time helper: rewrite one case clause into an exclusive-cond
+;; clause by converting the left-hand side into a key-in? test.
+(define-for-syntax (rewrite-case-clause key-ref clause)
+  (syntax-case clause (else)
+    [(else body ...) clause]
+    [((k ...) body ...)
+     ;; Take this branch if the key expression is eqv? to some element of
+     ;; the list of constants.
+     #`((key-in? #,key-ref '(k ...)) body ...)]))
+
+(define-syntax (case stx)
+  ;; Start of code transformation.
+  (syntax-case stx ()
+    [(_ key-expr clause ...)
+     ;; Evaluate the key-expr only once, instead of copying the entire
+     ;; expression into the template.
+     #`(let ([t key-expr])
+         (exclusive-cond
+          ;; Transform each case clause into an exclusive-cond clause.
+          #,@(map (curry rewrite-case-clause #'t)
+                  (syntax->list #'(clause ...)))))]))

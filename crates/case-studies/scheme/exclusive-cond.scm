@@ -1,0 +1,29 @@
+;; §6.1, Figure 7 — exclusive-cond: a multi-way conditional branch like
+;; cond, except the programmer asserts the clauses are mutually exclusive,
+;; which lets the meta-program reorder them by profile weight. An optional
+;; else clause is never reordered (it stays last).
+
+(define-syntax (exclusive-cond stx)
+  ;; Internal definitions run at compile time.
+  (define (else-clause? clause)
+    (syntax-case clause (else)
+      [(else body ...) #t]
+      [_ #f]))
+  (define (clause-weight clause)
+    (syntax-case clause ()
+      ;; Weight of a clause is the weight of its first body expression.
+      [(test e1 e2 ...) (profile-query #'e1)]
+      ;; (test) clauses are weighted by the test itself.
+      [(test) (profile-query #'test)]))
+  (define (sort-clauses clause*)
+    ;; Sort clauses greatest-to-least by weight; stable, so clauses with
+    ;; equal weights keep their source order.
+    (sort-by clause* > clause-weight))
+  ;; Start of code transformation.
+  (syntax-case stx ()
+    [(_ clause ...)
+     (let* ([clauses (syntax->list #'(clause ...))]
+            [els (filter else-clause? clauses)]
+            [ordinary (filter (lambda (c) (not (else-clause? c))) clauses)])
+       ;; Splice sorted clauses into a cond expression.
+       #`(cond #,@(sort-clauses ordinary) #,@els))]))

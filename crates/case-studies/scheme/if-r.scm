@@ -1,0 +1,22 @@
+;; §2, Figure 1 — the running example: a profile-guided `if` that orders
+;; its branches by how likely they are to be executed.
+;;
+;; When the false branch is hotter than the true branch, if-r negates the
+;; test and swaps the branches (producing Figure 2's output); otherwise it
+;; generates the if unchanged.
+
+(define-syntax (if-r stx)
+  (syntax-case stx ()
+    [(if-r test t-branch f-branch)
+     ;; This let expression runs at compile time.
+     (let ([t-prof (profile-query #'t-branch)]
+           [f-prof (profile-query #'f-branch)])
+       ;; This cond expression runs at compile time, and conditionally
+       ;; generates run-time code based on profile information.
+       (cond
+         [(< t-prof f-prof)
+          ;; This if expression would run at run time when generated.
+          #'(if (not test) f-branch t-branch)]
+         [(>= t-prof f-prof)
+          ;; So would this if expression.
+          #'(if test t-branch f-branch)]))]))

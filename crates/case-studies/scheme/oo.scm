@@ -1,0 +1,169 @@
+;; §6.2, Figures 9–12 — an object system DSL with profile-guided receiver
+;; class prediction (polymorphic inline caching).
+;;
+;; `class` registers each class (fields + method source) in an expand-time
+;; registry and defines the runtime class value. `method` is the
+;; profile-guided meta-program: with no profile data it instruments every
+;; call site with one fresh profile point per class (Figure 11, top); with
+;; profile data it inlines the method bodies of the most frequently seen
+;; classes, most frequent first (Figure 12), falling back to dynamic
+;; dispatch.
+
+;; ----- expand-time class registry -----------------------------------------
+
+(begin-for-syntax
+  (define oo-class-registry '())
+  (define oo-inline-limit-value 2))
+
+(define-for-syntax (oo-register-class! name fields methods)
+  (set! oo-class-registry
+        (append oo-class-registry (list (list name fields methods)))))
+
+(define-for-syntax (oo-all-classes) oo-class-registry)
+(define-for-syntax (oo-inline-limit) oo-inline-limit-value)
+(define-for-syntax (set-oo-inline-limit! n) (set! oo-inline-limit-value n))
+(define-for-syntax (oo-entry-name entry) (car entry))
+(define-for-syntax (oo-entry-methods entry) (caddr entry))
+
+;; ----- runtime object representation ---------------------------------------
+
+(define (make-class name fields defaults methods)
+  (let ([cls (make-eq-hashtable)])
+    (hashtable-set! cls 'class-name name)
+    (hashtable-set! cls 'fields fields)
+    (hashtable-set! cls 'defaults defaults)
+    (hashtable-set! cls 'methods methods)
+    cls))
+
+;; (new cls v ...) — field values in declaration order; defaults when
+;; omitted.
+(define (new cls . field-values)
+  (let ([obj (make-eq-hashtable)])
+    (hashtable-set! obj 'class cls)
+    (let loop ([fs (hashtable-ref cls 'fields '())]
+               [vs (if (null? field-values)
+                       (hashtable-ref cls 'defaults '())
+                       field-values)])
+      (unless (null? fs)
+        (hashtable-set! obj (car fs) (car vs))
+        (loop (cdr fs) (cdr vs))))
+    obj))
+
+(define (object-class obj) (hashtable-ref obj 'class #f))
+
+(define (instance-of? obj class-name)
+  (let ([cls (object-class obj)])
+    (if cls
+        (eqv? (hashtable-ref cls 'class-name #f) class-name)
+        #f)))
+
+(define (field-ref obj fname) (hashtable-ref obj fname #f))
+(define (set-field! obj fname v) (hashtable-set! obj fname v))
+
+;; (field obj name) — field access with an unquoted field name, as the
+;; paper writes it: (field this length).
+(define-syntax (field stx)
+  (syntax-case stx ()
+    [(_ obj fname) #'(field-ref obj 'fname)]))
+
+(define (dynamic-dispatch obj mname . args)
+  (let* ([cls (object-class obj)]
+         [m (assq mname (hashtable-ref cls 'methods '()))])
+    (if m
+        (apply (cdr m) obj args)
+        (error "no method" mname))))
+
+;; The standard dynamic dispatch routine the instrumented multi-way branch
+;; targets (Figure 11).
+(define (instrumented-dispatch obj mname . args)
+  (apply dynamic-dispatch obj mname args))
+
+;; ----- the class definition macro ------------------------------------------
+
+(define-syntax (class stx)
+  (syntax-case stx ()
+    [(_ name ((fname fdefault) ...) (defm (mname mparam ...) mbody ...) ...)
+     (begin
+       ;; Register the class at expand time, keeping the *syntax* of each
+       ;; method so call sites can inline it.
+       (oo-register-class!
+        (syntax->datum #'name)
+        (map syntax->datum (syntax->list #'(fname ...)))
+        (map (lambda (mn ps bs)
+               (cons (syntax->datum mn)
+                     (list (syntax->list ps) (syntax->list bs))))
+             (syntax->list #'(mname ...))
+             (syntax->list #'((mparam ...) ...))
+             (syntax->list #'((mbody ...) ...))))
+       ;; Runtime class value with closed-over method procedures.
+       #'(define name
+           (make-class 'name
+                       '(fname ...)
+                       (list fdefault ...)
+                       (list (cons 'mname (lambda (mparam ...) mbody ...))
+                             ...))))]))
+
+;; ----- compile-time helpers for `method` -----------------------------------
+
+;; Instrumentation clause: test the class, then call the standard dynamic
+;; dispatch through an expression annotated with this (class, call-site)
+;; profile point.
+(define-for-syntax (oo-instrument-clause x-ref m-datum val-stxs entry pt)
+  #`((instance-of? #,x-ref '#,(datum->syntax x-ref (oo-entry-name entry)))
+     #,(annotate-expr
+        #`(instrumented-dispatch #,x-ref '#,(datum->syntax x-ref m-datum)
+                                 #,@val-stxs)
+        pt)))
+
+;; Optimized clause: test the class and inline the method body, binding the
+;; method parameters with let.
+(define-for-syntax (oo-inline-clause x-ref m-datum val-stxs entry)
+  (let ([m (assq m-datum (oo-entry-methods entry))])
+    (if m
+        (let* ([params (car (cdr m))]
+               [bodies (cadr (cdr m))]
+               [self-param (car params)]
+               [rest-params (cdr params)])
+          #`((instance-of? #,x-ref '#,(datum->syntax x-ref (oo-entry-name entry)))
+             (let ([#,self-param #,x-ref]
+                   #,@(map (lambda (p v) #`[#,p #,v]) rest-params val-stxs))
+               #,@bodies)))
+        ;; The class has no such method: keep dynamic dispatch.
+        #`((instance-of? #,x-ref '#,(datum->syntax x-ref (oo-entry-name entry)))
+           (dynamic-dispatch #,x-ref '#,(datum->syntax x-ref m-datum)
+                             #,@val-stxs)))))
+
+;; ----- the profile-guided method call macro (Figure 9) ---------------------
+
+(define-syntax (method stx)
+  (syntax-case stx ()
+    [(_ obj m val ...)
+     (let* ([entries (oo-all-classes)]
+            ;; One fresh profile point per class, generated in registry
+            ;; order — deterministic, so the optimizing compile regenerates
+            ;; the same points the instrumented run counted.
+            [pts (map (lambda (e) (make-profile-point)) entries)]
+            [m-datum (syntax->datum #'m)]
+            [val-stxs (syntax->list #'(val ...))])
+       (if (not (profile-data-available?))
+           ;; If no profile data, instrument!
+           #`(let ([x obj])
+               (cond
+                 #,@(map (lambda (e pt)
+                           (oo-instrument-clause #'x m-datum val-stxs e pt))
+                         entries pts)
+                 [else (dynamic-dispatch x 'm val ...)]))
+           ;; If profile data, inline up to the top inline-limit classes
+           ;; with non-zero weights, most frequent first (Figure 12).
+           (let* ([weighted (map (lambda (e pt) (cons e (profile-query pt)))
+                                 entries pts)]
+                  [nonzero (filter (lambda (p) (> (cdr p) 0.0)) weighted)]
+                  [sorted (sort nonzero (lambda (a b) (> (cdr a) (cdr b))))]
+                  [top (take sorted (min (oo-inline-limit) (length sorted)))])
+             #`(let ([x obj])
+                 (cond
+                   #,@(map (lambda (p)
+                             (oo-inline-clause #'x m-datum val-stxs (car p)))
+                           top)
+                   ;; Fall back to dynamic dispatch.
+                   [else (dynamic-dispatch x 'm val ...)])))))]))

@@ -1,0 +1,73 @@
+;; §6.3, Figure 13 — a profiled list library.
+;;
+;; Each profiled-list instance carries a table of *instrumented* calls to
+;; the underlying list operations. The constructor generates two fresh
+;; profile points per instance: one counts operations that are
+;; asymptotically fast on lists (car/cdr/cons), the other counts operations
+;; that are asymptotically fast on vectors (random access, length). When
+;; profile data from an earlier run shows the vector-fast operations
+;; dominating, the constructor emits a compile-time warning recommending a
+;; representation change — the Perflint-style recommendation.
+
+;; Compile-time helper: a wrapper procedure whose body is the annotated
+;; operation reference, so every call bumps the profile point's counter.
+(define-for-syntax (instrument-call op-stx pt)
+  #`(lambda args (apply #,(annotate-expr op-stx pt) args)))
+
+;; ----- runtime representation ----------------------------------------------
+
+(define (make-plist ops data)
+  (let ([rep (make-eq-hashtable)])
+    (hashtable-set! rep 'ops ops)
+    (hashtable-set! rep 'data data)
+    rep))
+
+(define (plist? x)
+  (if (hashtable? x) (hashtable-contains? x 'ops) #f))
+
+(define (plist-ops rep) (hashtable-ref rep 'ops #f))
+(define (plist-data rep) (hashtable-ref rep 'data '()))
+(define (plist-op rep name) (hashtable-ref (plist-ops rep) name #f))
+
+;; List-fast operations.
+(define (plist-car rep) ((plist-op rep 'car) (plist-data rep)))
+(define (plist-cdr rep)
+  (make-plist (plist-ops rep) ((plist-op rep 'cdr) (plist-data rep))))
+(define (plist-cons x rep)
+  (make-plist (plist-ops rep) ((plist-op rep 'cons) x (plist-data rep))))
+(define (plist-null? rep) (null? (plist-data rep)))
+
+;; Vector-fast operations.
+(define (plist-ref rep i) ((plist-op rep 'ref) (plist-data rep) i))
+(define (plist-length rep) ((plist-op rep 'length) (plist-data rep)))
+
+(define (plist->list rep) (plist-data rep))
+
+;; ----- the constructor meta-program (Figure 13) -----------------------------
+
+(define-syntax (profiled-list stx)
+  ;; Create fresh profile points, one pair per constructor instance:
+  ;; list-src profiles operations that are asymptotically fast on lists,
+  ;; vector-src profiles operations that are asymptotically fast on
+  ;; vectors.
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case stx ()
+    [(_ init ...)
+     (begin
+       (unless (>= (profile-query list-src) (profile-query vector-src))
+         ;; Prints at compile time.
+         (warn "WARNING: You should probably reimplement this list as a vector: ~a"
+               (syntax->datum stx)))
+       #`(make-plist
+          ;; Build a hash table of instrumented calls to list operations:
+          ;; the table maps the operation name to a profiled call to the
+          ;; built-in operation.
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'car #,(instrument-call #'car list-src))
+            (hashtable-set! ht 'cdr #,(instrument-call #'cdr list-src))
+            (hashtable-set! ht 'cons #,(instrument-call #'cons list-src))
+            (hashtable-set! ht 'ref #,(instrument-call #'list-ref vector-src))
+            (hashtable-set! ht 'length #,(instrument-call #'length vector-src))
+            ht)
+          (list init ...)))]))

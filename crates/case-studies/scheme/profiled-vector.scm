@@ -1,0 +1,81 @@
+;; §6.3 — the profiled vector library, the analogue of Figure 13 for
+;; vectors: random access and length are the cheap operations; prepending
+;; and iterating head/tail style are the operations a list would make
+;; cheap. When list-fast operations dominate the profile, the constructor
+;; warns that a list representation may be better.
+
+(define-for-syntax (instrument-call op-stx pt)
+  #`(lambda args (apply #,(annotate-expr op-stx pt) args)))
+
+;; ----- helpers the instrumented table closes over ---------------------------
+
+(define (vector-first v) (vector-ref v 0))
+
+(define (vector-rest v)
+  (let* ([n (vector-length v)]
+         [out (make-vector (- n 1) 0)])
+    (let loop ([i 1])
+      (if (= i n)
+          out
+          (begin
+            (vector-set! out (- i 1) (vector-ref v i))
+            (loop (add1 i)))))))
+
+(define (vector-cons-front x v)
+  (let* ([n (vector-length v)]
+         [out (make-vector (+ n 1) 0)])
+    (vector-set! out 0 x)
+    (let loop ([i 0])
+      (if (= i n)
+          out
+          (begin
+            (vector-set! out (+ i 1) (vector-ref v i))
+            (loop (add1 i)))))))
+
+;; ----- runtime representation ----------------------------------------------
+
+(define (make-pvec ops data)
+  (let ([rep (make-eq-hashtable)])
+    (hashtable-set! rep 'ops ops)
+    (hashtable-set! rep 'data data)
+    rep))
+
+(define (pvec-ops rep) (hashtable-ref rep 'ops #f))
+(define (pvec-data rep) (hashtable-ref rep 'data #f))
+(define (pvec-op rep name) (hashtable-ref (pvec-ops rep) name #f))
+
+;; Vector-fast operations.
+(define (pvec-ref rep i) ((pvec-op rep 'ref) (pvec-data rep) i))
+(define (pvec-set! rep i v) ((pvec-op rep 'set) (pvec-data rep) i v))
+(define (pvec-length rep) ((pvec-op rep 'length) (pvec-data rep)))
+
+;; List-fast operations.
+(define (pvec-first rep) ((pvec-op rep 'first) (pvec-data rep)))
+(define (pvec-rest rep)
+  (make-pvec (pvec-ops rep) ((pvec-op rep 'rest) (pvec-data rep))))
+(define (pvec-cons x rep)
+  (make-pvec (pvec-ops rep) ((pvec-op rep 'cons) x (pvec-data rep))))
+
+(define (pvec->vector rep) (pvec-data rep))
+
+;; ----- the constructor meta-program -----------------------------------------
+
+(define-syntax (profiled-vector stx)
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case stx ()
+    [(_ init ...)
+     (begin
+       (unless (>= (profile-query vector-src) (profile-query list-src))
+         (warn "WARNING: You should probably reimplement this vector as a list: ~a"
+               (syntax->datum stx)))
+       #`(make-pvec
+          (let ([ht (make-eq-hashtable)])
+            (hashtable-set! ht 'ref #,(instrument-call #'vector-ref vector-src))
+            (hashtable-set! ht 'set #,(instrument-call #'vector-set! vector-src))
+            (hashtable-set! ht 'length #,(instrument-call #'vector-length vector-src))
+            (hashtable-set! ht 'first #,(instrument-call #'vector-first list-src))
+            (hashtable-set! ht 'rest #,(instrument-call #'vector-rest list-src))
+            (hashtable-set! ht 'cons #,(instrument-call #'vector-cons-front list-src))
+            ht)
+          (vector init ...)))]))

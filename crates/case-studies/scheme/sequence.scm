@@ -1,0 +1,96 @@
+;; §6.3, Figure 14 — the self-specializing sequence datatype.
+;;
+;; Beyond the recommendations of the profiled list/vector libraries, the
+;; sequence constructor *acts* on the profile: at compile time each
+;; instance specializes to a linked-list or vector representation depending
+;; on which operation class dominated the instance's previous profile.
+;; Programmers opt in by writing (profiled-sequence e ...) and using the
+;; generic seq-* operations; no other code changes are needed.
+
+(define-for-syntax (instrument-call op-stx pt)
+  #`(lambda args (apply #,(annotate-expr op-stx pt) args)))
+
+;; Vector helpers shared with the profiled-vector library (re-defined here
+;; so this library is independently loadable).
+(define (seq-vector-first v) (vector-ref v 0))
+
+(define (seq-vector-rest v)
+  (let* ([n (vector-length v)]
+         [out (make-vector (- n 1) 0)])
+    (let loop ([i 1])
+      (if (= i n)
+          out
+          (begin
+            (vector-set! out (- i 1) (vector-ref v i))
+            (loop (add1 i)))))))
+
+(define (seq-vector-cons x v)
+  (let* ([n (vector-length v)]
+         [out (make-vector (+ n 1) 0)])
+    (vector-set! out 0 x)
+    (let loop ([i 0])
+      (if (= i n)
+          out
+          (begin
+            (vector-set! out (+ i 1) (vector-ref v i))
+            (loop (add1 i)))))))
+
+;; ----- runtime representation ----------------------------------------------
+
+(define (make-seq kind ops data)
+  (let ([rep (make-eq-hashtable)])
+    (hashtable-set! rep 'kind kind)
+    (hashtable-set! rep 'ops ops)
+    (hashtable-set! rep 'data data)
+    rep))
+
+;; Which representation this instance specialized to: 'list or 'vector.
+(define (seq-kind s) (hashtable-ref s 'kind #f))
+(define (seq-ops s) (hashtable-ref s 'ops #f))
+(define (seq-data s) (hashtable-ref s 'data #f))
+(define (seq-op s name) (hashtable-ref (seq-ops s) name #f))
+
+;; List-fast generic operations.
+(define (seq-first s) ((seq-op s 'first) (seq-data s)))
+(define (seq-rest s)
+  (make-seq (seq-kind s) (seq-ops s) ((seq-op s 'rest) (seq-data s))))
+(define (seq-cons x s)
+  (make-seq (seq-kind s) (seq-ops s) ((seq-op s 'cons) x (seq-data s))))
+
+;; Vector-fast generic operations.
+(define (seq-ref s i) ((seq-op s 'ref) (seq-data s) i))
+(define (seq-length s) ((seq-op s 'length) (seq-data s)))
+
+(define (seq->list s)
+  (if (eqv? (seq-kind s) 'list) (seq-data s) (vector->list (seq-data s))))
+
+;; ----- the self-specializing constructor (Figure 14) ------------------------
+
+(define-syntax (profiled-sequence stx)
+  ;; Fresh profile points per instance, as in the profiled list.
+  (define list-src (make-profile-point))
+  (define vector-src (make-profile-point))
+  (syntax-case stx ()
+    [(_ init ...)
+     ;; Conditionally generate wrapped versions of the list *or* vector
+     ;; operations, and represent the underlying data using a list *or*
+     ;; vector, depending on the profile information.
+     (if (>= (profile-query list-src) (profile-query vector-src))
+         #`(make-seq 'list
+             (let ([ht (make-eq-hashtable)])
+               (hashtable-set! ht 'first #,(instrument-call #'car list-src))
+               (hashtable-set! ht 'rest #,(instrument-call #'cdr list-src))
+               (hashtable-set! ht 'cons #,(instrument-call #'cons list-src))
+               (hashtable-set! ht 'ref #,(instrument-call #'list-ref vector-src))
+               (hashtable-set! ht 'length #,(instrument-call #'length vector-src))
+               ht)
+             (list init ...))
+         #`(make-seq 'vector
+             (let ([ht (make-eq-hashtable)])
+               (hashtable-set! ht 'first #,(instrument-call #'seq-vector-first list-src))
+               (hashtable-set! ht 'rest #,(instrument-call #'seq-vector-rest list-src))
+               (hashtable-set! ht 'cons #,(instrument-call #'seq-vector-cons list-src))
+               (hashtable-set! ht 'ref #,(instrument-call #'vector-ref vector-src))
+               (hashtable-set! ht 'length #,(instrument-call #'vector-length vector-src))
+               ht)
+             (vector init ...)))]))

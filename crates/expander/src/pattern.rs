@@ -1,0 +1,433 @@
+//! `syntax-case` patterns: compilation to a spec datum and matching.
+//!
+//! Patterns are compiled by the expander into a first-order *spec* encoded
+//! as a [`Datum`], which the `%syntax-dispatch` native interprets at run
+//! time (of the transformer). The encoding:
+//!
+//! ```text
+//! any                              wildcard `_`
+//! (var n)                          bind pattern variable slot n
+//! (lit name)                       literal identifier
+//! (const datum)                    constant
+//! (list s1 … sn)                   proper list of exactly n
+//! (improper (s1 … sn) t)           dotted list
+//! (ellist (pre…) head (post…) (slots…))
+//!                                  prefix, repeated head, fixed tail;
+//!                                  `slots` are the head's variable slots
+//! ```
+
+use crate::cenv::BindKind;
+use crate::error::{ExpandError, ExpandErrorKind};
+use pgmp_eval::Value;
+use pgmp_syntax::{Datum, Symbol, Syntax, SyntaxBody};
+use std::rc::Rc;
+
+/// A pattern variable discovered during pattern compilation.
+#[derive(Clone, Debug)]
+pub struct PatternVar {
+    /// The binder occurrence (keeps its marks for hygienic binding).
+    pub id: Syntax,
+    /// Ellipsis depth at which the variable binds.
+    pub depth: u8,
+}
+
+/// A compiled pattern: the spec plus its variables in slot order.
+#[derive(Clone, Debug)]
+pub struct CompiledPattern {
+    /// First-order matcher program.
+    pub spec: Datum,
+    /// Variables; slot `i` is `vars[i]`.
+    pub vars: Vec<PatternVar>,
+}
+
+impl CompiledPattern {
+    /// Kind tag for binding the `i`-th variable in a compile-time scope.
+    pub fn bind_kind(&self, i: usize) -> BindKind {
+        BindKind::PatternVar(self.vars[i].depth)
+    }
+}
+
+fn bad_pattern(msg: impl Into<String>, stx: &Syntax) -> ExpandError {
+    ExpandError::new(ExpandErrorKind::BadPattern, msg).with_src(stx.source)
+}
+
+fn is_ellipsis(stx: &Syntax) -> bool {
+    stx.as_symbol().is_some_and(|s| s.as_str() == "...")
+}
+
+fn is_underscore(stx: &Syntax) -> bool {
+    stx.as_symbol().is_some_and(|s| s.as_str() == "_")
+}
+
+/// Compiles `pattern` with the given literal identifiers.
+///
+/// # Errors
+///
+/// Rejects duplicate pattern variables, misplaced `…`, vector patterns, and
+/// `…` in dotted tails.
+pub fn compile_pattern(
+    pattern: &Syntax,
+    literals: &[Symbol],
+) -> Result<CompiledPattern, ExpandError> {
+    let mut vars: Vec<PatternVar> = Vec::new();
+    let spec = compile(pattern, literals, 0, &mut vars)?;
+    Ok(CompiledPattern { spec, vars })
+}
+
+fn compile(
+    p: &Syntax,
+    literals: &[Symbol],
+    depth: u8,
+    vars: &mut Vec<PatternVar>,
+) -> Result<Datum, ExpandError> {
+    match &p.body {
+        SyntaxBody::Atom(Datum::Sym(sym)) => {
+            if is_ellipsis(p) {
+                return Err(bad_pattern("misplaced ellipsis", p));
+            }
+            if is_underscore(p) {
+                return Ok(Datum::sym("any"));
+            }
+            if literals.contains(sym) {
+                return Ok(Datum::list(vec![Datum::sym("lit"), Datum::Sym(*sym)]));
+            }
+            if vars.iter().any(|v| v.id.as_symbol() == Some(*sym)) {
+                return Err(bad_pattern(format!("duplicate pattern variable `{sym}`"), p));
+            }
+            let slot = vars.len() as i64;
+            vars.push(PatternVar {
+                id: p.clone(),
+                depth,
+            });
+            Ok(Datum::list(vec![Datum::sym("var"), Datum::Int(slot)]))
+        }
+        SyntaxBody::Atom(d) => Ok(Datum::list(vec![Datum::sym("const"), d.clone()])),
+        SyntaxBody::Vector(_) => Err(bad_pattern(
+            "vector patterns are not supported (see DESIGN.md)",
+            p,
+        )),
+        SyntaxBody::List(elems) => {
+            let ell_pos = elems.iter().position(|e| is_ellipsis(e));
+            match ell_pos {
+                None => {
+                    let specs: Result<Vec<Datum>, ExpandError> = elems
+                        .iter()
+                        .map(|e| compile(e, literals, depth, vars))
+                        .collect();
+                    let mut out = vec![Datum::sym("list")];
+                    out.extend(specs?);
+                    Ok(Datum::list(out))
+                }
+                Some(0) => Err(bad_pattern("ellipsis with no preceding pattern", p)),
+                Some(i) => {
+                    if elems[i + 1..].iter().any(|e| is_ellipsis(e)) {
+                        return Err(bad_pattern("multiple ellipses at one level", p));
+                    }
+                    let pre: Result<Vec<Datum>, ExpandError> = elems[..i - 1]
+                        .iter()
+                        .map(|e| compile(e, literals, depth, vars))
+                        .collect();
+                    let pre = pre?;
+                    let head_slot_start = vars.len();
+                    let head = compile(&elems[i - 1], literals, depth + 1, vars)?;
+                    let head_slots: Vec<Datum> = (head_slot_start..vars.len())
+                        .map(|s| Datum::Int(s as i64))
+                        .collect();
+                    let post: Result<Vec<Datum>, ExpandError> = elems[i + 1..]
+                        .iter()
+                        .map(|e| compile(e, literals, depth, vars))
+                        .collect();
+                    Ok(Datum::list(vec![
+                        Datum::sym("ellist"),
+                        Datum::list(pre),
+                        head,
+                        Datum::list(post?),
+                        Datum::list(head_slots),
+                    ]))
+                }
+            }
+        }
+        SyntaxBody::Improper(elems, tail) => {
+            if elems.iter().any(|e| is_ellipsis(e)) {
+                return Err(bad_pattern("ellipsis in dotted pattern is not supported", p));
+            }
+            let specs: Result<Vec<Datum>, ExpandError> = elems
+                .iter()
+                .map(|e| compile(e, literals, depth, vars))
+                .collect();
+            let tail_spec = compile(tail, literals, depth, vars)?;
+            Ok(Datum::list(vec![
+                Datum::sym("improper"),
+                Datum::list(specs?),
+                tail_spec,
+            ]))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matching
+// ---------------------------------------------------------------------------
+
+/// Matches `stx` against `spec`; on success returns the bindings vector of
+/// length `nvars` (slots never matched — impossible for well-compiled
+/// patterns — are left `Unspecified`).
+pub fn syntax_dispatch(stx: &Syntax, spec: &Datum, nvars: usize) -> Option<Vec<Value>> {
+    let mut binds = vec![Value::Unspecified; nvars];
+    if matches(stx, spec, &mut binds) {
+        Some(binds)
+    } else {
+        None
+    }
+}
+
+fn spec_parts(spec: &Datum) -> Option<(Symbol, Vec<Datum>)> {
+    let elems = spec.list_elems()?;
+    let (head, rest) = elems.split_first()?;
+    match head {
+        Datum::Sym(s) => Some((*s, rest.to_vec())),
+        _ => None,
+    }
+}
+
+fn matches(stx: &Syntax, spec: &Datum, binds: &mut [Value]) -> bool {
+    if let Datum::Sym(s) = spec {
+        if s.as_str() == "any" {
+            return true;
+        }
+    }
+    let Some((tag, args)) = spec_parts(spec) else {
+        return false;
+    };
+    match tag.as_str() {
+        "var" => {
+            let Datum::Int(slot) = args[0] else { return false };
+            binds[slot as usize] = Value::Syntax(Rc::new(stx.clone()));
+            true
+        }
+        "lit" => {
+            let Datum::Sym(name) = args[0] else { return false };
+            stx.as_symbol() == Some(name)
+        }
+        "const" => stx.to_datum().equal(&args[0]),
+        "list" => {
+            let Some(elems) = stx.as_list() else { return false };
+            elems.len() == args.len()
+                && elems
+                    .iter()
+                    .zip(args.iter())
+                    .all(|(e, s)| matches(e, s, binds))
+        }
+        "improper" => {
+            let (elems, tail): (Vec<Rc<Syntax>>, Rc<Syntax>) = match &stx.body {
+                SyntaxBody::Improper(elems, tail) => (elems.clone(), tail.clone()),
+                // A proper list also matches a dotted pattern when the
+                // pattern tail can absorb the rest, e.g. `(a . rest)`
+                // against `(a b c)` binds rest = `(b c)`.
+                SyntaxBody::List(elems) => {
+                    let specs = args[0].list_elems().unwrap_or_default();
+                    if elems.len() < specs.len() {
+                        return false;
+                    }
+                    let rest = Syntax::new(
+                        SyntaxBody::List(elems[specs.len()..].to_vec()),
+                        stx.source,
+                    );
+                    return elems[..specs.len()]
+                        .iter()
+                        .zip(specs.iter())
+                        .all(|(e, s)| matches(e, s, binds))
+                        && matches(&rest, &args[1], binds);
+                }
+                _ => return false,
+            };
+            let specs = args[0].list_elems().unwrap_or_default();
+            if elems.len() < specs.len() {
+                return false;
+            }
+            let fixed_ok = elems[..specs.len()]
+                .iter()
+                .zip(specs.iter())
+                .all(|(e, s)| matches(e, s, binds));
+            if !fixed_ok {
+                return false;
+            }
+            let rest = if elems.len() == specs.len() {
+                (*tail).clone()
+            } else {
+                Syntax::new(
+                    SyntaxBody::Improper(elems[specs.len()..].to_vec(), tail),
+                    stx.source,
+                )
+            };
+            matches(&rest, &args[1], binds)
+        }
+        "ellist" => {
+            let Some(elems) = stx.as_list() else { return false };
+            let pre = args[0].list_elems().unwrap_or_default();
+            let head = &args[1];
+            let post = args[2].list_elems().unwrap_or_default();
+            let slots: Vec<usize> = args[3]
+                .list_elems()
+                .unwrap_or_default()
+                .iter()
+                .filter_map(|d| match d {
+                    Datum::Int(n) => Some(*n as usize),
+                    _ => None,
+                })
+                .collect();
+            if elems.len() < pre.len() + post.len() {
+                return false;
+            }
+            let (pre_elems, rest) = elems.split_at(pre.len());
+            let (mid, post_elems) = rest.split_at(rest.len() - post.len());
+            if !pre_elems
+                .iter()
+                .zip(pre.iter())
+                .all(|(e, s)| matches(e, s, binds))
+            {
+                return false;
+            }
+            let mut acc: Vec<Vec<Value>> = vec![Vec::new(); slots.len()];
+            for e in mid {
+                for &s in &slots {
+                    binds[s] = Value::Unspecified;
+                }
+                if !matches(e, head, binds) {
+                    return false;
+                }
+                for (k, &s) in slots.iter().enumerate() {
+                    acc[k].push(binds[s].clone());
+                }
+            }
+            for (k, &s) in slots.iter().enumerate() {
+                binds[s] = Value::list(std::mem::take(&mut acc[k]));
+            }
+            post_elems
+                .iter()
+                .zip(post.iter())
+                .all(|(e, s)| matches(e, s, binds))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stx(src: &str) -> Rc<Syntax> {
+        pgmp_reader::read_str(src, "p.scm").unwrap().remove(0)
+    }
+
+    fn pat(src: &str, lits: &[&str]) -> CompiledPattern {
+        let lits: Vec<Symbol> = lits.iter().map(|s| Symbol::intern(s)).collect();
+        compile_pattern(&stx(src), &lits).unwrap()
+    }
+
+    fn try_match(p: &CompiledPattern, input: &str) -> Option<Vec<Value>> {
+        syntax_dispatch(&stx(input), &p.spec, p.vars.len())
+    }
+
+    #[test]
+    fn flat_pattern_binds_vars() {
+        let p = pat("(if-r test t-branch f-branch)", &[]);
+        assert_eq!(p.vars.len(), 4);
+        let binds = try_match(&p, "(if-r (f x) 1 2)").unwrap();
+        assert!(matches!(&binds[1], Value::Syntax(s) if s.to_datum().to_string() == "(f x)"));
+        assert!(matches!(&binds[2], Value::Syntax(s) if s.to_datum().to_string() == "1"));
+        assert!(try_match(&p, "(if-r 1 2)").is_none(), "wrong length");
+    }
+
+    #[test]
+    fn wildcard_and_constants() {
+        let p = pat("(_ 42 \"s\")", &[]);
+        assert!(try_match(&p, "(anything 42 \"s\")").is_some());
+        assert!(try_match(&p, "(anything 41 \"s\")").is_none());
+    }
+
+    #[test]
+    fn literals_match_by_name() {
+        let p = pat("(_ else body)", &["else"]);
+        assert!(try_match(&p, "(cl else 1)").is_some());
+        assert!(try_match(&p, "(cl other 1)").is_none());
+        assert_eq!(p.vars.len(), 1, "`else` and `_` are not variables");
+    }
+
+    #[test]
+    fn ellipsis_collects_lists() {
+        let p = pat("(_ e ...)", &[]);
+        let binds = try_match(&p, "(m 1 2 3)").unwrap();
+        let es = binds[0].list_elems().unwrap();
+        assert_eq!(es.len(), 3);
+        let binds = try_match(&p, "(m)").unwrap();
+        assert_eq!(binds[0].list_elems().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn ellipsis_with_fixed_tail() {
+        let p = pat("(_ x ... y z)", &[]);
+        let binds = try_match(&p, "(m 1 2 3 4 5)").unwrap();
+        assert_eq!(binds[0].list_elems().unwrap().len(), 3);
+        assert!(matches!(&binds[1], Value::Syntax(s) if s.to_datum().to_string() == "4"));
+        assert!(matches!(&binds[2], Value::Syntax(s) if s.to_datum().to_string() == "5"));
+        assert!(try_match(&p, "(m 1)").is_none(), "too short for tail");
+    }
+
+    #[test]
+    fn nested_ellipsis() {
+        let p = pat("(_ ((k ...) body) ...)", &[]);
+        let binds = try_match(&p, "(case ((1 2) a) ((3) b))").unwrap();
+        // k has depth 2: list of lists of syntax.
+        let ks = binds[0].list_elems().unwrap();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].list_elems().unwrap().len(), 2);
+        assert_eq!(ks[1].list_elems().unwrap().len(), 1);
+        let bodies = binds[1].list_elems().unwrap();
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(p.vars[0].depth, 2);
+        assert_eq!(p.vars[1].depth, 1);
+    }
+
+    #[test]
+    fn dotted_patterns() {
+        let p = pat("(a . rest)", &[]);
+        let binds = try_match(&p, "(1 2 3)").unwrap();
+        assert!(matches!(&binds[1], Value::Syntax(s) if s.to_datum().to_string() == "(2 3)"));
+        let binds = try_match(&p, "(1 . 2)").unwrap();
+        assert!(matches!(&binds[1], Value::Syntax(s) if s.to_datum().to_string() == "2"));
+        assert!(try_match(&p, "()").is_none());
+    }
+
+    #[test]
+    fn duplicate_variables_rejected() {
+        let r = compile_pattern(&stx("(m x x)"), &[]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn misplaced_ellipsis_rejected() {
+        assert!(compile_pattern(&stx("(... x)"), &[]).is_err());
+        assert!(compile_pattern(&stx("(a ... b ...)"), &[]).is_err());
+        assert!(compile_pattern(&stx("..."), &[]).is_err());
+    }
+
+    #[test]
+    fn vector_patterns_rejected() {
+        assert!(compile_pattern(&stx("#(a b)"), &[]).is_err());
+    }
+
+    #[test]
+    fn ellipsis_repetition_isolates_bindings() {
+        // Each repetition re-binds; values must not leak across reps.
+        let p = pat("(_ (k v) ...)", &[]);
+        let binds = try_match(&p, "(m (a 1) (b 2))").unwrap();
+        let ks: Vec<String> = binds[0]
+            .list_elems()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert_eq!(ks, vec!["#<syntax a>", "#<syntax b>"]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Live profile counters and per-run datasets.
+
+use pgmp_syntax::SourceObject;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The live counter registry for one profiled execution.
+///
+/// A `Counters` handle is cheaply cloneable and shared: the engine hands one
+/// to the evaluator, which bumps counters as annotated expressions execute,
+/// and later snapshots it into a [`Dataset`].
+///
+/// # Example
+///
+/// ```
+/// use pgmp_profiler::Counters;
+/// use pgmp_syntax::SourceObject;
+/// let c = Counters::new();
+/// let p = SourceObject::new("x.scm", 0, 5);
+/// c.increment(p);
+/// c.increment(p);
+/// assert_eq!(c.count(p), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    counts: Rc<RefCell<HashMap<SourceObject, u64>>>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds one to the counter for profile point `p`.
+    pub fn increment(&self, p: SourceObject) {
+        *self.counts.borrow_mut().entry(p).or_insert(0) += 1;
+    }
+
+    /// Adds `n` to the counter for profile point `p`.
+    pub fn add(&self, p: SourceObject, n: u64) {
+        *self.counts.borrow_mut().entry(p).or_insert(0) += n;
+    }
+
+    /// Current count for `p` (0 if never incremented).
+    pub fn count(&self, p: SourceObject) -> u64 {
+        self.counts.borrow().get(&p).copied().unwrap_or(0)
+    }
+
+    /// Number of profile points with a nonzero count.
+    pub fn len(&self) -> usize {
+        self.counts.borrow().len()
+    }
+
+    /// True iff nothing has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.counts.borrow().is_empty()
+    }
+
+    /// Zeroes all counters.
+    pub fn clear(&self) {
+        self.counts.borrow_mut().clear();
+    }
+
+    /// Snapshots the current counts into an immutable [`Dataset`].
+    pub fn snapshot(&self) -> Dataset {
+        Dataset {
+            counts: self.counts.borrow().clone(),
+        }
+    }
+}
+
+/// Profile counts from one run on one input — one "data set" in the paper's
+/// terminology (§3.2). Absolute counts are only comparable *within* a
+/// dataset; convert to weights before comparing across datasets.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Dataset {
+    pub(crate) counts: HashMap<SourceObject, u64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Dataset {
+        Dataset::default()
+    }
+
+    /// Records an absolute count for `p`, replacing any previous value.
+    pub fn record(&mut self, p: SourceObject, count: u64) {
+        self.counts.insert(p, count);
+    }
+
+    /// Count for `p` (0 if absent).
+    pub fn count(&self, p: SourceObject) -> u64 {
+        self.counts.get(&p).copied().unwrap_or(0)
+    }
+
+    /// The largest count in the dataset, i.e. the count of "the most
+    /// executed profile point in the same data set" (§3.2).
+    pub fn max_count(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of recorded profile points.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True iff no counts were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterates over `(point, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceObject, u64)> + '_ {
+        self.counts.iter().map(|(p, c)| (*p, *c))
+    }
+}
+
+impl FromIterator<(SourceObject, u64)> for Dataset {
+    fn from_iter<I: IntoIterator<Item = (SourceObject, u64)>>(iter: I) -> Dataset {
+        Dataset {
+            counts: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> SourceObject {
+        SourceObject::new("t.scm", n, n + 1)
+    }
+
+    #[test]
+    fn increment_accumulates() {
+        let c = Counters::new();
+        c.increment(p(0));
+        c.increment(p(0));
+        c.increment(p(1));
+        assert_eq!(c.count(p(0)), 2);
+        assert_eq!(c.count(p(1)), 1);
+        assert_eq!(c.count(p(2)), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counters::new();
+        let c2 = c.clone();
+        c2.increment(p(0));
+        assert_eq!(c.count(p(0)), 1);
+    }
+
+    #[test]
+    fn add_bulk() {
+        let c = Counters::new();
+        c.add(p(3), 10);
+        c.add(p(3), 5);
+        assert_eq!(c.count(p(3)), 15);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let c = Counters::new();
+        c.increment(p(0));
+        let snap = c.snapshot();
+        c.increment(p(0));
+        assert_eq!(snap.count(p(0)), 1);
+        assert_eq!(c.count(p(0)), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = Counters::new();
+        c.increment(p(0));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn dataset_max_count() {
+        let d: Dataset = [(p(0), 5), (p(1), 10)].into_iter().collect();
+        assert_eq!(d.max_count(), 10);
+        assert_eq!(Dataset::new().max_count(), 0);
+    }
+}

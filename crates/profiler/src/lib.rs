@@ -1,0 +1,86 @@
+//! Counter-based source-level profiler.
+//!
+//! This crate implements the profiling side of the paper's design (§3):
+//!
+//! - [`Counters`] — the live counter registry, keyed by profile point
+//!   ([`pgmp_syntax::SourceObject`]); incremented by the evaluator while a
+//!   program runs instrumented;
+//! - [`Dataset`] — a snapshot of counters from one profiled run;
+//! - [`ProfileInformation`] — **profile weights** in `[0,1]`, computed from
+//!   one or more datasets and merged by weighted averaging exactly as
+//!   Figure 3 prescribes;
+//! - persistence (`store-profile` / `load-profile`) in a self-describing
+//!   s-expression format read back with `pgmp-reader`;
+//! - [`ProfileMode`] — how the evaluator instruments: not at all, every
+//!   source expression (Chez-style, §4.1), or function calls only
+//!   (Racket `errortrace`-style, §4.2).
+//!
+//! # Example — Figure 3 of the paper
+//!
+//! ```
+//! use pgmp_profiler::{Dataset, ProfileInformation};
+//! use pgmp_syntax::SourceObject;
+//!
+//! let important = SourceObject::new("classify.scm", 10, 30);
+//! let spam = SourceObject::new("classify.scm", 40, 60);
+//!
+//! // First data set: important runs 5 times, spam 10 times.
+//! let mut d1 = Dataset::new();
+//! d1.record(important, 5);
+//! d1.record(spam, 10);
+//! let w1 = ProfileInformation::from_dataset(&d1);
+//! assert_eq!(w1.weight(important), 0.5);  // 5/10
+//! assert_eq!(w1.weight(spam), 1.0);       // 10/10
+//!
+//! // Second data set: important runs 100 times, spam 10 times.
+//! let mut d2 = Dataset::new();
+//! d2.record(important, 100);
+//! d2.record(spam, 10);
+//! let merged = w1.merge(&ProfileInformation::from_dataset(&d2));
+//! assert_eq!(merged.weight(important), (0.5 + 100.0 / 100.0) / 2.0);
+//! assert_eq!(merged.weight(spam), (1.0 + 10.0 / 100.0) / 2.0);
+//! ```
+
+mod counters;
+mod info;
+mod store;
+
+pub use counters::{Counters, Dataset};
+pub use info::ProfileInformation;
+pub use store::ProfileStoreError;
+
+/// How the evaluator instruments a program for profiling.
+///
+/// The two active modes reproduce the two profilers the paper builds on:
+/// Chez Scheme "effectively profiles every source expression" while Racket's
+/// `errortrace` "profiles only function calls" (§4.1–4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ProfileMode {
+    /// No instrumentation: profile points introduce no overhead (§3.1).
+    #[default]
+    Off,
+    /// Count every evaluation of every expression that has a source object.
+    EveryExpression,
+    /// Count only procedure applications (the `errortrace` constraint).
+    CallsOnly,
+}
+
+impl ProfileMode {
+    /// True iff any counting happens in this mode.
+    pub fn is_on(self) -> bool {
+        self != ProfileMode::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_off() {
+        assert_eq!(ProfileMode::default(), ProfileMode::Off);
+        assert!(!ProfileMode::Off.is_on());
+        assert!(ProfileMode::EveryExpression.is_on());
+        assert!(ProfileMode::CallsOnly.is_on());
+    }
+}

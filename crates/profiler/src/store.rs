@@ -1,0 +1,256 @@
+//! Profile persistence: `store-profile` / `load-profile` (Figure 4).
+//!
+//! As in the Chez implementation (§4.1), what is stored is not raw counts
+//! but the computed **profile weights**, so stored files from different runs
+//! can be merged directly. The on-disk format is a single s-expression,
+//! parsed back with the system's own reader:
+//!
+//! ```text
+//! (pgmp-profile
+//!   (version 1)
+//!   (datasets 1)
+//!   (point "classify.scm" 10 30 0.5)
+//!   (point "classify.scm" 40 60 1.0))
+//! ```
+
+use crate::info::ProfileInformation;
+use pgmp_reader::read_str;
+use pgmp_syntax::{Datum, SourceObject, Syntax};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+
+/// Error loading or storing profile information.
+#[derive(Debug)]
+pub enum ProfileStoreError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// The file was not a well-formed profile s-expression.
+    Malformed(String),
+}
+
+impl fmt::Display for ProfileStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileStoreError::Io(e) => write!(f, "profile file I/O error: {e}"),
+            ProfileStoreError::Malformed(m) => write!(f, "malformed profile file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileStoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileStoreError::Io(e) => Some(e),
+            ProfileStoreError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProfileStoreError {
+    fn from(e: std::io::Error) -> ProfileStoreError {
+        ProfileStoreError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ProfileStoreError {
+    ProfileStoreError::Malformed(msg.into())
+}
+
+impl ProfileInformation {
+    /// Serializes to the textual profile format.
+    ///
+    /// Points are sorted so output is deterministic.
+    pub fn store_to_string(&self) -> String {
+        let mut points: Vec<(SourceObject, f64)> = self.iter().collect();
+        points.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        out.push_str("(pgmp-profile\n  (version 1)\n");
+        let _ = writeln!(out, "  (datasets {})", self.dataset_count());
+        for (p, w) in points {
+            let _ = writeln!(
+                out,
+                "  (point {} {} {} {})",
+                Datum::string(p.file.as_str()),
+                p.bfp,
+                p.efp,
+                Datum::Float(w)
+            );
+        }
+        out.push(')');
+        out
+    }
+
+    /// Parses the textual profile format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileStoreError::Malformed`] if the text is not a valid
+    /// profile s-expression, including weights outside `[0,1]`.
+    pub fn load_from_str(text: &str) -> Result<ProfileInformation, ProfileStoreError> {
+        let forms = read_str(text, "<profile>")
+            .map_err(|e| malformed(format!("unreadable: {e}")))?;
+        let [form]: [Rc<Syntax>; 1] = forms
+            .try_into()
+            .map_err(|_| malformed("expected exactly one top-level form"))?;
+        let elems = form
+            .as_list()
+            .ok_or_else(|| malformed("top-level form must be a list"))?;
+        let mut iter = elems.iter();
+        let head = iter
+            .next()
+            .and_then(|s| s.as_symbol())
+            .ok_or_else(|| malformed("missing pgmp-profile header"))?;
+        if head.as_str() != "pgmp-profile" {
+            return Err(malformed(format!("unexpected header `{head}`")));
+        }
+        let mut dataset_count: usize = 1;
+        let mut weights: Vec<(SourceObject, f64)> = Vec::new();
+        for entry in iter {
+            let fields = entry
+                .as_list()
+                .ok_or_else(|| malformed("profile entry must be a list"))?;
+            let tag = fields
+                .first()
+                .and_then(|s| s.as_symbol())
+                .ok_or_else(|| malformed("profile entry missing tag"))?;
+            let args: Vec<Datum> = fields[1..].iter().map(|s| s.to_datum()).collect();
+            match (tag.as_str(), args.as_slice()) {
+                ("version", [Datum::Int(1)]) => {}
+                ("version", [v]) => {
+                    return Err(malformed(format!("unsupported version {v}")));
+                }
+                ("datasets", [Datum::Int(n)]) if *n >= 0 => dataset_count = *n as usize,
+                ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w]) => {
+                    let w = match w {
+                        Datum::Float(x) => *x,
+                        Datum::Int(n) => *n as f64,
+                        other => {
+                            return Err(malformed(format!("bad weight {other}")));
+                        }
+                    };
+                    if !(0.0..=1.0).contains(&w) {
+                        return Err(malformed(format!("weight {w} outside [0,1]")));
+                    }
+                    if bfp < &0 || efp < &0 {
+                        return Err(malformed("negative file position"));
+                    }
+                    weights.push((SourceObject::new(file, *bfp as u32, *efp as u32), w));
+                }
+                (other, _) => {
+                    return Err(malformed(format!("unknown or malformed entry `{other}`")));
+                }
+            }
+        }
+        Ok(ProfileInformation::from_weights(weights, dataset_count))
+    }
+
+    /// Writes the profile to the file at `path` (Figure 4's
+    /// `store-profile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileStoreError::Io`] on filesystem failure.
+    pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
+        std::fs::write(path, self.store_to_string())?;
+        Ok(())
+    }
+
+    /// Reads profile information from the file at `path` (Figure 4's
+    /// `load-profile`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileStoreError::Io`] on filesystem failure and
+    /// [`ProfileStoreError::Malformed`] if the contents do not parse.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<ProfileInformation, ProfileStoreError> {
+        let text = std::fs::read_to_string(path)?;
+        ProfileInformation::load_from_str(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Dataset;
+
+    fn sample() -> ProfileInformation {
+        let d: Dataset = [
+            (SourceObject::new("a.scm", 0, 5), 5),
+            (SourceObject::new("a.scm", 10, 20), 10),
+            (SourceObject::new("b.scm%pgmp0", 3, 4), 1),
+        ]
+        .into_iter()
+        .collect();
+        ProfileInformation::from_dataset(&d)
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let info = sample();
+        let text = info.store_to_string();
+        let back = ProfileInformation::load_from_str(&text).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn round_trips_through_file() {
+        let dir = std::env::temp_dir().join("pgmp-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile.pgmp");
+        let info = sample();
+        info.store_file(&path).unwrap();
+        let back = ProfileInformation::load_file(&path).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(sample().store_to_string(), sample().store_to_string());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "(not-a-profile)",
+            "(pgmp-profile (version 2))",
+            "(pgmp-profile (point \"f\" 0 1 2.0))", // weight out of range
+            "(pgmp-profile (point \"f\" 0 1 -0.5))",
+            "(pgmp-profile (point \"f\" 0 1 \"x\"))",
+            "(pgmp-profile (point 7 0 1 0.5))",
+            "(pgmp-profile (mystery 1))",
+            "(pgmp-profile (version 1)) (extra)",
+            "(pgmp-profile (point \"f\" -1 1 0.5))",
+        ] {
+            assert!(
+                ProfileInformation::load_from_str(bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_weights_accepted() {
+        let info =
+            ProfileInformation::load_from_str("(pgmp-profile (point \"f\" 0 1 1))").unwrap();
+        assert_eq!(info.weight(SourceObject::new("f", 0, 1)), 1.0);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match ProfileInformation::load_file("/nonexistent/profile.pgmp") {
+            Err(ProfileStoreError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dataset_count_round_trips() {
+        let merged = sample().merge(&sample());
+        assert_eq!(merged.dataset_count(), 2);
+        let back = ProfileInformation::load_from_str(&merged.store_to_string()).unwrap();
+        assert_eq!(back.dataset_count(), 2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Hygiene marks.
+//!
+//! We use the classic mark-toggling discipline (Kohlbecker et al., refined by
+//! Dybvig–Hieb–Bruggeman): before a macro transformer runs, the expander
+//! stamps a fresh [`Mark`] on the input syntax; after it returns, the same
+//! mark is stamped on the output. Stamping is an XOR — applying the same mark
+//! twice removes it — so syntax the transformer merely passed through ends up
+//! unmarked, while syntax the transformer *introduced* carries the fresh
+//! mark. Identifier resolution then compares `(symbol, mark-set)` pairs.
+
+use std::fmt;
+
+/// A single hygiene mark. Fresh marks are allocated by the expander, one per
+/// macro invocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Mark(pub u32);
+
+/// A set of hygiene marks attached to a syntax object.
+///
+/// Stored as a sorted vector: mark sets are tiny (0–3 elements in practice,
+/// one per level of macro nesting), so a sorted `Vec` beats a hash set.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_syntax::{Mark, MarkSet};
+/// let mut ms = MarkSet::new();
+/// ms.toggle(Mark(1));
+/// assert!(ms.contains(Mark(1)));
+/// ms.toggle(Mark(1)); // applying the same mark again cancels it
+/// assert!(ms.is_empty());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MarkSet(Vec<Mark>);
+
+impl MarkSet {
+    /// The empty mark set (syntax straight from the reader).
+    pub fn new() -> MarkSet {
+        MarkSet(Vec::new())
+    }
+
+    /// True iff no marks are present.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of marks present.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff `m` is in the set.
+    pub fn contains(&self, m: Mark) -> bool {
+        self.0.binary_search(&m).is_ok()
+    }
+
+    /// XOR-toggles `m`: inserts it if absent, removes it if present.
+    ///
+    /// This is the hygiene "anti-mark" cancellation in its simplest form.
+    pub fn toggle(&mut self, m: Mark) {
+        match self.0.binary_search(&m) {
+            Ok(i) => {
+                self.0.remove(i);
+            }
+            Err(i) => self.0.insert(i, m),
+        }
+    }
+
+    /// Returns a copy with `m` toggled.
+    pub fn toggled(&self, m: Mark) -> MarkSet {
+        let mut out = self.clone();
+        out.toggle(m);
+        out
+    }
+
+    /// Iterates over the marks in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Mark> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for MarkSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", m.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Mark> for MarkSet {
+    fn from_iter<I: IntoIterator<Item = Mark>>(iter: I) -> MarkSet {
+        let mut v: Vec<Mark> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        MarkSet(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_inserts_and_cancels() {
+        let mut ms = MarkSet::new();
+        assert!(ms.is_empty());
+        ms.toggle(Mark(5));
+        assert!(ms.contains(Mark(5)));
+        assert_eq!(ms.len(), 1);
+        ms.toggle(Mark(5));
+        assert!(!ms.contains(Mark(5)));
+        assert!(ms.is_empty());
+    }
+
+    #[test]
+    fn toggle_keeps_sorted_order() {
+        let mut ms = MarkSet::new();
+        for m in [3, 1, 2] {
+            ms.toggle(Mark(m));
+        }
+        let marks: Vec<u32> = ms.iter().map(|m| m.0).collect();
+        assert_eq!(marks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn double_toggle_is_identity() {
+        let mut ms: MarkSet = [Mark(1), Mark(2)].into_iter().collect();
+        let orig = ms.clone();
+        ms.toggle(Mark(7));
+        ms.toggle(Mark(7));
+        assert_eq!(ms, orig);
+    }
+
+    #[test]
+    fn equality_is_set_equality() {
+        let a: MarkSet = [Mark(1), Mark(2)].into_iter().collect();
+        let b: MarkSet = [Mark(2), Mark(1)].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let a: MarkSet = [Mark(1), Mark(1), Mark(2)].into_iter().collect();
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the hygiene-mark algebra and source-object
+//! determinism — the two invariants the whole expander leans on.
+
+use pgmp_syntax::{Datum, Mark, MarkSet, SourceFactory, SourceObject, Syntax};
+use proptest::prelude::*;
+
+fn arb_marks() -> impl Strategy<Value = Vec<Mark>> {
+    proptest::collection::vec((0u32..16).prop_map(Mark), 0..12)
+}
+
+proptest! {
+    #[test]
+    fn toggling_is_an_involution(seq in arb_marks(), m in (0u32..16).prop_map(Mark)) {
+        let mut ms = MarkSet::new();
+        for mark in &seq {
+            ms.toggle(*mark);
+        }
+        let orig = ms.clone();
+        ms.toggle(m);
+        ms.toggle(m);
+        prop_assert_eq!(ms, orig);
+    }
+
+    #[test]
+    fn toggle_order_is_irrelevant(mut seq in arb_marks()) {
+        let mut forward = MarkSet::new();
+        for m in &seq {
+            forward.toggle(*m);
+        }
+        seq.reverse();
+        let mut backward = MarkSet::new();
+        for m in &seq {
+            backward.toggle(*m);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn membership_equals_odd_occurrence_count(seq in arb_marks()) {
+        let mut ms = MarkSet::new();
+        for m in &seq {
+            ms.toggle(*m);
+        }
+        for probe in 0u32..16 {
+            let count = seq.iter().filter(|m| m.0 == probe).count();
+            prop_assert_eq!(
+                ms.contains(Mark(probe)),
+                count % 2 == 1,
+                "mark {} toggled {} times",
+                probe,
+                count
+            );
+        }
+    }
+
+    #[test]
+    fn apply_mark_round_trips_syntax(seq in arb_marks()) {
+        // Applying the same mark twice to a whole tree is the identity —
+        // the mechanism behind transformer pass-through hygiene.
+        let stx = Syntax::from_datum(
+            &Datum::list(vec![Datum::sym("f"), Datum::Int(1), Datum::list(vec![Datum::sym("g")])]),
+            Some(SourceObject::new("p.scm", 0, 9)),
+        );
+        let mut marked = stx.clone();
+        for m in &seq {
+            marked = marked.apply_mark(*m);
+        }
+        for m in seq.iter().rev() {
+            marked = marked.apply_mark(*m);
+        }
+        prop_assert_eq!(marked, stx);
+    }
+
+    #[test]
+    fn profile_point_generation_is_reproducible(
+        bases in proptest::collection::vec(0u32..4, 1..24)
+    ) {
+        // Any interleaving of base files produces the same points when
+        // replayed — §3.1's determinism requirement, generalized.
+        let files = ["a.scm", "b.scm", "c.scm", "d.scm"];
+        let mut f1 = SourceFactory::new();
+        let mut f2 = SourceFactory::new();
+        for &b in &bases {
+            let base = SourceObject::new(files[b as usize], b, b + 1);
+            prop_assert_eq!(
+                f1.make_profile_point(Some(base)),
+                f2.make_profile_point(Some(base))
+            );
+        }
+        // And reset replays the same sequence.
+        f1.reset();
+        for &b in &bases {
+            let base = SourceObject::new(files[b as usize], b, b + 1);
+            let replayed = f1.make_profile_point(Some(base));
+            prop_assert!(replayed.file.as_str().starts_with(files[b as usize]));
+        }
+    }
+
+    #[test]
+    fn generated_points_never_collide_with_reader_points(
+        spans in proptest::collection::vec((0u32..1000, 1u32..50), 0..20)
+    ) {
+        let mut factory = SourceFactory::new();
+        let base = SourceObject::new("prog.scm", 0, 10);
+        let generated: Vec<SourceObject> =
+            (0..10).map(|_| factory.make_profile_point(Some(base))).collect();
+        for (start, len) in spans {
+            let reader_point = SourceObject::new("prog.scm", start, start + len);
+            prop_assert!(!generated.contains(&reader_point));
+            prop_assert!(!reader_point.is_generated());
+        }
+        for g in &generated {
+            prop_assert!(g.is_generated());
+        }
+    }
+}

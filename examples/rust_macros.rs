@@ -1,0 +1,70 @@
+//! §5 (generality): the same design in Rust's meta-programming system.
+//!
+//! `exclusive_cond!` reads a profile file at *macro expansion time* and
+//! reorders its arms; `pgmp_rt` collects counts at run time and stores
+//! them in the same textual format the Scheme engine uses.
+//!
+//! ```sh
+//! cargo run --example rust_macros
+//! ```
+//!
+//! (The checked-in fixture under `tests/fixtures/parse.pgmp` plays the
+//! role of the previous run's profile; to regenerate it, run with
+//! profiling enabled and call `pgmp_rt::store_profile`.)
+
+use pgmp_macros::{exclusive_cond, profile, profiled, static_weight};
+
+/// Character classification, profile-guided at compile time: the fixture
+/// says digits are hottest, so the digit test is emitted first even
+/// though it is written second.
+fn classify(c: char) -> &'static str {
+    exclusive_cond!(
+        profile "tests/fixtures/parse.pgmp";
+        site "parse";
+        (c == ' ' || c == '\t') => ("white-space");
+        (c.is_ascii_digit()) => ("digit");
+        (c == '(') => ("open");
+        (c == ')') => ("close");
+        else => ("other")
+    )
+}
+
+#[profiled]
+fn hot_helper(x: u64) -> u64 {
+    profile!("inner-multiply", x.wrapping_mul(2654435761))
+}
+
+fn main() {
+    println!("== pgmp in Rust proc macros ==\n");
+
+    println!("compile-time weights from tests/fixtures/parse.pgmp:");
+    for (arm, w) in [
+        ("parse#0 (white-space)", static_weight!("parse#0", "tests/fixtures/parse.pgmp")),
+        ("parse#1 (digit)", static_weight!("parse#1", "tests/fixtures/parse.pgmp")),
+        ("parse#2 (open)", static_weight!("parse#2", "tests/fixtures/parse.pgmp")),
+        ("parse#3 (close)", static_weight!("parse#3", "tests/fixtures/parse.pgmp")),
+    ] {
+        println!("  {arm}: {w}");
+    }
+
+    pgmp_rt::enable_profiling();
+    let input = "12 (34) 567 (89) 0";
+    let classes: Vec<&str> = input.chars().map(classify).collect();
+    for _ in 0..5 {
+        hot_helper(42);
+    }
+    pgmp_rt::disable_profiling();
+
+    println!("\nclassified {input:?}:");
+    println!("  {classes:?}");
+
+    println!("\nrun-time counters (note: arm labels follow source order, not emitted order):");
+    for point in ["parse#0", "parse#1", "parse#2", "parse#3", "parse#else", "fn:hot_helper", "inner-multiply"] {
+        println!("  {point}: {}", pgmp_rt::count(point));
+    }
+
+    let path = std::env::temp_dir().join("rust-macros.pgmp");
+    pgmp_rt::store_profile(&path).expect("store profile");
+    println!("\nprofile stored to {} — feed it back via `profile \"…\"` or", path.display());
+    println!("PGMP_PROFILE_PATH to re-optimize the next build.");
+}

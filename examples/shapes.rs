@@ -1,0 +1,95 @@
+//! §6.2 (Figures 9–12): profile-guided receiver class prediction on the
+//! shapes object system, with a dispatch-speed comparison.
+//!
+//! ```sh
+//! cargo run --release --example shapes
+//! ```
+
+use pgmp_case_studies::{engine_with, Lib};
+use pgmp_profiler::ProfileMode;
+use std::time::Instant;
+
+const SHAPES: &str = r#"
+  (class Square
+    ((length 0))
+    (define-method (area this)
+      (sqr (field this length))))
+  (class Circle
+    ((radius 0))
+    (define-method (area this)
+      (* 3 (sqr (field this radius)))))
+  (class Triangle
+    ((base 0) (height 0))
+    (define-method (area this)
+      (* (field this base) (field this height))))
+
+  ;; Mostly circles — the Figure 10 distribution, scaled up.
+  (define (make-shapes n)
+    (let loop ([i 0] [acc '()])
+      (if (= i n)
+          acc
+          (loop (add1 i)
+                (cons (cond
+                        [(< (modulo i 10) 7) (new Circle (add1 (modulo i 5)))]
+                        [(< (modulo i 10) 9) (new Square (add1 (modulo i 4)))]
+                        [else (new Triangle 2 (add1 (modulo i 3)))])
+                      acc)))))
+
+  (define shapes (make-shapes 200))
+
+  (define (total-area reps)
+    (let loop ([r 0] [total 0])
+      (if (= r reps)
+          total
+          (loop (add1 r)
+                (+ total
+                   (fold-left (lambda (acc s) (+ acc (method s area))) 0 shapes))))))
+"#;
+
+fn main() -> Result<(), pgmp::Error> {
+    println!("== §6.2 receiver class prediction ==\n");
+    let train = format!("{SHAPES}\n(total-area 3)");
+    let bench = "(total-area 60)";
+
+    // Pass 1: instrument the call site, one profile point per class.
+    let mut e1 = engine_with(&[Lib::ObjectSystem])?;
+    e1.set_instrumentation(ProfileMode::EveryExpression);
+    e1.run_str(&train, "shapes.scm")?;
+    let weights = e1.current_weights();
+
+    // Baseline: dynamic dispatch everywhere (no profile).
+    let mut plain = engine_with(&[Lib::ObjectSystem])?;
+    plain.run_str(&train, "shapes.scm")?;
+    let t0 = Instant::now();
+    let v1 = plain.run_str(bench, "bench.scm")?;
+    let t_plain = t0.elapsed();
+
+    // Optimized: polymorphic inline cache for the two hottest classes.
+    let mut opt = engine_with(&[Lib::ObjectSystem])?;
+    opt.set_profile(weights);
+    opt.run_str(&train, "shapes.scm")?;
+    let t0 = Instant::now();
+    let v2 = opt.run_str(bench, "bench.scm")?;
+    let t_opt = t0.elapsed();
+
+    // Show the optimized call site (compare Figures 11–12).
+    let mut show = engine_with(&[Lib::ObjectSystem])?;
+    show.set_profile(opt.profile());
+    println!("optimized method call site (Circle inlined first, then Square):");
+    for form in show.expand_str(SHAPES, "shapes.scm")? {
+        let text = form.to_datum().to_string();
+        if text.contains("instance-of?") {
+            println!("  {text}\n");
+        }
+    }
+
+    println!("total area:        dynamic {v1}, inline-cached {v2}");
+    println!("dynamic dispatch:  {t_plain:?}");
+    println!("inline caching:    {t_opt:?}");
+    println!(
+        "speedup:           {:.2}x",
+        t_plain.as_secs_f64() / t_opt.as_secs_f64()
+    );
+    assert_eq!(v1.to_string(), v2.to_string());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! §4.3: the three-pass protocol keeping source-level PGMP and
+//! block-level PGO consistent.
+//!
+//! ```sh
+//! cargo run --example three_pass
+//! ```
+
+use pgmp::workflow::run_three_pass;
+
+const PROGRAM: &str = "
+  (define-syntax (if-r stx)
+    (syntax-case stx ()
+      [(_ test t-branch f-branch)
+       (if (< (profile-query #'t-branch) (profile-query #'f-branch))
+           #'(if (not test) f-branch t-branch)
+           #'(if test t-branch f-branch))]))
+  (define (bucket n)
+    (if-r (= (modulo n 100) 0) 'rare 'common))
+  (let loop ([i 0] [commons 0])
+    (if (= i 5000)
+        commons
+        (loop (add1 i) (if (eqv? (bucket i) 'common) (add1 commons) commons))))";
+
+fn main() -> Result<(), pgmp::Error> {
+    println!("== §4.3 three-pass source+block PGO ==\n");
+    println!("pass 1: instrument source expressions, run, collect weights");
+    println!("pass 2: optimize meta-programs with source weights, profile basic blocks");
+    println!("pass 3: optimize with source weights AND block counts (code layout)\n");
+
+    let report = run_three_pass(PROGRAM, "three-pass.scm")?;
+
+    println!("result of final run:         {}", report.result);
+    println!("source profile points:       {}", report.source_weights.len());
+    println!("chunks compiled (pass 2):    {}", report.pass2_chunks.len());
+    println!("chunks compiled (pass 3):    {}", report.pass3_chunks.len());
+    println!(
+        "CFG stability (the §4.3 invariant): {}",
+        if report.stable { "STABLE — pass-3 code equals pass-2 code" } else { "UNSTABLE" }
+    );
+    println!(
+        "\nblock layout effect:\n  pass-2 fall-through ratio: {:.3} ({} fallthrough / {} taken)\n  pass-3 fall-through ratio: {:.3} ({} fallthrough / {} taken)",
+        report.baseline_metrics.fallthrough_ratio(),
+        report.baseline_metrics.fallthroughs,
+        report.baseline_metrics.taken_jumps,
+        report.optimized_metrics.fallthrough_ratio(),
+        report.optimized_metrics.fallthroughs,
+        report.optimized_metrics.taken_jumps,
+    );
+    assert!(report.stable);
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Workspace façade for the pgmp reproduction.
+//!
+//! Re-exports the public API of every crate in the reproduction of
+//! *"Profile-Guided Meta-Programming"* (PLDI 2015) so examples and
+//! integration tests have a single import root. See the `pgmp` crate for
+//! the main entry points ([`pgmp::Engine`], [`pgmp::api`],
+//! [`pgmp::workflow`]).
+
+pub use pgmp;
+pub use pgmp_bytecode;
+pub use pgmp_case_studies;
+pub use pgmp_eval;
+pub use pgmp_expander;
+pub use pgmp_macros;
+pub use pgmp_profiler;
+pub use pgmp_reader;
+pub use pgmp_rt;
+pub use pgmp_syntax;

@@ -1,0 +1,118 @@
+//! E1 — §2, Figures 1 & 2: the `if-r` running example.
+//!
+//! An email classifier marks PLDI mail important and everything else spam.
+//! When the training inbox is mostly spam, `if-r` must generate Figure 2's
+//! output: the test negated and the branches swapped.
+
+use pgmp_case_studies::{two_pass, Lib};
+
+fn classifier_program(important: usize, spam: usize) -> String {
+    format!(
+        r#"
+        (define (subject-contains email s) (string-contains? email s))
+        (define (flag email tag) tag)
+        (define (classify email)
+          (if-r (subject-contains email "PLDI")
+            (flag email 'important)
+            (flag email 'spam)))
+        (define (run-inbox)
+          (let loop ([i 0] [spams 0])
+            (cond
+              [(< i {important}) (classify "Re: PLDI reviews") (loop (add1 i) spams)]
+              [(< i (+ {important} {spam}))
+               (if (eqv? (classify "cheap pills") 'spam)
+                   (loop (add1 i) (add1 spams))
+                   (loop (add1 i) spams))]
+              [else spams])))
+        (run-inbox)
+        "#
+    )
+}
+
+#[test]
+fn spam_heavy_inbox_swaps_branches() {
+    // Figure 2's premise: important runs 5 times, spam 10 times.
+    let program = classifier_program(5, 10);
+    let result = two_pass(&[Lib::IfR], &program, "classify.scm").unwrap();
+    assert_eq!(result.training_result, "10");
+    assert_eq!(result.optimized_result, "10", "optimization must not change behaviour");
+    // Figure 2: the generated code negates the test and swaps branches.
+    assert!(
+        result.expansion_text.contains(
+            "(if (not (subject-contains email \"PLDI\")) \
+             (flag email (quote spam)) (flag email (quote important)))"
+        ),
+        "expansion:\n{}",
+        result.expansion_text
+    );
+}
+
+#[test]
+fn important_heavy_inbox_keeps_original_order() {
+    let program = classifier_program(10, 5);
+    let result = two_pass(&[Lib::IfR], &program, "classify.scm").unwrap();
+    assert!(
+        result.expansion_text.contains(
+            "(if (subject-contains email \"PLDI\") \
+             (flag email (quote important)) (flag email (quote spam)))"
+        ),
+        "expansion:\n{}",
+        result.expansion_text
+    );
+}
+
+#[test]
+fn without_profile_data_if_r_is_the_identity() {
+    // Both branches weigh 0 → 0 >= 0 → original order.
+    let mut engine = pgmp_case_studies::engine_with(&[Lib::IfR]).unwrap();
+    let expansion = engine
+        .expand_str("(define (f x) (if-r (zero? x) 'a 'b))", "u.scm")
+        .unwrap();
+    assert_eq!(
+        expansion[0].to_datum().to_string(),
+        "(define (f x) (if (zero? x) (quote a) (quote b)))"
+    );
+}
+
+#[test]
+fn if_r_runs_correctly_in_both_orders() {
+    // Exhaustive behaviour check: for both profile shapes, classify agrees
+    // with a plain if on every input.
+    for (important, spam) in [(5, 10), (10, 5)] {
+        let program = format!(
+            "{}\n(list (classify \"PLDI deadline\") (classify \"buy now\"))",
+            classifier_program(important, spam)
+                .replace("(run-inbox)", "(run-inbox)")
+        );
+        let result = two_pass(&[Lib::IfR], &program, "classify.scm").unwrap();
+        assert_eq!(result.optimized_result, "(important spam)");
+    }
+}
+
+#[test]
+fn weights_match_figure_1_premise() {
+    // After the training run, the spam branch's weight must exceed the
+    // important branch's weight.
+    let program = classifier_program(5, 10);
+    let result = two_pass(&[Lib::IfR], &program, "classify.scm").unwrap();
+    // Find the weights of the two flag expressions by scanning the
+    // collected profile for the branch source spans.
+    let text = program;
+    let important_off = text.find("(flag email 'important)").unwrap() as u32;
+    let spam_off = text.find("(flag email 'spam)").unwrap() as u32;
+    let mut important_w = None;
+    let mut spam_w = None;
+    for (p, w) in result.weights.iter() {
+        if p.file.as_str() == "classify.scm" {
+            if p.bfp == important_off {
+                important_w = Some(w);
+            }
+            if p.bfp == spam_off {
+                spam_w = Some(w);
+            }
+        }
+    }
+    let (iw, sw) = (important_w.unwrap(), spam_w.unwrap());
+    assert!(sw > iw, "spam branch ({sw}) must outweigh important ({iw})");
+    assert!((sw / iw - 2.0).abs() < 1e-9, "10 spam vs 5 important = 2x");
+}

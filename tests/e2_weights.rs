@@ -1,0 +1,114 @@
+//! E2 — §3.2, Figure 3: profile weights and dataset merging, reproduced
+//! with the exact numbers of the paper's example, end to end through real
+//! instrumented runs.
+
+use pgmp::Engine;
+use pgmp_profiler::{Dataset, ProfileInformation, ProfileMode};
+use pgmp_syntax::SourceObject;
+
+#[test]
+fn figure_3_exact_numbers() {
+    let important = SourceObject::new("classify.scm", 100, 120);
+    let spam = SourceObject::new("classify.scm", 130, 150);
+
+    // First data set: important 5, spam 10.
+    let d1: Dataset = [(important, 5), (spam, 10)].into_iter().collect();
+    let w1 = ProfileInformation::from_dataset(&d1);
+    assert_eq!(w1.weight(important), 5.0 / 10.0);
+    assert_eq!(w1.weight(spam), 10.0 / 10.0);
+
+    // Second data set: important 100, spam 10.
+    let d2: Dataset = [(important, 100), (spam, 10)].into_iter().collect();
+    let w2 = ProfileInformation::from_dataset(&d2);
+    assert_eq!(w2.weight(important), 100.0 / 100.0);
+    assert_eq!(w2.weight(spam), 10.0 / 100.0);
+
+    // Figure 3's merged weights.
+    let merged = w1.merge(&w2);
+    assert_eq!(merged.weight(important), (0.5 + 100.0 / 100.0) / 2.0);
+    assert_eq!(merged.weight(spam), (1.0 + 10.0 / 100.0) / 2.0);
+}
+
+/// Runs `program` instrumented and returns its weights.
+fn profile_run(program: &str) -> ProfileInformation {
+    let mut e = Engine::new();
+    e.set_instrumentation(ProfileMode::EveryExpression);
+    e.run_str(program, "train.scm").unwrap();
+    e.current_weights()
+}
+
+#[test]
+fn figure_3_from_real_runs() {
+    // Reproduce the 5-vs-10 and 100-vs-10 datasets with actual executions
+    // of two expressions, then merge.
+    let template = |a: usize, b: usize| {
+        format!(
+            "(define (important) 'i)
+             (define (spam) 's)
+             (let loop ([i 0])
+               (unless (= i {a}) (important) (loop (add1 i))))
+             (let loop ([i 0])
+               (unless (= i {b}) (spam) (loop (add1 i))))"
+        )
+    };
+    let w1 = profile_run(&template(5, 10));
+    let w2 = profile_run(&template(100, 10));
+
+    // Locate the two call expressions by source position (same program
+    // text modulo the loop bounds, so offsets of `(important)` and
+    // `(spam)` inside the loops are found by search).
+    let t1 = template(5, 10);
+    let imp_off = t1.find("(important) (loop").unwrap() as u32;
+    let spam_off = t1.find("(spam) (loop").unwrap() as u32;
+    let imp1 = SourceObject::new("train.scm", imp_off, imp_off + 11);
+    let spam1 = SourceObject::new("train.scm", spam_off, spam_off + 6);
+    let c1 = w1.lookup(imp1).expect("important call profiled");
+    let c2 = w1.lookup(spam1).expect("spam call profiled");
+    // Within one dataset, relative order matches execution frequency.
+    assert!(c2 > c1, "spam ({c2}) hotter than important ({c1})");
+
+    let t2 = template(100, 10);
+    let imp_off2 = t2.find("(important) (loop").unwrap() as u32;
+    let imp2 = SourceObject::new("train.scm", imp_off2, imp_off2 + 11);
+    assert!(w2.lookup(imp2).unwrap() > w2.weight(spam1) * 5.0);
+
+    // Merging keeps everything in [0,1] and averages.
+    let merged = w1.merge(&w2);
+    for (_, w) in merged.iter() {
+        assert!((0.0..=1.0).contains(&w));
+    }
+    assert_eq!(merged.dataset_count(), 2);
+}
+
+#[test]
+fn merging_is_order_sensitive_only_in_dataset_weighting() {
+    let p = SourceObject::new("m.scm", 0, 1);
+    let q = SourceObject::new("m.scm", 2, 3);
+    let d1: Dataset = [(p, 10), (q, 5)].into_iter().collect();
+    let d2: Dataset = [(p, 1), (q, 100)].into_iter().collect();
+    let a = ProfileInformation::from_dataset(&d1).merge(&ProfileInformation::from_dataset(&d2));
+    let b = ProfileInformation::from_dataset(&d2).merge(&ProfileInformation::from_dataset(&d1));
+    // Merging equal-sized summaries is commutative.
+    for (point, w) in a.iter() {
+        assert!((b.weight(point) - w).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn weights_survive_store_load_merge_cycle() {
+    let dir = std::env::temp_dir().join("pgmp-e2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = SourceObject::new("s.scm", 0, 1);
+    let q = SourceObject::new("s.scm", 2, 3);
+    let d1: Dataset = [(p, 5), (q, 10)].into_iter().collect();
+    let d2: Dataset = [(p, 100), (q, 10)].into_iter().collect();
+    let f1 = dir.join("d1.pgmp");
+    let f2 = dir.join("d2.pgmp");
+    ProfileInformation::from_dataset(&d1).store_file(&f1).unwrap();
+    ProfileInformation::from_dataset(&d2).store_file(&f2).unwrap();
+    let merged = ProfileInformation::load_file(&f1)
+        .unwrap()
+        .merge(&ProfileInformation::load_file(&f2).unwrap());
+    assert_eq!(merged.weight(p), 0.75);
+    assert_eq!(merged.weight(q), 0.55);
+}

@@ -1,0 +1,202 @@
+//! E4 — §6.1, Figures 5–8: profile-guided `case` via `exclusive-cond`.
+//!
+//! The parser example of Figure 5 is trained on an input with the
+//! frequencies of Figure 8 (white-space 55, parens 23+23, digits 10), and
+//! the expansion must be a `cond` whose clauses are ordered
+//! greatest-to-least by weight, with the membership tests of Figure 8.
+
+use pgmp_case_studies::{engine_with, two_pass, Lib};
+
+/// The Figure 5 parser plus a driver; `input` is a string of characters
+/// fed through the parser.
+fn parser_program(input: &str) -> String {
+    format!(
+        r#"
+        (define (make-stream chars)
+          (let ([s (make-eq-hashtable)])
+            (hashtable-set! s 'data chars)
+            (hashtable-set! s 'pos 0)
+            s))
+        (define (stream-done? s)
+          (>= (hashtable-ref s 'pos 0) (vector-length (hashtable-ref s 'data #f))))
+        (define (peek-char-s s)
+          (vector-ref (hashtable-ref s 'data #f) (hashtable-ref s 'pos 0)))
+        (define (advance! s)
+          (hashtable-set! s 'pos (add1 (hashtable-ref s 'pos 0))))
+        (define (white-space s) (advance! s) 'white-space)
+        (define (digit s) (advance! s) 'digit)
+        (define (start-paren s) (advance! s) 'open)
+        (define (end-paren s) (advance! s) 'close)
+        (define (other s) (advance! s) 'other)
+        (define (parse stream)
+          (case (peek-char-s stream)
+            [(#\space #\tab) (white-space stream)]
+            [(#\0 #\1 #\2 #\3 #\4 #\5 #\6 #\7 #\8 #\9) (digit stream)]
+            [(#\() (start-paren stream)]
+            [(#\)) (end-paren stream)]
+            [else (other stream)]))
+        (define (run-parser text)
+          (let ([s (make-stream (list->vector (string->list text)))])
+            (let loop ([tokens '()])
+              (if (stream-done? s)
+                  (reverse tokens)
+                  (loop (cons (parse s) tokens))))))
+        (length (run-parser "{input}"))
+        "#
+    )
+}
+
+/// Figure 8 training input: 55 spaces, 23 open, 23 close, 10 digits.
+fn figure8_input() -> String {
+    let mut s = String::new();
+    s.push_str(&" ".repeat(55));
+    s.push_str(&"(".repeat(23));
+    s.push_str(&")".repeat(23));
+    s.push_str(&"0123456789".to_string());
+    s
+}
+
+#[test]
+fn figure_8_clause_order() {
+    let program = parser_program(&figure8_input());
+    let result = two_pass(&[Lib::Case], &program, "parse.scm").unwrap();
+    assert_eq!(result.training_result, "111");
+    assert_eq!(result.optimized_result, "111");
+
+    // Extract the expanded parse definition and check clause order:
+    // white-space (55) first, then start-paren (23), end-paren (23)
+    // stable, then digit (10); else stays last.
+    let parse_def = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (parse"))
+        .expect("expanded parse definition");
+    assert!(parse_def.contains("(key-in? t"), "Figure 8 membership tests:\n{parse_def}");
+    let pos = |needle: &str| {
+        parse_def
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing {needle} in:\n{parse_def}"))
+    };
+    let ws = pos("(white-space stream)");
+    let open = pos("(start-paren stream)");
+    let close = pos("(end-paren stream)");
+    let digit = pos("(digit stream)");
+    let other = pos("(other stream)");
+    assert!(ws < open, "white-space first");
+    assert!(open < close, "stable order for equal weights");
+    assert!(close < digit, "digits last among profiled clauses");
+    assert!(digit < other, "else clause never reordered");
+}
+
+#[test]
+fn unprofiled_case_keeps_source_order() {
+    let mut engine = engine_with(&[Lib::Case]).unwrap();
+    let expansion = engine
+        .expand_str(
+            "(define (f x) (case x [(1) 'one] [(2) 'two] [else 'other]))",
+            "plain.scm",
+        )
+        .unwrap();
+    let text = expansion[0].to_datum().to_string();
+    let one = text.find("(quote one)").unwrap();
+    let two = text.find("(quote two)").unwrap();
+    let other = text.find("(quote other)").unwrap();
+    assert!(one < two && two < other, "source order preserved:\n{text}");
+}
+
+#[test]
+fn case_evaluates_key_exactly_once() {
+    let mut engine = engine_with(&[Lib::Case]).unwrap();
+    let v = engine
+        .run_str(
+            "(define n 0)
+             (define (key!) (set! n (add1 n)) 2)
+             (case (key!) [(1) 'one] [(2) 'two] [else 'other])
+             n",
+            "once.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "1");
+}
+
+#[test]
+fn reordering_preserves_semantics_on_all_inputs() {
+    // Train on digit-heavy input (reorders digits first), then check every
+    // character class still parses correctly.
+    let mut program = parser_program(&format!("{}{}", "7".repeat(50), " ()"));
+    program.push_str("\n(run-parser \" 5()x\")");
+    let result = two_pass(&[Lib::Case], &program, "parse2.scm").unwrap();
+    assert_eq!(
+        result.optimized_result,
+        "(white-space digit open close other)"
+    );
+    // And the digit clause now comes first.
+    let parse_def = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (parse"))
+        .unwrap();
+    assert!(
+        parse_def.find("(digit stream)").unwrap()
+            < parse_def.find("(white-space stream)").unwrap(),
+        "digit-heavy training puts digits first:\n{parse_def}"
+    );
+}
+
+#[test]
+fn exclusive_cond_reorders_plain_clauses() {
+    // Using exclusive-cond directly (Figure 7), without case.
+    let program = "
+      (define (classify n)
+        (exclusive-cond
+          [(= n 0) 'zero]
+          [(> n 0) 'positive]
+          [else 'negative]))
+      (let loop ([i 0] [acc '()])
+        (if (= i 20) (length acc) (loop (add1 i) (cons (classify i) acc))))";
+    let result = two_pass(&[Lib::ExclusiveCond], program, "xc.scm").unwrap();
+    assert_eq!(result.optimized_result, "20");
+    let classify = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (classify"))
+        .unwrap();
+    // 'positive ran 19 times, 'zero once: positive clause first.
+    assert!(
+        classify.find("(quote positive)").unwrap() < classify.find("(quote zero)").unwrap(),
+        "{classify}"
+    );
+    assert!(
+        classify.find("(quote zero)").unwrap() < classify.find("(quote negative)").unwrap(),
+        "else last: {classify}"
+    );
+}
+
+#[test]
+fn exclusive_cond_without_else() {
+    let mut engine = engine_with(&[Lib::ExclusiveCond]).unwrap();
+    let v = engine
+        .run_str(
+            "(exclusive-cond [(= 1 2) 'a] [(= 1 1) 'b])",
+            "noelse.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "b");
+}
+
+#[test]
+fn profiled_case_handles_full_generality() {
+    // Multi-expression bodies and fallthrough to else.
+    let mut engine = engine_with(&[Lib::Case]).unwrap();
+    let v = engine
+        .run_str(
+            "(define out '())
+             (define (note! x) (set! out (cons x out)) x)
+             (list
+               (case 5 [(1 2) (note! 'a) 'ab] [else (note! 'e) 'other])
+               out)",
+            "gen.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "(other (e))");
+}

@@ -1,0 +1,208 @@
+//! E5 — §6.2, Figures 9–12: profile-guided receiver class prediction.
+//!
+//! The shapes example of Figure 10: a call site sees 3 Circles and 1
+//! Square. Instrumented code (Figure 11 top) profiles each class at the
+//! call site; optimized code (Figures 11 bottom / 12) inlines the method
+//! bodies of the hottest classes — Circle first — and falls back to
+//! dynamic dispatch for the rest.
+
+use pgmp_case_studies::{engine_with, two_pass, Lib};
+
+const SHAPES: &str = r#"
+  (class Square
+    ((length 0))
+    (define-method (area this)
+      (sqr (field this length))))
+  (class Circle
+    ((radius 0))
+    (define-method (area this)
+      (* 3 (sqr (field this radius)))))
+  (class Triangle
+    ((base 0) (height 0))
+    (define-method (area this)
+      (* (field this base) (field this height))))
+  (define shapes
+    (list (new Circle 1) (new Circle 2) (new Circle 3) (new Square 4)))
+  (map (lambda (s) (method s area)) shapes)
+"#;
+
+#[test]
+fn object_system_basics() {
+    let mut engine = engine_with(&[Lib::ObjectSystem]).unwrap();
+    let v = engine
+        .run_str(
+            "(class Point ((x 0) (y 0))
+               (define-method (sum this) (+ (field this x) (field this y)))
+               (define-method (scaled this k) (* k (field this x))))
+             (define p (new Point 3 4))
+             (list (field p x)
+                   (field p y)
+                   (dynamic-dispatch p 'sum)
+                   (dynamic-dispatch p 'scaled 10)
+                   (instance-of? p 'Point)
+                   (instance-of? p 'Other))",
+            "oo-basics.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "(3 4 7 30 #t #f)");
+}
+
+#[test]
+fn defaults_and_set_field() {
+    let mut engine = engine_with(&[Lib::ObjectSystem]).unwrap();
+    let v = engine
+        .run_str(
+            "(class C ((a 10) (b 20)) (define-method (get-a this) (field this a)))
+             (define c (new C))
+             (set-field! c 'a 99)
+             (list (field c a) (field c b))",
+            "oo-defaults.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "(99 20)");
+}
+
+#[test]
+fn figure_10_areas_are_correct_in_both_passes() {
+    let result = two_pass(&[Lib::ObjectSystem], SHAPES, "shapes.scm").unwrap();
+    // Areas: circles 3, 12, 27; square 16.
+    assert_eq!(result.training_result, "(3 12 27 16)");
+    assert_eq!(result.optimized_result, "(3 12 27 16)");
+}
+
+#[test]
+fn instrumented_code_has_one_clause_per_class() {
+    // With no profile data, the method macro instruments: one
+    // instance-of? clause per class, each calling instrumented-dispatch
+    // (Figure 11, top).
+    let mut engine = engine_with(&[Lib::ObjectSystem]).unwrap();
+    engine.run_str(SHAPES, "shapes.scm").unwrap();
+    // A second call site, expanded for inspection (registry now has 3
+    // classes).
+    let expansion = engine
+        .expand_str("(define (total s) (method s area))", "site2.scm")
+        .unwrap();
+    let text = expansion[0].to_datum().to_string();
+    for class in ["Square", "Circle", "Triangle"] {
+        assert!(
+            text.contains(&format!("(instance-of? x (quote {class}))")),
+            "clause for {class} in:\n{text}"
+        );
+    }
+    assert_eq!(text.matches("instrumented-dispatch").count(), 3);
+    assert!(text.contains("(dynamic-dispatch x (quote area))"), "else fallback");
+}
+
+#[test]
+fn optimized_code_inlines_hottest_classes_sorted() {
+    let result = two_pass(&[Lib::ObjectSystem], SHAPES, "shapes.scm").unwrap();
+    let site = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("instance-of?"))
+        .expect("optimized call site");
+    // Figure 12: Circle (3 runs) before Square (1 run); Triangle (0) is
+    // not inlined at all.
+    let circle = site.find("(instance-of? x (quote Circle))").expect("Circle clause");
+    let square = site.find("(instance-of? x (quote Square))").expect("Square clause");
+    assert!(circle < square, "hottest class first:\n{site}");
+    assert!(!site.contains("Triangle"), "zero-weight class not inlined:\n{site}");
+    // The bodies are inlined (Figure 11 bottom): the method source appears
+    // at the call site, not a dispatch call.
+    assert!(site.contains("(* 3 (sqr (field"), "Circle body inlined:\n{site}");
+    assert!(site.contains("(sqr (field"), "Square body inlined:\n{site}");
+    assert!(!site.contains("instrumented-dispatch"), "no instrumentation left:\n{site}");
+    // Fallback preserved.
+    assert!(site.contains("(dynamic-dispatch x (quote area))"), "{site}");
+}
+
+#[test]
+fn method_calls_with_arguments_inline_correctly() {
+    let program = "
+      (class Scaler ((factor 2))
+        (define-method (apply-to this x) (* (field this factor) x)))
+      (class Offsetter ((amount 5))
+        (define-method (apply-to this x) (+ (field this amount) x)))
+      (define objs (list (new Scaler 3) (new Scaler 4) (new Offsetter 10)))
+      (map (lambda (o) (method o apply-to 7)) objs)";
+    let result = two_pass(&[Lib::ObjectSystem], program, "args.scm").unwrap();
+    assert_eq!(result.training_result, "(21 28 17)");
+    assert_eq!(result.optimized_result, "(21 28 17)");
+    // Scaler (2 uses) inlined before Offsetter (1 use).
+    let site = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("instance-of?"))
+        .unwrap();
+    assert!(
+        site.find("Scaler").unwrap() < site.find("Offsetter").unwrap(),
+        "{site}"
+    );
+}
+
+#[test]
+fn unknown_class_at_optimized_site_falls_back_to_dispatch() {
+    // Train with Circles only, then call the optimized site with a
+    // Square: the else clause must handle it.
+    let program = "
+      (class Square ((length 0))
+        (define-method (area this) (sqr (field this length))))
+      (class Circle ((radius 0))
+        (define-method (area this) (* 3 (sqr (field this radius)))))
+      (define (site s) (method s area))
+      (site (new Circle 2))
+      (site (new Circle 3))
+      (site (new Square 5))";
+    let result = two_pass(&[Lib::ObjectSystem], program, "fallback.scm").unwrap();
+    assert_eq!(result.optimized_result, "25");
+}
+
+#[test]
+fn each_call_site_is_profiled_separately() {
+    // §6.2: "each occurrence of (instrumented-dispatch x area) has a
+    // different profile point, so each occurrence is profiled separately."
+    let program = "
+      (class A ((v 1)) (define-method (get this) 'a))
+      (class B ((v 1)) (define-method (get this) 'b))
+      (define (site1 o) (method o get))
+      (define (site2 o) (method o get))
+      ;; site1 sees only As; site2 sees only Bs.
+      (site1 (new A)) (site1 (new A)) (site1 (new A))
+      (site2 (new B))";
+    let result = two_pass(&[Lib::ObjectSystem], program, "sites.scm").unwrap();
+    let lines: Vec<&str> = result
+        .expansion_text
+        .lines()
+        .filter(|l| l.contains("instance-of?"))
+        .collect();
+    assert_eq!(lines.len(), 2);
+    let site1 = lines.iter().find(|l| l.contains("site1")).unwrap();
+    let site2 = lines.iter().find(|l| l.contains("site2")).unwrap();
+    assert!(site1.contains("(quote A)") && !site1.contains("(quote B)"), "{site1}");
+    assert!(site2.contains("(quote B)") && !site2.contains("(quote A)"), "{site2}");
+}
+
+#[test]
+fn inline_limit_bounds_the_cache() {
+    // Four classes, all used; only the top 2 (the default inline-limit)
+    // may be inlined.
+    let program = "
+      (class C1 ((v 0)) (define-method (tag this) 'c1))
+      (class C2 ((v 0)) (define-method (tag this) 'c2))
+      (class C3 ((v 0)) (define-method (tag this) 'c3))
+      (class C4 ((v 0)) (define-method (tag this) 'c4))
+      (define (site o) (method o tag))
+      (site (new C1)) (site (new C1)) (site (new C1)) (site (new C1))
+      (site (new C2)) (site (new C2)) (site (new C2))
+      (site (new C3)) (site (new C3))
+      (site (new C4))";
+    let result = two_pass(&[Lib::ObjectSystem], program, "limit.scm").unwrap();
+    let site = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("instance-of?"))
+        .unwrap();
+    assert_eq!(site.matches("instance-of?").count(), 2, "{site}");
+    assert!(site.contains("(quote C1)") && site.contains("(quote C2)"), "{site}");
+    assert_eq!(result.optimized_result, result.training_result);
+}

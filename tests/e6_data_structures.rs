@@ -1,0 +1,249 @@
+//! E6 — §6.3, Figures 13–14: profiled data structures.
+//!
+//! The profiled list/vector libraries recommend representation changes at
+//! compile time (Perflint-style); the sequence library goes further and
+//! *specializes itself* to a list or vector based on each instance's own
+//! profile.
+
+use pgmp_case_studies::{engine_with, two_pass, Lib};
+
+/// A workload dominated by random access — fast on vectors, O(n) on lists.
+fn random_access_program(ctor: &str, reader: &str, len_op: &str) -> String {
+    format!(
+        "(define s ({ctor} 10 20 30 40 50 60 70 80 90 100))
+         (define (sum-random n)
+           (let loop ([i 0] [acc 0])
+             (if (= i n)
+                 acc
+                 (loop (add1 i) (+ acc ({reader} s (modulo i ({len_op} s))))))))
+         (sum-random 200)"
+    )
+}
+
+/// A workload dominated by head/tail traversal — fast on lists.
+fn traversal_program(ctor: &str, first_op: &str, rest_op: &str, null_check: &str) -> String {
+    format!(
+        "(define s ({ctor} 1 2 3 4 5 6 7 8 9 10))
+         (define (sum-all seq)
+           (let loop ([cur seq] [acc 0] [n 10])
+             (if (zero? n)
+                 acc
+                 (loop ({rest_op} cur) (+ acc ({first_op} cur)) (sub1 n)))))
+         (define (go n)
+           (let loop ([i 0] [acc 0])
+             (if (= i n) acc (loop (add1 i) (+ acc (sum-all s))))))
+         {null_check}
+         (go 20)"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Profiled list (Figure 13)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn profiled_list_basic_operations() {
+    let mut engine = engine_with(&[Lib::ProfiledList]).unwrap();
+    let v = engine
+        .run_str(
+            "(define p (profiled-list 1 2 3))
+             (list (plist-car p)
+                   (plist-car (plist-cdr p))
+                   (plist-ref p 2)
+                   (plist-length p)
+                   (plist-null? p)
+                   (plist-car (plist-cons 0 p))
+                   (plist->list p))",
+            "pl.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "(1 2 3 3 #f 0 (1 2 3))");
+}
+
+#[test]
+fn vector_heavy_list_usage_warns_at_compile_time() {
+    // Figure 13: random access dominates -> "reimplement this list as a
+    // vector".
+    let program = random_access_program("profiled-list", "plist-ref", "plist-length");
+    let result = two_pass(&[Lib::ProfiledList], &program, "plw.scm").unwrap();
+    assert_eq!(result.training_result, result.optimized_result);
+    assert!(
+        result
+            .warnings
+            .iter()
+            .any(|w| w.contains("reimplement this list as a vector")),
+        "warnings: {:?}",
+        result.warnings
+    );
+}
+
+#[test]
+fn list_heavy_usage_does_not_warn() {
+    let program = traversal_program("profiled-list", "plist-car", "plist-cdr", "");
+    let result = two_pass(&[Lib::ProfiledList], &program, "plq.scm").unwrap();
+    assert!(
+        result.warnings.is_empty(),
+        "no warning expected for list-friendly usage: {:?}",
+        result.warnings
+    );
+}
+
+#[test]
+fn each_list_instance_is_profiled_separately() {
+    // Two instances: one used with random access, one traversed. Only the
+    // first should be flagged.
+    let program = "
+      (define a (profiled-list 1 2 3 4 5))
+      (define b (profiled-list 6 7 8 9 10))
+      (define (hammer-ref n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (plist-ref a (modulo i 5)))))))
+      (define (walk n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (plist-car b))))))
+      (list (hammer-ref 100) (walk 100))";
+    let result = two_pass(&[Lib::ProfiledList], program, "pl2.scm").unwrap();
+    let warnings: Vec<&String> = result.warnings.iter().collect();
+    assert_eq!(warnings.len(), 1, "exactly one instance flagged: {warnings:?}");
+    assert!(warnings[0].contains("1 2 3 4 5"), "the flagged instance is `a`: {warnings:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Profiled vector
+// ---------------------------------------------------------------------------
+
+#[test]
+fn profiled_vector_basic_operations() {
+    let mut engine = engine_with(&[Lib::ProfiledVector]).unwrap();
+    let v = engine
+        .run_str(
+            "(define p (profiled-vector 1 2 3))
+             (pvec-set! p 1 99)
+             (list (pvec-ref p 1)
+                   (pvec-length p)
+                   (pvec-first p)
+                   (pvec-first (pvec-rest p))
+                   (pvec-ref (pvec-cons 0 p) 0))",
+            "pv.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "(99 3 1 99 0)");
+}
+
+#[test]
+fn list_heavy_vector_usage_warns() {
+    let program = traversal_program("profiled-vector", "pvec-first", "pvec-rest", "");
+    let result = two_pass(&[Lib::ProfiledVector], &program, "pvw.scm").unwrap();
+    assert!(
+        result
+            .warnings
+            .iter()
+            .any(|w| w.contains("reimplement this vector as a list")),
+        "warnings: {:?}",
+        result.warnings
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Self-specializing sequence (Figure 14)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sequence_defaults_to_list_without_profile() {
+    let mut engine = engine_with(&[Lib::Sequence]).unwrap();
+    let v = engine
+        .run_str(
+            "(define s (profiled-sequence 1 2 3))
+             (seq-kind s)",
+            "sq.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "list");
+}
+
+#[test]
+fn random_access_workload_specializes_to_vector() {
+    let program = format!(
+        "{}\n(seq-kind s)",
+        random_access_program("profiled-sequence", "seq-ref", "seq-length")
+    );
+    let result = two_pass(&[Lib::Sequence], &program, "sqv.scm").unwrap();
+    // The training pass is unprofiled, so the instance starts as a list;
+    // the optimizing pass specializes it to a vector.
+    assert_eq!(result.training_result, "list");
+    assert_eq!(result.optimized_result, "vector");
+}
+
+#[test]
+fn specialization_switches_representation_and_preserves_results() {
+    let program = random_access_program("profiled-sequence", "seq-ref", "seq-length");
+    let kind_probe = format!("{program}\n(list (sum-random 50) (seq-kind s))");
+    let result = two_pass(&[Lib::Sequence], &kind_probe, "sqk.scm").unwrap();
+    // Training pass: unprofiled, so list representation.
+    assert!(result.training_result.ends_with(" list)"), "{}", result.training_result);
+    // Optimized pass: the instance self-specialized to a vector, and the
+    // computed sums are identical.
+    assert!(result.optimized_result.ends_with(" vector)"), "{}", result.optimized_result);
+    let sum = |s: &str| s.trim_start_matches('(').split(' ').next().unwrap().to_owned();
+    assert_eq!(sum(&result.training_result), sum(&result.optimized_result));
+}
+
+#[test]
+fn traversal_workload_stays_a_list() {
+    let program = format!(
+        "{}\n(seq-kind s)",
+        traversal_program("profiled-sequence", "seq-first", "seq-rest", "")
+    );
+    let result = two_pass(&[Lib::Sequence], &program, "sql.scm").unwrap();
+    assert_eq!(result.optimized_result, "list");
+}
+
+#[test]
+fn sequence_operations_agree_across_representations() {
+    // Force both representations (by training differently) and check the
+    // generic operations compute identical values.
+    let ops_program = "
+      (define s (profiled-sequence 5 6 7))
+      (list (seq-first s)
+            (seq-ref s 2)
+            (seq-length s)
+            (seq-first (seq-rest s))
+            (seq-first (seq-cons 4 s))
+            (seq->list s))";
+    // List-trained: traversal first.
+    let list_trained = format!(
+        "(define warm (profiled-sequence 1 2))\n{ops_program}"
+    );
+    let r1 = two_pass(&[Lib::Sequence], &list_trained, "agree1.scm").unwrap();
+    // Vector-trained: same ops program, but the training pass hammers refs.
+    let vector_trained = format!(
+        "{}\n{ops_program}",
+        random_access_program("profiled-sequence", "seq-ref", "seq-length")
+            .replace("(define s ", "(define warm ")
+            .replace("(seq-ref s", "(seq-ref warm")
+            .replace("(seq-length s", "(seq-length warm")
+    );
+    let r2 = two_pass(&[Lib::Sequence], &vector_trained, "agree2.scm").unwrap();
+    assert_eq!(r1.optimized_result, "(5 7 3 6 4 (5 6 7))");
+    assert_eq!(r2.optimized_result, "(5 7 3 6 4 (5 6 7))");
+}
+
+#[test]
+fn mixed_instances_specialize_independently() {
+    // One sequence used for random access, another for traversal; after
+    // optimization they must pick different representations.
+    let program = "
+      (define by-index (profiled-sequence 1 2 3 4 5))
+      (define by-walk (profiled-sequence 6 7 8 9 10))
+      (define (hammer n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (seq-ref by-index (modulo i 5)))))))
+      (define (walk n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (seq-first by-walk))))))
+      (hammer 100)
+      (walk 100)
+      (list (seq-kind by-index) (seq-kind by-walk))";
+    let result = two_pass(&[Lib::Sequence], program, "mixed.scm").unwrap();
+    assert_eq!(result.optimized_result, "(vector list)");
+}

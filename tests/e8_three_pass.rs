@@ -1,0 +1,101 @@
+//! E8 — §4.3: the three-pass protocol keeping source-level PGMP and
+//! block-level PGO consistent.
+
+use pgmp::workflow::run_three_pass;
+use pgmp::Engine;
+use pgmp_profiler::ProfileMode;
+
+/// A program whose meta-program output *changes* under profiling (if-r
+/// swaps branches) — exactly the situation §4.3 is about: the block-level
+/// profile collected before the source-level optimization would be
+/// garbage.
+const PGMP_PROGRAM: &str = "
+  (define-syntax (if-r stx)
+    (syntax-case stx ()
+      [(_ test t-branch f-branch)
+       (if (< (profile-query #'t-branch) (profile-query #'f-branch))
+           #'(if (not test) f-branch t-branch)
+           #'(if test t-branch f-branch))]))
+  (define (bucket n)
+    (if-r (< n 5) 'low 'high))
+  (let loop ([i 0] [highs 0])
+    (if (= i 400)
+        highs
+        (loop (add1 i) (if (eqv? (bucket i) 'high) (add1 highs) highs))))";
+
+#[test]
+fn pass3_code_equals_pass2_code() {
+    let report = run_three_pass(PGMP_PROGRAM, "e8.scm").unwrap();
+    assert!(
+        report.stable,
+        "holding source weights fixed must stabilize generated code;\n\
+         pass2: {} chunks, pass3: {} chunks",
+        report.pass2_chunks.len(),
+        report.pass3_chunks.len()
+    );
+    assert_eq!(report.result, "395");
+}
+
+#[test]
+fn source_optimization_actually_happened() {
+    // Verify the premise: the optimized compile really did swap the
+    // branches (i.e. pass 2/3 compiled *different* source than pass 1
+    // would have).
+    let mut e1 = Engine::new();
+    e1.set_instrumentation(ProfileMode::EveryExpression);
+    e1.run_str(PGMP_PROGRAM, "e8.scm").unwrap();
+    let weights = e1.current_weights();
+
+    let mut unprofiled = Engine::new();
+    let plain = unprofiled.expand_str(PGMP_PROGRAM, "e8.scm").unwrap();
+    let mut profiled = Engine::new();
+    profiled.set_profile(weights);
+    let optimized = profiled.expand_str(PGMP_PROGRAM, "e8.scm").unwrap();
+    let plain_bucket = plain.iter().map(|s| s.to_string()).find(|s| s.contains("bucket")).unwrap();
+    let opt_bucket = optimized.iter().map(|s| s.to_string()).find(|s| s.contains("bucket")).unwrap();
+    assert_ne!(plain_bucket, opt_bucket, "meta-program output must differ under profile");
+    assert!(opt_bucket.contains("(if (not (< n 5)) (quote high) (quote low))"));
+}
+
+#[test]
+fn block_layout_does_not_regress_fallthrough() {
+    let report = run_three_pass(PGMP_PROGRAM, "e8.scm").unwrap();
+    let baseline = report.baseline_metrics.fallthrough_ratio();
+    let optimized = report.optimized_metrics.fallthrough_ratio();
+    assert!(
+        optimized >= baseline - 1e-9,
+        "block-level layout regressed fall-through: {optimized} < {baseline}"
+    );
+}
+
+#[test]
+fn three_pass_handles_every_case_study_shape() {
+    // A composite program with a second meta-program, confirming the
+    // protocol generalizes past if-r.
+    let program = "
+      (define-syntax (pick stx)
+        (syntax-case stx ()
+          [(_ a b)
+           (if (> (profile-query #'a) (profile-query #'b))
+               #'(cons 'first (begin a b))
+               #'(cons 'second (begin a b)))]))
+      (define (work n)
+        (pick (* n 2) (+ n 1)))
+      (let loop ([i 0] [acc 0])
+        (if (= i 50) acc (loop (add1 i) (+ acc (cdr (work i))))))";
+    let report = run_three_pass(program, "composite.scm").unwrap();
+    assert!(report.stable);
+}
+
+#[test]
+fn source_weights_are_reported() {
+    let report = run_three_pass(PGMP_PROGRAM, "e8.scm").unwrap();
+    assert!(!report.source_weights.is_empty());
+    // The max weight is 1.0 by construction of the normalization.
+    let max = report
+        .source_weights
+        .iter()
+        .map(|(_, w)| w)
+        .fold(0.0f64, f64::max);
+    assert!((max - 1.0).abs() < 1e-12);
+}

@@ -1,0 +1,117 @@
+//! Engine session semantics: how profile state, counters, warnings, and
+//! the deterministic point generator behave across multiple runs within
+//! one compilation session.
+
+use pgmp::Engine;
+use pgmp_profiler::{ProfileInformation, ProfileMode};
+
+#[test]
+fn counters_accumulate_across_runs_in_one_session() {
+    let mut e = Engine::new();
+    e.set_instrumentation(ProfileMode::EveryExpression);
+    e.run_str("(define (f) 'x)", "s.scm").unwrap();
+    e.run_str("(f)", "s2.scm").unwrap();
+    let after_one = e.current_weights().len();
+    e.run_str("(f)", "s2.scm").unwrap();
+    // Same source spans, higher counts: the point set stays stable while
+    // counts accumulate.
+    assert_eq!(e.current_weights().len(), after_one);
+}
+
+#[test]
+fn set_profile_replaces_and_merge_profile_averages() {
+    let mut e = Engine::new();
+    let p = pgmp_syntax::SourceObject::new("m.scm", 0, 1);
+    e.set_profile(ProfileInformation::from_weights([(p, 1.0)], 1));
+    assert_eq!(e.profile().weight(p), 1.0);
+    e.set_profile(ProfileInformation::from_weights([(p, 0.2)], 1));
+    assert_eq!(e.profile().weight(p), 0.2, "set_profile replaces");
+    e.merge_profile(&ProfileInformation::from_weights([(p, 0.8)], 1));
+    assert_eq!(e.profile().weight(p), 0.5, "merge averages");
+    assert_eq!(e.profile().dataset_count(), 2);
+}
+
+#[test]
+fn reset_profile_points_replays_generated_points() {
+    let program = "
+      (define-syntax (pt stx)
+        (syntax-case stx ()
+          [(_) #`(quote #,(datum->syntax stx
+                   (format \"~a\" (make-profile-point))))]))
+      (pt)";
+    let mut e = Engine::new();
+    let first = e.run_str(program, "r.scm").unwrap().to_string();
+    let second = e.run_str(program, "r.scm").unwrap().to_string();
+    assert_ne!(first, second, "same session continues the sequence");
+    e.reset_profile_points();
+    let replayed = e.run_str(program, "r.scm").unwrap().to_string();
+    assert_eq!(first, replayed, "reset replays from the start");
+}
+
+#[test]
+fn warnings_accumulate_and_drain() {
+    let mut e = Engine::new();
+    e.run_str(
+        "(define-syntax (w stx)
+           (syntax-case stx ()
+             [(_ n) (begin (warn \"warning ~a\" (syntax->datum #'n)) #''ok)]))
+         (w 1)",
+        "w.scm",
+    )
+    .unwrap();
+    e.run_str("(w 2)", "w.scm").unwrap();
+    assert_eq!(e.take_warnings(), vec!["warning 1", "warning 2"]);
+    assert!(e.take_warnings().is_empty(), "drained");
+}
+
+#[test]
+fn macros_persist_across_runs_within_a_session() {
+    let mut e = Engine::new();
+    e.run_str(
+        "(define-syntax (inc stx) (syntax-case stx () [(_ e) #'(+ 1 e)]))",
+        "m.scm",
+    )
+    .unwrap();
+    let v = e.run_str("(inc 41)", "m2.scm").unwrap();
+    assert_eq!(v.to_string(), "42");
+}
+
+#[test]
+fn globals_persist_across_runs_within_a_session() {
+    let mut e = Engine::new();
+    e.run_str("(define counter 0)", "g.scm").unwrap();
+    e.run_str("(set! counter (add1 counter))", "g2.scm").unwrap();
+    e.run_str("(set! counter (add1 counter))", "g2.scm").unwrap();
+    assert_eq!(e.run_str("counter", "g3.scm").unwrap().to_string(), "2");
+}
+
+#[test]
+fn instrumentation_can_be_toggled_between_runs() {
+    let mut e = Engine::new();
+    e.run_str("(define (f) 1)", "t.scm").unwrap();
+    e.set_instrumentation(ProfileMode::EveryExpression);
+    e.run_str("(f)", "t2.scm").unwrap();
+    let counted = e.counters().len();
+    assert!(counted > 0);
+    e.set_instrumentation(pgmp_profiler::ProfileMode::Off);
+    e.run_str("(f)", "t2.scm").unwrap();
+    assert_eq!(e.counters().len(), counted, "no new points when off");
+}
+
+#[test]
+fn meta_programs_see_profile_updates_between_runs() {
+    let probe = "
+      (define-syntax (hotness stx)
+        (syntax-case stx ()
+          [(_ e) #`#,(datum->syntax stx (profile-query #'e))]))";
+    let mut e = Engine::new();
+    e.run_str(probe, "p.scm").unwrap();
+    let before = e.run_str("(hotness (target))", "q.scm").unwrap();
+    assert_eq!(before.to_string(), "0.0");
+    // Install a profile covering the (target) span in q.scm and re-expand.
+    let span_start = "(hotness (".len() as u32 - 1;
+    let p = pgmp_syntax::SourceObject::new("q.scm", span_start, span_start + 8);
+    e.set_profile(ProfileInformation::from_weights([(p, 0.9)], 1));
+    let after = e.run_str("(hotness (target))", "q.scm").unwrap();
+    assert_eq!(after.to_string(), "0.9");
+}

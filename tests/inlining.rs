@@ -1,0 +1,152 @@
+//! Extension case study: profile-guided function inlining (the PGO the
+//! paper's introduction motivates via Arnold et al.'s Java inlining
+//! numbers), implemented as a user-level meta-program.
+
+use pgmp_case_studies::{engine_with, two_pass, Lib};
+
+#[test]
+fn unprofiled_inline_call_is_a_plain_call() {
+    let mut e = engine_with(&[Lib::Inline]).unwrap();
+    let out = e
+        .expand_str(
+            "(define-inlinable (double x) (* 2 x))
+             (define (f y) (inline-call double y))",
+            "inl.scm",
+        )
+        .unwrap();
+    let f = out.last().unwrap().to_datum().to_string();
+    assert_eq!(f, "(define (f y) (double y))");
+}
+
+#[test]
+fn hot_call_sites_are_inlined_cold_ones_are_not() {
+    let program = "
+      (define-inlinable (double x) (* 2 x))
+      (define (hot-loop n)
+        (let loop ([i 0] [acc 0])
+          (if (= i n) acc (loop (add1 i) (+ acc (inline-call double i))))))
+      (define (cold-path y) (inline-call double y))
+      (hot-loop 200)
+      (cold-path 3)";
+    let result = two_pass(&[Lib::Inline], program, "inl.scm").unwrap();
+    assert_eq!(result.training_result, result.optimized_result);
+    let hot_line = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("hot-loop"))
+        .unwrap();
+    let cold_line = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("cold-path"))
+        .unwrap();
+    assert!(
+        hot_line.contains("(* 2 ") && !hot_line.contains("(double "),
+        "hot site inlined:\n{hot_line}"
+    );
+    assert!(
+        cold_line.contains("(double y)"),
+        "cold site stays a call:\n{cold_line}"
+    );
+}
+
+#[test]
+fn inlining_preserves_behaviour() {
+    let program = "
+      (define-inlinable (clamp x lo hi) (max lo (min x hi)))
+      (define (run n)
+        (let loop ([i 0] [acc '()])
+          (if (= i n)
+              (reverse acc)
+              (loop (add1 i) (cons (inline-call clamp (- i 3) 0 4) acc)))))
+      (run 10)";
+    let result = two_pass(&[Lib::Inline], program, "clamp.scm").unwrap();
+    assert_eq!(result.training_result, "(0 0 0 0 1 2 3 4 4 4)");
+    assert_eq!(result.optimized_result, result.training_result);
+}
+
+#[test]
+fn arguments_evaluate_once_via_let_binding() {
+    let program = "
+      (define-inlinable (twice x) (+ x x))
+      (define n 0)
+      (define (bump!) (set! n (add1 n)) n)
+      (define (go) (inline-call twice (bump!)))
+      (let loop ([i 0]) (unless (= i 50) (go) (loop (add1 i))))
+      (set! n 0)
+      (list (go) n)";
+    let result = two_pass(&[Lib::Inline], program, "once.scm").unwrap();
+    // After reset, one call to go: bump! must run exactly once even when
+    // `x` appears twice in the body.
+    assert_eq!(result.optimized_result, "(2 1)");
+}
+
+#[test]
+fn self_recursive_functions_inline_one_level() {
+    let program = "
+      ;; Low threshold: the go call site is cool relative to the loop's
+      ;; own expression counts, but must still inline.
+      (begin-for-syntax (set! inline-threshold-value 0.01))
+      (define-inlinable (count-down n)
+        (if (zero? n) 'done (inline-call count-down (sub1 n))))
+      (define (go) (inline-call count-down 50))
+      (let loop ([i 0]) (unless (= i 40) (go) (loop (add1 i))))
+      (go)";
+    let result = two_pass(&[Lib::Inline], program, "rec.scm").unwrap();
+    assert_eq!(result.optimized_result, "done");
+    // The inlined body calls count-down directly (no nested inline-call
+    // left over, which would have looped the expander).
+    let go_line = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (go)"))
+        .unwrap();
+    assert!(go_line.contains("(count-down "), "{go_line}");
+    assert!(go_line.contains("(if (zero? "), "one level inlined: {go_line}");
+}
+
+#[test]
+fn arity_mismatch_falls_back_to_a_call() {
+    // A wrong-arity inline-call keeps the plain call (which then fails at
+    // run time exactly like a normal wrong-arity call).
+    let mut e = engine_with(&[Lib::Inline]).unwrap();
+    let out = e
+        .expand_str(
+            "(define-inlinable (one x) x)
+             (define (f) (inline-call one 1 2))",
+            "arity.scm",
+        )
+        .unwrap();
+    assert!(out.last().unwrap().to_datum().to_string().contains("(one 1 2)"));
+}
+
+#[test]
+fn unknown_functions_pass_through() {
+    let mut e = engine_with(&[Lib::Inline]).unwrap();
+    let v = e
+        .run_str(
+            "(define (plain x) (* 3 x))
+             (inline-call plain 7)",
+            "unknown.scm",
+        )
+        .unwrap();
+    assert_eq!(v.to_string(), "21");
+}
+
+#[test]
+fn threshold_is_tunable() {
+    // With threshold 0 every profiled site inlines, even barely-warm ones.
+    let program = "
+      (begin-for-syntax (set! inline-threshold-value 0.0))
+      (define-inlinable (id x) x)
+      (define (once y) (inline-call id y))
+      (once 1)
+      (once 2)";
+    let result = two_pass(&[Lib::Inline], program, "thresh.scm").unwrap();
+    let line = result
+        .expansion_text
+        .lines()
+        .find(|l| l.contains("define (once"))
+        .unwrap();
+    assert!(!line.contains("(id y)"), "inlined at threshold 0: {line}");
+}

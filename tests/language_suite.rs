@@ -1,0 +1,331 @@
+//! A broad behavioural suite for the object language: every primitive and
+//! derived form the case studies and benchmarks rely on, exercised through
+//! the full Engine pipeline (read → expand → eval).
+
+use pgmp::Engine;
+
+fn run(src: &str) -> String {
+    let mut e = Engine::new();
+    match e.run_str(src, "suite.scm") {
+        Ok(v) => v.write_string(),
+        Err(err) => panic!("program failed: {err}\n---\n{src}"),
+    }
+}
+
+fn check(cases: &[(&str, &str)]) {
+    for (src, expected) in cases {
+        assert_eq!(&run(src), expected, "on {src}");
+    }
+}
+
+#[test]
+fn numeric_primitives() {
+    check(&[
+        ("(+ 1 2 3 4)", "10"),
+        ("(- 10 1 2)", "7"),
+        ("(* 2 3 4)", "24"),
+        ("(/ 12 4)", "3"),
+        ("(/ 1 4)", "0.25"),
+        ("(quotient 17 5)", "3"),
+        ("(remainder 17 5)", "2"),
+        ("(modulo -7 3)", "2"),
+        ("(abs -4)", "4"),
+        ("(min 3 1 2)", "1"),
+        ("(max 3 1 2)", "3"),
+        ("(expt 2 8)", "256"),
+        ("(sqr 7)", "49"),
+        ("(sqrt 9.0)", "3.0"),
+        ("(zero? 0)", "#t"),
+        ("(positive? -1)", "#f"),
+        ("(negative? -1)", "#t"),
+        ("(even? 4)", "#t"),
+        ("(odd? 4)", "#f"),
+        ("(add1 41)", "42"),
+        ("(sub1 43)", "42"),
+        ("(floor 2.7)", "2.0"),
+        ("(ceiling 2.2)", "3.0"),
+        ("(round 2.5)", "3.0"),
+        ("(truncate -2.7)", "-2.0"),
+        ("(exact->inexact 2)", "2.0"),
+        ("(inexact->exact 2.0)", "2"),
+        ("(number? 3)", "#t"),
+        ("(number? 'x)", "#f"),
+        ("(integer? 3.0)", "#t"),
+        ("(integer? 3.5)", "#f"),
+        ("(= 2 2 2)", "#t"),
+        ("(< 1 2 3)", "#t"),
+        ("(<= 1 1 2)", "#t"),
+        ("(> 3 2 1)", "#t"),
+        ("(>= 3 3 1)", "#t"),
+        ("(number->string 42)", "\"42\""),
+        ("(string->number \"-7\")", "-7"),
+        ("(string->number \"2.5\")", "2.5"),
+    ]);
+}
+
+#[test]
+fn list_primitives() {
+    check(&[
+        ("(cons 1 2)", "(1 . 2)"),
+        ("(car '(1 2))", "1"),
+        ("(cdr '(1 2))", "(2)"),
+        ("(cadr '(1 2 3))", "2"),
+        ("(caddr '(1 2 3))", "3"),
+        ("(cddr '(1 2 3))", "(3)"),
+        ("(list 1 'a \"s\")", "(1 a \"s\")"),
+        ("(length '(a b c))", "3"),
+        ("(append '(1) '(2 3) '())", "(1 2 3)"),
+        ("(reverse '(1 2 3))", "(3 2 1)"),
+        ("(list-ref '(a b c) 1)", "b"),
+        ("(list-tail '(a b c d) 2)", "(c d)"),
+        ("(last '(1 2 3))", "3"),
+        ("(take '(1 2 3 4) 2)", "(1 2)"),
+        ("(iota 4)", "(0 1 2 3)"),
+        ("(iota 3 10 5)", "(10 15 20)"),
+        ("(memq 'b '(a b c))", "(b c)"),
+        ("(member \"b\" '(\"a\" \"b\"))", "(\"b\")"),
+        ("(assv 2 '((1 . a) (2 . b)))", "(2 . b)"),
+        ("(pair? '(1))", "#t"),
+        ("(pair? '())", "#f"),
+        ("(null? '())", "#t"),
+        ("(list? '(1 2))", "#t"),
+        ("(list? '(1 . 2))", "#f"),
+        ("(map add1 '(1 2 3))", "(2 3 4)"),
+        ("(map + '(1 2) '(10 20))", "(11 22)"),
+        ("(filter even? '(1 2 3 4))", "(2 4)"),
+        ("(fold-left - 0 '(1 2 3))", "-6"),
+        ("(fold-right - 0 '(1 2 3))", "2"),
+        ("(sort '(3 1 2) <)", "(1 2 3)"),
+        ("(sort-by '(3 -1 2) < abs)", "(-1 2 3)"),
+        ("(let ([p '(1 2)]) (list (list-copy p) p))", "((1 2) (1 2))"),
+        ("((curry + 1 2) 3 4)", "10"),
+        ("(apply max '(3 9 2))", "9"),
+        ("(define l (list 1 2)) (set-car! l 9) l", "(9 2)"),
+        ("(define l (list 1 2)) (set-cdr! l '(8)) l", "(1 8)"),
+    ]);
+}
+
+#[test]
+fn string_and_char_primitives() {
+    check(&[
+        ("(string-length \"hello\")", "5"),
+        ("(string-ref \"abc\" 1)", "#\\b"),
+        ("(substring \"hello\" 1 3)", "\"el\""),
+        ("(string-append \"foo\" \"bar\")", "\"foobar\""),
+        ("(string=? \"a\" \"a\" \"a\")", "#t"),
+        ("(string<? \"abc\" \"abd\")", "#t"),
+        ("(string-contains? \"hello world\" \"lo w\")", "#t"),
+        ("(string-upcase \"aBc\")", "\"ABC\""),
+        ("(string-downcase \"aBc\")", "\"abc\""),
+        ("(string->list \"ab\")", "(#\\a #\\b)"),
+        ("(list->string '(#\\h #\\i))", "\"hi\""),
+        ("(make-string 3 #\\z)", "\"zzz\""),
+        ("(string #\\a #\\b)", "\"ab\""),
+        ("(symbol->string 'foo)", "\"foo\""),
+        ("(string->symbol \"bar\")", "bar"),
+        ("(char=? #\\a #\\a)", "#t"),
+        ("(char<? #\\a #\\b)", "#t"),
+        ("(char->integer #\\A)", "65"),
+        ("(integer->char 97)", "#\\a"),
+        ("(char-alphabetic? #\\x)", "#t"),
+        ("(char-numeric? #\\5)", "#t"),
+        ("(char-whitespace? #\\tab)", "#t"),
+        ("(char-upcase #\\a)", "#\\A"),
+        ("(char-downcase #\\A)", "#\\a"),
+    ]);
+}
+
+#[test]
+fn vector_primitives() {
+    check(&[
+        ("(vector 1 2 3)", "#(1 2 3)"),
+        ("(make-vector 2 'x)", "#(x x)"),
+        ("(vector-length #(1 2))", "2"),
+        ("(vector-ref #(a b c) 2)", "c"),
+        ("(define v (vector 1 2)) (vector-set! v 0 9) v", "#(9 2)"),
+        ("(define v (vector 1 2)) (vector-fill! v 0) v", "#(0 0)"),
+        ("(vector->list #(1 2))", "(1 2)"),
+        ("(list->vector '(1 2))", "#(1 2)"),
+        ("(vector-map sqr #(1 2 3))", "#(1 4 9)"),
+        ("(vector? #(1))", "#t"),
+        ("(vector? '(1))", "#f"),
+    ]);
+}
+
+#[test]
+fn hashtable_primitives() {
+    check(&[
+        (
+            "(define h (make-eq-hashtable))
+             (hashtable-set! h 'a 1)
+             (hashtable-set! h 'b 2)
+             (list (hashtable-ref h 'a 0)
+                   (hashtable-ref h 'z 99)
+                   (hashtable-size h)
+                   (hashtable-contains? h 'b))",
+            "(1 99 2 #t)",
+        ),
+        (
+            "(define h (make-eq-hashtable))
+             (hashtable-set! h 'a 1)
+             (hashtable-delete! h 'a)
+             (hashtable-contains? h 'a)",
+            "#f",
+        ),
+        (
+            "(define h (make-eq-hashtable))
+             (hashtable-set! h 'b 2) (hashtable-set! h 'a 1)
+             (hashtable-keys h)",
+            "(a b)",
+        ),
+        (
+            "(define h (make-eq-hashtable))
+             (hashtable-update! h 'n add1 0)
+             (hashtable-update! h 'n add1 0)
+             (hashtable-ref h 'n #f)",
+            "2",
+        ),
+        (
+            "(define h (make-eq-hashtable))
+             (hashtable-set! h 'x 1)
+             (hashtable->alist h)",
+            "((x . 1))",
+        ),
+    ]);
+}
+
+#[test]
+fn equality_and_predicates() {
+    check(&[
+        ("(eq? 'a 'a)", "#t"),
+        ("(eqv? 1.5 1.5)", "#t"),
+        ("(equal? '(1 (2)) '(1 (2)))", "#t"),
+        ("(equal? \"ab\" \"ab\")", "#t"),
+        ("(eq? \"ab\" \"ab\")", "#f"),
+        ("(boolean? #f)", "#t"),
+        ("(symbol? 'x)", "#t"),
+        ("(procedure? car)", "#t"),
+        ("(procedure? 'car)", "#f"),
+        ("(not #f)", "#t"),
+        ("(not 0)", "#f"),
+    ]);
+}
+
+#[test]
+fn binding_and_control_forms() {
+    check(&[
+        ("(let ([x 2]) (let ([x 3] [y x]) (list x y)))", "(3 2)"),
+        ("(let* ([x 2] [y (* x x)]) (list x y))", "(2 4)"),
+        ("(letrec* ([f (lambda (n) (if (zero? n) 1 (* n (f (sub1 n)))))]) (f 5))", "120"),
+        ("(define x 1) (begin (set! x 2) (set! x (+ x 1))) x", "3"),
+        ("(when (= 1 1) 'a 'b)", "b"),
+        ("(unless (= 1 2) 'a 'b)", "b"),
+        ("(cond [(memv 2 '(1 2 3))] [else 'no])", "(2 3)"),
+        ("(case (* 2 3) [(2 3 5 7) 'prime] [(1 4 6 8 9) 'composite])", "composite"),
+        ("(and)", "#t"),
+        ("(or (and 1 #f) 'fallback)", "fallback"),
+    ]);
+}
+
+#[test]
+fn deep_and_mutual_recursion() {
+    check(&[
+        // Ackermann (small) — non-tail recursion through the Rust stack.
+        (
+            "(define (ack m n)
+               (cond [(zero? m) (add1 n)]
+                     [(zero? n) (ack (sub1 m) 1)]
+                     [else (ack (sub1 m) (ack m (sub1 n)))]))
+             (ack 2 3)",
+            "9",
+        ),
+        // Mutual recursion via internal defines.
+        (
+            "(define (parity n)
+               (define (ev? n) (if (zero? n) 'even (od? (sub1 n))))
+               (define (od? n) (if (zero? n) 'odd (ev? (sub1 n))))
+               (ev? n))
+             (list (parity 10) (parity 7))",
+            "(even odd)",
+        ),
+        // Deep tail loop with an accumulator pair.
+        (
+            "(let loop ([i 0] [acc '()])
+               (if (= i 5) (reverse acc) (loop (add1 i) (cons (* i i) acc))))",
+            "(0 1 4 9 16)",
+        ),
+    ]);
+}
+
+#[test]
+fn closures_capture_by_reference() {
+    check(&[
+        (
+            "(define (make-counter)
+               (let ([n 0])
+                 (cons (lambda () (set! n (add1 n)) n)
+                       (lambda () n))))
+             (define c (make-counter))
+             ((car c)) ((car c))
+             ((cdr c))",
+            "2",
+        ),
+        (
+            "(define fs
+               (map (lambda (i) (lambda () i)) '(1 2 3)))
+             (map (lambda (f) (f)) fs)",
+            "(1 2 3)",
+        ),
+    ]);
+}
+
+#[test]
+fn quasiquote_corners() {
+    check(&[
+        ("`()", "()"),
+        ("`(,@'() 1)", "(1)"),
+        ("`(0 ,@'(1 2) ,(+ 1 2) 4)", "(0 1 2 3 4)"),
+        ("`#(1 2)", "#(1 2)"),
+        ("(let ([x 1]) `(a . ,x))", "(a . 1)"),
+        ("`(1 `(2 ,(3)))", "(1 (quasiquote (2 (unquote (3)))))"),
+    ]);
+}
+
+#[test]
+fn output_primitives() {
+    let mut e = Engine::new();
+    e.run_str(
+        "(display '(1 \"two\" #\\3))
+         (newline)
+         (write '(1 \"two\" #\\3))
+         (printf \"~%~a|~s|~d~%\" \"x\" \"x\" 7)",
+        "out.scm",
+    )
+    .unwrap();
+    assert_eq!(
+        e.take_output(),
+        "(1 two 3)\n(1 \"two\" #\\3)\nx|\"x\"|7\n"
+    );
+}
+
+#[test]
+fn deterministic_random() {
+    check(&[(
+        "(random-seed! 7)
+         (define a (list (random 100) (random 100)))
+         (random-seed! 7)
+         (define b (list (random 100) (random 100)))
+         (equal? a b)",
+        "#t",
+    )]);
+}
+
+#[test]
+fn error_primitive_and_assert() {
+    let mut e = Engine::new();
+    let err = e.run_str("(error \"bad thing\" 42)", "err.scm").unwrap_err();
+    assert!(err.to_string().contains("bad thing 42"));
+    let err = e.run_str("(assert (= 1 2))", "err.scm").unwrap_err();
+    assert!(err.to_string().contains("assertion failed"));
+    assert!(e.run_str("(assert (= 1 1))", "err.scm").is_ok());
+}

@@ -1,0 +1,103 @@
+//! §3.2 end to end: merging profile data from multiple training inputs so
+//! meta-programs optimize for the blend of workloads expected in
+//! production — "multiple data sets are important to ensure PGOs can
+//! optimize for multiple classes of inputs".
+
+use pgmp_case_studies::{engine_with, Lib};
+use pgmp_profiler::ProfileMode;
+
+/// Trains `program` + `driver` and returns the weights.
+fn train_with(driver: &str) -> pgmp_profiler::ProfileInformation {
+    let mut e = engine_with(&[Lib::ExclusiveCond]).unwrap();
+    e.set_instrumentation(ProfileMode::EveryExpression);
+    e.run_str(&format!("{CLASSIFIER}\n{driver}"), "multi.scm").unwrap();
+    e.current_weights()
+}
+
+const CLASSIFIER: &str = "
+  (define (classify n)
+    (exclusive-cond
+      [(< n 10) 'small]
+      [(< n 100) 'medium]
+      [(>= n 100) 'large]))";
+
+fn clause_order(weights: pgmp_profiler::ProfileInformation) -> Vec<&'static str> {
+    let mut e = engine_with(&[Lib::ExclusiveCond]).unwrap();
+    e.set_profile(weights);
+    let out = e.expand_str(CLASSIFIER, "multi.scm").unwrap();
+    let text = out[0].to_datum().to_string();
+    let mut tags: Vec<(usize, &'static str)> = ["small", "medium", "large"]
+        .into_iter()
+        .map(|t| {
+            let needle = format!("(quote {t})");
+            (text.find(&needle).unwrap(), t)
+        })
+        .collect();
+    tags.sort();
+    tags.into_iter().map(|(_, t)| t).collect()
+}
+
+#[test]
+fn single_datasets_optimize_for_their_own_input_class() {
+    // Dataset A: small inputs dominate.
+    let wa = train_with("(let loop ([i 0]) (unless (= i 60) (classify (modulo i 10)) (loop (add1 i))))");
+    assert_eq!(clause_order(wa), ["small", "medium", "large"]);
+
+    // Dataset B: large inputs dominate.
+    let wb = train_with("(let loop ([i 0]) (unless (= i 60) (classify (+ 1000 i)) (loop (add1 i))))");
+    assert_eq!(clause_order(wb)[0], "large");
+}
+
+#[test]
+fn merged_datasets_balance_both_input_classes() {
+    // A: overwhelmingly small. B: large, but with some medium traffic too.
+    let wa = train_with(
+        "(let loop ([i 0]) (unless (= i 90) (classify 1) (loop (add1 i))))",
+    );
+    let wb = train_with(
+        "(let loop ([i 0]) (unless (= i 60) (classify 5000) (loop (add1 i))))
+         (let loop ([i 0]) (unless (= i 30) (classify 50) (loop (add1 i))))",
+    );
+    // Merged: small weighs ~1.0 from A, large ~1.0 from B, medium ~0.5
+    // from B only — so the blended order puts small or large first and
+    // medium never first.
+    let merged = wa.merge(&wb);
+    let order = clause_order(merged);
+    assert_ne!(order[0], "medium");
+    assert_eq!(order[1], "large", "averaged large outweighs B-only medium but not A's small");
+}
+
+#[test]
+fn merged_weights_follow_figure_3_averaging_through_files() {
+    // Same flow through the on-disk format and the scheme-level
+    // merge-profile, as a user would do between runs.
+    let dir = std::env::temp_dir().join("pgmp-multi");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (fa, fb) = (dir.join("a.pgmp"), dir.join("b.pgmp"));
+    train_with("(let loop ([i 0]) (unless (= i 50) (classify 1) (loop (add1 i))))")
+        .store_file(&fa)
+        .unwrap();
+    train_with("(let loop ([i 0]) (unless (= i 50) (classify 5000) (loop (add1 i))))")
+        .store_file(&fb)
+        .unwrap();
+
+    let mut e = engine_with(&[Lib::ExclusiveCond]).unwrap();
+    e.run_str(
+        &format!(
+            "(load-profile \"{}\") (merge-profile \"{}\")",
+            fa.to_str().unwrap(),
+            fb.to_str().unwrap()
+        ),
+        "merge.scm",
+    )
+    .unwrap();
+    let merged = e.profile();
+    assert_eq!(merged.dataset_count(), 2);
+    for (_, w) in merged.iter() {
+        assert!((0.0..=1.0).contains(&w));
+    }
+    // The classify expansion under the merged profile parses fine and
+    // never puts medium (cold in both) first.
+    let order = clause_order(merged);
+    assert_ne!(order[0], "medium");
+}

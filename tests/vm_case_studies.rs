@@ -1,0 +1,93 @@
+//! Cross-engine validation: the optimized output of every case study must
+//! compute the same results on the bytecode VM as on the tree-walker —
+//! i.e. the meta-programs' generated code is valid input for the
+//! "low-level" compiler too, which is what the §4.3 workflow depends on.
+
+use pgmp_bytecode::Vm;
+use pgmp_case_studies::{engine_with, Lib};
+use pgmp_profiler::ProfileMode;
+
+/// Runs `program` through pass-1 training, then executes the optimized
+/// compile on both engines and compares results.
+fn tree_vs_vm(libs: &[Lib], program: &str) -> (String, String) {
+    let mut train = engine_with(libs).unwrap();
+    train.set_instrumentation(ProfileMode::EveryExpression);
+    train.run_str(program, "prog.scm").unwrap();
+    let weights = train.current_weights();
+
+    let mut tree = engine_with(libs).unwrap();
+    tree.set_profile(weights.clone());
+    let tree_result = tree.run_str(program, "prog.scm").unwrap().write_string();
+
+    let mut vm_engine = engine_with(libs).unwrap();
+    vm_engine.set_profile(weights);
+    let core = vm_engine.expand_to_core(program, "prog.scm").unwrap();
+    let mut vm = Vm::new(vm_engine.interp_mut());
+    let mut vm_result = String::new();
+    for form in &core {
+        vm_result = vm.run_core(form).unwrap().write_string();
+    }
+    (tree_result, vm_result)
+}
+
+#[test]
+fn if_r_output_runs_on_the_vm() {
+    let (t, v) = tree_vs_vm(
+        &[Lib::IfR],
+        "(define (f n) (if-r (= n 0) 'zero 'other))
+         (let loop ([i 0] [acc '()])
+           (if (= i 20) (reverse acc) (loop (add1 i) (cons (f (modulo i 7)) acc))))",
+    );
+    assert_eq!(t, v);
+}
+
+#[test]
+fn reordered_case_runs_on_the_vm() {
+    let (t, v) = tree_vs_vm(
+        &[Lib::Case],
+        "(define (kind c)
+           (case c
+             [(#\\a #\\e #\\i #\\o #\\u) 'vowel]
+             [(#\\0 #\\1 #\\2) 'digit]
+             [else 'other]))
+         (map kind (string->list \"hello 012 world\"))",
+    );
+    assert_eq!(t, v);
+}
+
+#[test]
+fn inline_cached_dispatch_runs_on_the_vm() {
+    let (t, v) = tree_vs_vm(
+        &[Lib::ObjectSystem],
+        "(class P ((x 1)) (define-method (get this) (field this x)))
+         (class Q ((y 2)) (define-method (get this) (* 10 (field this y))))
+         (define objs (list (new P 5) (new P 6) (new Q 7)))
+         (map (lambda (o) (method o get)) objs)",
+    );
+    assert_eq!(t, v);
+    assert_eq!(t, "(5 6 70)");
+}
+
+#[test]
+fn specialized_sequence_runs_on_the_vm() {
+    let (t, v) = tree_vs_vm(
+        &[Lib::Sequence],
+        "(define s (profiled-sequence 10 20 30 40))
+         (let loop ([i 0] [acc 0])
+           (if (= i 40) (list acc (seq-kind s))
+               (loop (add1 i) (+ acc (seq-ref s (modulo i 4))))))",
+    );
+    assert_eq!(t, v);
+    assert!(t.ends_with("vector)"), "{t}");
+}
+
+#[test]
+fn profiled_list_runs_on_the_vm() {
+    let (t, v) = tree_vs_vm(
+        &[Lib::ProfiledList],
+        "(define p (profiled-list 1 2 3))
+         (list (plist-car p) (plist-ref p 2) (plist-length p))",
+    );
+    assert_eq!(t, v);
+    assert_eq!(t, "(1 3 3)");
+}
