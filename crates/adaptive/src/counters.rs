@@ -1,0 +1,197 @@
+//! `ShardedCounters`: the concurrent counterpart of `pgmp_profiler::Counters`.
+
+use pgmp_profiler::Dataset;
+use pgmp_rt::ShardedRegistry;
+use pgmp_syntax::SourceObject;
+use std::sync::Arc;
+
+/// A `Send + Sync` live counter registry for concurrent profile collection.
+///
+/// Where [`pgmp_profiler::Counters`] is the single-threaded registry one
+/// engine bumps during an instrumented run, `ShardedCounters` is the shared
+/// sink many threads feed at once: worker threads either bump points
+/// directly ([`ShardedCounters::increment`]) or run their own instrumented
+/// engine and [`absorb`](ShardedCounters::absorb) its dataset, while an
+/// aggregator periodically [`drain`](ShardedCounters::drain)s the whole
+/// registry into an epoch [`Dataset`].
+///
+/// Internally this is the same lock-striped [`ShardedRegistry`] the
+/// proc-macro runtime (`pgmp-rt`) uses for its global registry, keyed by
+/// interned [`SourceObject`]s instead of point-name strings — both
+/// implementations of the design share one concurrency substrate.
+///
+/// Handles are cheaply cloneable and share state, mirroring the `Counters`
+/// API.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_adaptive::ShardedCounters;
+/// use pgmp_syntax::SourceObject;
+///
+/// let counters = ShardedCounters::new();
+/// let p = SourceObject::new("svc.scm", 0, 5);
+/// std::thread::scope(|s| {
+///     for _ in 0..4 {
+///         let c = counters.clone();
+///         s.spawn(move || {
+///             for _ in 0..1000 {
+///                 c.increment(p);
+///             }
+///         });
+///     }
+/// });
+/// assert_eq!(counters.snapshot().count(p), 4000);
+/// ```
+#[derive(Clone, Default)]
+pub struct ShardedCounters {
+    inner: Arc<ShardedRegistry<SourceObject>>,
+}
+
+impl ShardedCounters {
+    /// An empty registry sized for this machine's parallelism.
+    pub fn new() -> ShardedCounters {
+        ShardedCounters::default()
+    }
+
+    /// An empty registry with a fixed shard count (rounded up to a power
+    /// of two).
+    pub fn with_shards(shards: usize) -> ShardedCounters {
+        ShardedCounters {
+            inner: Arc::new(ShardedRegistry::with_shards(shards)),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    /// Adds one to the counter for profile point `p` (saturating).
+    pub fn increment(&self, p: SourceObject) {
+        self.inner.increment(&p);
+    }
+
+    /// Adds `n` to the counter for profile point `p` (saturating).
+    pub fn add(&self, p: SourceObject, n: u64) {
+        self.inner.add(&p, n);
+    }
+
+    /// Current count for `p` (0 if never incremented).
+    pub fn count(&self, p: SourceObject) -> u64 {
+        self.inner.count(&p)
+    }
+
+    /// Number of profile points with a counter.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True iff nothing has been counted.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Zeroes all counters.
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Adds every count of `dataset` — how a worker thread merges the
+    /// counters of its own instrumented run into the shared registry.
+    pub fn absorb(&self, dataset: &Dataset) {
+        for (p, c) in dataset.iter() {
+            if c > 0 {
+                self.inner.add(&p, c);
+            }
+        }
+    }
+
+    /// Copies the current counts into a [`Dataset`], reusing the existing
+    /// weight/merge pipeline unchanged.
+    pub fn snapshot(&self) -> Dataset {
+        self.inner.snapshot().into_iter().collect()
+    }
+
+    /// Moves all counts out into a [`Dataset`], leaving the registry
+    /// empty. Concurrent increments land either in this dataset or the
+    /// next one, never in both and never nowhere — the epoch-aggregation
+    /// guarantee.
+    pub fn drain(&self) -> Dataset {
+        self.inner.drain().into_iter().collect()
+    }
+}
+
+impl std::fmt::Debug for ShardedCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCounters")
+            .field("points", &self.len())
+            .field("shards", &self.shard_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmp_profiler::ProfileInformation;
+
+    fn p(n: u32) -> SourceObject {
+        SourceObject::new("sc.scm", n, n + 1)
+    }
+
+    #[test]
+    fn mirrors_counters_api() {
+        let c = ShardedCounters::new();
+        c.increment(p(0));
+        c.increment(p(0));
+        c.add(p(1), 3);
+        assert_eq!(c.count(p(0)), 2);
+        assert_eq!(c.count(p(1)), 3);
+        assert_eq!(c.count(p(9)), 0);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = ShardedCounters::new();
+        let c2 = c.clone();
+        c2.increment(p(7));
+        assert_eq!(c.count(p(7)), 1);
+    }
+
+    #[test]
+    fn snapshot_feeds_existing_weight_pipeline() {
+        let c = ShardedCounters::new();
+        c.add(p(0), 5);
+        c.add(p(1), 10);
+        let w = ProfileInformation::from_dataset(&c.snapshot());
+        assert_eq!(w.weight(p(0)), 0.5);
+        assert_eq!(w.weight(p(1)), 1.0);
+    }
+
+    #[test]
+    fn drain_is_destructive_and_complete() {
+        let c = ShardedCounters::new();
+        c.add(p(0), 4);
+        let d = c.drain();
+        assert_eq!(d.count(p(0)), 4);
+        assert!(c.is_empty());
+        assert!(c.drain().is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_a_dataset() {
+        let c = ShardedCounters::new();
+        let d: Dataset = [(p(0), 2), (p(1), 0), (p(2), 7)].into_iter().collect();
+        c.absorb(&d);
+        c.absorb(&d);
+        assert_eq!(c.count(p(0)), 4);
+        assert_eq!(c.count(p(2)), 14);
+        // Zero-count entries are not materialized.
+        assert_eq!(c.count(p(1)), 0);
+        assert_eq!(c.len(), 2);
+    }
+}

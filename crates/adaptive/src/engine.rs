@@ -1,0 +1,664 @@
+//! The adaptive driver: epochs → drift → re-optimization, continuously.
+
+use crate::counters::ShardedCounters;
+use crate::drift::{drift, DriftMetric};
+use crate::rolling::RollingProfile;
+use pgmp::{Engine, Error};
+use pgmp_bytecode::{canonical_form, compile_chunk};
+use pgmp_profiler::{ProfileInformation, ProfileMode};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Tuning knobs for the adaptive loop.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Wall-clock pacing of the background aggregator (ignored by
+    /// synchronous [`AdaptiveEngine::tick`], which the caller paces).
+    pub epoch: Duration,
+    /// Per-epoch exponential decay of the rolling profile, in `[0, 1]`:
+    /// `1.0` never forgets, `0.0` keeps only the latest epoch.
+    pub decay: f64,
+    /// Drift value above which re-optimization triggers.
+    pub drift_threshold: f64,
+    /// Distance measure for drift.
+    pub metric: DriftMetric,
+    /// Epochs that drained fewer total hits than this cannot fire the
+    /// detector — an idle system decaying toward an empty profile is not
+    /// behavior change worth recompiling for.
+    pub min_epoch_hits: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> AdaptiveConfig {
+        AdaptiveConfig {
+            epoch: Duration::from_millis(250),
+            decay: 0.5,
+            drift_threshold: 0.15,
+            metric: DriftMetric::TotalVariation,
+            min_epoch_hits: 1,
+        }
+    }
+}
+
+/// One compiled, immutable version of the program. Readers grab the
+/// current `Arc` and keep serving from it while a newer generation is
+/// being compiled and swapped in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledProgram {
+    /// 0 for the initial (profile-less) compile, +1 per re-optimization.
+    pub generation: u64,
+    /// Fully macro-expanded toplevel forms, printed — what the
+    /// profile-guided meta-programs emitted under this generation's
+    /// weights.
+    pub expansion: Vec<String>,
+    /// Canonical control-flow graphs of the bytecode-compiled toplevel
+    /// forms.
+    pub cfgs: Vec<String>,
+    /// Number of profile points in the weights this generation was
+    /// optimized under.
+    pub optimized_under_points: usize,
+}
+
+/// What one epoch concluded.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// 1-based epoch number.
+    pub epoch: u64,
+    /// Total counter hits drained from the shared registry this epoch.
+    pub hits: u64,
+    /// Measured drift of the rolling profile from the optimization
+    /// baseline.
+    pub drift: f64,
+    /// Whether the drift detector fired.
+    pub fired: bool,
+    /// Whether a new program generation was compiled and swapped in.
+    pub reoptimized: bool,
+    /// Generation serving after this epoch.
+    pub generation: u64,
+}
+
+struct AggState {
+    rolling: RollingProfile,
+    /// Weights the current program generation was optimized under.
+    baseline: ProfileInformation,
+    epoch: u64,
+}
+
+struct EpochStep {
+    epoch: u64,
+    hits: u64,
+    drift: f64,
+    fired: bool,
+    weights: ProfileInformation,
+}
+
+/// State shared between the engine thread, worker threads, and the
+/// background aggregator.
+struct Shared {
+    counters: ShardedCounters,
+    program: RwLock<Arc<CompiledProgram>>,
+    agg: Mutex<AggState>,
+    pending: Mutex<Option<ProfileInformation>>,
+    drift_pending: AtomicBool,
+    reoptimizations: AtomicU64,
+}
+
+impl Shared {
+    /// The aggregation half of an epoch: drain, decay, measure drift.
+    /// Runs on either the engine thread (`tick`) or the background
+    /// aggregator; re-optimization itself always happens on the engine
+    /// thread because `pgmp::Engine` is single-threaded.
+    fn epoch_step(&self, config: &AdaptiveConfig) -> EpochStep {
+        let epoch_data = self.counters.drain();
+        let hits: u64 = epoch_data.iter().map(|(_, c)| c).sum();
+        let mut agg = self.agg.lock().expect("adaptive aggregation state poisoned");
+        agg.epoch += 1;
+        agg.rolling.absorb(&epoch_data);
+        let weights = agg.rolling.weights();
+        let value = drift(&weights, &agg.baseline, config.metric);
+        EpochStep {
+            epoch: agg.epoch,
+            hits,
+            drift: value,
+            fired: value > config.drift_threshold && hits >= config.min_epoch_hits,
+            weights,
+        }
+    }
+}
+
+/// A cloneable, `Send + Sync` handle for worker threads: bump counters,
+/// read the currently-served program.
+#[derive(Clone)]
+pub struct AdaptiveHandle {
+    shared: Arc<Shared>,
+}
+
+impl AdaptiveHandle {
+    /// The shared counter registry workers feed.
+    pub fn counters(&self) -> &ShardedCounters {
+        &self.shared.counters
+    }
+
+    /// Merges one instrumented run's dataset into the shared registry.
+    pub fn absorb(&self, dataset: &pgmp_profiler::Dataset) {
+        self.shared.counters.absorb(dataset);
+    }
+
+    /// The program generation currently being served. The returned `Arc`
+    /// stays valid (and consistent) however many swaps happen after.
+    pub fn current_program(&self) -> Arc<CompiledProgram> {
+        self.shared
+            .program
+            .read()
+            .expect("adaptive program cell poisoned")
+            .clone()
+    }
+
+    /// Generation number currently being served.
+    pub fn generation(&self) -> u64 {
+        self.current_program().generation
+    }
+
+    /// Number of re-optimizations performed so far.
+    pub fn reoptimizations(&self) -> u64 {
+        self.shared.reoptimizations.load(Ordering::Relaxed)
+    }
+
+    /// True when the background aggregator has detected drift and a call
+    /// to [`AdaptiveEngine::poll_reoptimize`] would recompile.
+    pub fn drift_pending(&self) -> bool {
+        self.shared.drift_pending.load(Ordering::Relaxed)
+    }
+}
+
+type Setup = Box<dyn Fn(&mut Engine) -> Result<(), Error> + Send + Sync>;
+
+/// The online driver that closes the paper's loop.
+///
+/// The paper's workflow (§4.3) is offline: instrument, run, store,
+/// recompile. `AdaptiveEngine` runs the same machinery continuously:
+///
+/// 1. worker threads feed a [`ShardedCounters`] registry (directly, or by
+///    absorbing instrumented runs — see [`AdaptiveEngine::collect_run`]);
+/// 2. each epoch, the registry is drained into a [`RollingProfile`]
+///    (exponential decay, so old behavior ages out) —
+///    [`crate::RollingProfile`];
+/// 3. the current rolling weights are compared against the weights the
+///    serving program was optimized under ([`crate::DriftDetector`]
+///    semantics, inlined here);
+/// 4. on drift, the program is re-expanded and bytecode-compiled through a
+///    fresh [`pgmp::Engine`] with the new weights, and the resulting
+///    [`CompiledProgram`] is atomically swapped in for readers.
+///
+/// `pgmp::Engine` itself is single-threaded, so compilation happens on
+/// whichever thread owns the `AdaptiveEngine`; everything workers touch
+/// ([`AdaptiveHandle`]) is `Send + Sync`. Epochs can be driven
+/// synchronously with [`tick`](AdaptiveEngine::tick) (deterministic —
+/// what tests and the CLI use) or from a background thread with
+/// [`spawn_aggregator`](AdaptiveEngine::spawn_aggregator) +
+/// [`poll_reoptimize`](AdaptiveEngine::poll_reoptimize).
+pub struct AdaptiveEngine {
+    source: String,
+    file: String,
+    setup: Option<Setup>,
+    config: AdaptiveConfig,
+    shared: Arc<Shared>,
+}
+
+impl AdaptiveEngine {
+    /// Compiles generation 0 of `source` (no profile) and returns the
+    /// driver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read/expand errors from the initial compilation.
+    pub fn new(source: &str, file: &str, config: AdaptiveConfig) -> Result<AdaptiveEngine, Error> {
+        AdaptiveEngine::build(source, file, config, None)
+    }
+
+    /// Like [`AdaptiveEngine::new`], with a setup hook run on every fresh
+    /// engine (the place to install case-study libraries or extra
+    /// primitives before the program is compiled).
+    ///
+    /// # Errors
+    ///
+    /// Propagates setup and initial-compilation errors.
+    pub fn with_setup(
+        source: &str,
+        file: &str,
+        config: AdaptiveConfig,
+        setup: impl Fn(&mut Engine) -> Result<(), Error> + Send + Sync + 'static,
+    ) -> Result<AdaptiveEngine, Error> {
+        AdaptiveEngine::build(source, file, config, Some(Box::new(setup)))
+    }
+
+    fn build(
+        source: &str,
+        file: &str,
+        config: AdaptiveConfig,
+        setup: Option<Setup>,
+    ) -> Result<AdaptiveEngine, Error> {
+        let placeholder = Arc::new(CompiledProgram {
+            generation: 0,
+            expansion: Vec::new(),
+            cfgs: Vec::new(),
+            optimized_under_points: 0,
+        });
+        let engine = AdaptiveEngine {
+            source: source.to_owned(),
+            file: file.to_owned(),
+            setup,
+            config: config.clone(),
+            shared: Arc::new(Shared {
+                counters: ShardedCounters::new(),
+                program: RwLock::new(placeholder),
+                agg: Mutex::new(AggState {
+                    rolling: RollingProfile::new(config.decay),
+                    baseline: ProfileInformation::empty(),
+                    epoch: 0,
+                }),
+                pending: Mutex::new(None),
+                drift_pending: AtomicBool::new(false),
+                reoptimizations: AtomicU64::new(0),
+            }),
+        };
+        let gen0 = engine.compile(ProfileInformation::empty(), 0)?;
+        *engine
+            .shared
+            .program
+            .write()
+            .expect("adaptive program cell poisoned") = gen0;
+        Ok(engine)
+    }
+
+    /// The loop configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// A `Send + Sync` handle for worker threads.
+    pub fn handle(&self) -> AdaptiveHandle {
+        AdaptiveHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// The program generation currently being served.
+    pub fn current_program(&self) -> Arc<CompiledProgram> {
+        self.handle().current_program()
+    }
+
+    fn fresh_engine(&self) -> Result<Engine, Error> {
+        let mut engine = Engine::new();
+        if let Some(setup) = &self.setup {
+            setup(&mut engine)?;
+        }
+        Ok(engine)
+    }
+
+    /// Runs the program once, instrumented, in a fresh engine, and merges
+    /// the resulting counts into the shared registry — one unit of
+    /// concurrent profile collection. `driver` optionally runs extra
+    /// workload source (same engine, separate file) after the program
+    /// loads, which is how a service's traffic is simulated against fixed
+    /// program source.
+    ///
+    /// `&self` only: safe to call from many threads at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors from either run.
+    pub fn collect_run(&self, driver: Option<&str>) -> Result<(), Error> {
+        let mut engine = self.fresh_engine()?;
+        engine.set_instrumentation(ProfileMode::EveryExpression);
+        engine.run_str(&self.source, &self.file)?;
+        if let Some(d) = driver {
+            engine.run_str(d, "adaptive-driver.scm")?;
+        }
+        self.shared.counters.absorb(&engine.counters().snapshot());
+        Ok(())
+    }
+
+    /// Compiles the program under `weights` (expansion + bytecode), off
+    /// to the side; does not swap.
+    fn compile(
+        &self,
+        weights: ProfileInformation,
+        generation: u64,
+    ) -> Result<Arc<CompiledProgram>, Error> {
+        let optimized_under_points = weights.len();
+        let mut engine = self.fresh_engine()?;
+        engine.set_profile(weights);
+        let expansion = engine
+            .expand_str(&self.source, &self.file)?
+            .iter()
+            .map(|s| s.to_datum().to_string())
+            .collect();
+        // Replay generated profile points so the bytecode pass sees the
+        // same points the expansion pass saw (§4.1 determinism).
+        engine.reset_profile_points();
+        let cfgs = engine
+            .expand_to_core(&self.source, &self.file)?
+            .iter()
+            .map(|c| canonical_form(&compile_chunk(c)))
+            .collect();
+        Ok(Arc::new(CompiledProgram {
+            generation,
+            expansion,
+            cfgs,
+            optimized_under_points,
+        }))
+    }
+
+    /// Recompiles under `weights` and atomically swaps the new generation
+    /// in; the drift baseline moves to `weights`.
+    ///
+    /// # Errors
+    ///
+    /// If compilation fails the old generation keeps serving and the
+    /// baseline is unchanged.
+    fn reoptimize(&self, weights: ProfileInformation) -> Result<Arc<CompiledProgram>, Error> {
+        let next_gen = self.current_program().generation + 1;
+        let program = self.compile(weights.clone(), next_gen)?;
+        {
+            let mut cell = self
+                .shared
+                .program
+                .write()
+                .expect("adaptive program cell poisoned");
+            *cell = program.clone();
+        }
+        self.shared
+            .agg
+            .lock()
+            .expect("adaptive aggregation state poisoned")
+            .baseline = weights;
+        self.shared.reoptimizations.fetch_add(1, Ordering::Relaxed);
+        Ok(program)
+    }
+
+    /// Runs one epoch synchronously: drain counters into the rolling
+    /// profile, measure drift, and — if the detector fires — recompile and
+    /// swap within this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-optimization errors; the aggregation itself cannot
+    /// fail.
+    pub fn tick(&mut self) -> Result<EpochReport, Error> {
+        let step = self.shared.epoch_step(&self.config);
+        let mut reoptimized = false;
+        if step.fired {
+            self.reoptimize(step.weights.clone())?;
+            reoptimized = true;
+        }
+        Ok(EpochReport {
+            epoch: step.epoch,
+            hits: step.hits,
+            drift: step.drift,
+            fired: step.fired,
+            reoptimized,
+            generation: self.current_program().generation,
+        })
+    }
+
+    /// Starts the epoch-based background aggregator: every
+    /// [`AdaptiveConfig::epoch`], it drains the counters, updates the
+    /// rolling profile, and measures drift on its own thread. When drift
+    /// fires it *flags* rather than recompiles (the engine is
+    /// single-threaded); the owning thread observes the flag via
+    /// [`AdaptiveHandle::drift_pending`] and recompiles with
+    /// [`AdaptiveEngine::poll_reoptimize`].
+    pub fn spawn_aggregator(&self) -> AggregatorGuard {
+        let shared = self.shared.clone();
+        let config = self.config.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let join = std::thread::spawn(move || {
+            let mut epochs = 0u64;
+            while !stop_flag.load(Ordering::Relaxed) {
+                // Sleep in slices so stop() is prompt even for long epochs.
+                let mut remaining = config.epoch;
+                while !remaining.is_zero() && !stop_flag.load(Ordering::Relaxed) {
+                    let slice = remaining.min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let step = shared.epoch_step(&config);
+                epochs += 1;
+                if step.fired {
+                    *shared.pending.lock().expect("adaptive pending cell poisoned") =
+                        Some(step.weights);
+                    shared.drift_pending.store(true, Ordering::Release);
+                }
+            }
+            epochs
+        });
+        AggregatorGuard {
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Consumes a pending drift flag from the background aggregator:
+    /// recompiles under the flagged weights and swaps. Returns the new
+    /// program, or `None` when no drift was pending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-optimization errors (the flag is consumed either
+    /// way; the next drifting epoch will re-raise it).
+    pub fn poll_reoptimize(&mut self) -> Result<Option<Arc<CompiledProgram>>, Error> {
+        if !self.shared.drift_pending.swap(false, Ordering::Acquire) {
+            return Ok(None);
+        }
+        let weights = self
+            .shared
+            .pending
+            .lock()
+            .expect("adaptive pending cell poisoned")
+            .take();
+        match weights {
+            Some(w) => self.reoptimize(w).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Stops (and joins) the background aggregator when dropped.
+pub struct AggregatorGuard {
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl AggregatorGuard {
+    /// Stops the aggregator and returns how many epochs it ran.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        match self.join.take() {
+            Some(join) => join.join().unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+impl Drop for AggregatorGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmp_syntax::SourceObject;
+
+    // A program whose if-r macro flips branch order by profile weight —
+    // self-contained (no case-studies dependency) so the adaptive crate's
+    // own tests stay within this crate.
+    const IF_R: &str = "
+      (define-syntax (if-r stx)
+        (syntax-case stx ()
+          [(_ test t-branch f-branch)
+           (if (< (profile-query #'t-branch) (profile-query #'f-branch))
+               #'(if (not test) f-branch t-branch)
+               #'(if test t-branch f-branch))]))
+      (define (classify n) (if-r (< n 10) 'small 'big))";
+
+    fn drive(lo: i64, hi: i64) -> String {
+        format!(
+            "(let loop ([i {lo}])
+               (unless (= i {hi}) (classify i) (loop (add1 i))))"
+        )
+    }
+
+    #[test]
+    fn generation_zero_compiles_without_profile() {
+        let engine =
+            AdaptiveEngine::new(IF_R, "ifr.scm", AdaptiveConfig::default()).unwrap();
+        let program = engine.current_program();
+        assert_eq!(program.generation, 0);
+        assert!(!program.expansion.is_empty());
+        assert!(!program.cfgs.is_empty());
+        assert_eq!(program.optimized_under_points, 0);
+        // Unprofiled if-r keeps source order: (if (< n 10) 'small 'big).
+        let text = program.expansion.join("\n");
+        assert!(
+            text.contains("(if (< n 10) (quote small) (quote big))"),
+            "unexpected gen-0 expansion: {text}"
+        );
+    }
+
+    #[test]
+    fn drift_triggers_reoptimization_and_branch_flip() {
+        let config = AdaptiveConfig {
+            decay: 0.5,
+            drift_threshold: 0.2,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new(IF_R, "ifr.scm", config).unwrap();
+
+        // Phase 1: traffic is all n >= 10, so 'big dominates.
+        engine.collect_run(Some(&drive(10, 60))).unwrap();
+        let report = engine.tick().unwrap();
+        assert!(report.fired, "first traffic must drift from empty baseline");
+        assert!(report.reoptimized);
+        assert_eq!(report.generation, 1);
+        let text = engine.current_program().expansion.join("\n");
+        assert!(
+            text.contains("(if (not (< n 10)) (quote big) (quote small))"),
+            "hot 'big branch should be negated to front: {text}"
+        );
+
+        // Same traffic again: no drift, no recompile.
+        engine.collect_run(Some(&drive(10, 60))).unwrap();
+        let report = engine.tick().unwrap();
+        assert!(!report.fired, "steady traffic re-fired: drift {}", report.drift);
+        assert_eq!(report.generation, 1);
+
+        // Phase 2: traffic shifts to n < 10; decay ages 'big out.
+        for _ in 0..4 {
+            engine.collect_run(Some(&drive(0, 10))).unwrap();
+            engine.tick().unwrap();
+        }
+        let program = engine.current_program();
+        assert!(program.generation >= 2, "shift never re-optimized");
+        let text = program.expansion.join("\n");
+        assert!(
+            text.contains("(if (< n 10) (quote small) (quote big))"),
+            "after the shift 'small is hot again: {text}"
+        );
+    }
+
+    #[test]
+    fn idle_epochs_never_fire() {
+        let mut engine =
+            AdaptiveEngine::new(IF_R, "ifr.scm", AdaptiveConfig::default()).unwrap();
+        engine.collect_run(Some(&drive(0, 20))).unwrap();
+        engine.tick().unwrap();
+        let before = engine.current_program().generation;
+        for _ in 0..10 {
+            let report = engine.tick().unwrap();
+            assert!(!report.fired, "idle epoch fired at drift {}", report.drift);
+            assert_eq!(report.hits, 0);
+        }
+        assert_eq!(engine.current_program().generation, before);
+    }
+
+    #[test]
+    fn failed_recompilation_keeps_serving_old_generation() {
+        // A program whose macro errors once a profile point is hot (the
+        // transformer calls an unbound procedure): re-optimization fails,
+        // but generation 0 must keep serving.
+        let booby_trap = "
+          (define-syntax (trap stx)
+            (syntax-case stx ()
+              [(_ e)
+               (if (> (profile-query #'e) 0.5)
+                   (poison-the-hot-path)
+                   #'e)]))
+          (define (f) (trap (+ 1 2)))";
+        let config = AdaptiveConfig {
+            drift_threshold: 0.01,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new(booby_trap, "trap.scm", config).unwrap();
+        engine.collect_run(Some("(f) (f) (f)")).unwrap();
+        let result = engine.tick();
+        assert!(result.is_err(), "poisoned recompilation must surface");
+        let program = engine.current_program();
+        assert_eq!(program.generation, 0, "old generation must keep serving");
+        assert!(!program.expansion.is_empty());
+    }
+
+    #[test]
+    fn background_aggregator_flags_drift_for_the_engine_thread() {
+        let config = AdaptiveConfig {
+            epoch: Duration::from_millis(15),
+            drift_threshold: 0.2,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new(IF_R, "ifr.scm", config).unwrap();
+        let handle = engine.handle();
+        let aggregator = engine.spawn_aggregator();
+
+        // Feed traffic from a worker thread while the aggregator runs.
+        std::thread::scope(|s| {
+            let worker = s.spawn(|| engine.collect_run(Some(&drive(10, 60))));
+            worker.join().unwrap().unwrap();
+        });
+
+        // Wait (bounded) for the aggregator to notice.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !handle.drift_pending() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(handle.drift_pending(), "aggregator never flagged drift");
+        let epochs = aggregator.stop();
+        assert!(epochs >= 1);
+
+        let program = engine.poll_reoptimize().unwrap().expect("pending reopt");
+        assert_eq!(program.generation, 1);
+        assert!(engine.poll_reoptimize().unwrap().is_none(), "flag must be consumed");
+        assert_eq!(handle.reoptimizations(), 1);
+    }
+
+    #[test]
+    fn handle_counters_feed_the_same_registry() {
+        let engine =
+            AdaptiveEngine::new(IF_R, "ifr.scm", AdaptiveConfig::default()).unwrap();
+        let handle = engine.handle();
+        let p = SourceObject::new("direct.scm", 0, 1);
+        handle.counters().add(p, 41);
+        handle.counters().increment(p);
+        assert_eq!(engine.handle().counters().count(p), 42);
+    }
+}

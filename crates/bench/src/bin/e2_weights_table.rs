@@ -21,6 +21,9 @@ fn main() {
     println!("=================================================================");
     println!("{:<28} {:>12} {:>12}", "", "paper", "measured");
     println!("-----------------------------------------------------------------");
+    // The fractions deliberately mirror the paper's count/max-count
+    // notation, even when they reduce to 1.
+    #[allow(clippy::eq_op)]
     let rows = [
         ("(flag email 'important), ds1", 5.0 / 10.0, w1.weight(important)),
         ("(flag email 'spam), ds1", 10.0 / 10.0, w1.weight(spam)),

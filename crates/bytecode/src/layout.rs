@@ -25,8 +25,7 @@ pub fn optimize_layout(chunk: &Chunk, counters: &BlockCounters) -> Chunk {
     let mut order: Vec<BlockId> = Vec::with_capacity(n);
 
     let mut trace_head = Some(chunk.entry);
-    loop {
-        let Some(mut cur) = trace_head else { break };
+    while let Some(mut cur) = trace_head {
         // Grow one trace.
         loop {
             placed[cur as usize] = true;

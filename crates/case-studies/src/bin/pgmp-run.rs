@@ -13,6 +13,14 @@
 //!   --libs <names>               comma-separated case-study libraries:
 //!                                if-r,case,oo,list,vector,sequence,all
 //!   --wrap-lambda                use the Racket annotate-expr strategy
+//!
+//!   --adaptive                   online mode: epochs of concurrent profile
+//!                                collection, drift detection, re-optimization
+//!   --epochs <n>                 adaptive: number of epochs to run (default 4)
+//!   --threads <n>                adaptive: worker threads per epoch (default 2)
+//!   --epoch-ms <ms>              adaptive: background epoch length (default 250)
+//!   --drift-threshold <t>        adaptive: re-optimize when drift > t (default 0.15)
+//!   --decay <d>                  adaptive: per-epoch profile decay in [0,1] (default 0.5)
 //! ```
 //!
 //! The paper's basic cycle:
@@ -21,11 +29,20 @@
 //! pgmp-run --libs all --instrument every --store p.pgmp prog.scm   # train
 //! pgmp-run --libs all --load p.pgmp prog.scm                       # optimize
 //! ```
+//!
+//! The adaptive cycle collapses both steps into one continuously running
+//! process:
+//!
+//! ```sh
+//! pgmp-run --libs all --adaptive --epochs 6 --threads 4 prog.scm
+//! ```
 
+use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine};
 use pgmp::{AnnotateStrategy, Engine};
 use pgmp_case_studies::{install, Lib};
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     file: Option<String>,
@@ -36,12 +53,20 @@ struct Options {
     expand: bool,
     libs: Vec<Lib>,
     strategy: AnnotateStrategy,
+    adaptive: bool,
+    epochs: u64,
+    threads: usize,
+    epoch_ms: u64,
+    drift_threshold: f64,
+    decay: f64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
-         \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda] file.scm"
+         \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda]\n\
+         \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
+         \u{20}               [--drift-threshold T] [--decay D]] file.scm"
     );
     std::process::exit(2)
 }
@@ -84,6 +109,12 @@ fn parse_args() -> Options {
         expand: false,
         libs: Vec::new(),
         strategy: AnnotateStrategy::Direct,
+        adaptive: false,
+        epochs: 4,
+        threads: 2,
+        epoch_ms: 250,
+        drift_threshold: 0.15,
+        decay: 0.5,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,6 +130,12 @@ fn parse_args() -> Options {
             "--expand" => opts.expand = true,
             "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
             "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
+            "--adaptive" => opts.adaptive = true,
+            "--epochs" => opts.epochs = parse_num(args.next()),
+            "--threads" => opts.threads = parse_num(args.next()),
+            "--epoch-ms" => opts.epoch_ms = parse_num(args.next()),
+            "--drift-threshold" => opts.drift_threshold = parse_num(args.next()),
+            "--decay" => opts.decay = parse_num(args.next()),
             "--help" | "-h" => usage(),
             file if !file.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(file.to_owned());
@@ -109,9 +146,87 @@ fn parse_args() -> Options {
     opts
 }
 
+fn parse_num<T: std::str::FromStr>(arg: Option<String>) -> T {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+/// Online mode: worker threads collect profiles concurrently, each epoch is
+/// aggregated with decay, and drift past the threshold re-expands and
+/// recompiles the program through a fresh engine before the next epoch.
+fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> {
+    if !(0.0..=1.0).contains(&opts.decay) {
+        return Err(format!("--decay must be in [0, 1], got {}", opts.decay));
+    }
+    if opts.drift_threshold < 0.0 {
+        return Err(format!(
+            "--drift-threshold must be nonnegative, got {}",
+            opts.drift_threshold
+        ));
+    }
+    let config = AdaptiveConfig {
+        epoch: Duration::from_millis(opts.epoch_ms),
+        decay: opts.decay,
+        drift_threshold: opts.drift_threshold,
+        ..AdaptiveConfig::default()
+    };
+    let libs = opts.libs.clone();
+    let mut engine = AdaptiveEngine::with_setup(source, file, config, move |e| {
+        for lib in &libs {
+            install(e, *lib)?;
+        }
+        Ok(())
+    })
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "adaptive: serving generation 0 ({} forms), {} worker(s) x {} epoch(s)",
+        engine.current_program().expansion.len(),
+        opts.threads.max(1),
+        opts.epochs
+    );
+    for _ in 0..opts.epochs {
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..opts.threads.max(1))
+                .map(|_| s.spawn(|| engine.collect_run(None)))
+                .collect();
+            for w in workers {
+                w.join()
+                    .map_err(|_| "worker thread panicked".to_owned())?
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok::<(), String>(())
+        })?;
+        let report = engine.tick().map_err(|e| e.to_string())?;
+        eprintln!(
+            "adaptive: epoch {} hits {} drift {:.3}{} -> generation {}",
+            report.epoch,
+            report.hits,
+            report.drift,
+            if report.reoptimized { " REOPTIMIZED" } else { "" },
+            report.generation,
+        );
+    }
+
+    let program = engine.current_program();
+    if opts.expand {
+        for form in &program.expansion {
+            println!("{form}");
+        }
+    } else {
+        eprintln!(
+            "adaptive: final generation {} optimized under {} profile points",
+            program.generation, program.optimized_under_points
+        );
+    }
+    Ok(())
+}
+
 fn run(opts: Options) -> Result<(), String> {
-    let file = opts.file.ok_or("no input file given")?;
+    let file = opts.file.clone().ok_or("no input file given")?;
     let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    if opts.adaptive {
+        return run_adaptive(&opts, &source, &file);
+    }
 
     let mut engine = Engine::with_strategy(opts.strategy);
     for lib in &opts.libs {

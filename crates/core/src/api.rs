@@ -136,7 +136,7 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
     interp.define_native("current-profile-information", 0, Some(0), move |_, _| {
         let st = st.borrow();
         let mut entries: Vec<(SourceObject, f64)> = st.profile.iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_by_key(|a| a.0);
         Ok(Value::list(
             entries
                 .into_iter()

@@ -41,12 +41,16 @@ pub struct ThreePassReport {
     pub result: String,
 }
 
+/// One pass's artifacts: (toplevel chunks, canonical CFGs, block counters,
+/// VM metrics, printed result).
+type PassArtifacts = (Vec<Chunk>, Vec<String>, BlockCounters, VmMetrics, String);
+
 fn compile_and_run(
     engine: &mut Engine,
     src: &str,
     file: &str,
     counters: Option<BlockCounters>,
-) -> Result<(Vec<Chunk>, Vec<String>, BlockCounters, VmMetrics, String), Error> {
+) -> Result<PassArtifacts, Error> {
     let program = engine.expand_to_core(src, file)?;
     let toplevel: Vec<Chunk> = program.iter().map(compile_chunk).collect();
     let counters = counters.unwrap_or_default();

@@ -116,8 +116,11 @@ fn expand_if(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Core
     }
 }
 
+/// A parsed lambda parameter list: (required binders, rest binder).
+type ParsedParams = (Vec<Rc<Syntax>>, Option<Rc<Syntax>>);
+
 /// Parses a lambda parameter list into (required binders, rest binder).
-fn parse_params(params: &Syntax) -> Result<(Vec<Rc<Syntax>>, Option<Rc<Syntax>>), ExpandError> {
+fn parse_params(params: &Syntax) -> Result<ParsedParams, ExpandError> {
     match &params.body {
         SyntaxBody::Atom(Datum::Sym(_)) => {
             Ok((Vec::new(), Some(Rc::new(params.clone()))))
@@ -410,10 +413,11 @@ fn expand_set(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Cor
     }
 }
 
+/// A parsed `[x e]` binding: (identifier, right-hand side).
+type ParsedBindings = Vec<(Rc<Syntax>, Rc<Syntax>)>;
+
 /// Parses `([x e] …)` binding lists.
-fn parse_bindings(
-    bindings: &Syntax,
-) -> Result<Vec<(Rc<Syntax>, Rc<Syntax>)>, ExpandError> {
+fn parse_bindings(bindings: &Syntax) -> Result<ParsedBindings, ExpandError> {
     let elems = bindings
         .as_list()
         .ok_or_else(|| bad("malformed binding list", bindings))?;
@@ -576,7 +580,6 @@ fn expand_cond(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Co
         exp: &mut Expander,
         clauses: &[Rc<Syntax>],
         env: &CEnv,
-        src: Option<pgmp_syntax::SourceObject>,
     ) -> Result<Rc<Core>, ExpandError> {
         let Some((clause, rest)) = clauses.split_first() else {
             return Ok(unspecified());
@@ -600,7 +603,7 @@ fn expand_cond(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Co
             let inner = env.push(Scope {
                 entries: vec![entry_for(&t, BindKind::Var)],
             });
-            let alt = nest(exp, rest, &inner, src)?;
+            let alt = nest(exp, rest, &inner)?;
             let body = Core::rc(
                 CoreKind::If(lref(&inner, &t), lref(&inner, &t), alt),
                 clause.source,
@@ -615,13 +618,13 @@ fn expand_cond(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Co
         }
         let test_core = exp.expand_expr(test, env)?;
         let then_core = expand_body(exp, body, env, clause.source)?;
-        let else_core = nest(exp, rest, env, src)?;
+        let else_core = nest(exp, rest, env)?;
         Ok(Core::rc(
             CoreKind::If(test_core, then_core, else_core),
             clause.source,
         ))
     }
-    nest(exp, clauses, env, stx.source)
+    nest(exp, clauses, env)
 }
 
 fn expand_case(exp: &mut Expander, stx: &Rc<Syntax>, env: &CEnv) -> Result<Rc<Core>, ExpandError> {

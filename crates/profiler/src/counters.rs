@@ -33,14 +33,21 @@ impl Counters {
         Counters::default()
     }
 
-    /// Adds one to the counter for profile point `p`.
+    /// Adds one to the counter for profile point `p`, saturating at
+    /// `u64::MAX`.
     pub fn increment(&self, p: SourceObject) {
-        *self.counts.borrow_mut().entry(p).or_insert(0) += 1;
+        self.add(p, 1);
     }
 
     /// Adds `n` to the counter for profile point `p`.
+    ///
+    /// Saturates at `u64::MAX` rather than wrapping: a long-running
+    /// adaptive loop can genuinely exhaust a `u64` on a hot point, and a
+    /// wrapped counter would silently invert every weight derived from it.
     pub fn add(&self, p: SourceObject, n: u64) {
-        *self.counts.borrow_mut().entry(p).or_insert(0) += n;
+        let mut counts = self.counts.borrow_mut();
+        let c = counts.entry(p).or_insert(0);
+        *c = c.saturating_add(n);
     }
 
     /// Current count for `p` (0 if never incremented).
@@ -159,6 +166,17 @@ mod tests {
         c.add(p(3), 10);
         c.add(p(3), 5);
         assert_eq!(c.count(p(3)), 15);
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let c = Counters::new();
+        c.add(p(4), u64::MAX - 1);
+        c.increment(p(4));
+        c.increment(p(4));
+        assert_eq!(c.count(p(4)), u64::MAX);
+        c.add(p(4), 100);
+        assert_eq!(c.count(p(4)), u64::MAX);
     }
 
     #[test]

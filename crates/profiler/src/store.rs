@@ -64,7 +64,7 @@ impl ProfileInformation {
     /// Points are sorted so output is deterministic.
     pub fn store_to_string(&self) -> String {
         let mut points: Vec<(SourceObject, f64)> = self.iter().collect();
-        points.sort_by(|a, b| a.0.cmp(&b.0));
+        points.sort_by_key(|a| a.0);
         let mut out = String::new();
         out.push_str("(pgmp-profile\n  (version 1)\n");
         let _ = writeln!(out, "  (datasets {})", self.dataset_count());

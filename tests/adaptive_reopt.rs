@@ -1,0 +1,164 @@
+//! End-to-end adaptive re-optimization: a hot `exclusive-cond` branch
+//! shifts mid-run, the drift detector fires, and the emitted clause order
+//! provably changes.
+
+use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine, DriftMetric};
+use pgmp_case_studies::{install, Lib};
+use std::time::Duration;
+
+/// A tiny service: classify requests by id. With no profile (or a profile
+/// where the `< 10` clause is hot) the clauses keep source order; once the
+/// `>= 10` clause becomes hot, exclusive-cond must hoist it to the front.
+const SERVICE: &str = "
+  (define (classify n)
+    (exclusive-cond
+      [(< n 10) 'low]
+      [(>= n 10) 'high]))";
+
+fn adaptive_service(config: AdaptiveConfig) -> AdaptiveEngine {
+    AdaptiveEngine::with_setup(SERVICE, "service.scm", config, |e| {
+        install(e, Lib::Case)
+    })
+    .expect("initial compile")
+}
+
+fn drive(lo: i64, hi: i64) -> String {
+    format!(
+        "(let loop ([i {lo}])
+           (unless (= i {hi}) (classify i) (loop (add1 i))))"
+    )
+}
+
+/// Position of the expansion of clause `body` in the emitted `classify`
+/// definition, as an index into the printed text.
+fn clause_pos(expansion: &str, needle: &str) -> usize {
+    expansion
+        .find(needle)
+        .unwrap_or_else(|| panic!("`{needle}` not in expansion: {expansion}"))
+}
+
+#[test]
+fn hot_branch_shift_reorders_clauses_after_drift() {
+    let config = AdaptiveConfig {
+        epoch: Duration::from_millis(50),
+        decay: 0.5,
+        drift_threshold: 0.2,
+        metric: DriftMetric::TotalVariation,
+        ..AdaptiveConfig::default()
+    };
+    let mut engine = adaptive_service(config);
+
+    // Generation 0: no profile, source order — 'low clause first.
+    let gen0 = engine.current_program();
+    assert_eq!(gen0.generation, 0);
+    let text = gen0.expansion.join("\n");
+    assert!(
+        clause_pos(&text, "(quote low)") < clause_pos(&text, "(quote high)"),
+        "unprofiled expansion must keep source order: {text}"
+    );
+
+    // Phase A: traffic is all n < 10 — the 'low clause is hot. Several
+    // worker threads collect concurrently, then one epoch ticks.
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| engine.collect_run(Some(&drive(0, 10)))))
+            .collect();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+    });
+    let report = engine.tick().unwrap();
+    assert!(report.fired, "first profiled epoch must drift from empty");
+    assert!(report.reoptimized);
+    let gen1 = engine.current_program();
+    assert_eq!(gen1.generation, 1);
+    let text = gen1.expansion.join("\n");
+    assert!(
+        clause_pos(&text, "(quote low)") < clause_pos(&text, "(quote high)"),
+        "with 'low hot the order must still be low-first: {text}"
+    );
+    assert!(gen1.optimized_under_points > 0);
+
+    // Same traffic: steady state, no re-optimization.
+    engine.collect_run(Some(&drive(0, 10))).unwrap();
+    let report = engine.tick().unwrap();
+    assert!(
+        !report.fired,
+        "steady traffic re-fired at drift {}",
+        report.drift
+    );
+    assert_eq!(engine.current_program().generation, 1);
+
+    // Phase B: the hot branch SHIFTS — traffic becomes all n >= 10. With
+    // decay 0.5 the old 'low mass halves each epoch while 'high hits pour
+    // in, so within a few epochs drift crosses the threshold and the
+    // engine re-optimizes.
+    let mut reoptimized = false;
+    for _ in 0..6 {
+        std::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| engine.collect_run(Some(&drive(10, 60)))))
+                .collect();
+            for w in workers {
+                w.join().unwrap().unwrap();
+            }
+        });
+        let report = engine.tick().unwrap();
+        reoptimized |= report.reoptimized;
+    }
+    assert!(reoptimized, "hot-branch shift never triggered re-optimization");
+
+    // The emitted clause order provably changed: 'high now comes first.
+    let shifted = engine.current_program();
+    assert!(shifted.generation >= 2);
+    let text = shifted.expansion.join("\n");
+    assert!(
+        clause_pos(&text, "(quote high)") < clause_pos(&text, "(quote low)"),
+        "after the shift the hot 'high clause must lead: {text}"
+    );
+
+    // And the bytecode CFGs were recompiled along with the expansion.
+    assert_ne!(
+        gen1.cfgs, shifted.cfgs,
+        "re-optimization must reach the bytecode layer"
+    );
+}
+
+#[test]
+fn background_aggregator_drives_the_same_loop() {
+    let config = AdaptiveConfig {
+        epoch: Duration::from_millis(10),
+        drift_threshold: 0.2,
+        ..AdaptiveConfig::default()
+    };
+    let mut engine = adaptive_service(config);
+    let handle = engine.handle();
+    let aggregator = engine.spawn_aggregator();
+
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| s.spawn(|| engine.collect_run(Some(&drive(10, 40)))))
+            .collect();
+        for w in workers {
+            w.join().unwrap().unwrap();
+        }
+    });
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !handle.drift_pending() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    aggregator.stop();
+    assert!(handle.drift_pending(), "aggregator never flagged drift");
+
+    let program = engine
+        .poll_reoptimize()
+        .unwrap()
+        .expect("drift was pending");
+    assert_eq!(program.generation, 1);
+    let text = program.expansion.join("\n");
+    assert!(
+        clause_pos(&text, "(quote high)") < clause_pos(&text, "(quote low)"),
+        "hot 'high clause must lead after background-detected drift: {text}"
+    );
+}

@@ -1,0 +1,283 @@
+//! A minimal, dependency-free, offline re-implementation of the subset of
+//! the [`criterion`](https://docs.rs/criterion) API this workspace's
+//! benchmarks use.
+//!
+//! The build environment has no network access and no crates.io registry
+//! cache, so the real crate cannot be fetched. This stand-in measures with
+//! `std::time::Instant`, reports median/min/mean nanoseconds per iteration
+//! on stdout, and supports `iter`, `iter_custom`, benchmark groups, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics engine, no
+//! plots, no baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+/// A named benchmark identifier with an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`-style id.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name for the benchmark.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        bencher.print(&self.name, &id.into_id());
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<P: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher, input);
+        bencher.print(&self.name, &id.into_id());
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Summary of one benchmark's samples, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    median_ns: f64,
+    min_ns: f64,
+    mean_ns: f64,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// Measures a routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Benchmarks with caller-controlled timing: `routine(iters)` must
+    /// perform `iters` iterations and return the elapsed wall time. This is
+    /// the hook multi-threaded benchmarks use to time only the parallel
+    /// phase.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count whose sample takes roughly
+        // measurement_time / sample_size.
+        let target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut iters: u64 = 1;
+        loop {
+            let t = routine(iters).as_secs_f64();
+            if t >= target || iters >= 1 << 24 {
+                if t > 0.0 && t < target {
+                    iters = ((iters as f64) * (target / t)).ceil() as u64;
+                    iters = iters.clamp(1, 1 << 24);
+                }
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| routine(iters).as_secs_f64() * 1e9 / iters as f64)
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        self.report = Some(Report {
+            median_ns: median,
+            min_ns: min,
+            mean_ns: mean,
+            iters_per_sample: iters,
+            samples: per_iter_ns.len(),
+        });
+    }
+
+    fn print(&self, group: &str, id: &str) {
+        match &self.report {
+            Some(r) => println!(
+                "{group}/{id:<32} median {} (min {}, mean {}) [{} samples x {} iters]",
+                fmt_ns(r.median_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.mean_ns),
+                r.samples,
+                r.iters_per_sample,
+            ),
+            None => println!("{group}/{id:<32} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("self-test");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("custom");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100).saturating_mul(iters as u32))
+        });
+        group.finish();
+    }
+}
