@@ -131,6 +131,96 @@ impl DriftDetector {
     }
 }
 
+/// A [`DriftDetector`] with flap damping: it fires only after the raw
+/// threshold has been exceeded for `consecutive` epochs in a row, and then
+/// not again until `cooldown` further observations have passed.
+///
+/// A workload hovering *at* the threshold makes the raw detector fire on
+/// every noise spike, and each firing is a full re-optimization plus a
+/// program swap. Hysteresis demands sustained drift; the cooldown bounds
+/// the re-optimization rate even when drift genuinely persists.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_adaptive::{DriftMetric, HysteresisDetector};
+/// use pgmp_profiler::{Dataset, ProfileInformation};
+/// use pgmp_syntax::SourceObject;
+///
+/// let p = SourceObject::new("h.scm", 0, 1);
+/// let q = SourceObject::new("h.scm", 2, 3);
+/// let hot_q = ProfileInformation::from_dataset(&[(p, 10), (q, 90)].into_iter().collect::<Dataset>());
+///
+/// // Require two consecutive over-threshold epochs.
+/// let mut det = HysteresisDetector::new(DriftMetric::TotalVariation, 0.2, 2, 0);
+/// assert!(!det.observe(&hot_q).fired, "first spike: armed, not fired");
+/// assert!(det.observe(&hot_q).fired, "sustained drift fires");
+/// ```
+#[derive(Clone, Debug)]
+pub struct HysteresisDetector {
+    inner: DriftDetector,
+    consecutive: u32,
+    cooldown: u64,
+    streak: u32,
+    cooldown_left: u64,
+}
+
+impl HysteresisDetector {
+    /// A damped detector: `consecutive` over-threshold epochs arm it
+    /// (values ≤ 1 behave like the raw detector), `cooldown` observations
+    /// are skipped after each firing (0 disables the cooldown).
+    pub fn new(
+        metric: DriftMetric,
+        threshold: f64,
+        consecutive: u32,
+        cooldown: u64,
+    ) -> HysteresisDetector {
+        HysteresisDetector {
+            inner: DriftDetector::new(metric, threshold),
+            consecutive: consecutive.max(1),
+            cooldown,
+            streak: 0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// The weights the code was last optimized under.
+    pub fn baseline(&self) -> &ProfileInformation {
+        self.inner.baseline()
+    }
+
+    /// Measures drift of `current` from the baseline; `fired` is set only
+    /// when the raw threshold has been exceeded for the configured number
+    /// of consecutive observations and no cooldown is pending.
+    pub fn observe(&mut self, current: &ProfileInformation) -> DriftReading {
+        let raw = self.inner.observe(current);
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return DriftReading {
+                value: raw.value,
+                fired: false,
+            };
+        }
+        if raw.fired {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        DriftReading {
+            value: raw.value,
+            fired: self.streak >= self.consecutive,
+        }
+    }
+
+    /// Replaces the baseline after re-optimizing and starts the cooldown
+    /// window.
+    pub fn rebase(&mut self, new_baseline: ProfileInformation) {
+        self.inner.rebase(new_baseline);
+        self.streak = 0;
+        self.cooldown_left = self.cooldown;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +282,84 @@ mod tests {
         let a = info(&[(0, 10), (1, 5)]); // weights 1.0, 0.5
         let b = info(&[(0, 10), (1, 10)]); // weights 1.0, 1.0
         assert!((drift(&a, &b, DriftMetric::L1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn borderline_workload_no_longer_flaps() {
+        // A workload oscillating around the threshold: one noisy epoch
+        // over, then back under, repeatedly. The raw detector fires on
+        // every spike; with hysteresis of 2 it never does.
+        let baseline = info(&[(0, 90), (1, 10)]);
+        let spike = info(&[(0, 55), (1, 45)]); // TV ≈ 0.35, over 0.3
+        let calm = info(&[(0, 85), (1, 15)]); // TV ≈ 0.05, under 0.3
+
+        let raw = DriftDetector::new(DriftMetric::TotalVariation, 0.3);
+        let mut damped = HysteresisDetector::new(DriftMetric::TotalVariation, 0.3, 2, 0);
+        let mut raw2 = raw.clone();
+        raw2.rebase(baseline.clone());
+        damped.rebase(baseline.clone());
+
+        let mut raw_firings = 0;
+        let mut damped_firings = 0;
+        for _ in 0..5 {
+            if raw2.observe(&spike).fired {
+                raw_firings += 1;
+            }
+            raw2.observe(&calm);
+            if damped.observe(&spike).fired {
+                damped_firings += 1;
+            }
+            damped.observe(&calm);
+        }
+        assert_eq!(raw_firings, 5, "raw detector flaps on every spike");
+        assert_eq!(damped_firings, 0, "hysteresis rides out isolated spikes");
+    }
+
+    #[test]
+    fn sustained_drift_still_fires_through_hysteresis() {
+        let mut det = HysteresisDetector::new(DriftMetric::TotalVariation, 0.3, 3, 0);
+        det.rebase(info(&[(0, 90), (1, 10)]));
+        let shifted = info(&[(0, 10), (1, 90)]);
+        assert!(!det.observe(&shifted).fired);
+        assert!(!det.observe(&shifted).fired);
+        let reading = det.observe(&shifted);
+        assert!(reading.fired, "third consecutive epoch fires");
+        assert!(reading.value > 0.3);
+    }
+
+    #[test]
+    fn cooldown_suppresses_immediate_refire() {
+        let mut det = HysteresisDetector::new(DriftMetric::TotalVariation, 0.3, 1, 2);
+        let baseline = info(&[(0, 90), (1, 10)]);
+        det.rebase(baseline.clone());
+        // rebase arms the cooldown (it models a fresh deploy): ride it out
+        // with steady traffic first.
+        assert!(!det.observe(&baseline).fired);
+        assert!(!det.observe(&baseline).fired);
+        let shifted = info(&[(0, 10), (1, 90)]);
+        assert!(det.observe(&shifted).fired);
+        // Re-optimized: rebase onto the new behavior, cooldown starts.
+        det.rebase(shifted.clone());
+        // Behavior shifts again immediately — but we just swapped code.
+        let back = info(&[(0, 90), (1, 10)]);
+        assert!(!det.observe(&back).fired, "within cooldown");
+        assert!(!det.observe(&back).fired, "within cooldown");
+        assert!(det.observe(&back).fired, "cooldown expired, drift persists");
+    }
+
+    #[test]
+    fn hysteresis_of_one_matches_raw_detector() {
+        let baseline = info(&[(0, 90), (1, 10)]);
+        let wild = info(&[(0, 10), (1, 90)]);
+        let mut raw = DriftDetector::new(DriftMetric::TotalVariation, 0.3);
+        raw.rebase(baseline.clone());
+        let mut damped = HysteresisDetector::new(DriftMetric::TotalVariation, 0.3, 1, 0);
+        damped.rebase(baseline);
+        assert_eq!(raw.observe(&wild).fired, damped.observe(&wild).fired);
+        assert_eq!(
+            raw.observe(&wild).value,
+            damped.observe(&wild).value
+        );
     }
 
     #[test]

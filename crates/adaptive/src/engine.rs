@@ -3,7 +3,7 @@
 use crate::counters::ShardedCounters;
 use crate::drift::{drift, DriftMetric};
 use crate::rolling::RollingProfile;
-use pgmp::{Engine, Error};
+use pgmp::{Engine, Error, IncrementalConfig, IncrementalEngine};
 use pgmp_bytecode::{canonical_form, compile_chunk};
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -27,6 +27,21 @@ pub struct AdaptiveConfig {
     /// detector — an idle system decaying toward an empty profile is not
     /// behavior change worth recompiling for.
     pub min_epoch_hits: u64,
+    /// Re-optimize through the per-form incremental cache
+    /// ([`pgmp::IncrementalEngine`]): only forms whose consulted weights
+    /// changed re-expand. Disable to recompile from scratch each time
+    /// (useful as a baseline; the adaptive loop is otherwise identical).
+    pub incremental: bool,
+    /// Per-point weight drift the incremental cache tolerates before
+    /// re-expanding a form (see [`pgmp::IncrementalConfig::epsilon`]).
+    pub epsilon: f64,
+    /// Number of *consecutive* over-threshold epochs required before the
+    /// drift detector fires. `1` (the default) fires immediately; higher
+    /// values ride out single-epoch noise spikes.
+    pub hysteresis_epochs: u32,
+    /// Epochs to skip drift detection after a re-optimization, bounding
+    /// the recompile rate under sustained drift. `0` disables.
+    pub cooldown_epochs: u64,
 }
 
 impl Default for AdaptiveConfig {
@@ -37,6 +52,10 @@ impl Default for AdaptiveConfig {
             drift_threshold: 0.15,
             metric: DriftMetric::TotalVariation,
             min_epoch_hits: 1,
+            incremental: true,
+            epsilon: 0.0,
+            hysteresis_epochs: 1,
+            cooldown_epochs: 0,
         }
     }
 }
@@ -58,6 +77,11 @@ pub struct CompiledProgram {
     /// Number of profile points in the weights this generation was
     /// optimized under.
     pub optimized_under_points: usize,
+    /// Top-level forms served from the incremental cache when this
+    /// generation was compiled (0 for from-scratch compiles).
+    pub reused_forms: usize,
+    /// Top-level forms (re-)expanded when this generation was compiled.
+    pub reexpanded_forms: usize,
 }
 
 /// What one epoch concluded.
@@ -83,6 +107,11 @@ struct AggState {
     /// Weights the current program generation was optimized under.
     baseline: ProfileInformation,
     epoch: u64,
+    /// Consecutive over-threshold epochs (hysteresis accumulator; see
+    /// [`crate::HysteresisDetector`] for the standalone form).
+    streak: u32,
+    /// Epochs left in the post-re-optimization cooldown window.
+    cooldown_left: u64,
 }
 
 struct EpochStep {
@@ -96,6 +125,9 @@ struct EpochStep {
 /// State shared between the engine thread, worker threads, and the
 /// background aggregator.
 struct Shared {
+    source: String,
+    file: String,
+    setup: Option<Setup>,
     counters: ShardedCounters,
     program: RwLock<Arc<CompiledProgram>>,
     agg: Mutex<AggState>,
@@ -105,10 +137,24 @@ struct Shared {
 }
 
 impl Shared {
+    /// A fresh single-threaded engine with the setup hook applied.
+    fn fresh_engine(&self) -> Result<Engine, Error> {
+        let mut engine = Engine::new();
+        if let Some(setup) = &self.setup {
+            setup(&mut engine)?;
+        }
+        Ok(engine)
+    }
+
     /// The aggregation half of an epoch: drain, decay, measure drift.
     /// Runs on either the engine thread (`tick`) or the background
     /// aggregator; re-optimization itself always happens on the engine
     /// thread because `pgmp::Engine` is single-threaded.
+    ///
+    /// Firing is damped: the raw threshold must be exceeded for
+    /// [`AdaptiveConfig::hysteresis_epochs`] consecutive eligible epochs,
+    /// and never within [`AdaptiveConfig::cooldown_epochs`] of the last
+    /// re-optimization.
     fn epoch_step(&self, config: &AdaptiveConfig) -> EpochStep {
         let epoch_data = self.counters.drain();
         let hits: u64 = epoch_data.iter().map(|(_, c)| c).sum();
@@ -117,11 +163,23 @@ impl Shared {
         agg.rolling.absorb(&epoch_data);
         let weights = agg.rolling.weights();
         let value = drift(&weights, &agg.baseline, config.metric);
+        let over = value > config.drift_threshold && hits >= config.min_epoch_hits;
+        let fired = if agg.cooldown_left > 0 {
+            agg.cooldown_left -= 1;
+            false
+        } else {
+            if over {
+                agg.streak += 1;
+            } else {
+                agg.streak = 0;
+            }
+            agg.streak >= config.hysteresis_epochs.max(1)
+        };
         EpochStep {
             epoch: agg.epoch,
             hits,
             drift: value,
-            fired: value > config.drift_threshold && hits >= config.min_epoch_hits,
+            fired,
             weights,
         }
     }
@@ -170,6 +228,30 @@ impl AdaptiveHandle {
     pub fn drift_pending(&self) -> bool {
         self.shared.drift_pending.load(Ordering::Relaxed)
     }
+
+    /// Runs the program once, instrumented, in a fresh engine, and merges
+    /// the resulting counts into the shared registry — one unit of
+    /// concurrent profile collection. `driver` optionally runs extra
+    /// workload source (same engine, separate file) after the program
+    /// loads, which is how a service's traffic is simulated against fixed
+    /// program source.
+    ///
+    /// Lives on the handle so worker threads can collect while the owning
+    /// thread holds the (single-threaded) re-optimization state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors from either run.
+    pub fn collect_run(&self, driver: Option<&str>) -> Result<(), Error> {
+        let mut engine = self.shared.fresh_engine()?;
+        engine.set_instrumentation(ProfileMode::EveryExpression);
+        engine.run_str(&self.shared.source, &self.shared.file)?;
+        if let Some(d) = driver {
+            engine.run_str(d, "adaptive-driver.scm")?;
+        }
+        self.shared.counters.absorb(&engine.counters().snapshot());
+        Ok(())
+    }
 }
 
 type Setup = Box<dyn Fn(&mut Engine) -> Result<(), Error> + Send + Sync>;
@@ -199,11 +281,12 @@ type Setup = Box<dyn Fn(&mut Engine) -> Result<(), Error> + Send + Sync>;
 /// [`spawn_aggregator`](AdaptiveEngine::spawn_aggregator) +
 /// [`poll_reoptimize`](AdaptiveEngine::poll_reoptimize).
 pub struct AdaptiveEngine {
-    source: String,
-    file: String,
-    setup: Option<Setup>,
     config: AdaptiveConfig,
     shared: Arc<Shared>,
+    /// The persistent per-form cache used by the incremental re-optimize
+    /// path (`None` when [`AdaptiveConfig::incremental`] is off). Lives on
+    /// the engine (not in [`Shared`]): compilation is single-threaded.
+    incremental: Option<IncrementalEngine>,
 }
 
 impl AdaptiveEngine {
@@ -244,24 +327,42 @@ impl AdaptiveEngine {
             expansion: Vec::new(),
             cfgs: Vec::new(),
             optimized_under_points: 0,
+            reused_forms: 0,
+            reexpanded_forms: 0,
         });
-        let engine = AdaptiveEngine {
+        let shared = Arc::new(Shared {
             source: source.to_owned(),
             file: file.to_owned(),
             setup,
-            config: config.clone(),
-            shared: Arc::new(Shared {
-                counters: ShardedCounters::new(),
-                program: RwLock::new(placeholder),
-                agg: Mutex::new(AggState {
-                    rolling: RollingProfile::new(config.decay),
-                    baseline: ProfileInformation::empty(),
-                    epoch: 0,
-                }),
-                pending: Mutex::new(None),
-                drift_pending: AtomicBool::new(false),
-                reoptimizations: AtomicU64::new(0),
+            counters: ShardedCounters::new(),
+            program: RwLock::new(placeholder),
+            agg: Mutex::new(AggState {
+                rolling: RollingProfile::new(config.decay),
+                baseline: ProfileInformation::empty(),
+                epoch: 0,
+                streak: 0,
+                cooldown_left: 0,
             }),
+            pending: Mutex::new(None),
+            drift_pending: AtomicBool::new(false),
+            reoptimizations: AtomicU64::new(0),
+        });
+        let incremental = if config.incremental {
+            Some(IncrementalEngine::with_engine(
+                shared.fresh_engine()?,
+                source,
+                file,
+                IncrementalConfig {
+                    epsilon: config.epsilon,
+                },
+            )?)
+        } else {
+            None
+        };
+        let mut engine = AdaptiveEngine {
+            config,
+            shared,
+            incremental,
         };
         let gen0 = engine.compile(ProfileInformation::empty(), 0)?;
         *engine
@@ -289,76 +390,73 @@ impl AdaptiveEngine {
         self.handle().current_program()
     }
 
-    fn fresh_engine(&self) -> Result<Engine, Error> {
-        let mut engine = Engine::new();
-        if let Some(setup) = &self.setup {
-            setup(&mut engine)?;
-        }
-        Ok(engine)
-    }
-
     /// Runs the program once, instrumented, in a fresh engine, and merges
-    /// the resulting counts into the shared registry — one unit of
-    /// concurrent profile collection. `driver` optionally runs extra
-    /// workload source (same engine, separate file) after the program
-    /// loads, which is how a service's traffic is simulated against fixed
-    /// program source.
-    ///
-    /// `&self` only: safe to call from many threads at once.
+    /// the resulting counts into the shared registry. Delegates to
+    /// [`AdaptiveHandle::collect_run`]; worker threads should clone a
+    /// handle and call it there.
     ///
     /// # Errors
     ///
     /// Propagates engine errors from either run.
     pub fn collect_run(&self, driver: Option<&str>) -> Result<(), Error> {
-        let mut engine = self.fresh_engine()?;
-        engine.set_instrumentation(ProfileMode::EveryExpression);
-        engine.run_str(&self.source, &self.file)?;
-        if let Some(d) = driver {
-            engine.run_str(d, "adaptive-driver.scm")?;
-        }
-        self.shared.counters.absorb(&engine.counters().snapshot());
-        Ok(())
+        self.handle().collect_run(driver)
     }
 
     /// Compiles the program under `weights` (expansion + bytecode), off
-    /// to the side; does not swap.
+    /// to the side; does not swap. Incremental when configured: only
+    /// forms whose recorded profile reads changed re-expand.
     fn compile(
-        &self,
+        &mut self,
         weights: ProfileInformation,
         generation: u64,
     ) -> Result<Arc<CompiledProgram>, Error> {
         let optimized_under_points = weights.len();
-        let mut engine = self.fresh_engine()?;
+        if let Some(incr) = self.incremental.as_mut() {
+            let unit = incr.compile(&weights)?;
+            return Ok(Arc::new(CompiledProgram {
+                generation,
+                expansion: unit.expansion,
+                cfgs: unit.cfgs,
+                optimized_under_points,
+                reused_forms: unit.stats.reused,
+                reexpanded_forms: unit.stats.reexpanded,
+            }));
+        }
+        let mut engine = self.shared.fresh_engine()?;
         engine.set_profile(weights);
-        let expansion = engine
-            .expand_str(&self.source, &self.file)?
+        let expansion: Vec<String> = engine
+            .expand_str(&self.shared.source, &self.shared.file)?
             .iter()
             .map(|s| s.to_datum().to_string())
             .collect();
         // Replay generated profile points so the bytecode pass sees the
         // same points the expansion pass saw (§4.1 determinism).
         engine.reset_profile_points();
-        let cfgs = engine
-            .expand_to_core(&self.source, &self.file)?
+        let cfgs: Vec<String> = engine
+            .expand_to_core(&self.shared.source, &self.shared.file)?
             .iter()
             .map(|c| canonical_form(&compile_chunk(c)))
             .collect();
+        let reexpanded_forms = expansion.len();
         Ok(Arc::new(CompiledProgram {
             generation,
             expansion,
             cfgs,
             optimized_under_points,
+            reused_forms: 0,
+            reexpanded_forms,
         }))
     }
 
     /// Recompiles under `weights` and atomically swaps the new generation
-    /// in; the drift baseline moves to `weights`.
+    /// in; the drift baseline moves to `weights` and the cooldown window
+    /// (if configured) starts.
     ///
     /// # Errors
     ///
     /// If compilation fails the old generation keeps serving and the
     /// baseline is unchanged.
-    fn reoptimize(&self, weights: ProfileInformation) -> Result<Arc<CompiledProgram>, Error> {
+    fn reoptimize(&mut self, weights: ProfileInformation) -> Result<Arc<CompiledProgram>, Error> {
         let next_gen = self.current_program().generation + 1;
         let program = self.compile(weights.clone(), next_gen)?;
         {
@@ -369,11 +467,16 @@ impl AdaptiveEngine {
                 .expect("adaptive program cell poisoned");
             *cell = program.clone();
         }
-        self.shared
-            .agg
-            .lock()
-            .expect("adaptive aggregation state poisoned")
-            .baseline = weights;
+        {
+            let mut agg = self
+                .shared
+                .agg
+                .lock()
+                .expect("adaptive aggregation state poisoned");
+            agg.baseline = weights;
+            agg.streak = 0;
+            agg.cooldown_left = self.config.cooldown_epochs;
+        }
         self.shared.reoptimizations.fetch_add(1, Ordering::Relaxed);
         Ok(program)
     }
@@ -632,7 +735,8 @@ mod tests {
 
         // Feed traffic from a worker thread while the aggregator runs.
         std::thread::scope(|s| {
-            let worker = s.spawn(|| engine.collect_run(Some(&drive(10, 60))));
+            let h = engine.handle();
+            let worker = s.spawn(move || h.collect_run(Some(&drive(10, 60))));
             worker.join().unwrap().unwrap();
         });
 

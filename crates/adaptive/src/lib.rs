@@ -13,12 +13,14 @@
 //!   weights track *recent* behavior and stale traffic patterns age out.
 //! - [`DriftDetector`] / [`drift`] — L1 or total-variation distance
 //!   between the live weights and the weights the running code was last
-//!   optimized under.
-//! - [`AdaptiveEngine`] — on drift, re-runs macro expansion and bytecode
-//!   compilation through a fresh [`pgmp::Engine`] with the new weights and
-//!   atomically swaps the [`CompiledProgram`] readers see. Epochs are
-//!   driven synchronously ([`AdaptiveEngine::tick`]) or by a background
-//!   aggregator thread ([`AdaptiveEngine::spawn_aggregator`] +
+//!   optimized under; [`HysteresisDetector`] damps it with
+//!   consecutive-epoch arming and a post-fire cooldown.
+//! - [`AdaptiveEngine`] — on drift, re-optimizes under the new weights
+//!   and atomically swaps the [`CompiledProgram`] readers see. By default
+//!   recompilation is *incremental* ([`pgmp::IncrementalEngine`]): only
+//!   top-level forms whose consulted profile weights changed re-expand.
+//!   Epochs are driven synchronously ([`AdaptiveEngine::tick`]) or by a
+//!   background aggregator thread ([`AdaptiveEngine::spawn_aggregator`] +
 //!   [`AdaptiveEngine::poll_reoptimize`]).
 //!
 //! The crate deliberately reuses the single-threaded pipeline for the
@@ -32,7 +34,7 @@ mod engine;
 mod rolling;
 
 pub use counters::ShardedCounters;
-pub use drift::{drift, DriftDetector, DriftMetric, DriftReading};
+pub use drift::{drift, DriftDetector, DriftMetric, DriftReading, HysteresisDetector};
 pub use engine::{
     AdaptiveConfig, AdaptiveEngine, AdaptiveHandle, AggregatorGuard, CompiledProgram, EpochReport,
 };

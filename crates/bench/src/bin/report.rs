@@ -196,6 +196,88 @@ fn e9() {
     }
 }
 
+fn e13() {
+    use pgmp::{IncrementalConfig, IncrementalEngine};
+    use pgmp_bytecode::{canonical_form, compile_chunk};
+    use pgmp_syntax::SourceObject;
+
+    header("E13 (extension): incremental recompilation latency");
+    // 200 top-level forms, 5% profile-dependent (if-r defines whose branch
+    // order flips with the weights); the rest are plain defines.
+    const N: usize = 200;
+    const STRIDE: usize = 20;
+    let mut src = String::from(
+        "(define-syntax (if-r stx)
+           (syntax-case stx ()
+             [(_ test t-branch f-branch)
+              (if (< (profile-query #'t-branch) (profile-query #'f-branch))
+                  #'(if (not test) f-branch t-branch)
+                  #'(if test t-branch f-branch))]))\n",
+    );
+    for i in 0..N {
+        if i % STRIDE == 0 {
+            src.push_str(&format!("(define (g{i} x) (if-r (< x 10) 'lo{i} 'hi{i}))\n"));
+        } else {
+            src.push_str(&format!("(define (f{i} x) (+ (* x {i}) 1))\n"));
+        }
+    }
+    let file = "e13.scm";
+    let points: Vec<(SourceObject, SourceObject)> = pgmp_reader::read_str(&src, file)
+        .unwrap()
+        .iter()
+        .skip(1)
+        .filter_map(|form| {
+            let body = form.as_list()?.get(2)?.as_list()?;
+            (body.len() == 4).then(|| (body[2].source.unwrap(), body[3].source.unwrap()))
+        })
+        .collect();
+    let weights = |flip: bool| {
+        let (hot, cold) = if flip { (0.1, 0.9) } else { (0.9, 0.1) };
+        ProfileInformation::from_weights(
+            points.iter().flat_map(|(t, f)| [(*t, hot), (*f, cold)]),
+            1,
+        )
+    };
+    let w = [weights(false), weights(true)];
+
+    const ROUNDS: usize = 6;
+    let mut incr = IncrementalEngine::new(&src, file, IncrementalConfig::default()).unwrap();
+    incr.compile(&w[0]).unwrap();
+    let t0 = Instant::now();
+    let mut reexpanded = 0;
+    for i in 0..ROUNDS {
+        reexpanded = incr.compile(&w[(i + 1) % 2]).unwrap().stats.reexpanded;
+    }
+    let t_incr = t0.elapsed() / ROUNDS as u32;
+
+    let t0 = Instant::now();
+    for i in 0..ROUNDS {
+        let mut engine = pgmp::Engine::new();
+        engine.set_profile(w[i % 2].clone());
+        let _expansion: Vec<String> = engine
+            .expand_str(&src, file)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_datum().to_string())
+            .collect();
+        engine.reset_profile_points();
+        let _cfgs: Vec<String> = engine
+            .expand_to_core(&src, file)
+            .unwrap()
+            .iter()
+            .map(|c| canonical_form(&compile_chunk(c)))
+            .collect();
+    }
+    let t_full = t0.elapsed() / ROUNDS as u32;
+
+    println!(
+        "  claim:    re-optimization is O(changed forms): {} of {N} forms consult the profile",
+        points.len()
+    );
+    println!("  measured: {reexpanded} form(s) re-expanded per weight flip");
+    speedup_row("recompile after profile flip", t_full, t_incr);
+}
+
 fn main() {
     println!("pgmp reproduction — full evaluation report");
     println!("(shape reproduction: who wins and by roughly what factor;");
@@ -208,6 +290,7 @@ fn main() {
     e8();
     e9();
     e11();
+    e13();
     println!("\nE3 (Figure 4 API), E7 (section 4.4 overhead) and E10 (proc macros)");
     println!("have dedicated harnesses: tests/e3_api.rs, e7_overhead_table,");
     println!("tests/e10_proc_macros.rs, and the Criterion benches.");

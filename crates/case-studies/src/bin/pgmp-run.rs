@@ -14,6 +14,10 @@
 //!                                if-r,case,oo,list,vector,sequence,all
 //!   --wrap-lambda                use the Racket annotate-expr strategy
 //!
+//!   --incremental                compile through the per-form recompilation
+//!                                cache; each --merge recompiles incrementally
+//!                                and reports how many forms were reused
+//!
 //!   --adaptive                   online mode: epochs of concurrent profile
 //!                                collection, drift detection, re-optimization
 //!   --epochs <n>                 adaptive: number of epochs to run (default 4)
@@ -21,6 +25,12 @@
 //!   --epoch-ms <ms>              adaptive: background epoch length (default 250)
 //!   --drift-threshold <t>        adaptive: re-optimize when drift > t (default 0.15)
 //!   --decay <d>                  adaptive: per-epoch profile decay in [0,1] (default 0.5)
+//!   --hysteresis <n>             adaptive: consecutive drifting epochs before
+//!                                re-optimizing (default 1)
+//!   --cooldown <n>               adaptive: epochs to skip detection after a
+//!                                re-optimization (default 0)
+//!   --no-incremental             adaptive: recompile from scratch on drift
+//!                                instead of using the per-form cache
 //! ```
 //!
 //! The paper's basic cycle:
@@ -38,7 +48,8 @@
 //! ```
 
 use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine};
-use pgmp::{AnnotateStrategy, Engine};
+use pgmp::{AnnotateStrategy, Engine, IncrementalConfig, IncrementalEngine};
+use pgmp_bytecode::Vm;
 use pgmp_case_studies::{install, Lib};
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 use std::process::ExitCode;
@@ -53,20 +64,26 @@ struct Options {
     expand: bool,
     libs: Vec<Lib>,
     strategy: AnnotateStrategy,
+    incremental: bool,
     adaptive: bool,
     epochs: u64,
     threads: usize,
     epoch_ms: u64,
     drift_threshold: f64,
     decay: f64,
+    hysteresis: u32,
+    cooldown: u64,
+    adaptive_incremental: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
          \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda]\n\
+         \u{20}               [--incremental]\n\
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
-         \u{20}               [--drift-threshold T] [--decay D]] file.scm"
+         \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
+         \u{20}               [--cooldown N] [--no-incremental]] file.scm"
     );
     std::process::exit(2)
 }
@@ -109,12 +126,16 @@ fn parse_args() -> Options {
         expand: false,
         libs: Vec::new(),
         strategy: AnnotateStrategy::Direct,
+        incremental: false,
         adaptive: false,
         epochs: 4,
         threads: 2,
         epoch_ms: 250,
         drift_threshold: 0.15,
         decay: 0.5,
+        hysteresis: 1,
+        cooldown: 0,
+        adaptive_incremental: true,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -130,12 +151,16 @@ fn parse_args() -> Options {
             "--expand" => opts.expand = true,
             "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
             "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
+            "--incremental" => opts.incremental = true,
             "--adaptive" => opts.adaptive = true,
             "--epochs" => opts.epochs = parse_num(args.next()),
             "--threads" => opts.threads = parse_num(args.next()),
             "--epoch-ms" => opts.epoch_ms = parse_num(args.next()),
             "--drift-threshold" => opts.drift_threshold = parse_num(args.next()),
             "--decay" => opts.decay = parse_num(args.next()),
+            "--hysteresis" => opts.hysteresis = parse_num(args.next()),
+            "--cooldown" => opts.cooldown = parse_num(args.next()),
+            "--no-incremental" => opts.adaptive_incremental = false,
             "--help" | "-h" => usage(),
             file if !file.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(file.to_owned());
@@ -167,6 +192,9 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         epoch: Duration::from_millis(opts.epoch_ms),
         decay: opts.decay,
         drift_threshold: opts.drift_threshold,
+        incremental: opts.adaptive_incremental,
+        hysteresis_epochs: opts.hysteresis,
+        cooldown_epochs: opts.cooldown,
         ..AdaptiveConfig::default()
     };
     let libs = opts.libs.clone();
@@ -187,7 +215,10 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
     for _ in 0..opts.epochs {
         std::thread::scope(|s| {
             let workers: Vec<_> = (0..opts.threads.max(1))
-                .map(|_| s.spawn(|| engine.collect_run(None)))
+                .map(|_| {
+                    let h = engine.handle();
+                    s.spawn(move || h.collect_run(None))
+                })
                 .collect();
             for w in workers {
                 w.join()
@@ -197,13 +228,18 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
             Ok::<(), String>(())
         })?;
         let report = engine.tick().map_err(|e| e.to_string())?;
+        let reuse = if report.reoptimized {
+            let p = engine.current_program();
+            format!(
+                " REOPTIMIZED ({} reused, {} re-expanded)",
+                p.reused_forms, p.reexpanded_forms
+            )
+        } else {
+            String::new()
+        };
         eprintln!(
             "adaptive: epoch {} hits {} drift {:.3}{} -> generation {}",
-            report.epoch,
-            report.hits,
-            report.drift,
-            if report.reoptimized { " REOPTIMIZED" } else { "" },
-            report.generation,
+            report.epoch, report.hits, report.drift, reuse, report.generation,
         );
     }
 
@@ -221,11 +257,69 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// `--incremental`: the plain pipeline routed through the per-form
+/// recompilation cache. The initial compile (under `--load` weights, if
+/// any) populates the cache; every `--merge` profile then triggers an
+/// incremental recompile, and the reuse statistics show how much of the
+/// program each profile update actually touched.
+fn run_incremental(opts: &Options, source: &str, file: &str) -> Result<(), String> {
+    if opts.instrument.is_some() || opts.store.is_some() {
+        return Err("--incremental does not run instrumented (drop --instrument/--store)".into());
+    }
+    let mut engine = Engine::with_strategy(opts.strategy);
+    for lib in &opts.libs {
+        install(&mut engine, *lib).map_err(|e| e.to_string())?;
+    }
+    let mut weights = match &opts.load {
+        Some(path) => ProfileInformation::load_file(path).map_err(|e| e.to_string())?,
+        None => ProfileInformation::empty(),
+    };
+    let mut incr = IncrementalEngine::with_engine(engine, source, file, IncrementalConfig::default())
+        .map_err(|e| e.to_string())?;
+    let mut unit = incr.compile(&weights).map_err(|e| e.to_string())?;
+    eprintln!(
+        "incremental: initial compile expanded {} form(s) under {} profile point(s)",
+        unit.stats.total_forms,
+        weights.len()
+    );
+    for path in &opts.merge {
+        let info = ProfileInformation::load_file(path).map_err(|e| e.to_string())?;
+        weights = weights.merge(&info);
+        unit = incr.compile(&weights).map_err(|e| e.to_string())?;
+        eprintln!(
+            "incremental: {path}: {} of {} form(s) reused, {} re-expanded",
+            unit.stats.reused, unit.stats.total_forms, unit.stats.reexpanded
+        );
+    }
+    if opts.expand {
+        for form in &unit.expansion {
+            println!("{form}");
+        }
+    } else {
+        let mut result = String::from("#<void>");
+        {
+            let mut vm = Vm::new(incr.engine_mut().interp_mut());
+            for chunk in &unit.chunks {
+                result = vm.run_chunk(chunk).map_err(|e| e.to_string())?.write_string();
+            }
+        }
+        print!("{}", incr.engine_mut().take_output());
+        println!("{result}");
+    }
+    for warning in incr.engine_mut().take_warnings() {
+        eprintln!("warning: {warning}");
+    }
+    Ok(())
+}
+
 fn run(opts: Options) -> Result<(), String> {
     let file = opts.file.clone().ok_or("no input file given")?;
     let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
     if opts.adaptive {
         return run_adaptive(&opts, &source, &file);
+    }
+    if opts.incremental {
+        return run_incremental(&opts, &source, &file);
     }
 
     let mut engine = Engine::with_strategy(opts.strategy);

@@ -21,6 +21,43 @@ use pgmp_syntax::{SourceFactory, SourceObject, Syntax, SyntaxBody};
 use std::cell::RefCell;
 use std::rc::Rc;
 
+/// The profile reads one top-level form performed during expansion: its
+/// *read-set*, the key the incremental recompilation cache validates
+/// against new weights.
+///
+/// A cached expansion can be reused when every recorded read would produce
+/// the same answer under the new profile (within epsilon for weights,
+/// exactly for availability), no [`ProfileReadLog::volatile_reads`] occurred,
+/// and — when [`ProfileReadLog::whole_profile`] is set — the full profile is
+/// unchanged.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ProfileReadLog {
+    /// Each `profile-query` call: the point consulted and the weight
+    /// returned. (Points without a source resolve to weight 0.0 and are
+    /// not recorded — they can never change.)
+    pub points: Vec<(SourceObject, f64)>,
+    /// The answer `profile-data-available?` returned, if called.
+    pub availability: Option<bool>,
+    /// `current-profile-information` was called: the form depends on the
+    /// entire profile, so any weight change invalidates it.
+    pub whole_profile: bool,
+    /// A read that cannot be validated against a future profile occurred
+    /// (`profile-count` on live counters, or `load`/`merge`/`store-profile`
+    /// during expansion). Forms with volatile reads are never reused.
+    pub volatile_reads: bool,
+}
+
+impl ProfileReadLog {
+    /// True iff expansion consulted no profile state at all — the form is
+    /// profile-independent and reusable under any weights.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+            && self.availability.is_none()
+            && !self.whole_profile
+            && !self.volatile_reads
+    }
+}
+
 /// Shared profile state for one compilation session.
 ///
 /// Both the engine (Rust side) and the installed API procedures (meta
@@ -35,6 +72,10 @@ pub struct PgmpState {
     pub counters: Counters,
     /// How `annotate-expr` attaches profile points.
     pub strategy: AnnotateStrategy,
+    /// When present, API entry points append their profile reads here.
+    /// The incremental engine installs a fresh log around each form's
+    /// expansion to capture that form's read-set.
+    pub read_log: Option<ProfileReadLog>,
 }
 
 impl PgmpState {
@@ -112,7 +153,14 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
     let st = state.clone();
     interp.define_native("profile-query", 1, Some(1), move |_, args| {
         let weight = match want_syntax_or_point(&args[0])? {
-            Some(p) => st.borrow().profile.weight(p),
+            Some(p) => {
+                let mut st = st.borrow_mut();
+                let w = st.profile.weight(p);
+                if let Some(log) = st.read_log.as_mut() {
+                    log.points.push((p, w));
+                }
+                w
+            }
             None => 0.0,
         };
         Ok(Value::Float(weight))
@@ -121,7 +169,15 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
     let st = state.clone();
     interp.define_native("profile-count", 1, Some(1), move |_, args| {
         let count = match want_syntax_or_point(&args[0])? {
-            Some(p) => st.borrow().counters.count(p),
+            Some(p) => {
+                let mut st = st.borrow_mut();
+                // Live counters mutate under the expander's feet; a form
+                // reading them can never be validated for reuse.
+                if let Some(log) = st.read_log.as_mut() {
+                    log.volatile_reads = true;
+                }
+                st.counters.count(p)
+            }
             None => 0,
         };
         Ok(Value::Int(count as i64))
@@ -129,12 +185,21 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
 
     let st = state.clone();
     interp.define_native("profile-data-available?", 0, Some(0), move |_, _| {
-        Ok(Value::Bool(!st.borrow().profile.is_empty()))
+        let mut st = st.borrow_mut();
+        let available = !st.profile.is_empty();
+        if let Some(log) = st.read_log.as_mut() {
+            log.availability = Some(available);
+        }
+        Ok(Value::Bool(available))
     });
 
     let st = state.clone();
     interp.define_native("current-profile-information", 0, Some(0), move |_, _| {
-        let st = st.borrow();
+        let mut st = st.borrow_mut();
+        if let Some(log) = st.read_log.as_mut() {
+            log.whole_profile = true;
+        }
+        let st = &*st;
         let mut entries: Vec<(SourceObject, f64)> = st.profile.iter().collect();
         entries.sort_by_key(|a| a.0);
         Ok(Value::list(
@@ -148,7 +213,11 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
     let st = state.clone();
     interp.define_native("store-profile", 1, Some(1), move |_, args| {
         let path = want_string(&args[0])?;
-        let st = st.borrow();
+        let mut st = st.borrow_mut();
+        if let Some(log) = st.read_log.as_mut() {
+            log.volatile_reads = true;
+        }
+        let st = &*st;
         let weights = ProfileInformation::from_dataset(&st.counters.snapshot());
         weights.store_file(&path).map_err(|e| {
             EvalError::new(EvalErrorKind::Runtime, format!("store-profile: {e}"))
@@ -162,7 +231,11 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
         let info = ProfileInformation::load_file(&path).map_err(|e| {
             EvalError::new(EvalErrorKind::Runtime, format!("load-profile: {e}"))
         })?;
-        st.borrow_mut().profile = info;
+        let mut st = st.borrow_mut();
+        if let Some(log) = st.read_log.as_mut() {
+            log.volatile_reads = true;
+        }
+        st.profile = info;
         Ok(Value::Unspecified)
     });
 
@@ -173,6 +246,9 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
             EvalError::new(EvalErrorKind::Runtime, format!("merge-profile: {e}"))
         })?;
         let mut st = st.borrow_mut();
+        if let Some(log) = st.read_log.as_mut() {
+            log.volatile_reads = true;
+        }
         st.profile = st.profile.merge(&info);
         Ok(Value::Unspecified)
     });
@@ -317,6 +393,41 @@ mod tests {
         let v = call(&mut i, "current-profile-information", vec![]).unwrap();
         let entries = v.list_elems().unwrap();
         assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn read_log_records_queries_and_volatility() {
+        let (mut i, state) = setup();
+        let e = stx("(hot)");
+        let p = e.source.unwrap();
+        state.borrow_mut().profile = ProfileInformation::from_weights([(p, 0.75)], 1);
+        state.borrow_mut().read_log = Some(ProfileReadLog::default());
+
+        call(&mut i, "profile-query", vec![Value::Syntax(e.clone())]).unwrap();
+        call(&mut i, "profile-data-available?", vec![]).unwrap();
+        {
+            let st = state.borrow();
+            let log = st.read_log.as_ref().unwrap();
+            assert_eq!(log.points, vec![(p, 0.75)]);
+            assert_eq!(log.availability, Some(true));
+            assert!(!log.whole_profile);
+            assert!(!log.volatile_reads);
+        }
+
+        call(&mut i, "current-profile-information", vec![]).unwrap();
+        call(&mut i, "profile-count", vec![Value::Syntax(e)]).unwrap();
+        let st = state.borrow();
+        let log = st.read_log.as_ref().unwrap();
+        assert!(log.whole_profile);
+        assert!(log.volatile_reads);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn no_read_log_records_nothing() {
+        let (mut i, state) = setup();
+        call(&mut i, "profile-query", vec![Value::Syntax(stx("(x)"))]).unwrap();
+        assert!(state.borrow().read_log.is_none());
     }
 
     #[test]

@@ -132,6 +132,31 @@ impl Engine {
         self.state.borrow_mut().factory.reset();
     }
 
+    /// Snapshots the profile-point generator's allocation state. Combined
+    /// with [`Engine::restore_factory`], the incremental cache replays
+    /// point generation exactly: a reused form fast-forwards the factory
+    /// to the state its original expansion left behind.
+    pub fn factory_snapshot(&self) -> pgmp_syntax::SourceFactory {
+        self.state.borrow().factory.clone()
+    }
+
+    /// Restores a previously snapshotted factory state.
+    pub fn restore_factory(&mut self, factory: pgmp_syntax::SourceFactory) {
+        self.state.borrow_mut().factory = factory;
+    }
+
+    /// Starts recording profile reads (the read-set) made by subsequently
+    /// expanded forms. See [`ProfileReadLog`](crate::api::ProfileReadLog).
+    pub fn begin_profile_read_log(&mut self) {
+        self.state.borrow_mut().read_log = Some(crate::api::ProfileReadLog::default());
+    }
+
+    /// Stops recording and returns the accumulated read-set (empty if
+    /// recording was never started).
+    pub fn take_profile_read_log(&mut self) -> crate::api::ProfileReadLog {
+        self.state.borrow_mut().read_log.take().unwrap_or_default()
+    }
+
     /// Access to the runtime interpreter (e.g. to inspect globals).
     pub fn interp(&self) -> &Interp {
         &self.interp

@@ -18,7 +18,10 @@
 //!   every-expression counters or Racket `errortrace`-style call-only
 //!   counters, with `annotate-expr` wrapping expressions in thunk calls);
 //! - [`workflow`] — the §4.3 three-pass protocol keeping source-level
-//!   PGMP and block-level PGO consistent.
+//!   PGMP and block-level PGO consistent;
+//! - [`incremental`] — a per-form recompilation cache that makes
+//!   re-optimization O(changed forms) by tracking which profile points
+//!   each top-level form consulted during expansion.
 //!
 //! # Quickstart
 //!
@@ -61,8 +64,10 @@
 pub mod api;
 mod engine;
 mod error;
+pub mod incremental;
 pub mod workflow;
 
-pub use api::{install_pgmp_api, PgmpState};
+pub use api::{install_pgmp_api, PgmpState, ProfileReadLog};
 pub use engine::{AnnotateStrategy, Engine};
 pub use error::Error;
+pub use incremental::{CompiledUnit, IncrementalConfig, IncrementalEngine, ReuseStats};

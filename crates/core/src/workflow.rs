@@ -15,10 +15,18 @@
 //!
 //! [`run_three_pass`] drives the protocol and checks the stability
 //! invariant: the pass-3 CFGs must equal the pass-2 CFGs.
+//!
+//! Passes 2 and 3 run over one [`IncrementalEngine`]: pass 3 uses the same
+//! source weights as pass 2, so every form whose read-set validates is
+//! served from the per-form cache — the stability invariant is enforced
+//! *structurally* (reused forms keep their chunks, and with them their
+//! chunk ids, so pass-2 block counters apply to pass-3 code directly, with
+//! no creation-order id translation).
 
 use crate::engine::Engine;
 use crate::error::Error;
-use pgmp_bytecode::{canonical_form, compile_chunk, optimize_layout, BlockCounters, Chunk, Vm, VmMetrics};
+use crate::incremental::{IncrementalConfig, IncrementalEngine, ReuseStats};
+use pgmp_bytecode::{canonical_form, optimize_layout, BlockCounters, Chunk, Vm, VmMetrics};
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 
 /// Everything the three-pass run observed; see module docs.
@@ -33,36 +41,15 @@ pub struct ThreePassReport {
     pub pass3_chunks: Vec<String>,
     /// The §4.3 invariant: pass-3 code equals pass-2 code.
     pub stable: bool,
+    /// Cache accounting for the pass-3 recompile: under unchanged source
+    /// weights every form should be reused.
+    pub reuse: ReuseStats,
     /// Jump behaviour of the pass-2 (unoptimized layout) code.
     pub baseline_metrics: VmMetrics,
     /// Jump behaviour of the pass-3 (profile-laid-out) code.
     pub optimized_metrics: VmMetrics,
     /// Result of the final run, `write`-printed.
     pub result: String,
-}
-
-/// One pass's artifacts: (toplevel chunks, canonical CFGs, block counters,
-/// VM metrics, printed result).
-type PassArtifacts = (Vec<Chunk>, Vec<String>, BlockCounters, VmMetrics, String);
-
-fn compile_and_run(
-    engine: &mut Engine,
-    src: &str,
-    file: &str,
-    counters: Option<BlockCounters>,
-) -> Result<PassArtifacts, Error> {
-    let program = engine.expand_to_core(src, file)?;
-    let toplevel: Vec<Chunk> = program.iter().map(compile_chunk).collect();
-    let counters = counters.unwrap_or_default();
-    let mut vm = Vm::new(engine.interp_mut());
-    vm.set_block_profiling(counters.clone());
-    let mut result = String::new();
-    for chunk in &toplevel {
-        result = vm.run_chunk(chunk)?.write_string();
-    }
-    let mut canon: Vec<String> = toplevel.iter().map(canonical_form).collect();
-    canon.extend(vm.compiled_chunks().iter().map(|c| canonical_form(c)));
-    Ok((toplevel, canon, counters, vm.metrics, result))
 }
 
 /// Runs the full three-pass protocol on `src`.
@@ -82,62 +69,47 @@ pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
     let source_weights = e1.current_weights();
 
     // ---- Pass 2: optimize with source weights, profile blocks ---------
-    let mut e2 = Engine::new();
-    e2.set_profile(source_weights.clone());
-    let (_top2, canon2, block_counts, baseline_metrics, _) =
-        compile_and_run(&mut e2, src, file, None)?;
+    let mut incr = IncrementalEngine::with_engine(
+        Engine::new(),
+        src,
+        file,
+        IncrementalConfig::default(),
+    )?;
+    let unit2 = incr.compile(&source_weights)?;
 
-    // ---- Pass 3: optimize with source weights AND block counts --------
-    let mut e3 = Engine::new();
-    e3.set_profile(source_weights.clone());
-    let program = e3.expand_to_core(src, file)?;
-    let toplevel: Vec<Chunk> = program.iter().map(compile_chunk).collect();
+    // ---- Pass 3: recompile with the same source weights ---------------
+    // Served from the per-form cache: every read-set still validates, so
+    // reuse is total and the pass-3 code *is* the pass-2 code (same
+    // chunks, same ids).
+    let unit3 = incr.compile(&source_weights)?;
+    let stable = unit2.cfgs == unit3.cfgs;
+    let reuse = unit3.stats;
 
-    // Discover lambda chunks (and verify CFG stability) with a warm-up
-    // run, then translate pass-2 block counts onto pass-3 chunk ids by
-    // creation order — valid because expansion under identical source
-    // weights is deterministic.
-    let mut vm = Vm::new(e3.interp_mut());
-    for chunk in &toplevel {
+    // Profile basic blocks while running the pass-2 code. Lambda bodies
+    // compile lazily inside the VM and are shared by both passes (reused
+    // forms hand back the same core forms).
+    let block_counts = BlockCounters::new();
+    let mut vm = Vm::new(incr.engine_mut().interp_mut());
+    vm.set_block_profiling(block_counts.clone());
+    for chunk in &unit2.chunks {
         vm.run_chunk(chunk)?;
     }
-    let mut canon3: Vec<String> = toplevel.iter().map(canonical_form).collect();
-    canon3.extend(vm.compiled_chunks().iter().map(|c| canonical_form(c)));
-    let stable = canon2 == canon3;
+    let baseline_metrics = vm.metrics;
+    let lambda_canon: Vec<String> =
+        vm.compiled_chunks().iter().map(|c| canonical_form(c)).collect();
+    let mut pass2_chunks = unit2.cfgs.clone();
+    pass2_chunks.extend(lambda_canon.iter().cloned());
+    let mut pass3_chunks = unit3.cfgs.clone();
+    pass3_chunks.extend(lambda_canon);
 
-    // Translate block counts: i-th pass-2 chunk -> i-th pass-3 chunk.
-    let pass2_ids: Vec<u32> = {
-        // Recover pass-2 ids from the counters themselves, in ascending
-        // order (ids increase in creation order within a pass).
-        let mut ids: Vec<u32> = block_counts
-            .snapshot()
-            .keys()
-            .map(|(chunk, _)| *chunk)
-            .collect();
-        ids.sort_unstable();
-        ids.dedup();
-        ids
-    };
-    let mut pass3_ids: Vec<u32> = toplevel.iter().map(|c| c.id).collect();
-    pass3_ids.extend(vm.compiled_chunks().iter().map(|c| c.id));
-    pass3_ids.sort_unstable();
-    let translated = BlockCounters::new();
-    for ((chunk, block), count) in block_counts.snapshot() {
-        if let Some(pos) = pass2_ids.iter().position(|id| *id == chunk) {
-            if let Some(new_id) = pass3_ids.get(pos) {
-                for _ in 0..count {
-                    translated.increment(*new_id, block);
-                }
-            }
-        }
-    }
-
-    // Apply the block-level PGO (layout) and measure the final run.
-    let laid_out: Vec<Chunk> = toplevel
+    // Apply the block-level PGO (layout) and measure the final run. The
+    // counters apply directly: pass-3 chunks kept their pass-2 ids.
+    let laid_out: Vec<Chunk> = unit3
+        .chunks
         .iter()
-        .map(|c| optimize_layout(c, &translated))
+        .map(|c| optimize_layout(c, &block_counts))
         .collect();
-    vm.relayout_cached(&translated);
+    vm.relayout_cached(&block_counts);
     vm.metrics = VmMetrics::default();
     vm.block_counters = None;
     let mut result = String::new();
@@ -148,9 +120,10 @@ pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
 
     Ok(ThreePassReport {
         source_weights,
-        pass2_chunks: canon2,
-        pass3_chunks: canon3,
+        pass2_chunks,
+        pass3_chunks,
         stable,
+        reuse,
         baseline_metrics,
         optimized_metrics,
         result,
@@ -181,6 +154,11 @@ mod tests {
         assert_eq!(report.result, "499");
         assert!(!report.source_weights.is_empty());
         assert_eq!(report.pass2_chunks.len(), report.pass3_chunks.len());
+        assert!(
+            report.reuse.all_reused(),
+            "pass 3 under identical weights must be a full cache hit: {:?}",
+            report.reuse
+        );
     }
 
     #[test]

@@ -81,6 +81,22 @@ impl Expander {
         Ok(out)
     }
 
+    /// Source-to-source expansion of a single toplevel form (the
+    /// per-form mirror of [`Expander::expand_to_syntax`], used by the
+    /// incremental recompilation cache).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExpandError`] encountered.
+    pub fn expand_form_to_syntax(
+        &mut self,
+        form: &Rc<Syntax>,
+    ) -> Result<Vec<Rc<Syntax>>, ExpandError> {
+        let mut out = Vec::new();
+        self.expand_toplevel_to_syntax(form.clone(), &mut out)?;
+        Ok(out)
+    }
+
     fn expand_toplevel_to_syntax(
         &mut self,
         form: Rc<Syntax>,

@@ -27,6 +27,7 @@ pub struct Expander {
     /// Budget of macro applications per `expand_program`/`expand_expr_top`
     /// call; exceeding it reports an expansion loop.
     pub max_steps: usize,
+    meta_dirty: bool,
 }
 
 impl Default for Expander {
@@ -48,13 +49,24 @@ impl Expander {
             next_mark: 1,
             steps: 0,
             max_steps: 100_000,
+            meta_dirty: false,
         }
     }
 
     /// Registers `transformer` (a procedure value in the meta interpreter)
     /// as the macro `name`.
     pub fn define_macro(&mut self, name: Symbol, transformer: Value) {
+        self.meta_dirty = true;
         self.macros.insert(name, transformer);
+    }
+
+    /// Reports (and clears) whether expansion since the last call changed
+    /// compile-time state visible to later forms: a `define-syntax`,
+    /// `define-for-syntax`, or `begin-for-syntax` ran. The incremental
+    /// cache uses this to invalidate every form downstream of such a form —
+    /// their cached expansions may depend on the old meta state.
+    pub fn take_meta_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.meta_dirty)
     }
 
     /// True iff `name` is a registered macro.
@@ -227,6 +239,24 @@ impl Expander {
         Ok(out)
     }
 
+    /// Expands a single toplevel form, returning the core forms it
+    /// produces (possibly several, via `begin` splicing; possibly none,
+    /// for `define-syntax` and friends).
+    ///
+    /// This is the per-form granularity the incremental recompilation
+    /// cache works at: each toplevel form is expanded (or reused)
+    /// independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ExpandError`] encountered.
+    pub fn expand_form(&mut self, form: &Rc<Syntax>) -> Result<Vec<Rc<Core>>, ExpandError> {
+        self.steps = 0;
+        let mut out = Vec::new();
+        self.expand_toplevel_form(form.clone(), &mut out)?;
+        Ok(out)
+    }
+
     fn expand_toplevel_form(
         &mut self,
         form: Rc<Syntax>,
@@ -249,6 +279,7 @@ impl Expander {
             Some("define-syntax") => self.handle_define_syntax(&form),
             Some("define-for-syntax") => self.handle_define_for_syntax(&form),
             Some("begin-for-syntax") => {
+                self.meta_dirty = true;
                 let elems = form.as_list().expect("checked");
                 for sub in &elems[1..] {
                     // Defines inside begin-for-syntax become meta globals.
@@ -343,6 +374,7 @@ impl Expander {
     }
 
     fn handle_define_for_syntax(&mut self, form: &Syntax) -> Result<(), ExpandError> {
+        self.meta_dirty = true;
         let env = CEnv::new();
         let (name, value) = forms::expand_define(self, form, &env)?;
         let core = Core::rc(CoreKind::DefineGlobal(name, value), form.source);

@@ -1,0 +1,186 @@
+//! Stable per-form identity for the incremental recompilation cache.
+//!
+//! [`form_hash`] fingerprints a top-level form's *meaning-relevant* content:
+//! node structure, atom values, and source locations. Source offsets are
+//! included deliberately — profile weights are keyed by `SourceObject`
+//! (file + byte offsets), so a form whose text shifted must hash differently
+//! even when its datum structure is unchanged: its profile points moved, and
+//! any cached expansion that baked in the old points would be stale.
+//!
+//! Hygiene marks are *excluded*: reader output carries no marks, and the
+//! cache keys forms as read, before any expansion.
+
+use pgmp_syntax::{Datum, Syntax, SyntaxBody};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        // Length-prefix so ("ab","c") and ("a","bc") differ.
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+fn hash_datum(h: &mut Fnv, d: &Datum) {
+    match d {
+        Datum::Nil => h.byte(0),
+        Datum::Bool(b) => {
+            h.byte(1);
+            h.byte(*b as u8);
+        }
+        Datum::Int(i) => {
+            h.byte(2);
+            h.u64(*i as u64);
+        }
+        Datum::Float(f) => {
+            h.byte(3);
+            h.u64(f.to_bits());
+        }
+        Datum::Char(c) => {
+            h.byte(4);
+            h.u64(*c as u64);
+        }
+        Datum::Str(s) => {
+            h.byte(5);
+            h.str(s);
+        }
+        Datum::Sym(s) => {
+            h.byte(6);
+            h.str(s.as_str());
+        }
+        Datum::Pair(p) => {
+            h.byte(7);
+            hash_datum(h, &p.0);
+            hash_datum(h, &p.1);
+        }
+        Datum::Vector(v) => {
+            h.byte(8);
+            h.u64(v.len() as u64);
+            for e in v.iter() {
+                hash_datum(h, e);
+            }
+        }
+    }
+}
+
+fn hash_node(h: &mut Fnv, stx: &Syntax) {
+    match stx.source {
+        Some(src) => {
+            h.byte(1);
+            h.str(src.file.as_str());
+            h.u64(src.bfp as u64);
+            h.u64(src.efp as u64);
+        }
+        None => h.byte(0),
+    }
+    match &stx.body {
+        SyntaxBody::Atom(d) => {
+            h.byte(10);
+            hash_datum(h, d);
+        }
+        SyntaxBody::List(elems) => {
+            h.byte(11);
+            h.u64(elems.len() as u64);
+            for e in elems {
+                hash_node(h, e);
+            }
+        }
+        SyntaxBody::Improper(elems, tail) => {
+            h.byte(12);
+            h.u64(elems.len() as u64);
+            for e in elems {
+                hash_node(h, e);
+            }
+            hash_node(h, tail);
+        }
+        SyntaxBody::Vector(elems) => {
+            h.byte(13);
+            h.u64(elems.len() as u64);
+            for e in elems {
+                hash_node(h, e);
+            }
+        }
+    }
+}
+
+/// Fingerprints a top-level form for cache keying: structure, atoms, and
+/// source positions, ignoring hygiene marks.
+pub fn form_hash(stx: &Syntax) -> u64 {
+    let mut h = Fnv::new();
+    hash_node(&mut h, stx);
+    h.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgmp_reader::read_str;
+
+    fn one(src: &str, file: &str) -> std::rc::Rc<Syntax> {
+        read_str(src, file).unwrap().remove(0)
+    }
+
+    #[test]
+    fn identical_text_hashes_equal() {
+        assert_eq!(
+            form_hash(&one("(+ 1 2)", "a.scm")),
+            form_hash(&one("(+ 1 2)", "a.scm"))
+        );
+    }
+
+    #[test]
+    fn different_text_hashes_differ() {
+        assert_ne!(
+            form_hash(&one("(+ 1 2)", "a.scm")),
+            form_hash(&one("(+ 1 3)", "a.scm"))
+        );
+    }
+
+    #[test]
+    fn shifted_offsets_hash_differently() {
+        // Same datum, different byte positions: the profile points moved,
+        // so the cache must treat it as a different form.
+        let a = one("(+ 1 2)", "a.scm");
+        let b = read_str("     (+ 1 2)", "a.scm").unwrap().remove(0);
+        assert_eq!(a.to_datum().to_string(), b.to_datum().to_string());
+        assert_ne!(form_hash(&a), form_hash(&b));
+    }
+
+    #[test]
+    fn file_name_participates() {
+        assert_ne!(
+            form_hash(&one("(+ 1 2)", "a.scm")),
+            form_hash(&one("(+ 1 2)", "b.scm"))
+        );
+    }
+
+    #[test]
+    fn marks_do_not_participate() {
+        let a = one("(+ 1 2)", "a.scm");
+        let marked = a.apply_mark(pgmp_syntax::Mark(7));
+        assert_eq!(form_hash(&a), form_hash(&marked));
+    }
+}

@@ -53,6 +53,7 @@ mod deep;
 mod error;
 mod expander;
 mod forms;
+mod identity;
 mod pattern;
 mod support;
 mod template;
@@ -60,4 +61,5 @@ mod template;
 pub use cenv::{BindKind, CEnv};
 pub use error::{ExpandError, ExpandErrorKind};
 pub use expander::Expander;
+pub use identity::form_hash;
 pub use support::install_expander_support;

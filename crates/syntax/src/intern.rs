@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{OnceLock, RwLock};
 
 /// A globally interned identifier.
 ///
@@ -32,10 +32,14 @@ struct Interner {
     names: Vec<&'static str>,
 }
 
-fn interner() -> &'static Mutex<Interner> {
-    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+// The table is append-only: ids are never reused and names never change,
+// so lookups (`as_str`, and the fast path of `intern`) take only a read
+// lock and run concurrently; the write lock is held just long enough to
+// append a new name.
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
-        Mutex::new(Interner {
+        RwLock::new(Interner {
             map: HashMap::new(),
             names: Vec::new(),
         })
@@ -47,7 +51,14 @@ static GENSYM_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
     pub fn intern(name: &str) -> Symbol {
-        let mut guard = interner().lock().expect("symbol interner poisoned");
+        {
+            let guard = interner().read().expect("symbol interner poisoned");
+            if let Some(&id) = guard.map.get(name) {
+                return Symbol(id);
+            }
+        }
+        let mut guard = interner().write().expect("symbol interner poisoned");
+        // Re-check: another thread may have interned `name` between locks.
         if let Some(&id) = guard.map.get(name) {
             return Symbol(id);
         }
@@ -62,7 +73,7 @@ impl Symbol {
 
     /// Returns the string this symbol was interned from.
     pub fn as_str(self) -> &'static str {
-        let guard = interner().lock().expect("symbol interner poisoned");
+        let guard = interner().read().expect("symbol interner poisoned");
         guard.names[self.0 as usize]
     }
 
@@ -129,5 +140,21 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(Symbol::intern("display-me").to_string(), "display-me");
+    }
+
+    #[test]
+    fn concurrent_intern_and_read_agree() {
+        let syms: Vec<Symbol> = (0..64).map(|i| Symbol::intern(&format!("conc-{i}"))).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let syms = &syms;
+                s.spawn(move || {
+                    for (i, sym) in syms.iter().enumerate() {
+                        assert_eq!(sym.as_str(), format!("conc-{i}"));
+                        assert_eq!(Symbol::intern(&format!("conc-{i}")), *sym);
+                    }
+                });
+            }
+        });
     }
 }

@@ -79,7 +79,12 @@ impl fmt::Display for SourceObject {
 /// // Identical generation order => identical points across compilations.
 /// assert_eq!(f1.make_profile_point(Some(base)), f2.make_profile_point(Some(base)));
 /// ```
-#[derive(Debug, Default, Clone)]
+/// `PartialEq` compares allocation state: two factories are equal iff they
+/// would generate identical point sequences from here on. The incremental
+/// recompilation cache keys per-form reuse on this (a cached expansion is
+/// only valid if point generation resumes from the exact state it was
+/// originally produced under).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct SourceFactory {
     next_suffix: HashMap<Symbol, u32>,
 }

@@ -61,7 +61,10 @@ fn hot_branch_shift_reorders_clauses_after_drift() {
     // worker threads collect concurrently, then one epoch ticks.
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..4)
-            .map(|_| s.spawn(|| engine.collect_run(Some(&drive(0, 10)))))
+            .map(|_| {
+                let h = engine.handle();
+                s.spawn(move || h.collect_run(Some(&drive(0, 10))))
+            })
             .collect();
         for w in workers {
             w.join().unwrap().unwrap();
@@ -97,7 +100,10 @@ fn hot_branch_shift_reorders_clauses_after_drift() {
     for _ in 0..6 {
         std::thread::scope(|s| {
             let workers: Vec<_> = (0..4)
-                .map(|_| s.spawn(|| engine.collect_run(Some(&drive(10, 60)))))
+                .map(|_| {
+                    let h = engine.handle();
+                    s.spawn(move || h.collect_run(Some(&drive(10, 60))))
+                })
                 .collect();
             for w in workers {
                 w.join().unwrap().unwrap();
@@ -137,7 +143,10 @@ fn background_aggregator_drives_the_same_loop() {
 
     std::thread::scope(|s| {
         let workers: Vec<_> = (0..2)
-            .map(|_| s.spawn(|| engine.collect_run(Some(&drive(10, 40)))))
+            .map(|_| {
+                let h = engine.handle();
+                s.spawn(move || h.collect_run(Some(&drive(10, 40))))
+            })
             .collect();
         for w in workers {
             w.join().unwrap().unwrap();
