@@ -1,9 +1,19 @@
 //! `ShardedCounters`: the concurrent counterpart of `pgmp_profiler::Counters`.
 
-use pgmp_profiler::Dataset;
-use pgmp_rt::ShardedRegistry;
+use pgmp_profiler::{Dataset, SlotMap};
+use pgmp_rt::{AtomicSlotArray, CoalescingWriter, FlushStats, FlushStatsSnapshot};
 use pgmp_syntax::SourceObject;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+
+struct Inner {
+    /// Point → slot interning. Read-locked on the hot path (a hit on a
+    /// known point), write-locked only the first time a point is seen.
+    slots: RwLock<SlotMap>,
+    /// Dense slot → count storage; bumps are lock-free relaxed atomics.
+    counts: Arc<AtomicSlotArray>,
+    /// Shared flush statistics of every [`CountersWriter`] handed out.
+    stats: Arc<FlushStats>,
+}
 
 /// A `Send + Sync` live counter registry for concurrent profile collection.
 ///
@@ -15,13 +25,20 @@ use std::sync::Arc;
 /// aggregator periodically [`drain`](ShardedCounters::drain)s the whole
 /// registry into an epoch [`Dataset`].
 ///
-/// Internally this is the same lock-striped [`ShardedRegistry`] the
-/// proc-macro runtime (`pgmp-rt`) uses for its global registry, keyed by
-/// interned [`SourceObject`]s instead of point-name strings — both
-/// implementations of the design share one concurrency substrate.
+/// Internally this is the concurrent twin of the profiler's dense
+/// representation: points are interned once into a [`SlotMap`] (read lock
+/// on re-resolution, write lock only for a never-seen point) and counts
+/// live in a [`pgmp_rt::AtomicSlotArray`], so a hit on a known slot is a
+/// single relaxed fetch-add — no lock, no hashing. Compare the lock-striped
+/// [`pgmp_rt::ShardedRegistry`] this type used to wrap, where every bump
+/// hashed the key and took a stripe's read lock. (The name survives the
+/// representation change; so does the whole API.)
 ///
 /// Handles are cheaply cloneable and share state, mirroring the `Counters`
-/// API.
+/// API. For write-heavy workers, [`ShardedCounters::writer`] hands out a
+/// thread-local coalescing buffer that batches bumps and flushes them at
+/// the latest when dropped — the adaptive engine's epoch-boundary flush
+/// protocol.
 ///
 /// # Example
 ///
@@ -43,58 +60,112 @@ use std::sync::Arc;
 /// });
 /// assert_eq!(counters.snapshot().count(p), 4000);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct ShardedCounters {
-    inner: Arc<ShardedRegistry<SourceObject>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for ShardedCounters {
+    fn default() -> ShardedCounters {
+        ShardedCounters::new()
+    }
 }
 
 impl ShardedCounters {
-    /// An empty registry sized for this machine's parallelism.
+    /// An empty registry.
     pub fn new() -> ShardedCounters {
-        ShardedCounters::default()
-    }
-
-    /// An empty registry with a fixed shard count (rounded up to a power
-    /// of two).
-    pub fn with_shards(shards: usize) -> ShardedCounters {
         ShardedCounters {
-            inner: Arc::new(ShardedRegistry::with_shards(shards)),
+            inner: Arc::new(Inner {
+                slots: RwLock::new(SlotMap::new()),
+                counts: Arc::new(AtomicSlotArray::new()),
+                stats: Arc::new(FlushStats::default()),
+            }),
         }
     }
 
-    /// Number of lock stripes.
-    pub fn shard_count(&self) -> usize {
-        self.inner.shard_count()
+    /// Compatibility constructor from the lock-striped era; the dense
+    /// registry has no stripes, so this is [`ShardedCounters::new`].
+    pub fn with_shards(_shards: usize) -> ShardedCounters {
+        ShardedCounters::new()
+    }
+
+    fn slots(&self) -> std::sync::RwLockReadGuard<'_, SlotMap> {
+        self.inner.slots.read().expect("sharded counters slot map poisoned")
+    }
+
+    /// The dense slot for profile point `p`, interning it on first
+    /// resolution. Slots are stable for the registry's lifetime (never
+    /// recycled, not even by [`ShardedCounters::clear`]), so they can be
+    /// cached by workers and embedded in generated code.
+    pub fn resolve(&self, p: SourceObject) -> u32 {
+        if let Some(slot) = self.slots().get(p) {
+            return slot;
+        }
+        self.inner
+            .slots
+            .write()
+            .expect("sharded counters slot map poisoned")
+            .resolve(p)
+    }
+
+    /// The slot previously assigned to `p`, if any (never interns).
+    pub fn slot(&self, p: SourceObject) -> Option<u32> {
+        self.slots().get(p)
+    }
+
+    /// Number of slots interned so far (distinct points ever seen).
+    pub fn resolved_slots(&self) -> usize {
+        self.slots().len()
+    }
+
+    /// Adds `n` to the counter of an already-resolved `slot` (saturating).
+    /// This is the lock-free hot path: one relaxed atomic RMW.
+    #[inline]
+    pub fn add_slot(&self, slot: u32, n: u64) {
+        self.inner.counts.add(slot, n);
+    }
+
+    /// Current count of an already-resolved `slot`.
+    pub fn count_slot(&self, slot: u32) -> u64 {
+        self.inner.counts.get(slot)
     }
 
     /// Adds one to the counter for profile point `p` (saturating).
     pub fn increment(&self, p: SourceObject) {
-        self.inner.increment(&p);
+        self.add(p, 1);
     }
 
     /// Adds `n` to the counter for profile point `p` (saturating).
     pub fn add(&self, p: SourceObject, n: u64) {
-        self.inner.add(&p, n);
+        let slot = self.resolve(p);
+        self.inner.counts.add(slot, n);
     }
 
     /// Current count for `p` (0 if never incremented).
     pub fn count(&self, p: SourceObject) -> u64 {
-        self.inner.count(&p)
+        match self.slots().get(p) {
+            Some(slot) => self.inner.counts.get(slot),
+            None => 0,
+        }
     }
 
-    /// Number of profile points with a counter.
+    /// Number of profile points with a nonzero count.
     pub fn len(&self) -> usize {
-        self.inner.len()
+        let slots = self.slots();
+        (0..slots.len() as u32)
+            .filter(|&s| self.inner.counts.get(s) > 0)
+            .count()
     }
 
     /// True iff nothing has been counted.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.len() == 0
     }
 
-    /// Zeroes all counters.
+    /// Zeroes all counters. Slot assignments survive, so slots cached by
+    /// workers stay valid.
     pub fn clear(&self) {
-        self.inner.clear();
+        self.inner.counts.clear();
     }
 
     /// Adds every count of `dataset` — how a worker thread merges the
@@ -102,23 +173,61 @@ impl ShardedCounters {
     pub fn absorb(&self, dataset: &Dataset) {
         for (p, c) in dataset.iter() {
             if c > 0 {
-                self.inner.add(&p, c);
+                self.add(p, c);
             }
         }
     }
 
+    /// A thread-local coalescing writer over this registry, flushing
+    /// automatically at `capacity` distinct buffered points and on drop.
+    /// Buffered hits are invisible to [`snapshot`](ShardedCounters::snapshot)
+    /// and [`drain`](ShardedCounters::drain) until flushed; the flush
+    /// protocol is that writers live no longer than one epoch's collection
+    /// unit (drop flushes), so the next drain sees everything.
+    pub fn writer(&self, capacity: usize) -> CountersWriter {
+        CountersWriter {
+            registry: self.clone(),
+            writer: CoalescingWriter::new(
+                self.inner.counts.clone(),
+                self.inner.stats.clone(),
+                capacity,
+            ),
+        }
+    }
+
+    /// Cumulative flush statistics of every writer handed out by
+    /// [`ShardedCounters::writer`].
+    pub fn flush_stats(&self) -> FlushStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
     /// Copies the current counts into a [`Dataset`], reusing the existing
-    /// weight/merge pipeline unchanged.
+    /// weight/merge pipeline unchanged. Zero counts are skipped, so dense
+    /// and hash-keyed registries fed the same hits snapshot identically.
     pub fn snapshot(&self) -> Dataset {
-        self.inner.snapshot().into_iter().collect()
+        let slots = self.slots();
+        slots
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(s, p)| (*p, self.inner.counts.get(s as u32)))
+            .filter(|(_, c)| *c > 0)
+            .collect()
     }
 
     /// Moves all counts out into a [`Dataset`], leaving the registry
     /// empty. Concurrent increments land either in this dataset or the
     /// next one, never in both and never nowhere — the epoch-aggregation
-    /// guarantee.
+    /// guarantee, per slot ([`AtomicSlotArray::take`]).
     pub fn drain(&self) -> Dataset {
-        self.inner.drain().into_iter().collect()
+        let slots = self.slots();
+        slots
+            .points()
+            .iter()
+            .enumerate()
+            .map(|(s, p)| (*p, self.inner.counts.take(s as u32)))
+            .filter(|(_, c)| *c > 0)
+            .collect()
     }
 }
 
@@ -126,8 +235,45 @@ impl std::fmt::Debug for ShardedCounters {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedCounters")
             .field("points", &self.len())
-            .field("shards", &self.shard_count())
+            .field("slots", &self.resolved_slots())
             .finish()
+    }
+}
+
+/// A thread-local write-coalescing handle over a [`ShardedCounters`]:
+/// resolves points to slots through the shared registry, buffers counts in
+/// a private [`CoalescingWriter`], and flushes at capacity and on drop.
+///
+/// Not `Clone` and not shareable — each worker thread owns its writer, so
+/// buffering needs no synchronization at all.
+#[derive(Debug)]
+pub struct CountersWriter {
+    registry: ShardedCounters,
+    writer: CoalescingWriter,
+}
+
+impl CountersWriter {
+    /// Buffers one hit on `p`.
+    #[inline]
+    pub fn increment(&mut self, p: SourceObject) {
+        self.add(p, 1);
+    }
+
+    /// Buffers `n` hits on `p`, flushing if the buffer is full.
+    #[inline]
+    pub fn add(&mut self, p: SourceObject, n: u64) {
+        let slot = self.registry.resolve(p);
+        self.writer.add(slot, n);
+    }
+
+    /// Pushes every buffered count to the shared registry.
+    pub fn flush(&mut self) {
+        self.writer.flush();
+    }
+
+    /// Distinct points currently buffered.
+    pub fn pending_slots(&self) -> usize {
+        self.writer.pending_slots()
     }
 }
 
@@ -163,6 +309,35 @@ mod tests {
     }
 
     #[test]
+    fn slots_are_stable_across_clear_and_drain() {
+        let c = ShardedCounters::new();
+        let s0 = c.resolve(p(0));
+        let s1 = c.resolve(p(1));
+        assert_ne!(s0, s1);
+        c.add_slot(s0, 2);
+        c.clear();
+        assert_eq!(c.resolve(p(0)), s0, "clear must not recycle slots");
+        c.add_slot(s0, 5);
+        let _ = c.drain();
+        assert_eq!(c.resolve(p(1)), s1, "drain must not recycle slots");
+        assert_eq!(c.resolved_slots(), 2);
+        c.add_slot(s1, 1);
+        assert_eq!(c.count(p(1)), 1);
+    }
+
+    #[test]
+    fn slot_and_keyed_apis_agree() {
+        let c = ShardedCounters::new();
+        let s = c.resolve(p(3));
+        c.add_slot(s, 4);
+        c.increment(p(3));
+        assert_eq!(c.count(p(3)), 5);
+        assert_eq!(c.count_slot(s), 5);
+        assert_eq!(c.slot(p(3)), Some(s));
+        assert_eq!(c.slot(p(4)), None);
+    }
+
+    #[test]
     fn snapshot_feeds_existing_weight_pipeline() {
         let c = ShardedCounters::new();
         c.add(p(0), 5);
@@ -193,5 +368,27 @@ mod tests {
         // Zero-count entries are not materialized.
         assert_eq!(c.count(p(1)), 0);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn writer_buffers_then_flushes_into_the_shared_registry() {
+        let c = ShardedCounters::new();
+        {
+            let mut w = c.writer(8);
+            w.increment(p(0));
+            w.add(p(0), 2);
+            w.increment(p(1));
+            assert_eq!(c.count(p(0)), 0, "buffered hits are invisible");
+            assert_eq!(w.pending_slots(), 2);
+            w.flush();
+            assert_eq!(c.count(p(0)), 3);
+            w.increment(p(2));
+            // drop flushes the rest
+        }
+        assert_eq!(c.count(p(2)), 1);
+        let stats = c.flush_stats();
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.flushed_slots, 3);
+        assert_eq!(stats.buffered_hits, 5);
     }
 }

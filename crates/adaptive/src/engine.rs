@@ -42,6 +42,13 @@ pub struct AdaptiveConfig {
     /// Epochs to skip drift detection after a re-optimization, bounding
     /// the recompile rate under sustained drift. `0` disables.
     pub cooldown_epochs: u64,
+    /// Write-coalescing buffer capacity (distinct points) for worker-side
+    /// counter merges: `0` (the default) writes straight to the shared
+    /// registry; `n > 0` batches through a [`crate::CountersWriter`] that
+    /// flushes at `n` distinct buffered points and, at the latest, when
+    /// the collection unit ends — so every hit is visible to the next
+    /// epoch drain. Flush statistics via [`AdaptiveHandle::flush_stats`].
+    pub coalesce: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -56,6 +63,7 @@ impl Default for AdaptiveConfig {
             epsilon: 0.0,
             hysteresis_epochs: 1,
             cooldown_epochs: 0,
+            coalesce: 0,
         }
     }
 }
@@ -129,6 +137,9 @@ struct Shared {
     file: String,
     setup: Option<Setup>,
     counters: ShardedCounters,
+    /// [`AdaptiveConfig::coalesce`], copied here so worker-side handles
+    /// can batch without holding the whole config.
+    coalesce: usize,
     program: RwLock<Arc<CompiledProgram>>,
     agg: Mutex<AggState>,
     pending: Mutex<Option<ProfileInformation>>,
@@ -198,9 +209,28 @@ impl AdaptiveHandle {
         &self.shared.counters
     }
 
-    /// Merges one instrumented run's dataset into the shared registry.
+    /// Merges one instrumented run's dataset into the shared registry,
+    /// through a coalescing writer when [`AdaptiveConfig::coalesce`] is on.
     pub fn absorb(&self, dataset: &pgmp_profiler::Dataset) {
-        self.shared.counters.absorb(dataset);
+        if self.shared.coalesce > 0 {
+            let mut w = self.shared.counters.writer(self.shared.coalesce);
+            for (p, c) in dataset.iter() {
+                if c > 0 {
+                    w.add(p, c);
+                }
+            }
+            // Dropping the writer flushes the tail, so the merge is fully
+            // visible before absorb returns.
+        } else {
+            self.shared.counters.absorb(dataset);
+        }
+    }
+
+    /// Cumulative flush statistics of the coalescing writers used by
+    /// [`AdaptiveHandle::absorb`]/[`AdaptiveHandle::collect_run`] (all
+    /// zero when [`AdaptiveConfig::coalesce`] is 0).
+    pub fn flush_stats(&self) -> pgmp_rt::FlushStatsSnapshot {
+        self.shared.counters.flush_stats()
     }
 
     /// The program generation currently being served. The returned `Arc`
@@ -249,7 +279,7 @@ impl AdaptiveHandle {
         if let Some(d) = driver {
             engine.run_str(d, "adaptive-driver.scm")?;
         }
-        self.shared.counters.absorb(&engine.counters().snapshot());
+        self.absorb(&engine.counters().snapshot());
         Ok(())
     }
 }
@@ -335,6 +365,7 @@ impl AdaptiveEngine {
             file: file.to_owned(),
             setup,
             counters: ShardedCounters::new(),
+            coalesce: config.coalesce,
             program: RwLock::new(placeholder),
             agg: Mutex::new(AggState {
                 rolling: RollingProfile::new(config.decay),

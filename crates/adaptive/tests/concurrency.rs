@@ -4,6 +4,7 @@
 
 use pgmp_adaptive::ShardedCounters;
 use pgmp_profiler::Dataset;
+use pgmp_rt::ShardedRegistry;
 use pgmp_syntax::SourceObject;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -129,5 +130,74 @@ fn concurrent_drain_partitions_every_hit() {
         drained_total + residue,
         THREADS as u64 * PER_THREAD,
         "epoch drains lost or duplicated hits"
+    );
+}
+
+/// Concurrent equivalence oracle: the dense slot-indexed registry and the
+/// lock-striped hash registry it replaced agree on every per-point count
+/// after identical concurrent workloads.
+#[test]
+fn dense_registry_agrees_with_lock_striped_oracle() {
+    const THREADS: u64 = 6;
+    const PER_THREAD: u64 = 5_000;
+    const POINTS: u64 = 11;
+
+    let dense = ShardedCounters::new();
+    let oracle: ShardedRegistry<SourceObject> = ShardedRegistry::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let dense = dense.clone();
+            let oracle = &oracle;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let p = point(((t * 3 + i) % POINTS) as u32);
+                    let n = 1 + (t + i) % 4;
+                    dense.add(p, n);
+                    oracle.add(&p, n);
+                }
+            });
+        }
+    });
+    for raw in 0..POINTS {
+        let p = point(raw as u32);
+        assert_eq!(dense.count(p), oracle.count(&p), "point {raw}");
+    }
+    let dense_total: u64 = dense.snapshot().iter().map(|(_, c)| c).sum();
+    let oracle_total: u64 = oracle.snapshot().iter().map(|(_, c)| c).sum();
+    assert_eq!(dense_total, oracle_total);
+}
+
+/// Per-thread coalescing writers lose nothing: once every writer has
+/// flushed (here: dropped), the registry holds exactly the hits issued,
+/// and the flush statistics account for all of them.
+#[test]
+fn coalescing_writers_preserve_every_hit() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    const POINTS: u64 = 9;
+
+    let counters = ShardedCounters::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let c = counters.clone();
+            s.spawn(move || {
+                // Capacity above the point count, so every point's hits
+                // coalesce locally and only flush at capacity/drop.
+                let mut w = c.writer(16);
+                for i in 0..PER_THREAD {
+                    w.increment(point(((t + i) % POINTS) as u32));
+                }
+                // drop flushes the tail
+            });
+        }
+    });
+    let total: u64 = counters.snapshot().iter().map(|(_, c)| c).sum();
+    assert_eq!(total, THREADS * PER_THREAD, "coalescing lost hits");
+    let stats = counters.flush_stats();
+    assert_eq!(stats.buffered_hits, THREADS * PER_THREAD);
+    assert!(stats.flushes > 0);
+    assert!(
+        stats.flushed_slots < stats.buffered_hits,
+        "coalescing should collapse many hits per flushed slot"
     );
 }

@@ -13,7 +13,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pgmp::{AnnotateStrategy, Engine};
 use pgmp_bench::workloads::fib_program;
-use pgmp_profiler::ProfileMode;
+use pgmp_bytecode::{compile_chunk, BlockCounters, Vm};
+use pgmp_profiler::{CounterImpl, ProfileMode};
 
 fn bench_overhead(c: &mut Criterion) {
     let program = fib_program(16);
@@ -27,6 +28,15 @@ fn bench_overhead(c: &mut Criterion) {
 
     group.bench_function("chez-style-every-expression", |b| {
         let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        b.iter(|| e.run_str(&program, "e7.scm").expect("run"))
+    });
+
+    // Same instrumentation through the legacy hash-keyed counter backend:
+    // the baseline the dense slot-indexed representation replaced.
+    group.bench_function("chez-style-every-expression-hash", |b| {
+        let mut e = Engine::new();
+        e.set_counter_impl(CounterImpl::Hash);
         e.set_instrumentation(ProfileMode::EveryExpression);
         b.iter(|| e.run_str(&program, "e7.scm").expect("run"))
     });
@@ -56,6 +66,37 @@ fn bench_overhead(c: &mut Criterion) {
         let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
         b.iter(|| e.run_str(annotated, "a.scm").expect("run"))
     });
+
+    // VM-mode block counting, dense vs hash: every basic block bumps a
+    // counter, so the backend's per-hit cost dominates the delta.
+    group.bench_function("vm-block-uninstrumented", |b| {
+        let mut e = Engine::new();
+        let core = e.expand_to_core(&program, "e7.scm").expect("expand");
+        let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
+        let mut vm = Vm::new(e.interp_mut());
+        b.iter(|| {
+            for chunk in &chunks {
+                vm.run_chunk(chunk).expect("run");
+            }
+        })
+    });
+    for (name, kind) in [
+        ("vm-block-counters-dense", CounterImpl::Dense),
+        ("vm-block-counters-hash", CounterImpl::Hash),
+    ] {
+        group.bench_function(name, |b| {
+            let mut e = Engine::new();
+            let core = e.expand_to_core(&program, "e7.scm").expect("expand");
+            let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
+            let mut vm = Vm::new(e.interp_mut());
+            vm.set_block_profiling(BlockCounters::with_impl(kind));
+            b.iter(|| {
+                for chunk in &chunks {
+                    vm.run_chunk(chunk).expect("run");
+                }
+            })
+        });
+    }
 
     group.finish();
 }

@@ -14,7 +14,8 @@
 
 use pgmp::{AnnotateStrategy, Engine};
 use pgmp_bench::workloads::fib_program;
-use pgmp_profiler::ProfileMode;
+use pgmp_bytecode::{compile_chunk, BlockCounters, Vm};
+use pgmp_profiler::{CounterImpl, ProfileMode};
 use std::time::{Duration, Instant};
 
 fn time_runs(mut f: impl FnMut(), reps: u32) -> Duration {
@@ -41,6 +42,15 @@ fn main() {
     let every = time_runs(
         || {
             let mut e = Engine::new();
+            e.set_instrumentation(ProfileMode::EveryExpression);
+            e.run_str(&program, "e7.scm").expect("run");
+        },
+        reps,
+    );
+    let every_hash = time_runs(
+        || {
+            let mut e = Engine::new();
+            e.set_counter_impl(CounterImpl::Hash);
             e.set_instrumentation(ProfileMode::EveryExpression);
             e.run_str(&program, "e7.scm").expect("run");
         },
@@ -79,6 +89,32 @@ fn main() {
         reps,
     );
 
+    // VM-mode block counting: the same program through the bytecode VM,
+    // uninstrumented vs per-block counters on each backend.
+    let vm_run = |counters: Option<BlockCounters>| {
+        let mut e = Engine::new();
+        let core = e.expand_to_core(&program, "e7.scm").expect("expand");
+        let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
+        let mut vm = Vm::new(e.interp_mut());
+        if let Some(c) = counters {
+            vm.set_block_profiling(c);
+        }
+        // Warmup, then the mean of `reps` runs.
+        for chunk in &chunks {
+            vm.run_chunk(chunk).expect("run");
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for chunk in &chunks {
+                vm.run_chunk(chunk).expect("run");
+            }
+        }
+        t0.elapsed() / reps
+    };
+    let vm_base = vm_run(None);
+    let vm_dense = vm_run(Some(BlockCounters::with_impl(CounterImpl::Dense)));
+    let vm_hash = vm_run(Some(BlockCounters::with_impl(CounterImpl::Hash)));
+
     println!("§4.4 profiling overhead (fib workload; interpreter substrate)");
     println!("======================================================================");
     println!("{:<44} {:>10} {:>10}", "configuration", "time", "factor");
@@ -89,6 +125,12 @@ fn main() {
         "Chez model: every-expression counters",
         every,
         every.as_secs_f64() / base.as_secs_f64()
+    );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "  ... with legacy hash-keyed counters",
+        every_hash,
+        every_hash.as_secs_f64() / base.as_secs_f64()
     );
     println!(
         "{:<44} {:>10.2?} {:>9.2}x",
@@ -107,6 +149,31 @@ fn main() {
         "annotate-expr WrapLambda (profiling off)",
         wrapped,
         wrapped.as_secs_f64() / direct.as_secs_f64()
+    );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "VM: uninstrumented",
+        vm_base,
+        1.0
+    );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "VM: per-block counters (dense slots)",
+        vm_dense,
+        vm_dense.as_secs_f64() / vm_base.as_secs_f64()
+    );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "VM: per-block counters (hash-keyed)",
+        vm_hash,
+        vm_hash.as_secs_f64() / vm_base.as_secs_f64()
+    );
+    println!("----------------------------------------------------------------------");
+    let added = |t: Duration, b: Duration| (t.as_secs_f64() / b.as_secs_f64() - 1.0).max(1e-9);
+    println!(
+        "dense vs hash: interp overhead cut {:.1}x, VM overhead cut {:.1}x",
+        added(every_hash, base) / added(every, base),
+        added(vm_hash, vm_base) / added(vm_dense, vm_base)
     );
     println!("----------------------------------------------------------------------");
     println!("paper:   Chez ≈1.09x; errortrace 4–12x plus wrapping overhead.");

@@ -39,7 +39,15 @@ pub enum Instr {
         index: u16,
     },
     /// Push a global variable (error if unbound).
-    GlobalRef(Symbol),
+    GlobalRef {
+        /// Variable name.
+        name: Symbol,
+        /// Chunk-local cache index (dense, assigned at compile time;
+        /// `Chunk::global_refs` is the count). The VM memoizes the
+        /// interpreter's global *slot* here on first execution, so repeat
+        /// executions skip the `Symbol` hash entirely.
+        cache: u32,
+    },
     /// Pop a value into a local slot.
     SetLocal {
         /// Frames up.
@@ -110,6 +118,9 @@ pub struct Chunk {
     pub blocks: Vec<Block>,
     /// Entry block (always 0 after compilation, may move under layout).
     pub entry: BlockId,
+    /// Number of `GlobalRef` cache indices assigned in this chunk — the
+    /// length of the VM's chunk-local global-slot cache.
+    pub global_refs: u32,
 }
 
 impl std::fmt::Display for Chunk {
@@ -162,6 +173,7 @@ mod tests {
         let chunk = Chunk {
             id: fresh_chunk_id(),
             entry: 0,
+            global_refs: 0,
             blocks: vec![Block {
                 instrs: vec![Instr::Const(Datum::Int(7))],
                 term: Terminator::Return,
@@ -178,6 +190,7 @@ mod tests {
         let chunk = Chunk {
             id: fresh_chunk_id(),
             entry: 0,
+            global_refs: 0,
             blocks: vec![
                 Block {
                     instrs: vec![Instr::Const(Datum::Bool(true))],

@@ -7,6 +7,8 @@ use std::rc::Rc;
 struct Builder {
     blocks: Vec<Block>,
     current: BlockId,
+    /// Next chunk-local `GlobalRef` cache index.
+    global_refs: u32,
 }
 
 impl Builder {
@@ -17,6 +19,7 @@ impl Builder {
                 term: Terminator::Return, // patched as we go
             }],
             current: 0,
+            global_refs: 0,
         }
     }
 
@@ -54,6 +57,7 @@ pub fn compile_chunk(core: &Rc<Core>) -> Chunk {
         id: fresh_chunk_id(),
         blocks: b.blocks,
         entry: 0,
+        global_refs: b.global_refs,
     }
 }
 
@@ -84,7 +88,9 @@ fn compile_expr(b: &mut Builder, core: &Rc<Core>, tail: bool) {
             }
         }
         CoreKind::GlobalRef(name) => {
-            b.emit(Instr::GlobalRef(*name));
+            let cache = b.global_refs;
+            b.global_refs += 1;
+            b.emit(Instr::GlobalRef { name: *name, cache });
             if tail {
                 b.terminate(Terminator::Return);
             }

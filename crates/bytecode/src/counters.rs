@@ -1,8 +1,37 @@
 //! Block-level profile counters.
+//!
+//! Like the source-level [`pgmp_profiler::Counters`], the registry has two
+//! representations. The default **dense** backend assigns each registered
+//! chunk a contiguous base in one `Vec<Cell<u64>>` — the VM resolves the
+//! base once per activation and block entry becomes a vector bump. The
+//! legacy **hash** backend (one `(chunk, block)` hash per entry) survives
+//! behind [`CounterImpl::Hash`] as the e7 baseline and for interop.
 
-use std::cell::RefCell;
+use pgmp_profiler::CounterImpl;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Base index returned by [`BlockCounters::register_chunk`] when the
+/// registry is hash-keyed (or registration otherwise has no dense base);
+/// callers seeing this fall back to keyed increments.
+pub const NO_BASE: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Backend {
+    Dense {
+        /// chunk id → (base, block count) in `counts`.
+        bases: RefCell<HashMap<u32, (u32, u32)>>,
+        counts: RefCell<Vec<Cell<u64>>>,
+        /// Counts for `(chunk, block)` hits outside any registered range —
+        /// keyed increments to chunks nobody registered (tests, ad-hoc
+        /// tooling) still land somewhere.
+        overflow: RefCell<HashMap<(u32, u32), u64>>,
+    },
+    Hash {
+        counts: RefCell<HashMap<(u32, u32), u64>>,
+    },
+}
 
 /// Execution counts per `(chunk, block)` — the block-level analogue of the
 /// source-level [`pgmp_profiler::Counters`].
@@ -16,45 +45,227 @@ use std::rc::Rc;
 /// c.increment(0, 2);
 /// assert_eq!(c.count(0, 2), 2);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct BlockCounters {
-    counts: Rc<RefCell<HashMap<(u32, u32), u64>>>,
+    backend: Rc<Backend>,
+}
+
+impl Default for BlockCounters {
+    fn default() -> BlockCounters {
+        BlockCounters::new()
+    }
 }
 
 impl BlockCounters {
-    /// Creates an empty registry.
+    /// Creates an empty dense registry.
     pub fn new() -> BlockCounters {
-        BlockCounters::default()
+        BlockCounters::with_impl(CounterImpl::Dense)
     }
 
-    /// Adds one to block `block` of chunk `chunk`.
+    /// Creates an empty registry with an explicit representation.
+    pub fn with_impl(kind: CounterImpl) -> BlockCounters {
+        let backend = match kind {
+            CounterImpl::Dense => Backend::Dense {
+                bases: RefCell::new(HashMap::new()),
+                counts: RefCell::new(Vec::new()),
+                overflow: RefCell::new(HashMap::new()),
+            },
+            CounterImpl::Hash => Backend::Hash {
+                counts: RefCell::new(HashMap::new()),
+            },
+        };
+        BlockCounters {
+            backend: Rc::new(backend),
+        }
+    }
+
+    /// The representation behind this registry.
+    pub fn impl_kind(&self) -> CounterImpl {
+        match &*self.backend {
+            Backend::Dense { .. } => CounterImpl::Dense,
+            Backend::Hash { .. } => CounterImpl::Hash,
+        }
+    }
+
+    /// Registers chunk `chunk` with `blocks` basic blocks and returns the
+    /// base index of its counter range; idempotent (re-registration returns
+    /// the existing base). The VM registers once per activation, after
+    /// which each block entry is [`BlockCounters::increment_at`] — a vector
+    /// bump, no hashing. Returns [`NO_BASE`] on a hash-keyed registry.
+    pub fn register_chunk(&self, chunk: u32, blocks: u32) -> u32 {
+        match &*self.backend {
+            Backend::Dense { bases, counts, .. } => {
+                let mut bases = bases.borrow_mut();
+                if let Some((base, n)) = bases.get(&chunk) {
+                    if blocks <= *n {
+                        return *base;
+                    }
+                }
+                let mut counts = counts.borrow_mut();
+                let base = counts.len() as u32;
+                let new_len = counts.len() + blocks as usize;
+                counts.resize(new_len, Cell::new(0));
+                bases.insert(chunk, (base, blocks));
+                base
+            }
+            Backend::Hash { .. } => NO_BASE,
+        }
+    }
+
+    /// Adds one to the counter at `base + block`, saturating. Only valid
+    /// with a `base` returned by [`BlockCounters::register_chunk`] on this
+    /// (dense) registry and `block` within the registered block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry or an out-of-range index.
+    #[inline]
+    pub fn increment_at(&self, base: u32, block: u32) {
+        match &*self.backend {
+            Backend::Dense { counts, .. } => {
+                let counts = counts.borrow();
+                let c = &counts[(base + block) as usize];
+                c.set(c.get().saturating_add(1));
+            }
+            Backend::Hash { .. } => {
+                panic!("BlockCounters::increment_at on a hash-keyed registry")
+            }
+        }
+    }
+
+    /// Adds one to block `block` of chunk `chunk` (keyed interop path).
     pub fn increment(&self, chunk: u32, block: u32) {
-        *self.counts.borrow_mut().entry((chunk, block)).or_insert(0) += 1;
+        match &*self.backend {
+            Backend::Dense {
+                bases,
+                counts,
+                overflow,
+            } => {
+                let in_range = bases
+                    .borrow()
+                    .get(&chunk)
+                    .filter(|(_, n)| block < *n)
+                    .map(|(base, _)| base + block);
+                match in_range {
+                    Some(idx) => {
+                        let counts = counts.borrow();
+                        let c = &counts[idx as usize];
+                        c.set(c.get().saturating_add(1));
+                    }
+                    None => {
+                        let mut overflow = overflow.borrow_mut();
+                        let c = overflow.entry((chunk, block)).or_insert(0);
+                        *c = c.saturating_add(1);
+                    }
+                }
+            }
+            Backend::Hash { counts } => {
+                let mut counts = counts.borrow_mut();
+                let c = counts.entry((chunk, block)).or_insert(0);
+                *c = c.saturating_add(1);
+            }
+        }
     }
 
     /// Execution count of a block (0 if never executed).
     pub fn count(&self, chunk: u32, block: u32) -> u64 {
-        self.counts.borrow().get(&(chunk, block)).copied().unwrap_or(0)
+        match &*self.backend {
+            Backend::Dense {
+                bases,
+                counts,
+                overflow,
+            } => {
+                if let Some(idx) = bases
+                    .borrow()
+                    .get(&chunk)
+                    .filter(|(_, n)| block < *n)
+                    .map(|(base, _)| base + block)
+                {
+                    counts.borrow()[idx as usize].get()
+                } else {
+                    overflow
+                        .borrow()
+                        .get(&(chunk, block))
+                        .copied()
+                        .unwrap_or(0)
+                }
+            }
+            Backend::Hash { counts } => counts
+                .borrow()
+                .get(&(chunk, block))
+                .copied()
+                .unwrap_or(0),
+        }
     }
 
-    /// Number of blocks observed.
+    /// Number of blocks with a nonzero count.
     pub fn len(&self) -> usize {
-        self.counts.borrow().len()
+        match &*self.backend {
+            Backend::Dense {
+                counts, overflow, ..
+            } => {
+                counts.borrow().iter().filter(|c| c.get() > 0).count()
+                    + overflow.borrow().values().filter(|c| **c > 0).count()
+            }
+            Backend::Hash { counts } => {
+                counts.borrow().values().filter(|c| **c > 0).count()
+            }
+        }
     }
 
     /// True if no blocks were counted.
     pub fn is_empty(&self) -> bool {
-        self.counts.borrow().is_empty()
+        self.len() == 0
     }
 
-    /// Zeroes every counter.
+    /// Zeroes every counter. On a dense registry chunk registrations (and
+    /// therefore activation-cached bases) stay valid.
     pub fn clear(&self) {
-        self.counts.borrow_mut().clear();
+        match &*self.backend {
+            Backend::Dense {
+                counts, overflow, ..
+            } => {
+                for c in counts.borrow().iter() {
+                    c.set(0);
+                }
+                overflow.borrow_mut().clear();
+            }
+            Backend::Hash { counts } => counts.borrow_mut().clear(),
+        }
     }
 
-    /// Snapshot of all counts.
+    /// Snapshot of all nonzero counts.
     pub fn snapshot(&self) -> HashMap<(u32, u32), u64> {
-        self.counts.borrow().clone()
+        match &*self.backend {
+            Backend::Dense {
+                bases,
+                counts,
+                overflow,
+            } => {
+                let counts = counts.borrow();
+                let mut out: HashMap<(u32, u32), u64> = overflow
+                    .borrow()
+                    .iter()
+                    .filter(|(_, c)| **c > 0)
+                    .map(|(k, c)| (*k, *c))
+                    .collect();
+                for (chunk, (base, n)) in bases.borrow().iter() {
+                    for b in 0..*n {
+                        let c = counts[(base + b) as usize].get();
+                        if c > 0 {
+                            out.insert((*chunk, b), c);
+                        }
+                    }
+                }
+                out
+            }
+            Backend::Hash { counts } => counts
+                .borrow()
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .map(|(k, c)| (*k, *c))
+                .collect(),
+        }
     }
 }
 
@@ -62,21 +273,75 @@ impl BlockCounters {
 mod tests {
     use super::*;
 
+    fn both() -> [BlockCounters; 2] {
+        [
+            BlockCounters::with_impl(CounterImpl::Dense),
+            BlockCounters::with_impl(CounterImpl::Hash),
+        ]
+    }
+
     #[test]
     fn clones_share_state() {
-        let a = BlockCounters::new();
-        let b = a.clone();
-        b.increment(1, 2);
-        assert_eq!(a.count(1, 2), 1);
-        assert_eq!(a.len(), 1);
+        for a in both() {
+            let b = a.clone();
+            b.increment(1, 2);
+            assert_eq!(a.count(1, 2), 1);
+            assert_eq!(a.len(), 1);
+        }
     }
 
     #[test]
     fn clear_resets() {
-        let a = BlockCounters::new();
-        a.increment(0, 0);
-        a.clear();
-        assert!(a.is_empty());
-        assert_eq!(a.count(0, 0), 0);
+        for a in both() {
+            a.increment(0, 0);
+            a.clear();
+            assert!(a.is_empty());
+            assert_eq!(a.count(0, 0), 0);
+        }
+    }
+
+    #[test]
+    fn registered_chunks_count_densely() {
+        let c = BlockCounters::new();
+        let base = c.register_chunk(7, 3);
+        assert_eq!(c.register_chunk(7, 3), base, "registration is idempotent");
+        c.increment_at(base, 0);
+        c.increment_at(base, 2);
+        c.increment_at(base, 2);
+        assert_eq!(c.count(7, 0), 1);
+        assert_eq!(c.count(7, 1), 0);
+        assert_eq!(c.count(7, 2), 2);
+        // Keyed increments to a registered chunk land in the same slots.
+        c.increment(7, 0);
+        assert_eq!(c.count(7, 0), 2);
+    }
+
+    #[test]
+    fn registration_survives_clear() {
+        let c = BlockCounters::new();
+        let base = c.register_chunk(3, 2);
+        c.increment_at(base, 1);
+        c.clear();
+        assert_eq!(c.count(3, 1), 0);
+        assert_eq!(c.register_chunk(3, 2), base);
+    }
+
+    #[test]
+    fn hash_registry_reports_no_base() {
+        let c = BlockCounters::with_impl(CounterImpl::Hash);
+        assert_eq!(c.register_chunk(0, 4), NO_BASE);
+        c.increment(0, 1);
+        assert_eq!(c.count(0, 1), 1);
+    }
+
+    #[test]
+    fn dense_and_hash_snapshot_identically() {
+        let [dense, hash] = both();
+        dense.register_chunk(1, 4);
+        for (chunk, block) in [(1, 0), (1, 3), (2, 5), (1, 0)] {
+            dense.increment(chunk, block);
+            hash.increment(chunk, block);
+        }
+        assert_eq!(dense.snapshot(), hash.snapshot());
     }
 }

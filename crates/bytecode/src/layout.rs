@@ -74,6 +74,7 @@ pub fn optimize_layout(chunk: &Chunk, counters: &BlockCounters) -> Chunk {
         id: chunk.id,
         blocks,
         entry: remap[&chunk.entry],
+        global_refs: chunk.global_refs,
     }
 }
 
@@ -137,6 +138,7 @@ mod tests {
         Chunk {
             id: fresh_chunk_id_for_tests(),
             entry: 0,
+            global_refs: 0,
             blocks: vec![
                 konst_block(0, Terminator::Branch(1, 2)),
                 konst_block(1, Terminator::Jump(3)),

@@ -45,6 +45,6 @@ mod vm;
 
 pub use chunk::{Block, BlockId, Chunk, Instr, Terminator};
 pub use compile::compile_chunk;
-pub use counters::BlockCounters;
+pub use counters::{BlockCounters, NO_BASE};
 pub use layout::{canonical_form, optimize_layout};
 pub use vm::{Vm, VmMetrics};

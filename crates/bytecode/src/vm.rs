@@ -2,10 +2,14 @@
 
 use crate::chunk::{BlockId, Chunk, Instr, Terminator};
 use crate::compile::compile_chunk;
-use crate::counters::BlockCounters;
+use crate::counters::{BlockCounters, NO_BASE};
 use pgmp_eval::{Closure, Core, EvalError, EvalErrorKind, Frame, Interp, LambdaDef, Value};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Sentinel for an unresolved entry in a chunk's global-slot cache.
+const UNRESOLVED: u32 = u32::MAX;
 
 /// Execution statistics: the cost model block-level PGO optimizes.
 ///
@@ -41,6 +45,14 @@ struct Activation {
     block: BlockId,
     ip: usize,
     frame: Option<Rc<Frame>>,
+    /// Base of this chunk's dense block-counter range, resolved once per
+    /// activation ([`NO_BASE`] when profiling is off or hash-keyed), so
+    /// block entry bumps a vector slot instead of hashing `(chunk, block)`.
+    counter_base: u32,
+    /// Chunk-local global-slot cache: `GlobalRef`'s `cache` operand indexes
+    /// here; each cell memoizes the interpreter's global slot
+    /// ([`UNRESOLVED`] until first execution).
+    globals: Rc<[Cell<u32>]>,
 }
 
 /// The bytecode virtual machine.
@@ -51,6 +63,8 @@ pub struct Vm<'a> {
     /// The shared interpreter (globals + natives).
     pub interp: &'a mut Interp,
     chunk_cache: HashMap<usize, Rc<Chunk>>,
+    /// Per-chunk global-slot caches, keyed by chunk id.
+    global_caches: HashMap<u32, Rc<[Cell<u32>]>>,
     /// Block-level profile counters, when enabled.
     pub block_counters: Option<BlockCounters>,
     /// Execution statistics for the current/most recent run.
@@ -65,6 +79,7 @@ impl<'a> Vm<'a> {
         Vm {
             interp,
             chunk_cache: HashMap::new(),
+            global_caches: HashMap::new(),
             block_counters: None,
             metrics: VmMetrics::default(),
             max_steps: None,
@@ -121,6 +136,41 @@ impl<'a> Vm<'a> {
         chunk
     }
 
+    /// The global-slot cache for `chunk`, created on first use. Keyed by
+    /// chunk id, so re-laid-out chunks (same id, same instructions) keep
+    /// their resolved slots.
+    fn global_cache_for(&mut self, chunk: &Chunk) -> Rc<[Cell<u32>]> {
+        if let Some(c) = self.global_caches.get(&chunk.id) {
+            if c.len() >= chunk.global_refs as usize {
+                return c.clone();
+            }
+        }
+        let cache: Rc<[Cell<u32>]> = (0..chunk.global_refs)
+            .map(|_| Cell::new(UNRESOLVED))
+            .collect();
+        self.global_caches.insert(chunk.id, cache.clone());
+        cache
+    }
+
+    /// Builds an activation for `chunk`, resolving its block-counter base
+    /// and global-slot cache once — the per-call cost that buys hash-free
+    /// block entries and global reads.
+    fn activation(&mut self, chunk: Rc<Chunk>, frame: Option<Rc<Frame>>) -> Activation {
+        let counter_base = match &self.block_counters {
+            Some(c) => c.register_chunk(chunk.id, chunk.block_count() as u32),
+            None => NO_BASE,
+        };
+        let globals = self.global_cache_for(&chunk);
+        Activation {
+            block: chunk.entry,
+            ip: 0,
+            chunk,
+            frame,
+            counter_base,
+            globals,
+        }
+    }
+
     fn transfer(&mut self, from: BlockId, to: BlockId) {
         if to == from + 1 {
             self.metrics.fallthroughs += 1;
@@ -130,22 +180,20 @@ impl<'a> Vm<'a> {
     }
 
     fn exec(&mut self, chunk: Rc<Chunk>) -> Result<Value, EvalError> {
-        let entry = chunk.entry;
         let mut stack: Vec<Value> = Vec::new();
         let mut saved: Vec<Activation> = Vec::new();
-        let mut cur = Activation {
-            chunk,
-            block: entry,
-            ip: 0,
-            frame: None,
-        };
+        let mut cur = self.activation(chunk, None);
         let mut entering = true;
         let mut steps: u64 = 0;
         loop {
             if entering {
                 self.metrics.blocks_executed += 1;
                 if let Some(counters) = &self.block_counters {
-                    counters.increment(cur.chunk.id, cur.block);
+                    if cur.counter_base != NO_BASE {
+                        counters.increment_at(cur.counter_base, cur.block);
+                    } else {
+                        counters.increment(cur.chunk.id, cur.block);
+                    }
                 }
                 entering = false;
             }
@@ -167,15 +215,23 @@ impl<'a> Vm<'a> {
                         let frame = cur.frame.as_ref().expect("local ref without frame");
                         stack.push(frame.get(depth, index));
                     }
-                    Instr::GlobalRef(name) => match self.interp.global(name) {
-                        Some(v) => stack.push(v.clone()),
-                        None => {
-                            return Err(EvalError::new(
-                                EvalErrorKind::Unbound,
-                                format!("unbound variable `{name}`"),
-                            ))
+                    Instr::GlobalRef { name, cache } => {
+                        let cell = &cur.globals[cache as usize];
+                        let mut slot = cell.get();
+                        if slot == UNRESOLVED {
+                            slot = self.interp.global_slot_or_reserve(name);
+                            cell.set(slot);
                         }
-                    },
+                        match self.interp.global_by_slot(slot) {
+                            Some(v) => stack.push(v.clone()),
+                            None => {
+                                return Err(EvalError::new(
+                                    EvalErrorKind::Unbound,
+                                    format!("unbound variable `{name}`"),
+                                ))
+                            }
+                        }
+                    }
                     Instr::SetLocal { depth, index } => {
                         let v = stack.pop().expect("stack underflow");
                         cur.frame
@@ -233,13 +289,7 @@ impl<'a> Vm<'a> {
                                 let frame =
                                     bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
                                 let chunk = self.chunk_for(&c.def);
-                                let entry = chunk.entry;
-                                let next = Activation {
-                                    chunk,
-                                    block: entry,
-                                    ip: 0,
-                                    frame: Some(frame),
-                                };
+                                let next = self.activation(chunk, Some(frame));
                                 saved.push(std::mem::replace(&mut cur, next));
                                 entering = true;
                             }
@@ -304,13 +354,7 @@ impl<'a> Vm<'a> {
                             let frame =
                                 bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
                             let chunk = self.chunk_for(&c.def);
-                            let entry = chunk.entry;
-                            cur = Activation {
-                                chunk,
-                                block: entry,
-                                ip: 0,
-                                frame: Some(frame),
-                            };
+                            cur = self.activation(chunk, Some(frame));
                             entering = true;
                         }
                         other => {

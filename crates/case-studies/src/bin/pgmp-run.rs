@@ -13,6 +13,9 @@
 //!   --libs <names>               comma-separated case-study libraries:
 //!                                if-r,case,oo,list,vector,sequence,all
 //!   --wrap-lambda                use the Racket annotate-expr strategy
+//!   --counter-impl <dense|hash>  counter representation for instrumented
+//!                                runs: dense slot-indexed (default) or the
+//!                                legacy hash-keyed baseline
 //!
 //!   --incremental                compile through the per-form recompilation
 //!                                cache; each --merge recompiles incrementally
@@ -31,6 +34,11 @@
 //!                                re-optimization (default 0)
 //!   --no-incremental             adaptive: recompile from scratch on drift
 //!                                instead of using the per-form cache
+//!   --coalesce <n>               adaptive: buffer worker counter merges in
+//!                                thread-local coalescing writers of n
+//!                                distinct points, flushed at the latest at
+//!                                the epoch boundary; prints per-epoch
+//!                                flush statistics (0 = off, the default)
 //! ```
 //!
 //! The paper's basic cycle:
@@ -51,7 +59,7 @@ use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine};
 use pgmp::{AnnotateStrategy, Engine, IncrementalConfig, IncrementalEngine};
 use pgmp_bytecode::Vm;
 use pgmp_case_studies::{install, Lib};
-use pgmp_profiler::{ProfileInformation, ProfileMode};
+use pgmp_profiler::{CounterImpl, ProfileInformation, ProfileMode};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -64,6 +72,7 @@ struct Options {
     expand: bool,
     libs: Vec<Lib>,
     strategy: AnnotateStrategy,
+    counter_impl: CounterImpl,
     incremental: bool,
     adaptive: bool,
     epochs: u64,
@@ -74,16 +83,17 @@ struct Options {
     hysteresis: u32,
     cooldown: u64,
     adaptive_incremental: bool,
+    coalesce: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
          \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda]\n\
-         \u{20}               [--incremental]\n\
+         \u{20}               [--counter-impl dense|hash] [--incremental]\n\
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
-         \u{20}               [--cooldown N] [--no-incremental]] file.scm"
+         \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]] file.scm"
     );
     std::process::exit(2)
 }
@@ -126,6 +136,7 @@ fn parse_args() -> Options {
         expand: false,
         libs: Vec::new(),
         strategy: AnnotateStrategy::Direct,
+        counter_impl: CounterImpl::Dense,
         incremental: false,
         adaptive: false,
         epochs: 4,
@@ -136,6 +147,7 @@ fn parse_args() -> Options {
         hysteresis: 1,
         cooldown: 0,
         adaptive_incremental: true,
+        coalesce: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -151,6 +163,7 @@ fn parse_args() -> Options {
             "--expand" => opts.expand = true,
             "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
             "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
+            "--counter-impl" => opts.counter_impl = parse_num(args.next()),
             "--incremental" => opts.incremental = true,
             "--adaptive" => opts.adaptive = true,
             "--epochs" => opts.epochs = parse_num(args.next()),
@@ -161,6 +174,7 @@ fn parse_args() -> Options {
             "--hysteresis" => opts.hysteresis = parse_num(args.next()),
             "--cooldown" => opts.cooldown = parse_num(args.next()),
             "--no-incremental" => opts.adaptive_incremental = false,
+            "--coalesce" => opts.coalesce = parse_num(args.next()),
             "--help" | "-h" => usage(),
             file if !file.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(file.to_owned());
@@ -195,10 +209,13 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         incremental: opts.adaptive_incremental,
         hysteresis_epochs: opts.hysteresis,
         cooldown_epochs: opts.cooldown,
+        coalesce: opts.coalesce,
         ..AdaptiveConfig::default()
     };
     let libs = opts.libs.clone();
+    let counter_impl = opts.counter_impl;
     let mut engine = AdaptiveEngine::with_setup(source, file, config, move |e| {
+        e.set_counter_impl(counter_impl);
         for lib in &libs {
             install(e, *lib)?;
         }
@@ -212,6 +229,7 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         opts.threads.max(1),
         opts.epochs
     );
+    let mut last_flush = engine.handle().flush_stats();
     for _ in 0..opts.epochs {
         std::thread::scope(|s| {
             let workers: Vec<_> = (0..opts.threads.max(1))
@@ -241,6 +259,17 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
             "adaptive: epoch {} hits {} drift {:.3}{} -> generation {}",
             report.epoch, report.hits, report.drift, reuse, report.generation,
         );
+        if opts.coalesce > 0 {
+            let flush = engine.handle().flush_stats();
+            eprintln!(
+                "adaptive: epoch {} coalescing: {} flush(es) wrote {} slot(s) for {} buffered hit(s)",
+                report.epoch,
+                flush.flushes - last_flush.flushes,
+                flush.flushed_slots - last_flush.flushed_slots,
+                flush.buffered_hits - last_flush.buffered_hits,
+            );
+            last_flush = flush;
+        }
     }
 
     let program = engine.current_program();
@@ -323,6 +352,7 @@ fn run(opts: Options) -> Result<(), String> {
     }
 
     let mut engine = Engine::with_strategy(opts.strategy);
+    engine.set_counter_impl(opts.counter_impl);
     for lib in &opts.libs {
         install(&mut engine, *lib).map_err(|e| e.to_string())?;
     }

@@ -2,9 +2,9 @@
 
 use crate::api::{install_pgmp_api, PgmpState};
 use crate::error::Error;
-use pgmp_eval::{install_primitives, Interp, Value};
+use pgmp_eval::{install_primitives, resolve_profile_slots, Interp, Value};
 use pgmp_expander::{install_expander_support, Expander};
-use pgmp_profiler::{Counters, ProfileInformation, ProfileMode};
+use pgmp_profiler::{CounterImpl, Counters, ProfileInformation, ProfileMode};
 use pgmp_reader::read_str;
 use pgmp_syntax::Syntax;
 use std::cell::RefCell;
@@ -73,6 +73,19 @@ impl Engine {
     /// introduce any overhead" (§3.1).
     pub fn set_instrumentation(&mut self, mode: ProfileMode) {
         self.mode = mode;
+    }
+
+    /// Selects the counter representation for this session's instrumented
+    /// runs: dense slot-indexed (the default) or the legacy hash-keyed
+    /// baseline. Replaces the session counters, so call it before the
+    /// first instrumented run.
+    pub fn set_counter_impl(&mut self, kind: CounterImpl) {
+        self.state.borrow_mut().counters = Counters::with_impl(kind);
+    }
+
+    /// The counter representation behind this session's registry.
+    pub fn counter_impl(&self) -> CounterImpl {
+        self.state.borrow().counters.impl_kind()
     }
 
     /// Replaces the loaded profile information (what meta-programs see).
@@ -199,6 +212,14 @@ impl Engine {
         self.warnings.extend(self.expander.take_warnings());
         if self.mode.is_on() {
             let counters = self.state.borrow().counters.clone();
+            if counters.map_id() != 0 {
+                // Dense registry: resolve every profile point to its slot
+                // now, at instrumentation time, so the run itself never
+                // interns — each bump is a cached-slot vector add.
+                for form in &program {
+                    resolve_profile_slots(form, &counters);
+                }
+            }
             self.interp.set_profiling(self.mode, counters);
         } else {
             self.interp.clear_profiling();
@@ -290,6 +311,23 @@ mod tests {
         e.run_str("(define (f) 'x) (f) (f) (f)", "t.scm").unwrap();
         let weights = e.current_weights();
         assert!(!weights.is_empty());
+    }
+
+    #[test]
+    fn hash_counter_impl_counts_like_dense() {
+        let program = "(define (f n) (* n n)) (f 2) (f 3) (f 4)";
+        let mut dense = Engine::new();
+        assert_eq!(dense.counter_impl(), CounterImpl::Dense);
+        dense.set_instrumentation(ProfileMode::EveryExpression);
+        dense.run_str(program, "ci.scm").unwrap();
+
+        let mut hash = Engine::new();
+        hash.set_counter_impl(CounterImpl::Hash);
+        assert_eq!(hash.counter_impl(), CounterImpl::Hash);
+        hash.set_instrumentation(ProfileMode::EveryExpression);
+        hash.run_str(program, "ci.scm").unwrap();
+
+        assert_eq!(dense.counters().snapshot(), hash.counters().snapshot());
     }
 
     #[test]

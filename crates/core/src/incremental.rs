@@ -15,6 +15,12 @@
 //!    only if one of its recorded reads would now answer differently
 //!    (beyond [`IncrementalConfig::epsilon`]); otherwise its cached
 //!    expansion, core forms, and compiled chunks are reused as-is.
+//! 4. Invalidation is driven by an **inverted point→forms index**: the new
+//!    weights are diffed against the last successful compile's, and only
+//!    the readers of drifted points (plus forms whose reads cannot be
+//!    diffed — volatile, whole-profile, availability on a flip) get the
+//!    per-point reuse check. A stable profile revalidates the whole
+//!    program in O(changed points), not O(forms × reads).
 //!
 //! # Why per-form reuse is sound
 //!
@@ -46,7 +52,8 @@ use pgmp_eval::Core;
 use pgmp_expander::form_hash;
 use pgmp_profiler::ProfileInformation;
 use pgmp_reader::read_str;
-use pgmp_syntax::{SourceFactory, Syntax};
+use pgmp_syntax::{SourceFactory, SourceObject, Syntax};
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Tuning knobs for the incremental cache.
@@ -143,6 +150,16 @@ pub struct IncrementalEngine {
     hashes: Vec<u64>,
     entries: Vec<Option<FormEntry>>,
     config: IncrementalConfig,
+    /// Inverted index: profile point → forms whose cached expansion read
+    /// it. On a new profile, invalidation starts from the *drifted points*
+    /// and walks this index, instead of scanning every form's read-set.
+    point_index: HashMap<SourceObject, Vec<usize>>,
+    /// The weights of the last *successful* compile. Every cached entry is
+    /// within epsilon of these (reuse was checked, or the form re-expanded
+    /// under them), so only points whose weight differs from `last_weights`
+    /// can invalidate anything. `None` after an error or before the first
+    /// compile — then every form is a candidate.
+    last_weights: Option<ProfileInformation>,
 }
 
 impl IncrementalEngine {
@@ -177,6 +194,8 @@ impl IncrementalEngine {
             hashes,
             entries,
             config,
+            point_index: HashMap::new(),
+            last_weights: None,
         })
     }
 
@@ -213,7 +232,89 @@ impl IncrementalEngine {
         self.forms = forms;
         self.hashes = hashes;
         self.entries = entries;
+        self.rebuild_index();
         Ok(())
+    }
+
+    /// Rebuilds the inverted point→forms index from the cache entries
+    /// (used after wholesale entry shuffles like [`set_source`]; within a
+    /// compile the index is maintained incrementally per re-expanded form).
+    ///
+    /// [`set_source`]: IncrementalEngine::set_source
+    fn rebuild_index(&mut self) {
+        self.point_index.clear();
+        for i in 0..self.entries.len() {
+            self.index_entry(i);
+        }
+    }
+
+    /// Removes form `i`'s read points from the inverted index.
+    fn unindex_entry(&mut self, i: usize) {
+        if let Some(entry) = &self.entries[i] {
+            for (p, _) in &entry.reads.points {
+                if let Some(forms) = self.point_index.get_mut(p) {
+                    forms.retain(|&j| j != i);
+                }
+            }
+        }
+    }
+
+    /// Adds form `i`'s read points to the inverted index.
+    fn index_entry(&mut self, i: usize) {
+        if let Some(entry) = &self.entries[i] {
+            for (p, _) in &entry.reads.points {
+                let forms = self.point_index.entry(*p).or_default();
+                if forms.last() != Some(&i) {
+                    forms.push(i);
+                }
+            }
+        }
+    }
+
+    /// Marks the forms that could possibly fail reuse under `weights`:
+    /// forms without a cache entry, forms whose reads cannot be diffed
+    /// (volatile, whole-profile, availability on an availability flip), and
+    /// — via the inverted index — readers of any point whose weight moved
+    /// since the last successful compile. Everything else is provably
+    /// within epsilon and skips the per-point scan entirely.
+    fn reuse_candidates(&self, weights: &ProfileInformation) -> Vec<bool> {
+        let last = match &self.last_weights {
+            Some(last) => last,
+            None => return vec![true; self.entries.len()],
+        };
+        let availability_flipped = weights.is_empty() != last.is_empty();
+        let mut out: Vec<bool> = self
+            .entries
+            .iter()
+            .map(|entry| match entry {
+                None => true,
+                Some(e) => {
+                    e.reads.volatile_reads
+                        || e.reads.whole_profile
+                        || (availability_flipped && e.reads.availability.is_some())
+                }
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        let mark = |p: SourceObject, out: &mut Vec<bool>| {
+            if let Some(forms) = self.point_index.get(&p) {
+                for &i in forms {
+                    out[i] = true;
+                }
+            }
+        };
+        for (p, w) in weights.iter() {
+            seen.insert(p);
+            if last.weight(p) != w {
+                mark(p, &mut out);
+            }
+        }
+        for (p, w) in last.iter() {
+            if !seen.contains(&p) && weights.weight(p) != w {
+                mark(p, &mut out);
+            }
+        }
+        out
     }
 
     /// True when `entry` can be served from cache under `weights`.
@@ -254,6 +355,12 @@ impl IncrementalEngine {
         // downstream entries.
         let _ = self.engine.expander_mut().take_meta_dirty();
 
+        let candidates = self.reuse_candidates(weights);
+        // Cleared until this compile succeeds: a failed compile leaves the
+        // cache with entries recorded under mixed weights, so the next one
+        // must fall back to checking every form.
+        self.last_weights = None;
+
         let mut unit = CompiledUnit {
             expansion: Vec::new(),
             cores: Vec::new(),
@@ -265,11 +372,21 @@ impl IncrementalEngine {
             },
         };
         let mut upstream_dirty = false;
+        // Indexes forms/entries/candidates in lockstep.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.forms.len() {
             let reuse = !upstream_dirty
-                && self.entries[i]
-                    .as_ref()
-                    .is_some_and(|e| self.reusable(e, weights));
+                && self.entries[i].as_ref().is_some_and(|e| {
+                    if candidates[i] {
+                        self.reusable(e, weights)
+                    } else {
+                        // None of this form's reads drifted; only the
+                        // factory replay invariant can still break (an
+                        // upstream re-expansion allocating a different
+                        // point sequence).
+                        self.engine.factory_snapshot() == e.factory_pre
+                    }
+                });
             if reuse {
                 let entry = self.entries[i].as_ref().expect("checked");
                 self.engine.restore_factory(entry.factory_post.clone());
@@ -309,6 +426,7 @@ impl IncrementalEngine {
             unit.cfgs.extend(cfgs.iter().cloned());
             unit.stats.reexpanded += 1;
 
+            self.unindex_entry(i);
             self.entries[i] = Some(FormEntry {
                 reads,
                 factory_pre,
@@ -319,7 +437,9 @@ impl IncrementalEngine {
                 cfgs,
                 profile_snapshot,
             });
+            self.index_entry(i);
         }
+        self.last_weights = Some(weights.clone());
         Ok(unit)
     }
 }
@@ -473,6 +593,101 @@ mod tests {
         let ids1: Vec<u32> = first.chunks.iter().map(|c| c.id).collect();
         let ids2: Vec<u32> = second.chunks.iter().map(|c| c.id).collect();
         assert_eq!(ids1, ids2, "block counters stay valid across reuse");
+    }
+
+    #[test]
+    fn unrelated_point_drift_reuses_everything() {
+        // A drifted point nobody reads must not invalidate any form: the
+        // inverted index finds no readers and the per-form scan is skipped.
+        let mut incr =
+            IncrementalEngine::new(PROGRAM, "i.scm", IncrementalConfig::default()).unwrap();
+        let (t, f) = branch_points("i.scm");
+        let w1 = ProfileInformation::from_weights([(t, 0.9), (f, 0.1)], 1);
+        incr.compile(&w1).unwrap();
+        let stranger = SourceObject::new("elsewhere.scm", 10, 20);
+        let w2 = ProfileInformation::from_weights([(t, 0.9), (f, 0.1), (stranger, 0.7)], 1);
+        let unit = incr.compile(&w2).unwrap();
+        assert!(unit.stats.all_reused(), "stats: {:?}", unit.stats);
+    }
+
+    #[test]
+    fn failed_compile_falls_back_to_full_checking() {
+        // After an error mid-compile the cache may hold entries recorded
+        // under mixed weights; the next compile must not trust the drift
+        // diff (last_weights is cleared) and still produce correct output.
+        let src = "
+          (define-syntax (trap stx)
+            (syntax-case stx ()
+              [(_ e)
+               (if (> (profile-query #'e) 0.5)
+                   (boom)
+                   #'e)]))
+          (define (f) (trap (+ 1 2)))";
+        let forms = read_str(src, "t.scm").unwrap();
+        let point = forms[1].as_list().unwrap()[2].as_list().unwrap()[1]
+            .first_source()
+            .unwrap();
+        let mut incr =
+            IncrementalEngine::new(src, "t.scm", IncrementalConfig::default()).unwrap();
+        incr.compile(&ProfileInformation::empty()).unwrap();
+        let hot = ProfileInformation::from_weights([(point, 1.0)], 1);
+        assert!(incr.compile(&hot).is_err(), "hot trap must fail");
+        let cold = ProfileInformation::from_weights([(point, 0.1)], 1);
+        let unit = incr.compile(&cold).unwrap();
+        assert!(unit.expansion.iter().any(|s| s.contains("(+ 1 2)")));
+    }
+
+    #[test]
+    fn cached_forms_replay_without_slot_re_resolution() {
+        // Dense-counter slot ids are cached on Core nodes; reused forms
+        // hand back the *same* nodes, so their slots survive recompilation
+        // and re-instrumentation interns nothing new.
+        use pgmp_eval::resolve_profile_slots;
+        use pgmp_profiler::Counters;
+
+        let mut incr =
+            IncrementalEngine::new(PROGRAM, "slot.scm", IncrementalConfig::default()).unwrap();
+        let (t, f) = branch_points("slot.scm");
+        let w1 = ProfileInformation::from_weights([(t, 0.9), (f, 0.1)], 1);
+        let first = incr.compile(&w1).unwrap();
+
+        let counters = Counters::new();
+        for core in &first.cores {
+            resolve_profile_slots(core, &counters);
+        }
+        let resolved = counters.resolved_slots();
+        assert!(resolved > 0);
+        let slot_t = counters.resolve(t);
+        let slot_f = counters.resolve(f);
+
+        // Flip the branch weights: only `classify` re-expands.
+        let w2 = ProfileInformation::from_weights([(t, 0.1), (f, 0.9)], 1);
+        let second = incr.compile(&w2).unwrap();
+        assert_eq!(second.stats.reused, 4);
+
+        // Reused forms are the identical nodes, already carrying their
+        // cached slots for this registry; re-resolving them interns
+        // nothing.
+        let reused: Vec<_> = second
+            .cores
+            .iter()
+            .filter(|c| first.cores.iter().any(|o| Rc::ptr_eq(o, c)))
+            .collect();
+        assert!(!reused.is_empty());
+        for core in &reused {
+            assert!(core.cached_slot(counters.map_id()).is_some());
+            resolve_profile_slots(core, &counters);
+        }
+        assert_eq!(counters.resolved_slots(), resolved, "reused forms re-resolved");
+
+        // The re-expanded form may mint new points (its shape changed),
+        // but every pre-existing point keeps its original slot.
+        for core in &second.cores {
+            resolve_profile_slots(core, &counters);
+        }
+        assert_eq!(counters.resolve(t), slot_t, "slot ids must be stable");
+        assert_eq!(counters.resolve(f), slot_f, "slot ids must be stable");
+        assert!(counters.resolved_slots() >= resolved);
     }
 
     #[test]

@@ -6,22 +6,63 @@
 //! all the profiler needs (§3.1: "each node in the AST of a program can be
 //! associated with a unique profile point").
 
+use pgmp_profiler::Counters;
 use pgmp_syntax::{Datum, SourceObject, Symbol, Syntax};
+use std::cell::Cell;
 use std::rc::Rc;
 
 /// A core expression: node kind plus profile point.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Core {
     /// The node.
     pub kind: CoreKind,
     /// Source object (profile point), if any.
     pub src: Option<SourceObject>,
+    /// Cached dense counter slot for `src`, packed as
+    /// `(map_id << 32) | slot` against a specific [`Counters`] registry
+    /// (0 = unresolved — dense map ids start at 1). Interior-mutable so the
+    /// instrumented interpreter resolves each node at most once and then
+    /// bumps by vector index; revalidated against the live registry's map
+    /// id, so a stale cache from a previously installed registry can never
+    /// misdirect a count.
+    pp_cache: Cell<u64>,
+}
+
+/// Node identity ignores the slot cache: two nodes are the same expression
+/// if they have the same kind and source, whatever counters they last ran
+/// under.
+impl PartialEq for Core {
+    fn eq(&self, other: &Core) -> bool {
+        self.kind == other.kind && self.src == other.src
+    }
 }
 
 impl Core {
     /// Creates a node.
     pub fn new(kind: CoreKind, src: Option<SourceObject>) -> Core {
-        Core { kind, src }
+        Core {
+            kind,
+            src,
+            pp_cache: Cell::new(0),
+        }
+    }
+
+    /// The cached dense slot for this node, if it was resolved against the
+    /// registry identified by `map_id`.
+    #[inline]
+    pub fn cached_slot(&self, map_id: u32) -> Option<u32> {
+        let packed = self.pp_cache.get();
+        if (packed >> 32) as u32 == map_id {
+            Some(packed as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Caches `slot` as this node's dense slot under registry `map_id`.
+    #[inline]
+    pub fn cache_slot(&self, map_id: u32, slot: u32) {
+        self.pp_cache.set(((map_id as u64) << 32) | slot as u64);
     }
 
     /// Convenience constructor wrapping in `Rc`.
@@ -63,6 +104,25 @@ impl Core {
         self.walk(&mut |_| n += 1);
         n
     }
+}
+
+/// Eagerly resolves the dense counter slot of every node in `root` that
+/// carries a source object, caching it on the node. After this, an
+/// instrumented run against `counters` never takes the resolve path — the
+/// point is "resolved at instrumentation time", and every bump is a vector
+/// index. No-op for hash-keyed registries (map id 0).
+pub fn resolve_profile_slots(root: &Core, counters: &Counters) {
+    let map_id = counters.map_id();
+    if map_id == 0 {
+        return;
+    }
+    root.walk(&mut |node| {
+        if let Some(src) = node.src {
+            if node.cached_slot(map_id).is_none() {
+                node.cache_slot(map_id, counters.resolve(src));
+            }
+        }
+    });
 }
 
 /// Core expression node kinds.

@@ -5,7 +5,7 @@ use crate::env::Frame;
 use crate::error::{EvalError, EvalErrorKind};
 use crate::value::{Closure, Native, NativeFn, Value};
 use pgmp_profiler::{Counters, ProfileMode};
-use pgmp_syntax::Symbol;
+use pgmp_syntax::{SourceObject, Symbol};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -28,7 +28,14 @@ use std::rc::Rc;
 /// # Ok::<(), pgmp_eval::EvalError>(())
 /// ```
 pub struct Interp {
-    globals: HashMap<Symbol, Value>,
+    /// Global variables, slot-indexed: the map interns a name to a stable
+    /// index into `global_values`. Redefinition overwrites the value in
+    /// place, so a resolved global slot (e.g. cached by the VM per chunk)
+    /// stays valid for the lifetime of the interpreter.
+    global_slots: HashMap<Symbol, u32>,
+    /// Value cells in slot order; `None` marks a slot reserved (e.g. by a
+    /// compiled `GlobalRef` cache) before the global was bound.
+    global_values: Vec<Option<Value>>,
     /// Live profile counters, when instrumenting.
     pub counters: Option<Counters>,
     /// Instrumentation mode.
@@ -52,7 +59,8 @@ impl Interp {
     /// the global environment.
     pub fn new() -> Interp {
         Interp {
-            globals: HashMap::new(),
+            global_slots: HashMap::new(),
+            global_values: Vec::new(),
             counters: None,
             mode: ProfileMode::Off,
             fuel: None,
@@ -79,14 +87,55 @@ impl Interp {
         self.fuel = fuel;
     }
 
-    /// Defines (or redefines) a global variable.
+    /// Defines (or redefines) a global variable. Redefinition reuses the
+    /// existing slot.
     pub fn define_global(&mut self, name: Symbol, v: Value) {
-        self.globals.insert(name, v);
+        let slot = self.global_slot_or_reserve(name);
+        self.global_values[slot as usize] = Some(v);
     }
 
     /// Looks up a global variable.
     pub fn global(&self, name: Symbol) -> Option<&Value> {
-        self.globals.get(&name)
+        let slot = *self.global_slots.get(&name)?;
+        self.global_values[slot as usize].as_ref()
+    }
+
+    /// The stable slot index of `name`, if it has ever been defined or
+    /// reserved. A slot does *not* imply the global is bound — reads still
+    /// go through [`Interp::global_by_slot`], which distinguishes the two.
+    pub fn global_slot(&self, name: Symbol) -> Option<u32> {
+        self.global_slots.get(&name).copied()
+    }
+
+    /// Interns `name` to a global slot, reserving an unbound cell if it was
+    /// never defined. Used by the VM to burn a slot index into its
+    /// chunk-local global cache before the global is necessarily bound.
+    pub fn global_slot_or_reserve(&mut self, name: Symbol) -> u32 {
+        let values = &mut self.global_values;
+        *self.global_slots.entry(name).or_insert_with(|| {
+            values.push(None);
+            (values.len() - 1) as u32
+        })
+    }
+
+    /// Reads the global in `slot`; `None` means reserved but unbound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never allocated.
+    #[inline]
+    pub fn global_by_slot(&self, slot: u32) -> Option<&Value> {
+        self.global_values[slot as usize].as_ref()
+    }
+
+    /// Writes the global in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never allocated.
+    #[inline]
+    pub fn set_global_by_slot(&mut self, slot: u32, v: Value) {
+        self.global_values[slot as usize] = Some(v);
     }
 
     /// Registers a native primitive under `name`.
@@ -146,7 +195,7 @@ impl Interp {
             self.burn_fuel()?;
             if self.mode == ProfileMode::EveryExpression {
                 if let (Some(counters), Some(src)) = (&self.counters, expr.src) {
-                    counters.increment(src);
+                    bump(counters, &expr, src);
                 }
             }
             match &expr.kind {
@@ -159,7 +208,7 @@ impl Interp {
                     return Ok(frame.get(*depth, *index));
                 }
                 CoreKind::GlobalRef(name) => {
-                    return self.globals.get(name).cloned().ok_or_else(|| {
+                    return self.global(*name).cloned().ok_or_else(|| {
                         EvalError::new(
                             EvalErrorKind::Unbound,
                             format!("unbound variable `{name}`"),
@@ -179,7 +228,7 @@ impl Interp {
                     return Ok(Value::Unspecified);
                 }
                 CoreKind::SetGlobal(name, value) => {
-                    if !self.globals.contains_key(name) {
+                    if self.global(*name).is_none() {
                         return Err(EvalError::new(
                             EvalErrorKind::Unbound,
                             format!("set!: unbound variable `{name}`"),
@@ -187,12 +236,12 @@ impl Interp {
                         .with_src(expr.src));
                     }
                     let v = self.eval(value, &env)?;
-                    self.globals.insert(*name, v);
+                    self.define_global(*name, v);
                     return Ok(Value::Unspecified);
                 }
                 CoreKind::DefineGlobal(name, value) => {
                     let v = self.eval(value, &env)?;
-                    self.globals.insert(*name, v);
+                    self.define_global(*name, v);
                     return Ok(Value::Unspecified);
                 }
                 CoreKind::If(c, t, e) => {
@@ -235,7 +284,7 @@ impl Interp {
                 CoreKind::Call { func, args } => {
                     if self.mode == ProfileMode::CallsOnly {
                         if let (Some(counters), Some(src)) = (&self.counters, expr.src) {
-                            counters.increment(src);
+                            bump(counters, &expr, src);
                         }
                     }
                     let f = self.eval(func, &env)?;
@@ -284,6 +333,30 @@ impl Interp {
             other => Err(EvalError::type_error("procedure", other)),
         }
     }
+}
+
+/// Counts one hit of `expr`'s profile point. Dense registries take the
+/// paper's fast path: the slot id cached on the node (validated against the
+/// registry's map id) makes the bump a vector index; the first hit per node
+/// resolves and caches the slot, unless [`crate::resolve_profile_slots`]
+/// already did so at instrumentation time. Hash-keyed registries fall back
+/// to the legacy keyed increment.
+#[inline]
+fn bump(counters: &Counters, expr: &Core, src: SourceObject) {
+    let map_id = counters.map_id();
+    if map_id == 0 {
+        counters.increment(src);
+        return;
+    }
+    let slot = match expr.cached_slot(map_id) {
+        Some(slot) => slot,
+        None => {
+            let slot = counters.resolve(src);
+            expr.cache_slot(map_id, slot);
+            slot
+        }
+    };
+    counters.add_slot(slot, 1);
 }
 
 fn check_native_arity(n: &Native, got: usize) -> Result<(), EvalError> {

@@ -25,7 +25,7 @@ mod interp;
 mod prims;
 mod value;
 
-pub use core_expr::{Core, CoreKind, LambdaDef};
+pub use core_expr::{resolve_profile_slots, Core, CoreKind, LambdaDef};
 pub use env::Frame;
 pub use error::{EvalError, EvalErrorKind};
 pub use interp::Interp;

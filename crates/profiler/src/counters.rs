@@ -1,9 +1,65 @@
 //! Live profile counters and per-run datasets.
+//!
+//! Two representations live behind the same [`Counters`] handle:
+//!
+//! - **Dense** (the default): each profile point is resolved once — at
+//!   instrumentation time — to a stable `u32` slot in a [`SlotMap`], and a
+//!   bump is an unsynchronized `Vec<Cell<u64>>` index. This is the cost
+//!   model the paper assumes ("a profile point compiles down to a plain
+//!   counter increment").
+//! - **Hash**: the legacy `HashMap<SourceObject, u64>` keyed by profile
+//!   point, kept as an interop view and as the baseline the e7 overhead
+//!   experiment measures against.
+//!
+//! Both snapshot into the same [`Dataset`], so weight normalization,
+//! dataset merging, and `store-profile`/`load-profile` are unchanged.
 
+use crate::slots::SlotMap;
 use pgmp_syntax::SourceObject;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Which counter representation a [`Counters`] registry uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CounterImpl {
+    /// Dense slot-indexed counters (resolve once, then vector bumps).
+    #[default]
+    Dense,
+    /// Legacy hash-keyed counters (one `SourceObject` hash per bump).
+    Hash,
+}
+
+impl std::str::FromStr for CounterImpl {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<CounterImpl, String> {
+        match s {
+            "dense" => Ok(CounterImpl::Dense),
+            "hash" => Ok(CounterImpl::Hash),
+            other => Err(format!("unknown counter impl `{other}` (dense|hash)")),
+        }
+    }
+}
+
+/// Process-global id generator for dense maps. Ids start at 1 so that 0
+/// can mean both "hash-keyed registry" and "unresolved cache entry" — a
+/// slot cached on an AST node under map id `m` is valid only against the
+/// `Counters` whose [`Counters::map_id`] is exactly `m`.
+static NEXT_MAP_ID: AtomicU32 = AtomicU32::new(1);
+
+#[derive(Debug)]
+enum Backend {
+    Dense {
+        map_id: u32,
+        slots: RefCell<SlotMap>,
+        counts: RefCell<Vec<Cell<u64>>>,
+    },
+    Hash {
+        counts: RefCell<HashMap<SourceObject, u64>>,
+    },
+}
 
 /// The live counter registry for one profiled execution.
 ///
@@ -22,15 +78,127 @@ use std::rc::Rc;
 /// c.increment(p);
 /// assert_eq!(c.count(p), 2);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Counters {
-    counts: Rc<RefCell<HashMap<SourceObject, u64>>>,
+    backend: Rc<Backend>,
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters::new()
+    }
 }
 
 impl Counters {
-    /// Creates an empty registry.
+    /// Creates an empty dense slot-indexed registry.
     pub fn new() -> Counters {
-        Counters::default()
+        Counters::with_impl(CounterImpl::Dense)
+    }
+
+    /// Creates an empty registry with an explicit representation.
+    pub fn with_impl(kind: CounterImpl) -> Counters {
+        let backend = match kind {
+            CounterImpl::Dense => Backend::Dense {
+                map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
+                slots: RefCell::new(SlotMap::new()),
+                counts: RefCell::new(Vec::new()),
+            },
+            CounterImpl::Hash => Backend::Hash {
+                counts: RefCell::new(HashMap::new()),
+            },
+        };
+        Counters {
+            backend: Rc::new(backend),
+        }
+    }
+
+    /// The representation behind this registry.
+    pub fn impl_kind(&self) -> CounterImpl {
+        match &*self.backend {
+            Backend::Dense { .. } => CounterImpl::Dense,
+            Backend::Hash { .. } => CounterImpl::Hash,
+        }
+    }
+
+    /// Identity of this registry's slot map, or 0 for hash-keyed
+    /// registries. A slot id is only meaningful together with the map id it
+    /// was resolved under; callers caching slots must revalidate against
+    /// this before using [`Counters::add_slot`].
+    pub fn map_id(&self) -> u32 {
+        match &*self.backend {
+            Backend::Dense { map_id, .. } => *map_id,
+            Backend::Hash { .. } => 0,
+        }
+    }
+
+    /// Resolves profile point `p` to its dense slot, interning it on first
+    /// resolution. Stable: the same point always maps to the same slot for
+    /// the lifetime of the registry (clearing counts does not disturb
+    /// slots).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry — check `map_id() != 0` first.
+    pub fn resolve(&self, p: SourceObject) -> u32 {
+        match &*self.backend {
+            Backend::Dense { slots, counts, .. } => {
+                let slot = slots.borrow_mut().resolve(p);
+                let mut counts = counts.borrow_mut();
+                if counts.len() <= slot as usize {
+                    counts.resize(slot as usize + 1, Cell::new(0));
+                }
+                slot
+            }
+            Backend::Hash { .. } => {
+                panic!("Counters::resolve on a hash-keyed registry (map_id 0)")
+            }
+        }
+    }
+
+    /// Adds `n` to the counter in `slot`, saturating at `u64::MAX`. The
+    /// dense fast path: no hashing, no entry allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry or if `slot` was never resolved.
+    #[inline]
+    pub fn add_slot(&self, slot: u32, n: u64) {
+        match &*self.backend {
+            Backend::Dense { counts, .. } => {
+                let counts = counts.borrow();
+                let c = &counts[slot as usize];
+                c.set(c.get().saturating_add(n));
+            }
+            Backend::Hash { .. } => {
+                panic!("Counters::add_slot on a hash-keyed registry (map_id 0)")
+            }
+        }
+    }
+
+    /// Current count in `slot` (the slot-indexed dual of
+    /// [`Counters::count`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry or if `slot` was never resolved.
+    pub fn count_slot(&self, slot: u32) -> u64 {
+        match &*self.backend {
+            Backend::Dense { counts, .. } => counts.borrow()[slot as usize].get(),
+            Backend::Hash { .. } => {
+                panic!("Counters::count_slot on a hash-keyed registry (map_id 0)")
+            }
+        }
+    }
+
+    /// Number of slots resolved so far (0 for hash-keyed registries).
+    /// Unlike [`Counters::len`], this counts *instrumented* points, not
+    /// *executed* ones, and is unaffected by [`Counters::clear`] — tests
+    /// use it to assert that cached code replays without re-resolution.
+    pub fn resolved_slots(&self) -> usize {
+        match &*self.backend {
+            Backend::Dense { slots, .. } => slots.borrow().len(),
+            Backend::Hash { .. } => 0,
+        }
     }
 
     /// Adds one to the counter for profile point `p`, saturating at
@@ -45,36 +213,82 @@ impl Counters {
     /// adaptive loop can genuinely exhaust a `u64` on a hot point, and a
     /// wrapped counter would silently invert every weight derived from it.
     pub fn add(&self, p: SourceObject, n: u64) {
-        let mut counts = self.counts.borrow_mut();
-        let c = counts.entry(p).or_insert(0);
-        *c = c.saturating_add(n);
+        match &*self.backend {
+            Backend::Dense { .. } => {
+                let slot = self.resolve(p);
+                self.add_slot(slot, n);
+            }
+            Backend::Hash { counts } => {
+                let mut counts = counts.borrow_mut();
+                let c = counts.entry(p).or_insert(0);
+                *c = c.saturating_add(n);
+            }
+        }
     }
 
     /// Current count for `p` (0 if never incremented).
     pub fn count(&self, p: SourceObject) -> u64 {
-        self.counts.borrow().get(&p).copied().unwrap_or(0)
+        match &*self.backend {
+            Backend::Dense { slots, counts, .. } => match slots.borrow().get(p) {
+                Some(slot) => counts.borrow()[slot as usize].get(),
+                None => 0,
+            },
+            Backend::Hash { counts } => counts.borrow().get(&p).copied().unwrap_or(0),
+        }
     }
 
     /// Number of profile points with a nonzero count.
     pub fn len(&self) -> usize {
-        self.counts.borrow().len()
+        match &*self.backend {
+            Backend::Dense { counts, .. } => {
+                counts.borrow().iter().filter(|c| c.get() > 0).count()
+            }
+            Backend::Hash { counts } => counts.borrow().values().filter(|c| **c > 0).count(),
+        }
     }
 
     /// True iff nothing has been counted.
     pub fn is_empty(&self) -> bool {
-        self.counts.borrow().is_empty()
+        self.len() == 0
     }
 
-    /// Zeroes all counters.
+    /// Zeroes all counters. On a dense registry the slot assignment is
+    /// preserved, so slot ids cached on AST nodes or embedded in bytecode
+    /// stay valid across profile resets.
     pub fn clear(&self) {
-        self.counts.borrow_mut().clear();
+        match &*self.backend {
+            Backend::Dense { counts, .. } => {
+                for c in counts.borrow().iter() {
+                    c.set(0);
+                }
+            }
+            Backend::Hash { counts } => counts.borrow_mut().clear(),
+        }
     }
 
-    /// Snapshots the current counts into an immutable [`Dataset`].
+    /// Snapshots the current counts into an immutable [`Dataset`]. Points
+    /// with a zero count are omitted, so dense and hash registries fed the
+    /// same increments snapshot to *identical* datasets.
     pub fn snapshot(&self) -> Dataset {
-        Dataset {
-            counts: self.counts.borrow().clone(),
-        }
+        let counts = match &*self.backend {
+            Backend::Dense { slots, counts, .. } => {
+                let slots = slots.borrow();
+                counts
+                    .borrow()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.get() > 0)
+                    .map(|(i, c)| (slots.point(i as u32), c.get()))
+                    .collect()
+            }
+            Backend::Hash { counts } => counts
+                .borrow()
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .map(|(p, c)| (*p, *c))
+                .collect(),
+        };
+        Dataset { counts }
     }
 }
 
@@ -140,61 +354,119 @@ mod tests {
         SourceObject::new("t.scm", n, n + 1)
     }
 
+    fn both() -> [Counters; 2] {
+        [
+            Counters::with_impl(CounterImpl::Dense),
+            Counters::with_impl(CounterImpl::Hash),
+        ]
+    }
+
     #[test]
     fn increment_accumulates() {
-        let c = Counters::new();
-        c.increment(p(0));
-        c.increment(p(0));
-        c.increment(p(1));
-        assert_eq!(c.count(p(0)), 2);
-        assert_eq!(c.count(p(1)), 1);
-        assert_eq!(c.count(p(2)), 0);
-        assert_eq!(c.len(), 2);
+        for c in both() {
+            c.increment(p(0));
+            c.increment(p(0));
+            c.increment(p(1));
+            assert_eq!(c.count(p(0)), 2);
+            assert_eq!(c.count(p(1)), 1);
+            assert_eq!(c.count(p(2)), 0);
+            assert_eq!(c.len(), 2);
+        }
     }
 
     #[test]
     fn clones_share_state() {
-        let c = Counters::new();
-        let c2 = c.clone();
-        c2.increment(p(0));
-        assert_eq!(c.count(p(0)), 1);
+        for c in both() {
+            let c2 = c.clone();
+            c2.increment(p(0));
+            assert_eq!(c.count(p(0)), 1);
+        }
     }
 
     #[test]
     fn add_bulk() {
-        let c = Counters::new();
-        c.add(p(3), 10);
-        c.add(p(3), 5);
-        assert_eq!(c.count(p(3)), 15);
+        for c in both() {
+            c.add(p(3), 10);
+            c.add(p(3), 5);
+            assert_eq!(c.count(p(3)), 15);
+        }
     }
 
     #[test]
     fn counts_saturate_instead_of_wrapping() {
-        let c = Counters::new();
-        c.add(p(4), u64::MAX - 1);
-        c.increment(p(4));
-        c.increment(p(4));
-        assert_eq!(c.count(p(4)), u64::MAX);
-        c.add(p(4), 100);
-        assert_eq!(c.count(p(4)), u64::MAX);
+        for c in both() {
+            c.add(p(4), u64::MAX - 1);
+            c.increment(p(4));
+            c.increment(p(4));
+            assert_eq!(c.count(p(4)), u64::MAX);
+            c.add(p(4), 100);
+            assert_eq!(c.count(p(4)), u64::MAX);
+        }
     }
 
     #[test]
     fn snapshot_is_independent() {
-        let c = Counters::new();
-        c.increment(p(0));
-        let snap = c.snapshot();
-        c.increment(p(0));
-        assert_eq!(snap.count(p(0)), 1);
-        assert_eq!(c.count(p(0)), 2);
+        for c in both() {
+            c.increment(p(0));
+            let snap = c.snapshot();
+            c.increment(p(0));
+            assert_eq!(snap.count(p(0)), 1);
+            assert_eq!(c.count(p(0)), 2);
+        }
     }
 
     #[test]
     fn clear_resets() {
+        for c in both() {
+            c.increment(p(0));
+            c.clear();
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn dense_slots_survive_clear() {
         let c = Counters::new();
-        c.increment(p(0));
+        let s0 = c.resolve(p(0));
+        let s1 = c.resolve(p(1));
+        c.add_slot(s0, 3);
         c.clear();
-        assert!(c.is_empty());
+        assert_eq!(c.count_slot(s0), 0);
+        assert_eq!(c.resolve(p(0)), s0, "slot ids are stable across clear");
+        assert_eq!(c.resolve(p(1)), s1);
+        assert_eq!(c.resolved_slots(), 2);
+        c.add_slot(s1, 7);
+        assert_eq!(c.count(p(1)), 7);
+    }
+
+    #[test]
+    fn slot_and_keyed_apis_agree() {
+        let c = Counters::new();
+        let s = c.resolve(p(9));
+        c.add_slot(s, 4);
+        c.increment(p(9));
+        assert_eq!(c.count(p(9)), 5);
+        assert_eq!(c.count_slot(s), 5);
+    }
+
+    #[test]
+    fn map_ids_distinguish_registries() {
+        let a = Counters::new();
+        let b = Counters::new();
+        assert_ne!(a.map_id(), b.map_id());
+        assert_ne!(a.map_id(), 0);
+        assert_eq!(Counters::with_impl(CounterImpl::Hash).map_id(), 0);
+        assert_eq!(a.map_id(), a.clone().map_id(), "clones share the map");
+    }
+
+    #[test]
+    fn dense_and_hash_snapshot_identically() {
+        let [dense, hash] = both();
+        for (point, n) in [(p(0), 2), (p(7), 1), (p(0), 3), (p(2), 5)] {
+            dense.add(point, n);
+            hash.add(point, n);
+        }
+        assert_eq!(dense.snapshot(), hash.snapshot());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Dense slot interning for profile points.
+//!
+//! The paper's Chez implementation is fast because a profile point compiles
+//! down to *a plain counter increment*: the counter's address is burned into
+//! the generated code, so the running program never hashes anything. A
+//! [`SlotMap`] reproduces that: it interns each [`SourceObject`] to a stable
+//! `u32` slot exactly once — at instrumentation (annotation/compile) time —
+//! after which every bump is a bounds-checked vector index.
+//!
+//! Slots are allocated densely in first-resolution order and are **never
+//! recycled** for the lifetime of the map: clearing counters does not clear
+//! the slot assignment, so slot ids cached on AST nodes (or embedded in
+//! bytecode) stay valid across profile resets and incremental
+//! re-compilation.
+
+use pgmp_syntax::SourceObject;
+use std::collections::HashMap;
+
+/// An interning table from profile points to dense `u32` slots.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_profiler::SlotMap;
+/// use pgmp_syntax::SourceObject;
+/// let mut m = SlotMap::new();
+/// let p = SourceObject::new("x.scm", 0, 5);
+/// let s = m.resolve(p);
+/// assert_eq!(m.resolve(p), s, "resolution is stable");
+/// assert_eq!(m.point(s), p);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SlotMap {
+    slots: HashMap<SourceObject, u32>,
+    points: Vec<SourceObject>,
+}
+
+impl SlotMap {
+    /// Creates an empty map.
+    pub fn new() -> SlotMap {
+        SlotMap::default()
+    }
+
+    /// Returns the slot for `p`, interning it if this is the first
+    /// resolution. Slots are dense: the `n`-th distinct point gets slot
+    /// `n - 1`.
+    pub fn resolve(&mut self, p: SourceObject) -> u32 {
+        let points = &mut self.points;
+        *self.slots.entry(p).or_insert_with(|| {
+            points.push(p);
+            (points.len() - 1) as u32
+        })
+    }
+
+    /// The slot previously assigned to `p`, if any (never interns).
+    pub fn get(&self, p: SourceObject) -> Option<u32> {
+        self.slots.get(&p).copied()
+    }
+
+    /// The profile point occupying `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was never allocated.
+    pub fn point(&self, slot: u32) -> SourceObject {
+        self.points[slot as usize]
+    }
+
+    /// Number of interned points (== the number of live slots).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True iff no point has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The interned points in slot order (`points()[s]` occupies slot `s`).
+    pub fn points(&self) -> &[SourceObject] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> SourceObject {
+        SourceObject::new("s.scm", n, n + 1)
+    }
+
+    #[test]
+    fn slots_are_dense_and_stable() {
+        let mut m = SlotMap::new();
+        assert_eq!(m.resolve(p(0)), 0);
+        assert_eq!(m.resolve(p(1)), 1);
+        assert_eq!(m.resolve(p(0)), 0, "re-resolution returns the same slot");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.point(0), p(0));
+        assert_eq!(m.point(1), p(1));
+        assert_eq!(m.get(p(2)), None);
+    }
+
+    #[test]
+    fn points_in_slot_order() {
+        let mut m = SlotMap::new();
+        m.resolve(p(5));
+        m.resolve(p(3));
+        assert_eq!(m.points(), &[p(5), p(3)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based equivalence oracle: the dense slot-indexed counter
+//! backend and the legacy hash-keyed backend are observationally
+//! identical. Any interleaving of increments, bulk adds, slot-cached
+//! bumps, and clears produces the same counts and the same [`Dataset`]
+//! snapshot from both representations.
+
+use pgmp_profiler::{CounterImpl, Counters, Dataset};
+use pgmp_syntax::SourceObject;
+use proptest::prelude::*;
+
+fn point(n: u32) -> SourceObject {
+    SourceObject::new("oracle.scm", n, n + 1)
+}
+
+/// One step of the randomized workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Increment(u32),
+    Add(u32, u64),
+    /// Bump through the dense slot API where available (resolve + add_slot
+    /// on the dense registry, keyed add on the hash registry) — the two
+    /// paths must be indistinguishable.
+    SlotAdd(u32, u64),
+    Clear,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof! is uniform; repeating the increment arm
+    // weights the workload toward the hot path.
+    prop_oneof![
+        (0u32..12).prop_map(Op::Increment),
+        (0u32..12).prop_map(Op::Increment),
+        ((0u32..12), (1u64..1000)).prop_map(|(p, n)| Op::Add(p, n)),
+        ((0u32..12), (1u64..1000)).prop_map(|(p, n)| Op::SlotAdd(p, n)),
+        Just(Op::Clear),
+    ]
+}
+
+fn apply(c: &Counters, op: &Op) {
+    match *op {
+        Op::Increment(p) => c.increment(point(p)),
+        Op::Add(p, n) => c.add(point(p), n),
+        Op::SlotAdd(p, n) => {
+            if c.impl_kind() == CounterImpl::Dense {
+                let slot = c.resolve(point(p));
+                c.add_slot(slot, n);
+            } else {
+                c.add(point(p), n);
+            }
+        }
+        Op::Clear => c.clear(),
+    }
+}
+
+proptest! {
+    /// Dense and hash backends agree on every observable — per-point
+    /// counts, population size, and the full snapshot — after any op
+    /// sequence.
+    #[test]
+    fn dense_and_hash_are_observationally_equal(
+        ops in proptest::collection::vec(op(), 0..80),
+    ) {
+        let dense = Counters::with_impl(CounterImpl::Dense);
+        let hash = Counters::with_impl(CounterImpl::Hash);
+        for op in &ops {
+            apply(&dense, op);
+            apply(&hash, op);
+        }
+        for p in 0..12 {
+            prop_assert_eq!(dense.count(point(p)), hash.count(point(p)), "point {}", p);
+        }
+        prop_assert_eq!(dense.len(), hash.len());
+        prop_assert_eq!(dense.is_empty(), hash.is_empty());
+        prop_assert_eq!(dense.snapshot(), hash.snapshot());
+    }
+
+    /// Snapshots round-trip through the dataset pipeline identically:
+    /// feeding both backends the same dataset reproduces it.
+    #[test]
+    fn absorbed_datasets_round_trip(
+        counts in proptest::collection::vec((0u32..16, 1u64..500), 0..32),
+    ) {
+        let expected: Dataset = {
+            let mut m = std::collections::HashMap::new();
+            for (p, c) in &counts {
+                *m.entry(point(*p)).or_insert(0u64) += c;
+            }
+            m.into_iter().collect()
+        };
+        for kind in [CounterImpl::Dense, CounterImpl::Hash] {
+            let c = Counters::with_impl(kind);
+            for (p, n) in &counts {
+                c.add(point(*p), *n);
+            }
+            prop_assert_eq!(c.snapshot(), expected.clone(), "{:?}", kind);
+        }
+    }
+
+    /// Dense slot ids are stable across clears for the registry's whole
+    /// lifetime: whatever ops ran in between, re-resolving a point always
+    /// yields its original slot.
+    #[test]
+    fn slots_stay_stable_under_any_workload(
+        ops in proptest::collection::vec(op(), 0..60),
+    ) {
+        let c = Counters::new();
+        let pinned: Vec<u32> = (0..4).map(|p| c.resolve(point(p))).collect();
+        for op in &ops {
+            apply(&c, op);
+        }
+        for (p, slot) in pinned.iter().enumerate() {
+            prop_assert_eq!(c.resolve(point(p as u32)), *slot);
+        }
+    }
+}

@@ -82,7 +82,7 @@ impl<K: Eq + Hash> Default for ShardedRegistry<K> {
     }
 }
 
-fn saturating_fetch_add(counter: &AtomicU64, n: u64) {
+pub(crate) fn saturating_fetch_add(counter: &AtomicU64, n: u64) {
     // Plain fetch_add would wrap at u64::MAX; a compare-exchange loop lets
     // us saturate instead. Uncontended it costs the same one RMW.
     let mut cur = counter.load(Ordering::Relaxed);

@@ -1,0 +1,312 @@
+//! Dense atomic counter storage: the concurrent dual of the profiler's
+//! slot-indexed `Vec<Cell<u64>>`.
+//!
+//! An [`AtomicSlotArray`] maps a dense `u32` slot to an `AtomicU64`
+//! counter. The hot path — [`AtomicSlotArray::add`] on an existing slot —
+//! is a relaxed saturating fetch-add with **no lock and no hashing**;
+//! compare the lock-striped [`crate::ShardedRegistry`], whose every bump
+//! hashes the key and takes a shard's read lock.
+//!
+//! Storage grows lock-free: slots live in power-of-two segments (1024,
+//! 2048, 4096, …) that are allocated on first touch through a
+//! `OnceLock`, so a slot's address never moves once allocated — writers
+//! racing on a fresh segment coordinate only on the one-time
+//! initialization. [`AtomicSlotArray::take`] swaps a counter to zero,
+//! giving epoch aggregation its "every hit lands in exactly one drain"
+//! guarantee per slot.
+//!
+//! For write-heavy workloads where even an uncontended atomic per hit is
+//! too much, a [`CoalescingWriter`] buffers counts thread-locally and
+//! flushes them in batches (at the latest at an epoch boundary), trading
+//! shared-memory traffic for a bounded window of counts invisible to
+//! concurrent snapshots.
+
+use crate::sharded::saturating_fetch_add;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// log2 of the first segment's length.
+const FIRST_SEGMENT_BITS: u32 = 10;
+/// Segment k holds 2^(10+k) slots (1024, 2048, 4096, …); 23 segments
+/// cover every possible `u32` slot.
+const NUM_SEGMENTS: usize = 23;
+
+/// Locates `slot`: (segment index, offset within it, segment length).
+#[inline]
+fn locate(slot: u32) -> (usize, usize, usize) {
+    let idx = slot as u64 + (1 << FIRST_SEGMENT_BITS);
+    let log = 63 - idx.leading_zeros();
+    let seg_len = 1u64 << log;
+    (
+        (log - FIRST_SEGMENT_BITS) as usize,
+        (idx - seg_len) as usize,
+        seg_len as usize,
+    )
+}
+
+/// A growable `slot -> AtomicU64` array with lock-free bumps. See the
+/// module docs.
+#[derive(Debug, Default)]
+pub struct AtomicSlotArray {
+    segments: [OnceLock<Box<[AtomicU64]>>; NUM_SEGMENTS],
+}
+
+impl AtomicSlotArray {
+    /// Creates an array with no segments allocated.
+    pub fn new() -> AtomicSlotArray {
+        AtomicSlotArray::default()
+    }
+
+    #[inline]
+    fn counter(&self, slot: u32) -> &AtomicU64 {
+        let (seg, off, len) = locate(slot);
+        let segment = self.segments[seg]
+            .get_or_init(|| (0..len).map(|_| AtomicU64::new(0)).collect());
+        &segment[off]
+    }
+
+    /// Adds `n` to `slot`'s counter with relaxed ordering, saturating at
+    /// `u64::MAX`.
+    #[inline]
+    pub fn add(&self, slot: u32, n: u64) {
+        saturating_fetch_add(self.counter(slot), n);
+    }
+
+    /// Current count of `slot` (0 if never touched).
+    pub fn get(&self, slot: u32) -> u64 {
+        let (seg, off, _) = locate(slot);
+        match self.segments[seg].get() {
+            Some(segment) => segment[off].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Atomically moves `slot`'s count out, leaving zero. Each concurrent
+    /// hit lands either in this take or a later one, never both — the
+    /// per-slot drain guarantee epoch aggregation builds on.
+    pub fn take(&self, slot: u32) -> u64 {
+        let (seg, off, _) = locate(slot);
+        match self.segments[seg].get() {
+            Some(segment) => segment[off].swap(0, Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Zeroes every allocated counter (segments stay allocated, so slot
+    /// addresses — and anything caching them — remain valid).
+    pub fn clear(&self) {
+        for seg in &self.segments {
+            if let Some(segment) = seg.get() {
+                for c in segment.iter() {
+                    c.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Cumulative statistics of the [`CoalescingWriter`]s attached to one
+/// [`AtomicSlotArray`] owner.
+#[derive(Debug, Default)]
+pub struct FlushStats {
+    flushes: AtomicU64,
+    flushed_slots: AtomicU64,
+    buffered_hits: AtomicU64,
+}
+
+/// A point-in-time copy of [`FlushStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlushStatsSnapshot {
+    /// Number of buffer flushes.
+    pub flushes: u64,
+    /// Distinct `(flush, slot)` writes pushed to the shared array.
+    pub flushed_slots: u64,
+    /// Hits absorbed into local buffers (each flushed slot may carry many).
+    pub buffered_hits: u64,
+}
+
+impl FlushStats {
+    /// Reads the counters.
+    pub fn snapshot(&self) -> FlushStatsSnapshot {
+        FlushStatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            flushed_slots: self.flushed_slots.load(Ordering::Relaxed),
+            buffered_hits: self.buffered_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A thread-local write-coalescing buffer over an [`AtomicSlotArray`].
+///
+/// `add` accumulates into a private dense buffer; `flush` pushes the
+/// buffered counts to the shared array in one pass (one atomic RMW per
+/// *distinct* slot, however many hits it absorbed). The buffer flushes
+/// itself when it holds `capacity` distinct slots, and on drop — so no
+/// hit is ever lost, merely delayed until the owner's next flush point
+/// (the epoch boundary, in the adaptive engine).
+#[derive(Debug)]
+pub struct CoalescingWriter {
+    array: Arc<AtomicSlotArray>,
+    stats: Arc<FlushStats>,
+    /// Pending count per slot (dense, grown on demand).
+    pending: Vec<u64>,
+    /// Slots with a nonzero pending count.
+    touched: Vec<u32>,
+    capacity: usize,
+}
+
+impl CoalescingWriter {
+    /// Creates a writer over `array` flushing automatically at `capacity`
+    /// distinct buffered slots (minimum 1).
+    pub fn new(
+        array: Arc<AtomicSlotArray>,
+        stats: Arc<FlushStats>,
+        capacity: usize,
+    ) -> CoalescingWriter {
+        CoalescingWriter {
+            array,
+            stats,
+            pending: Vec::new(),
+            touched: Vec::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Buffers `n` hits on `slot`, flushing if the buffer is full.
+    #[inline]
+    pub fn add(&mut self, slot: u32, n: u64) {
+        let i = slot as usize;
+        if i >= self.pending.len() {
+            self.pending.resize(i + 1, 0);
+        }
+        if self.pending[i] == 0 {
+            self.touched.push(slot);
+        }
+        self.pending[i] = self.pending[i].saturating_add(n);
+        self.stats.buffered_hits.fetch_add(n, Ordering::Relaxed);
+        if self.touched.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Buffers one hit on `slot`.
+    #[inline]
+    pub fn increment(&mut self, slot: u32) {
+        self.add(slot, 1);
+    }
+
+    /// Pushes every buffered count to the shared array and empties the
+    /// buffer. No-op when nothing is pending.
+    pub fn flush(&mut self) {
+        if self.touched.is_empty() {
+            return;
+        }
+        for &slot in &self.touched {
+            self.array.add(slot, self.pending[slot as usize]);
+            self.pending[slot as usize] = 0;
+        }
+        self.stats
+            .flushed_slots
+            .fetch_add(self.touched.len() as u64, Ordering::Relaxed);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.touched.clear();
+    }
+
+    /// Distinct slots currently buffered.
+    pub fn pending_slots(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+impl Drop for CoalescingWriter {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locate_covers_segment_boundaries() {
+        assert_eq!(locate(0), (0, 0, 1024));
+        assert_eq!(locate(1023), (0, 1023, 1024));
+        assert_eq!(locate(1024), (1, 0, 2048));
+        assert_eq!(locate(3071), (1, 2047, 2048));
+        assert_eq!(locate(3072), (2, 0, 4096));
+        assert_eq!(locate(u32::MAX), (22, 1023, 1 << 32));
+    }
+
+    #[test]
+    fn add_get_take() {
+        let a = AtomicSlotArray::new();
+        a.add(0, 2);
+        a.add(5000, 7);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(5000), 7);
+        assert_eq!(a.get(3), 0);
+        assert_eq!(a.take(5000), 7);
+        assert_eq!(a.get(5000), 0);
+        assert_eq!(a.take(5000), 0);
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let a = AtomicSlotArray::new();
+        a.add(1, u64::MAX - 1);
+        a.add(1, 5);
+        assert_eq!(a.get(1), u64::MAX);
+    }
+
+    #[test]
+    fn clear_keeps_segments_usable() {
+        let a = AtomicSlotArray::new();
+        a.add(9, 3);
+        a.clear();
+        assert_eq!(a.get(9), 0);
+        a.add(9, 1);
+        assert_eq!(a.get(9), 1);
+    }
+
+    #[test]
+    fn concurrent_adds_are_not_lost() {
+        let a = Arc::new(AtomicSlotArray::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let a = a.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        a.add(((t + i) % 16) as u32, 1);
+                    }
+                });
+            }
+        });
+        let total: u64 = (0..16).map(|s| a.get(s)).sum();
+        assert_eq!(total, threads * per_thread);
+    }
+
+    #[test]
+    fn coalescing_writer_flushes_at_capacity_and_on_drop() {
+        let a = Arc::new(AtomicSlotArray::new());
+        let stats = Arc::new(FlushStats::default());
+        {
+            let mut w = CoalescingWriter::new(a.clone(), stats.clone(), 2);
+            w.increment(0);
+            w.increment(0);
+            assert_eq!(a.get(0), 0, "buffered, not yet visible");
+            w.increment(1); // second distinct slot -> auto flush
+            assert_eq!(a.get(0), 2);
+            assert_eq!(a.get(1), 1);
+            w.increment(4);
+            // drops here -> final flush
+        }
+        assert_eq!(a.get(4), 1);
+        let s = stats.snapshot();
+        assert_eq!(s.flushes, 2);
+        assert_eq!(s.flushed_slots, 3);
+        assert_eq!(s.buffered_hits, 4);
+    }
+}
