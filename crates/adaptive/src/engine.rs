@@ -601,6 +601,62 @@ impl AdaptiveEngine {
             None => Ok(None),
         }
     }
+
+    /// Persists the aggregation state — rolling profile (decayed counts +
+    /// epoch counter) and optimization baseline — to `path`, atomically.
+    /// Pair with [`AdaptiveEngine::restore_snapshot`] to carry an online
+    /// session's profile memory across a process restart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the atomic write.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<(), Error> {
+        let snap = {
+            let agg = self
+                .shared
+                .agg
+                .lock()
+                .expect("adaptive aggregation state poisoned");
+            crate::EpochSnapshot::capture(&agg.rolling, &agg.baseline)
+        };
+        snap.store_file(path).map_err(Error::Profile)?;
+        Ok(())
+    }
+
+    /// Restores aggregation state saved by
+    /// [`AdaptiveEngine::save_snapshot`]: the rolling profile resumes its
+    /// decay history and the drift baseline is re-established, so the
+    /// first epochs after a restart measure drift against what the
+    /// previous process had learned — not against an empty profile.
+    ///
+    /// The engine keeps its *configured* decay factor (the stored one is
+    /// diagnostic); hysteresis and cooldown state reset — they damp
+    /// within-process oscillation and are meaningless across a restart.
+    /// Returns the restored snapshot for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`pgmp_profiler::ProfileStoreError`]s (wrapped in
+    /// [`Error::Profile`]) for I/O, corruption, or version problems; the
+    /// in-memory state is untouched on error.
+    pub fn restore_snapshot(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<crate::EpochSnapshot, Error> {
+        let snap = crate::EpochSnapshot::load_file(path).map_err(Error::Profile)?;
+        let mut agg = self
+            .shared
+            .agg
+            .lock()
+            .expect("adaptive aggregation state poisoned");
+        agg.rolling =
+            RollingProfile::from_parts(self.config.decay, snap.epochs, snap.counts.clone());
+        agg.baseline = snap.baseline.clone();
+        agg.epoch = snap.epochs;
+        agg.streak = 0;
+        agg.cooldown_left = 0;
+        Ok(snap)
+    }
 }
 
 /// Stops (and joins) the background aggregator when dropped.
@@ -710,6 +766,59 @@ mod tests {
             text.contains("(if (< n 10) (quote small) (quote big))"),
             "after the shift 'small is hot again: {text}"
         );
+    }
+
+    #[test]
+    fn snapshot_restores_profile_memory_across_engines() {
+        let dir = std::env::temp_dir().join(format!("pgmp-adapt-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.pgmp");
+        let config = AdaptiveConfig {
+            decay: 0.5,
+            drift_threshold: 0.2,
+            ..AdaptiveConfig::default()
+        };
+
+        // "Process 1": learn that 'big is hot, re-optimize, snapshot.
+        {
+            let mut engine = AdaptiveEngine::new(IF_R, "ifr.scm", config.clone()).unwrap();
+            engine.collect_run(Some(&drive(10, 60))).unwrap();
+            let report = engine.tick().unwrap();
+            assert!(report.reoptimized);
+            engine.save_snapshot(&path).unwrap();
+        }
+
+        // "Process 2": restore; identical traffic must NOT fire (the
+        // baseline carried over), unlike a cold engine where the very
+        // first traffic always drifts from the empty baseline.
+        let mut engine = AdaptiveEngine::new(IF_R, "ifr.scm", config).unwrap();
+        let snap = engine.restore_snapshot(&path).unwrap();
+        assert!(snap.epochs >= 1);
+        assert!(!snap.baseline.is_empty());
+        engine.collect_run(Some(&drive(10, 60))).unwrap();
+        let report = engine.tick().unwrap();
+        assert!(
+            !report.fired,
+            "restored baseline treated steady traffic as drift: {}",
+            report.drift
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_from_corrupt_snapshot_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("pgmp-adapt-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch.pgmp");
+        std::fs::write(&path, "(pgmp-epoch (version 9))").unwrap();
+        let mut engine =
+            AdaptiveEngine::new(IF_R, "ifr.scm", AdaptiveConfig::default()).unwrap();
+        let err = engine.restore_snapshot(&path);
+        assert!(matches!(err, Err(Error::Profile(_))), "{err:?}");
+        // Engine still works after the failed restore.
+        engine.collect_run(Some(&drive(0, 5))).unwrap();
+        engine.tick().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

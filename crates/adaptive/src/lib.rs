@@ -35,6 +35,7 @@ mod counters;
 mod drift;
 mod engine;
 mod rolling;
+mod snapshot;
 
 pub use counters::{CountersWriter, ShardedCounters};
 pub use drift::{drift, DriftDetector, DriftMetric, DriftReading, HysteresisDetector};
@@ -42,3 +43,4 @@ pub use engine::{
     AdaptiveConfig, AdaptiveEngine, AdaptiveHandle, AggregatorGuard, CompiledProgram, EpochReport,
 };
 pub use rolling::RollingProfile;
+pub use snapshot::EpochSnapshot;

@@ -106,6 +106,40 @@ impl RollingProfile {
         }
     }
 
+    /// The retained (decayed) counts as `(point, count)` pairs, sorted by
+    /// point for deterministic output. Together with
+    /// [`RollingProfile::from_parts`] this is what epoch-snapshot
+    /// persistence stores, so an adaptive session can resume aggregation
+    /// across a process restart without losing its decay history.
+    pub fn entries(&self) -> Vec<(SourceObject, f64)> {
+        let mut out: Vec<(SourceObject, f64)> =
+            self.counts.iter().map(|(p, c)| (*p, *c)).collect();
+        out.sort_by_key(|e| e.0);
+        out
+    }
+
+    /// Reconstructs a rolling profile from persisted state:
+    /// [`RollingProfile::entries`] output plus the decay factor and epoch
+    /// count. Non-positive counts are dropped (they could not have been
+    /// retained).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= decay <= 1.0`, like [`RollingProfile::new`].
+    pub fn from_parts(
+        decay: f64,
+        epochs: u64,
+        entries: impl IntoIterator<Item = (SourceObject, f64)>,
+    ) -> RollingProfile {
+        let mut r = RollingProfile::new(decay);
+        r.epochs = epochs;
+        r.counts = entries
+            .into_iter()
+            .filter(|(_, c)| *c >= RETENTION_FLOOR)
+            .collect();
+        r
+    }
+
     /// Current profile weights (normalized by the hottest retained point),
     /// ready for [`pgmp::Engine::set_profile`].
     pub fn weights(&self) -> ProfileInformation {
@@ -190,5 +224,21 @@ mod tests {
     #[should_panic(expected = "decay must be in [0, 1]")]
     fn rejects_bad_decay() {
         RollingProfile::new(1.5);
+    }
+
+    #[test]
+    fn parts_round_trip_decay_history() {
+        let mut r = RollingProfile::new(0.5);
+        r.absorb(&d(&[(0, 100), (1, 40)]));
+        r.absorb(&d(&[(1, 100)]));
+        let back = RollingProfile::from_parts(r.decay(), r.epochs(), r.entries());
+        assert_eq!(back.epochs(), r.epochs());
+        assert_eq!(back.entries(), r.entries());
+        // The restored profile keeps decaying from where it left off.
+        let mut a = r.clone();
+        let mut b = back;
+        a.absorb(&d(&[(0, 7)]));
+        b.absorb(&d(&[(0, 7)]));
+        assert_eq!(a.entries(), b.entries());
     }
 }

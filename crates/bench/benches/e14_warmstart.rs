@@ -1,0 +1,124 @@
+//! E14 bench — cold vs. warm process start: how fast does a *fresh*
+//! process reach an optimized compile of an unchanged program?
+//!
+//! Cold start expands and compiles everything from source — for the
+//! profile-guided `case` workload that means the §6.1 meta-program
+//! rewrites every clause and sorts them by profile weight, in interpreted
+//! Scheme, once per form. Warm start restores a persisted session
+//! ([`pgmp::IncrementalEngine::save_state`] / `load_state`) — per-form
+//! fingerprints, read sets, and expanded artifacts — then compiles,
+//! reusing every form without re-expanding anything. Both sides include
+//! full engine construction (case-study libraries included), so the
+//! numbers are end-to-end process-start costs.
+//!
+//! Claim under test (acceptance criterion for the persistent store): at
+//! 100 top-level forms, warm start is ≥ 3× faster than cold start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmp::{IncrementalConfig, IncrementalEngine};
+use pgmp_case_studies::{engine_with, Lib};
+use pgmp_profiler::ProfileInformation;
+use pgmp_reader::read_str;
+use pgmp_syntax::SourceObject;
+use std::hint::black_box;
+
+/// `n` token-classifier definitions, each an 8-way profile-guided `case`.
+fn program(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!(
+            "(define (classify{i} x)\n  (case x\n    [(0 1 2) 'c0-{i}]\n    [(3 4 5) 'c1-{i}]\n    [(6 7 8) 'c2-{i}]\n    [(9 10 11) 'c3-{i}]\n    [(12 13 14) 'c4-{i}]\n    [(15 16 17) 'c5-{i}]\n    [(18 19 20) 'c6-{i}]\n    [(21 22 23) 'c7-{i}]\n    [else 'other{i}]))\n"
+        ));
+    }
+    src
+}
+
+/// Clause weights skewed inversely to source order, so every `case`
+/// expansion performs a real reorder.
+fn weights(src: &str, file: &str) -> ProfileInformation {
+    let mut pts: Vec<(SourceObject, f64)> = Vec::new();
+    for form in read_str(src, file).expect("bench program reads").iter() {
+        let Some(define) = form.as_list() else { continue };
+        let Some(case) = define.get(2).and_then(|b| b.as_list()) else {
+            continue;
+        };
+        for (j, clause) in case.iter().skip(2).enumerate() {
+            let Some(cl) = clause.as_list() else { continue };
+            if let Some(body) = cl.get(1).and_then(|b| b.source) {
+                pts.push((body, 0.9 / (j as f64 + 1.0)));
+            }
+        }
+    }
+    ProfileInformation::from_weights(pts, 1)
+}
+
+fn case_engine() -> pgmp::Engine {
+    engine_with(&[Lib::Case]).expect("case-study libraries")
+}
+
+fn bench_warmstart(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("pgmp-e14-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+
+    let mut group = c.benchmark_group("e14_warmstart");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let src = program(n);
+        let file = format!("e14_{n}.scm");
+        let w = weights(&src, &file);
+
+        // Persist one session for this program size; every warm iteration
+        // restores from it, simulating a process restart.
+        let session = dir.join(format!("e14_{n}.session"));
+        {
+            let mut incr = IncrementalEngine::with_engine(
+                case_engine(),
+                &src,
+                &file,
+                IncrementalConfig::default(),
+            )
+            .expect("incremental engine");
+            incr.compile(&w).expect("prime");
+            let stats = incr.save_state(&session).expect("save session");
+            assert_eq!(stats.skipped, 0, "bench program must persist fully");
+        }
+
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                let mut incr = IncrementalEngine::with_engine(
+                    case_engine(),
+                    &src,
+                    &file,
+                    IncrementalConfig::default(),
+                )
+                .expect("incremental engine");
+                let unit = incr.compile(&w).expect("cold compile");
+                black_box(unit.stats.reexpanded)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut incr = IncrementalEngine::with_engine(
+                    case_engine(),
+                    &src,
+                    &file,
+                    IncrementalConfig::default(),
+                )
+                .expect("incremental engine");
+                let ws = incr.load_state(&session).expect("warm start");
+                assert_eq!(ws.skipped, 0);
+                let stored = incr.engine_mut().profile();
+                let unit = incr.compile(&stored).expect("warm compile");
+                assert_eq!(unit.stats.reexpanded, 0, "warm start must reuse everything");
+                black_box(unit.stats.reused)
+            });
+        });
+    }
+    group.finish();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_warmstart);
+criterion_main!(benches);

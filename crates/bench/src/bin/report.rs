@@ -342,6 +342,76 @@ fn e13() {
     speedup_row("recompile after profile flip", t_full, t_incr);
 }
 
+fn e14() {
+    use pgmp::{IncrementalConfig, IncrementalEngine};
+    use pgmp_case_studies::{engine_with, Lib};
+    use pgmp_syntax::SourceObject;
+
+    header("E14 (extension): cold vs warm process start");
+    // 100 profile-guided `case` classifiers (the §6.1 meta-program): cold
+    // start pays clause rewriting + weight sorting, in interpreted Scheme,
+    // once per form; warm start restores the persisted session instead.
+    const N: usize = 100;
+    let mut src = String::new();
+    for i in 0..N {
+        src.push_str(&format!(
+            "(define (classify{i} x)\n  (case x\n    [(0 1 2) 'c0-{i}]\n    [(3 4 5) 'c1-{i}]\n    [(6 7 8) 'c2-{i}]\n    [(9 10 11) 'c3-{i}]\n    [(12 13 14) 'c4-{i}]\n    [(15 16 17) 'c5-{i}]\n    [(18 19 20) 'c6-{i}]\n    [(21 22 23) 'c7-{i}]\n    [else 'other{i}]))\n"
+        ));
+    }
+    let file = "e14.scm";
+    // Clause weights skewed inversely to source order: every expansion
+    // performs a real reorder.
+    let mut pts: Vec<(SourceObject, f64)> = Vec::new();
+    for form in pgmp_reader::read_str(&src, file).unwrap().iter() {
+        let case = form.as_list().unwrap()[2].as_list().unwrap();
+        for (j, clause) in case.iter().skip(2).enumerate() {
+            if let Some(body) = clause.as_list().unwrap().get(1).and_then(|b| b.source) {
+                pts.push((body, 0.9 / (j as f64 + 1.0)));
+            }
+        }
+    }
+    let w = ProfileInformation::from_weights(pts, 1);
+    let case_engine = || engine_with(&[Lib::Case]).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("pgmp-report-e14-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let session = dir.join("e14.session");
+    {
+        let mut incr =
+            IncrementalEngine::with_engine(case_engine(), &src, file, IncrementalConfig::default())
+                .unwrap();
+        incr.compile(&w).unwrap();
+        incr.save_state(&session).unwrap();
+    }
+
+    const ROUNDS: usize = 6;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        let mut incr =
+            IncrementalEngine::with_engine(case_engine(), &src, file, IncrementalConfig::default())
+                .unwrap();
+        incr.compile(&w).unwrap();
+    }
+    let t_cold = t0.elapsed() / ROUNDS as u32;
+
+    let t0 = Instant::now();
+    let mut reexpanded = usize::MAX;
+    for _ in 0..ROUNDS {
+        let mut incr =
+            IncrementalEngine::with_engine(case_engine(), &src, file, IncrementalConfig::default())
+                .unwrap();
+        incr.load_state(&session).unwrap();
+        let stored = incr.engine_mut().profile();
+        reexpanded = incr.compile(&stored).unwrap().stats.reexpanded;
+    }
+    let t_warm = t0.elapsed() / ROUNDS as u32;
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!("  claim:    restoring a persisted session skips all re-expansion ({N} forms)");
+    println!("  measured: {reexpanded} form(s) re-expanded on the warm path");
+    speedup_row("first optimized compile of a new process", t_cold, t_warm);
+}
+
 fn main() {
     println!("pgmp reproduction — full evaluation report");
     println!("(shape reproduction: who wins and by roughly what factor;");
@@ -356,6 +426,7 @@ fn main() {
     e9();
     e11();
     e13();
+    e14();
     println!("\nE3 (Figure 4 API) and E10 (proc macros) have dedicated harnesses:");
     println!("tests/e3_api.rs, tests/e10_proc_macros.rs, and the Criterion benches;");
     println!("e7_overhead_table prints the full section 4.4 table.");

@@ -234,6 +234,97 @@ impl BlockCounters {
         }
     }
 
+    /// Re-keys every counter of chunk `old` under chunk id `new`,
+    /// registration included. Chunk ids are process-local, so block counts
+    /// collected against a chunk from a *saved* session must be carried
+    /// over to the id the warm-started process minted for the same chunk —
+    /// `pgmp::WarmStart::chunk_map` supplies exactly these `(old, new)`
+    /// pairs.
+    ///
+    /// If `new` already has counts of its own, the remapped counts are
+    /// added to them (old's dense range, if any, is folded into keyed
+    /// overflow entries). No-op when `old == new` or `old` was never seen.
+    pub fn remap_chunk(&self, old: u32, new: u32) {
+        if old == new {
+            return;
+        }
+        match &*self.backend {
+            Backend::Dense {
+                bases,
+                counts,
+                overflow,
+            } => {
+                let mut bases = bases.borrow_mut();
+                if let Some(entry) = bases.remove(&old) {
+                    use std::collections::hash_map::Entry;
+                    match bases.entry(new) {
+                        Entry::Vacant(v) => {
+                            v.insert(entry);
+                        }
+                        Entry::Occupied(o) => {
+                            // `new` has its own dense range; add old's
+                            // counts into it (in-range blocks must live in
+                            // the dense slots — `count` never consults
+                            // overflow for them) and abandon the old range.
+                            let (new_base, new_n) = *o.get();
+                            let counts = counts.borrow();
+                            let (base, n) = entry;
+                            let mut ov = overflow.borrow_mut();
+                            for b in 0..n {
+                                let cell = &counts[(base + b) as usize];
+                                let c = cell.get();
+                                if c > 0 {
+                                    if b < new_n {
+                                        let dst = &counts[(new_base + b) as usize];
+                                        dst.set(dst.get().saturating_add(c));
+                                    } else {
+                                        let e = ov.entry((new, b)).or_insert(0);
+                                        *e = e.saturating_add(c);
+                                    }
+                                }
+                                cell.set(0);
+                            }
+                        }
+                    }
+                }
+                let new_reg = bases.get(&new).copied();
+                let mut ov = overflow.borrow_mut();
+                let moved: Vec<(u32, u64)> = ov
+                    .iter()
+                    .filter(|((c, _), _)| *c == old)
+                    .map(|((_, b), v)| (*b, *v))
+                    .collect();
+                ov.retain(|(c, _), _| *c != old);
+                for (b, v) in moved {
+                    match new_reg {
+                        Some((nb, nn)) if b < nn => {
+                            let counts = counts.borrow();
+                            let dst = &counts[(nb + b) as usize];
+                            dst.set(dst.get().saturating_add(v));
+                        }
+                        _ => {
+                            let e = ov.entry((new, b)).or_insert(0);
+                            *e = e.saturating_add(v);
+                        }
+                    }
+                }
+            }
+            Backend::Hash { counts } => {
+                let mut counts = counts.borrow_mut();
+                let moved: Vec<(u32, u64)> = counts
+                    .iter()
+                    .filter(|((c, _), _)| *c == old)
+                    .map(|((_, b), v)| (*b, *v))
+                    .collect();
+                counts.retain(|(c, _), _| *c != old);
+                for (b, v) in moved {
+                    let e = counts.entry((new, b)).or_insert(0);
+                    *e = e.saturating_add(v);
+                }
+            }
+        }
+    }
+
     /// Snapshot of all nonzero counts.
     pub fn snapshot(&self) -> HashMap<(u32, u32), u64> {
         match &*self.backend {
@@ -332,6 +423,47 @@ mod tests {
         assert_eq!(c.register_chunk(0, 4), NO_BASE);
         c.increment(0, 1);
         assert_eq!(c.count(0, 1), 1);
+    }
+
+    #[test]
+    fn remap_carries_counts_to_the_new_id() {
+        for c in both() {
+            c.register_chunk(4, 2);
+            c.increment(4, 0);
+            c.increment(4, 1);
+            c.increment(4, 1);
+            c.increment(4, 9); // overflow on dense, keyed on hash
+            c.remap_chunk(4, 40);
+            assert_eq!(c.count(4, 0), 0, "old id is empty");
+            assert_eq!(c.count(40, 0), 1);
+            assert_eq!(c.count(40, 1), 2);
+            assert_eq!(c.count(40, 9), 1);
+        }
+    }
+
+    #[test]
+    fn remap_merges_into_existing_counts() {
+        for c in both() {
+            c.register_chunk(1, 2);
+            c.register_chunk(2, 2);
+            c.increment(1, 0);
+            c.increment(2, 0);
+            c.increment(2, 1);
+            c.remap_chunk(1, 2);
+            assert_eq!(c.count(2, 0), 2, "counts are summed");
+            assert_eq!(c.count(2, 1), 1);
+            assert_eq!(c.count(1, 0), 0);
+        }
+    }
+
+    #[test]
+    fn remap_of_unknown_or_identical_ids_is_a_noop() {
+        for c in both() {
+            c.increment(5, 0);
+            c.remap_chunk(9, 10);
+            c.remap_chunk(5, 5);
+            assert_eq!(c.count(5, 0), 1);
+        }
     }
 
     #[test]

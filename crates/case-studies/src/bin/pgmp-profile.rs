@@ -1,0 +1,191 @@
+//! `pgmp-profile` — inspect, merge, and convert stored profile files.
+//!
+//! ```text
+//! pgmp-profile inspect <file.pgmp>
+//!     Summary: format version, dataset count, point/slot counts, and the
+//!     hottest points.
+//!
+//! pgmp-profile merge -o <out.pgmp> <a.pgmp> <b.pgmp> [...]
+//!     Merges profiles by the paper's §3.2 rule: per-point weighted
+//!     average, weighted by each profile's dataset count, so a 9-dataset
+//!     profile outweighs a 1-dataset profile 9:1 on disagreement. Inputs
+//!     of either format version are accepted; output is v1 unless
+//!     --to 2 is given.
+//!
+//! pgmp-profile convert --to <1|2> -o <out.pgmp> <in.pgmp>
+//!     Rewrites a profile in the requested format version. v2 → v1 drops
+//!     the slot table; v1 → v2 carries weights only unless --slots is
+//!     given, which synthesizes a dense slot table from the points in
+//!     sorted order (a process preloading it interns nothing on the warm
+//!     path).
+//! ```
+//!
+//! All writes are atomic (temp file + rename); corrupt inputs fail with a
+//! typed error, never a panic. See `docs/PROFILE_FORMAT.md` for the
+//! normative format specification.
+
+use pgmp_profiler::{ProfileInformation, SlotMap, StoredProfile};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pgmp-profile inspect <file.pgmp>\n\
+         \u{20}      pgmp-profile merge [--to 1|2] -o <out.pgmp> <in.pgmp>...\n\
+         \u{20}      pgmp-profile convert --to 1|2 [--slots] -o <out.pgmp> <in.pgmp>"
+    );
+    std::process::exit(2)
+}
+
+fn load(path: &str) -> Result<StoredProfile, String> {
+    StoredProfile::load_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn inspect(args: &[String]) -> Result<(), String> {
+    let [path] = args else { usage() };
+    let stored = load(path)?;
+    println!("file:     {path}");
+    println!("format:   v{}", stored.version);
+    println!("datasets: {}", stored.info.dataset_count());
+    println!("points:   {}", stored.info.len());
+    match &stored.slots {
+        Some(table) => println!("slots:    {}", table.len()),
+        None => println!("slots:    (none)"),
+    }
+    let mut points: Vec<_> = stored.info.iter().collect();
+    points.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    if !points.is_empty() {
+        println!("hottest:");
+        for (p, w) in points.iter().take(10) {
+            println!("  {w:<8.4} {p}");
+        }
+        if points.len() > 10 {
+            println!("  ... and {} more", points.len() - 10);
+        }
+    }
+    Ok(())
+}
+
+struct WriteOpts {
+    out: Option<String>,
+    to: u32,
+    slots: bool,
+    inputs: Vec<String>,
+}
+
+fn parse_write_opts(args: &[String]) -> WriteOpts {
+    let mut opts = WriteOpts {
+        out: None,
+        to: 1,
+        slots: false,
+        inputs: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => opts.out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--to" => match it.next().map(String::as_str) {
+                Some("1") => opts.to = 1,
+                Some("2") => opts.to = 2,
+                _ => usage(),
+            },
+            "--slots" => opts.slots = true,
+            other if !other.starts_with('-') => opts.inputs.push(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Builds the output profile in the requested version, synthesizing a
+/// dense slot table from the sorted points when asked.
+fn assemble(
+    info: ProfileInformation,
+    slots: Option<SlotMap>,
+    to: u32,
+    synthesize: bool,
+) -> Result<StoredProfile, String> {
+    if to == 1 {
+        return Ok(StoredProfile::v1(info));
+    }
+    let slots = if synthesize {
+        let mut points: Vec<_> = info.iter().map(|(p, _)| p).collect();
+        points.sort();
+        Some(
+            SlotMap::from_points(points)
+                .map_err(|p| format!("duplicate point {p} while synthesizing slot table"))?,
+        )
+    } else {
+        slots
+    };
+    Ok(StoredProfile::v2(info, slots))
+}
+
+fn merge(args: &[String]) -> Result<(), String> {
+    let opts = parse_write_opts(args);
+    let out = opts.out.unwrap_or_else(|| usage());
+    if opts.inputs.is_empty() {
+        usage();
+    }
+    let mut merged = ProfileInformation::empty();
+    for path in &opts.inputs {
+        let stored = load(path)?;
+        eprintln!(
+            "pgmp-profile: {path}: v{}, {} dataset(s), {} point(s)",
+            stored.version,
+            stored.info.dataset_count(),
+            stored.info.len()
+        );
+        merged = merged.merge(&stored.info);
+    }
+    let stored = assemble(merged, None, opts.to, opts.slots)?;
+    stored.store_file(&out).map_err(|e| format!("{out}: {e}"))?;
+    eprintln!(
+        "pgmp-profile: wrote {out}: v{}, {} dataset(s), {} point(s)",
+        stored.version,
+        stored.info.dataset_count(),
+        stored.info.len()
+    );
+    Ok(())
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let opts = parse_write_opts(args);
+    let out = opts.out.unwrap_or_else(|| usage());
+    let [input] = opts.inputs.as_slice() else {
+        usage()
+    };
+    let stored = load(input)?;
+    let from = stored.version;
+    let converted = assemble(stored.info, stored.slots, opts.to, opts.slots)?;
+    converted.store_file(&out).map_err(|e| format!("{out}: {e}"))?;
+    let slots = match &converted.slots {
+        Some(t) => format!("{} slot(s)", t.len()),
+        None => "no slot table".to_owned(),
+    };
+    eprintln!(
+        "pgmp-profile: {input} (v{from}) -> {out} (v{}, {slots})",
+        converted.version
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "inspect" => inspect(rest),
+            "merge" => merge(rest),
+            "convert" => convert(rest),
+            "--help" | "-h" => usage(),
+            other => Err(format!("unknown command `{other}`")),
+        },
+        None => usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pgmp-profile: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,9 +17,21 @@
 //!                                runs: dense slot-indexed (default) or the
 //!                                legacy hash-keyed baseline
 //!
+//!   --store-format <1|2>         profile format version for --store
+//!                                (2 carries the dense slot table; default 1)
+//!
 //!   --incremental                compile through the per-form recompilation
 //!                                cache; each --merge recompiles incrementally
 //!                                and reports how many forms were reused
+//!   --save-state <file>          incremental: persist the per-form cache
+//!                                after the last compile, so a later process
+//!                                can warm-start with --load-state
+//!   --load-state <file>          incremental: restore a saved session before
+//!                                compiling; an unchanged program then
+//!                                recompiles with zero re-expansions
+//!                                (with --adaptive, --save-state/--load-state
+//!                                persist the epoch snapshot — rolling profile
+//!                                and drift baseline — instead)
 //!
 //!   --adaptive                   online mode: epochs of concurrent profile
 //!                                collection, drift detection, re-optimization
@@ -73,7 +85,10 @@ struct Options {
     libs: Vec<Lib>,
     strategy: AnnotateStrategy,
     counter_impl: CounterImpl,
+    store_format: u32,
     incremental: bool,
+    save_state: Option<String>,
+    load_state: Option<String>,
     adaptive: bool,
     epochs: u64,
     threads: usize,
@@ -90,7 +105,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
          \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda]\n\
-         \u{20}               [--counter-impl dense|hash] [--incremental]\n\
+         \u{20}               [--counter-impl dense|hash] [--store-format 1|2]\n\
+         \u{20}               [--incremental [--save-state F] [--load-state F]]\n\
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
          \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]] file.scm"
@@ -137,7 +153,10 @@ fn parse_args() -> Options {
         libs: Vec::new(),
         strategy: AnnotateStrategy::Direct,
         counter_impl: CounterImpl::Dense,
+        store_format: 1,
         incremental: false,
+        save_state: None,
+        load_state: None,
         adaptive: false,
         epochs: 4,
         threads: 2,
@@ -164,7 +183,14 @@ fn parse_args() -> Options {
             "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
             "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
             "--counter-impl" => opts.counter_impl = parse_num(args.next()),
+            "--store-format" => match args.next().as_deref() {
+                Some("1") => opts.store_format = 1,
+                Some("2") => opts.store_format = 2,
+                _ => usage(),
+            },
             "--incremental" => opts.incremental = true,
+            "--save-state" => opts.save_state = Some(args.next().unwrap_or_else(|| usage())),
+            "--load-state" => opts.load_state = Some(args.next().unwrap_or_else(|| usage())),
             "--adaptive" => opts.adaptive = true,
             "--epochs" => opts.epochs = parse_num(args.next()),
             "--threads" => opts.threads = parse_num(args.next()),
@@ -222,6 +248,14 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         Ok(())
     })
     .map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.load_state {
+        let snap = engine.restore_snapshot(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "adaptive: restored epoch snapshot from {path}: {} epoch(s), {} retained point(s)",
+            snap.epochs,
+            snap.counts.len()
+        );
+    }
 
     eprintln!(
         "adaptive: serving generation 0 ({} forms), {} worker(s) x {} epoch(s)",
@@ -283,6 +317,10 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
             program.generation, program.optimized_under_points
         );
     }
+    if let Some(path) = &opts.save_state {
+        engine.save_snapshot(path).map_err(|e| e.to_string())?;
+        eprintln!("adaptive: epoch snapshot saved to {path}");
+    }
     Ok(())
 }
 
@@ -299,18 +337,37 @@ fn run_incremental(opts: &Options, source: &str, file: &str) -> Result<(), Strin
     for lib in &opts.libs {
         install(&mut engine, *lib).map_err(|e| e.to_string())?;
     }
-    let mut weights = match &opts.load {
-        Some(path) => ProfileInformation::load_file(path).map_err(|e| e.to_string())?,
-        None => ProfileInformation::empty(),
-    };
     let mut incr = IncrementalEngine::with_engine(engine, source, file, IncrementalConfig::default())
         .map_err(|e| e.to_string())?;
+    let mut warm = false;
+    if let Some(path) = &opts.load_state {
+        let ws = incr.load_state(path).map_err(|e| e.to_string())?;
+        warm = true;
+        eprintln!(
+            "incremental: warm start from {path}: {} of {} form(s) restored, {} meta form(s) replayed, {} skipped",
+            ws.restored, ws.total_forms, ws.replayed_meta, ws.skipped
+        );
+    }
+    let mut weights = match &opts.load {
+        Some(path) => ProfileInformation::load_file(path).map_err(|e| e.to_string())?,
+        // A warm start without --load compiles under the session's own
+        // weights — the zero-re-expansion path.
+        None if warm => incr.engine_mut().profile(),
+        None => ProfileInformation::empty(),
+    };
     let mut unit = incr.compile(&weights).map_err(|e| e.to_string())?;
-    eprintln!(
-        "incremental: initial compile expanded {} form(s) under {} profile point(s)",
-        unit.stats.total_forms,
-        weights.len()
-    );
+    if warm {
+        eprintln!(
+            "incremental: initial compile reused {} of {} form(s), {} re-expanded",
+            unit.stats.reused, unit.stats.total_forms, unit.stats.reexpanded
+        );
+    } else {
+        eprintln!(
+            "incremental: initial compile expanded {} form(s) under {} profile point(s)",
+            unit.stats.total_forms,
+            weights.len()
+        );
+    }
     for path in &opts.merge {
         let info = ProfileInformation::load_file(path).map_err(|e| e.to_string())?;
         weights = weights.merge(&info);
@@ -338,12 +395,25 @@ fn run_incremental(opts: &Options, source: &str, file: &str) -> Result<(), Strin
     for warning in incr.engine_mut().take_warnings() {
         eprintln!("warning: {warning}");
     }
+    if let Some(path) = &opts.save_state {
+        let stats = incr.save_state(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "incremental: session saved to {path}: {} of {} form(s) persisted, {} skipped",
+            stats.saved, stats.total_forms, stats.skipped
+        );
+    }
     Ok(())
 }
 
 fn run(opts: Options) -> Result<(), String> {
     let file = opts.file.clone().ok_or("no input file given")?;
     let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
+    if (opts.save_state.is_some() || opts.load_state.is_some())
+        && !opts.incremental
+        && !opts.adaptive
+    {
+        return Err("--save-state/--load-state require --incremental or --adaptive".into());
+    }
     if opts.adaptive {
         return run_adaptive(&opts, &source, &file);
     }
@@ -381,8 +451,12 @@ fn run(opts: Options) -> Result<(), String> {
         eprintln!("warning: {warning}");
     }
     if let Some(path) = &opts.store {
-        engine.store_profile(path).map_err(|e| e.to_string())?;
-        eprintln!("profile stored to {path}");
+        if opts.store_format == 2 {
+            engine.store_profile_v2(path).map_err(|e| e.to_string())?;
+        } else {
+            engine.store_profile(path).map_err(|e| e.to_string())?;
+        }
+        eprintln!("profile stored to {path} (format v{})", opts.store_format);
     }
     Ok(())
 }

@@ -127,3 +127,192 @@ fn program_errors_exit_nonzero_with_location() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad.scm"));
 }
+
+fn pgmp_profile(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pgmp-profile"))
+        .args(args)
+        .output()
+        .expect("pgmp-profile spawns")
+}
+
+#[test]
+fn incremental_warm_start_recompiles_with_zero_reexpansions() {
+    let dir = tmpdir();
+    let prog = dir.join("warm.scm");
+    let profile = dir.join("warm.pgmp");
+    let session = dir.join("warm.session");
+    std::fs::write(
+        &prog,
+        "(define (classify n) (if-r (< n 10) 'small 'big))
+         (let loop ([i 0] [bigs 0])
+           (if (= i 300) bigs
+               (loop (add1 i) (if (eqv? (classify i) 'big) (add1 bigs) bigs))))",
+    )
+    .unwrap();
+
+    // Train, then compile incrementally under the profile and save state.
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--instrument", "every",
+        "--store", profile.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--incremental",
+        "--load", profile.to_str().unwrap(),
+        "--save-state", session.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "290");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("session saved"), "{stderr}");
+
+    // Fresh process, warm start: zero re-expansions, same answer.
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--incremental",
+        "--load-state", session.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "290");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warm start"), "{stderr}");
+    assert!(stderr.contains("0 re-expanded"), "reuse stats must prove it: {stderr}");
+
+    // A corrupt session file is a clean error, not a panic.
+    std::fs::write(&session, "(pgmp-session (version 1) garbage").unwrap();
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--incremental",
+        "--load-state", session.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pgmp-run"));
+}
+
+#[test]
+fn state_flags_require_a_stateful_mode() {
+    let dir = tmpdir();
+    let prog = dir.join("plain.scm");
+    std::fs::write(&prog, "(+ 1 2)").unwrap();
+    let out = pgmp_run(&["--save-state", "/tmp/x.session", prog.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--incremental"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn profile_tool_inspects_merges_and_converts() {
+    let dir = tmpdir();
+    let a = dir.join("a.pgmp");
+    let b = dir.join("b.pgmp");
+    let merged = dir.join("merged.pgmp");
+    let v2 = dir.join("merged.v2.pgmp");
+    let back = dir.join("merged.back.pgmp");
+    std::fs::write(
+        &a,
+        "(pgmp-profile\n  (version 1)\n  (datasets 1)\n  (point \"x.scm\" 0 1 1.0))\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "(pgmp-profile\n  (version 1)\n  (datasets 3)\n  (point \"x.scm\" 0 1 0.2)\n  (point \"y.scm\" 4 9 1.0))\n",
+    )
+    .unwrap();
+
+    // Merge: §3.2 weighted average by dataset count -> x = (1*1.0 + 3*0.2)/4.
+    let out = pgmp_profile(&[
+        "merge",
+        "-o", merged.to_str().unwrap(),
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pgmp_profile(&["inspect", merged.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("format:   v1"), "{stdout}");
+    assert!(stdout.contains("datasets: 4"), "{stdout}");
+    assert!(stdout.contains("0.4000   x.scm:0-1"), "{stdout}");
+
+    // Convert to v2 with a synthesized slot table.
+    let out = pgmp_profile(&[
+        "convert", "--to", "2", "--slots",
+        "-o", v2.to_str().unwrap(),
+        merged.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&v2).unwrap();
+    assert!(text.contains("(version 2)"), "{text}");
+    assert!(text.contains("(slot 0 "), "{text}");
+    let out = pgmp_profile(&["inspect", v2.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("format:   v2"), "{stdout}");
+    assert!(stdout.contains("slots:    2"), "{stdout}");
+
+    // Convert back to v1: byte-identical to the original merge output.
+    let out = pgmp_profile(&[
+        "convert", "--to", "1",
+        "-o", back.to_str().unwrap(),
+        v2.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read_to_string(&merged).unwrap(),
+        std::fs::read_to_string(&back).unwrap(),
+        "v2 -> v1 must reproduce the v1 bytes"
+    );
+
+    // Corrupt input: typed failure, nonzero exit.
+    let bad = dir.join("bad.pgmp");
+    std::fs::write(&bad, "(pgmp-profile (version 9))").unwrap();
+    let out = pgmp_profile(&["inspect", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unsupported profile format version"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn adaptive_snapshot_round_trips_through_the_cli() {
+    let dir = tmpdir();
+    let prog = dir.join("adaptive-snap.scm");
+    let snap = dir.join("adaptive-snap.epoch");
+    std::fs::write(
+        &prog,
+        "(define (classify n) (if-r (< n 10) 'small 'big))
+         (let loop ([i 10])
+           (unless (= i 60) (classify i) (loop (add1 i))))",
+    )
+    .unwrap();
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--adaptive", "--epochs", "2", "--threads", "1",
+        "--save-state", snap.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(snap.exists());
+    let text = std::fs::read_to_string(&snap).unwrap();
+    assert!(text.starts_with("(pgmp-epoch"), "{text}");
+
+    let out = pgmp_run(&[
+        "--libs", "if-r",
+        "--adaptive", "--epochs", "1", "--threads", "1",
+        "--load-state", snap.to_str().unwrap(),
+        prog.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("restored epoch snapshot"), "{stderr}");
+}

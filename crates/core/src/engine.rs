@@ -4,7 +4,7 @@ use crate::api::{install_pgmp_api, PgmpState};
 use crate::error::Error;
 use pgmp_eval::{install_primitives, resolve_profile_slots, Interp, Value};
 use pgmp_expander::{install_expander_support, Expander};
-use pgmp_profiler::{CounterImpl, Counters, ProfileInformation, ProfileMode};
+use pgmp_profiler::{CounterImpl, Counters, ProfileInformation, ProfileMode, StoredProfile};
 use pgmp_reader::read_str;
 use pgmp_syntax::Syntax;
 use std::cell::RefCell;
@@ -137,6 +137,43 @@ impl Engine {
         Ok(())
     }
 
+    /// Writes this session's weights to `path` in profile format **v2**,
+    /// carrying the dense slot table alongside the weights so a future
+    /// process can preload its counter registry and skip re-interning
+    /// (see `docs/PROFILE_FORMAT.md`). Sessions using the hash counter
+    /// backend have no slot table; the v2 file then carries weights only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Profile`] on I/O failure.
+    pub fn store_profile_v2(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let slots = self.state.borrow().counters.slot_table();
+        StoredProfile::v2(self.current_weights(), slots).store_file(path)?;
+        Ok(())
+    }
+
+    /// Loads a profile of either format version, replacing the current
+    /// profile — and, when the file is v2 with a slot table and this
+    /// session uses dense counters, replaces the counter registry with one
+    /// preloaded from the stored table: every persisted point keeps its
+    /// slot id and instrumentation interns nothing on the warm path.
+    ///
+    /// Returns the file's format version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Profile`] on I/O or parse failure.
+    pub fn load_profile_with_slots(&mut self, path: impl AsRef<Path>) -> Result<u32, Error> {
+        let stored = StoredProfile::load_file(path)?;
+        if let Some(table) = stored.slots {
+            if self.counter_impl() == CounterImpl::Dense {
+                self.state.borrow_mut().counters = Counters::with_slot_table(table);
+            }
+        }
+        self.set_profile(stored.info);
+        Ok(stored.version)
+    }
+
     /// Resets the deterministic profile-point generator, replaying the
     /// suffix sequence from the start — call between two compilations of
     /// the *same* program within one session so both see identical
@@ -166,8 +203,17 @@ impl Engine {
 
     /// Stops recording and returns the accumulated read-set (empty if
     /// recording was never started).
+    ///
+    /// The log is deduplicated: a meta-program that queries the same point
+    /// many times (e.g. sorting clauses compares weights O(k log k) times)
+    /// contributes one entry per point. The profile is fixed for the
+    /// duration of an expansion, so repeats answer identically and add
+    /// nothing to the read-set.
     pub fn take_profile_read_log(&mut self) -> crate::api::ProfileReadLog {
-        self.state.borrow_mut().read_log.take().unwrap_or_default()
+        let mut log = self.state.borrow_mut().read_log.take().unwrap_or_default();
+        log.points.sort_by_key(|a| a.0);
+        log.points.dedup_by(|a, b| a.0 == b.0);
+        log
     }
 
     /// Access to the runtime interpreter (e.g. to inspect globals).

@@ -47,13 +47,15 @@
 use crate::api::ProfileReadLog;
 use crate::engine::Engine;
 use crate::error::Error;
+use crate::persist::{self, SaveStats, WarmStart};
 use pgmp_bytecode::{canonical_form, compile_chunk, Chunk};
-use pgmp_eval::Core;
+use pgmp_eval::{core_to_datum_with, Core, StringTable};
 use pgmp_expander::form_hash;
-use pgmp_profiler::ProfileInformation;
+use pgmp_profiler::{write_atomic, ProfileInformation, ProfileStoreError};
 use pgmp_reader::read_str;
-use pgmp_syntax::{SourceFactory, SourceObject, Syntax};
+use pgmp_syntax::{Datum, SourceFactory, SourceObject, Syntax};
 use std::collections::{HashMap, HashSet};
+use std::path::Path;
 use std::rc::Rc;
 
 /// Tuning knobs for the incremental cache.
@@ -124,6 +126,11 @@ struct FormEntry {
     /// Full profile at expansion time — kept only when the form read the
     /// whole profile (`current-profile-information`).
     profile_snapshot: Option<ProfileInformation>,
+    /// True when this form's expansion changed compile-time state
+    /// (`define-syntax` and friends). Such forms must be *replayed* through
+    /// the expander on a warm start — their registered transformers cannot
+    /// be serialized.
+    meta: bool,
 }
 
 /// A persistent compilation session with a per-form recompilation cache.
@@ -410,7 +417,8 @@ impl IncrementalEngine {
             let factory_post = self.engine.factory_snapshot();
             // A re-expanded form that changed meta state (define-syntax
             // and friends) invalidates every later form in this compile.
-            if self.engine.expander_mut().take_meta_dirty() {
+            let meta = self.engine.expander_mut().take_meta_dirty();
+            if meta {
                 upstream_dirty = true;
             }
 
@@ -436,11 +444,228 @@ impl IncrementalEngine {
                 chunks,
                 cfgs,
                 profile_snapshot,
+                meta,
             });
             self.index_entry(i);
         }
         self.last_weights = Some(weights.clone());
         Ok(unit)
+    }
+
+    /// Serializes the recompilation cache to `path` so a fresh process can
+    /// warm-start with [`IncrementalEngine::load_state`]. The write is
+    /// atomic (temp file + rename); the format is documented in
+    /// [`crate::persist`].
+    ///
+    /// Forms that cannot be persisted are skipped, not errors: forms never
+    /// compiled, forms with volatile profile reads, and forms whose core
+    /// artifacts contain residual syntax objects (see
+    /// [`pgmp_eval::core_to_datum`]). They simply re-expand on warm start —
+    /// a sound degradation, never a wrong reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileStoreError::Malformed`] if no compile has succeeded yet
+    /// (there is no cache to save), or an I/O error from the atomic write.
+    pub fn save_state(&self, path: impl AsRef<Path>) -> Result<SaveStats, Error> {
+        let weights = self.last_weights.as_ref().ok_or_else(|| {
+            ProfileStoreError::Malformed("cannot save session: no successful compile yet".into())
+        })?;
+        let file = self
+            .forms
+            .iter()
+            .find_map(|f| f.first_source())
+            .map(|s| s.file.as_str().to_owned())
+            .unwrap_or_default();
+        let mut stats = SaveStats {
+            total_forms: self.forms.len(),
+            ..SaveStats::default()
+        };
+        let mut rendered: Vec<String> = Vec::new();
+        // One string table for the whole session: every core tree's file
+        // names and global symbols serialize as indices into it.
+        let mut table = StringTable::new();
+        for (i, entry) in self.entries.iter().enumerate() {
+            let entry = match entry {
+                Some(e) if !e.reads.volatile_reads => e,
+                _ => {
+                    stats.skipped += 1;
+                    continue;
+                }
+            };
+            if entry.meta {
+                // Replayed at load: only the validation data is stored, the
+                // artifacts are regenerated by the real expander.
+                rendered.push(persist::form_entry_string(
+                    i,
+                    self.hashes[i],
+                    true,
+                    &entry.reads,
+                    &entry.factory_pre,
+                    &entry.factory_post,
+                    &[],
+                    &[],
+                    &[],
+                    None,
+                ));
+                stats.saved += 1;
+                continue;
+            }
+            let cores: Option<Vec<Datum>> = entry
+                .cores
+                .iter()
+                .map(|c| core_to_datum_with(c, &mut table))
+                .collect();
+            let Some(cores) = cores else {
+                stats.skipped += 1;
+                continue;
+            };
+            let chunk_ids: Vec<u32> = entry.chunks.iter().map(|c| c.id).collect();
+            rendered.push(persist::form_entry_string(
+                i,
+                self.hashes[i],
+                false,
+                &entry.reads,
+                &entry.factory_pre,
+                &entry.factory_post,
+                &entry.expansion,
+                &cores,
+                &chunk_ids,
+                entry.profile_snapshot.as_ref(),
+            ));
+            stats.saved += 1;
+        }
+        let text = persist::session_string(&file, weights, table.symbols(), &rendered);
+        write_atomic(path, &text).map_err(|e| Error::Profile(ProfileStoreError::Io(e)))?;
+        Ok(stats)
+    }
+
+    /// Restores a session saved by [`IncrementalEngine::save_state`],
+    /// replacing this engine's cache. After a successful load against an
+    /// unchanged program, the next [`compile`] under the stored weights
+    /// reuses every form — **zero re-expansions** across the process
+    /// boundary.
+    ///
+    /// Per form, in program order:
+    ///
+    /// - the stored fingerprint must match the current form's, and the
+    ///   stored pre-expansion factory state must match the replayed chain —
+    ///   otherwise the form is **skipped** (it re-expands on the next
+    ///   compile; sound, never wrong reuse);
+    /// - **meta** forms (`define-syntax` and friends) are replayed through
+    ///   the real expander, re-registering their transformers. Their
+    ///   meta-dirty flag is consumed *without* invalidating downstream
+    ///   entries: the stored artifacts were recorded under this very macro
+    ///   definition, as witnessed by the fingerprint check;
+    /// - value forms are rehydrated from their stored artifacts and their
+    ///   chunks recompiled (chunk ids are process-local; the old→new
+    ///   mapping is reported in [`WarmStart::chunk_map`]).
+    ///
+    /// [`compile`]: IncrementalEngine::compile
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ProfileStoreError`]s for I/O failures, malformed or
+    /// version-incompatible session files (corruption never panics and
+    /// never partially mutates the cache — parsing completes before any
+    /// state changes), and expansion errors from meta-form replay.
+    pub fn load_state(&mut self, path: impl AsRef<Path>) -> Result<WarmStart, Error> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::Profile(ProfileStoreError::Io(e)))?;
+        let session = persist::parse_session(&text).map_err(Error::Profile)?;
+        let stored_weights = session.weights;
+        let mut by_index: HashMap<usize, persist::StoredForm> = session
+            .forms
+            .into_iter()
+            .map(|f| (f.index, f))
+            .collect();
+
+        self.engine.set_profile(stored_weights.clone());
+        self.engine.reset_profile_points();
+        // Engine setup (library installation) registers macros; that dirt
+        // is not ours.
+        let _ = self.engine.expander_mut().take_meta_dirty();
+
+        let mut ws = WarmStart {
+            total_forms: self.forms.len(),
+            source_file: session.file,
+            ..WarmStart::default()
+        };
+        for i in 0..self.forms.len() {
+            let stored = by_index
+                .remove(&i)
+                .filter(|s| s.hash == self.hashes[i])
+                .filter(|s| s.fpre == self.engine.factory_snapshot());
+            let Some(stored) = stored else {
+                // Missing entry, fingerprint drift, or a broken factory
+                // chain: leave the slot cold. The factory chain is *not*
+                // advanced, so downstream entries only restore if the
+                // skipped form allocated no points — exactly the condition
+                // under which their cached artifacts are still reachable.
+                self.entries[i] = None;
+                ws.skipped += 1;
+                continue;
+            };
+            if stored.meta {
+                // Replay through the real expander to re-register the
+                // transformer; artifacts are regenerated, validation data
+                // (reads, factory states) is taken from the live replay.
+                let form = self.forms[i].clone();
+                let factory_pre = self.engine.factory_snapshot();
+                self.engine.begin_profile_read_log();
+                let syntax_out = self.engine.expander_mut().expand_form_to_syntax(&form)?;
+                self.engine.restore_factory(factory_pre.clone());
+                let cores = self.engine.expander_mut().expand_form(&form)?;
+                let reads = self.engine.take_profile_read_log();
+                let factory_post = self.engine.factory_snapshot();
+                // Consumed without cascading: downstream stored artifacts
+                // were recorded under this same (fingerprint-checked) macro
+                // definition.
+                let _ = self.engine.expander_mut().take_meta_dirty();
+                let chunks: Vec<Chunk> = cores.iter().map(compile_chunk).collect();
+                let cfgs: Vec<String> = chunks.iter().map(canonical_form).collect();
+                let expansion: Vec<String> =
+                    syntax_out.iter().map(|s| s.to_datum().to_string()).collect();
+                let profile_snapshot = reads.whole_profile.then(|| stored_weights.clone());
+                self.entries[i] = Some(FormEntry {
+                    reads,
+                    factory_pre,
+                    factory_post,
+                    expansion,
+                    cores,
+                    chunks,
+                    cfgs,
+                    profile_snapshot,
+                    meta: true,
+                });
+                ws.replayed_meta += 1;
+            } else {
+                let chunks: Vec<Chunk> = stored.cores.iter().map(compile_chunk).collect();
+                for (old, new) in stored.chunk_ids.iter().zip(chunks.iter()) {
+                    ws.chunk_map.push((*old, new.id));
+                }
+                let cfgs: Vec<String> = chunks.iter().map(canonical_form).collect();
+                let profile_snapshot = stored
+                    .snapshot
+                    .or_else(|| stored.reads.whole_profile.then(|| stored_weights.clone()));
+                self.engine.restore_factory(stored.fpost.clone());
+                self.entries[i] = Some(FormEntry {
+                    reads: stored.reads,
+                    factory_pre: stored.fpre,
+                    factory_post: stored.fpost,
+                    expansion: stored.expansion,
+                    cores: stored.cores,
+                    chunks,
+                    cfgs,
+                    profile_snapshot,
+                    meta: false,
+                });
+                ws.restored += 1;
+            }
+        }
+        self.last_weights = Some(stored_weights);
+        self.rebuild_index();
+        Ok(ws)
     }
 }
 
@@ -688,6 +913,171 @@ mod tests {
         assert_eq!(counters.resolve(t), slot_t, "slot ids must be stable");
         assert_eq!(counters.resolve(f), slot_f, "slot ids must be stable");
         assert!(counters.resolved_slots() >= resolved);
+    }
+
+    #[test]
+    fn warm_start_reuses_everything_across_processes() {
+        // "Process 1": compile under real weights and save the session.
+        let dir = std::env::temp_dir().join(format!("pgmp-warm-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.pgmp");
+        let (t, f) = branch_points("w.scm");
+        let w = ProfileInformation::from_weights([(t, 0.1), (f, 0.9)], 1);
+        let first = {
+            let mut incr =
+                IncrementalEngine::new(PROGRAM, "w.scm", IncrementalConfig::default()).unwrap();
+            let unit = incr.compile(&w).unwrap();
+            let stats = incr.save_state(&path).unwrap();
+            assert_eq!(stats.total_forms, 5);
+            assert_eq!(stats.saved, 5, "stats: {stats:?}");
+            unit
+        };
+
+        // "Process 2": fresh engine, same program, load the session.
+        let mut incr =
+            IncrementalEngine::new(PROGRAM, "w.scm", IncrementalConfig::default()).unwrap();
+        let ws = incr.load_state(&path).unwrap();
+        assert_eq!(ws.skipped, 0, "warm start: {ws:?}");
+        assert_eq!(ws.replayed_meta, 1, "the define-syntax form replays");
+        assert_eq!(ws.restored, 4);
+        assert_eq!(ws.source_file, "w.scm");
+        assert_eq!(ws.chunk_map.len(), 4, "one chunk per restored value form");
+
+        // The acceptance criterion: zero re-expansions on the warm path.
+        let unit = incr.compile(&w).unwrap();
+        assert!(unit.stats.all_reused(), "stats: {:?}", unit.stats);
+        assert_eq!(unit.expansion, first.expansion);
+        assert_eq!(unit.cfgs, first.cfgs);
+
+        // And the cache is still *live*: flipping the branch weights after
+        // a warm start re-expands exactly the dependent form.
+        let w2 = ProfileInformation::from_weights([(t, 0.9), (f, 0.1)], 1);
+        let unit = incr.compile(&w2).unwrap();
+        assert_eq!(unit.stats.reexpanded, 1, "stats: {:?}", unit.stats);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_skips_changed_forms_only() {
+        let dir = std::env::temp_dir().join(format!("pgmp-warmskip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.pgmp");
+        // Same-length edit: form `b` changes, `c`'s byte offsets (and so
+        // its fingerprint — source positions are profile points) do not.
+        let v1 = "(define (a x) x)\n(define (b x) x)\n(define (c x) x)";
+        let v2 = "(define (a x) x)\n(define (b y) y)\n(define (c x) x)";
+        let w = ProfileInformation::empty();
+        {
+            let mut incr =
+                IncrementalEngine::new(v1, "s.scm", IncrementalConfig::default()).unwrap();
+            incr.compile(&w).unwrap();
+            incr.save_state(&path).unwrap();
+        }
+        // The program changed between processes: only the changed form
+        // misses; `a` and `c` restore (none of these forms allocates
+        // generated points, so the factory chain over the gap holds).
+        let mut incr =
+            IncrementalEngine::new(v2, "s.scm", IncrementalConfig::default()).unwrap();
+        let ws = incr.load_state(&path).unwrap();
+        assert_eq!(ws.restored, 2, "warm start: {ws:?}");
+        assert_eq!(ws.skipped, 1);
+        let unit = incr.compile(&w).unwrap();
+        assert_eq!(unit.stats.reexpanded, 1, "stats: {:?}", unit.stats);
+        assert_eq!(unit.stats.reused, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_skips_volatile_forms_and_load_recovers() {
+        // A form with volatile reads (make-profile-point allocation order
+        // matters) is persisted; one with volatile queries is not. Here we
+        // use the generated-points program: its `tag` uses
+        // make-profile-point, whose reads ARE diffable, so everything
+        // persists — the volatile path is exercised via random-juice in
+        // api tests; what we check here is that generated points survive
+        // the round trip.
+        let src = "
+          (define-syntax (tag stx)
+            (syntax-case stx ()
+              [(_ e)
+               (let ([p (make-profile-point #'e)])
+                 (if (> (profile-query p) 0.5)
+                     #'(quote hot)
+                     (annotate-expr #'e p)))]))
+          (define (u) (tag (+ 1 1)))
+          (define (v) (tag (+ 2 2)))";
+        let dir = std::env::temp_dir().join(format!("pgmp-warmgen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.pgmp");
+        let forms = read_str(src, "g.scm").unwrap();
+        let mut factory = SourceFactory::new();
+        let base_u = forms[1].as_list().unwrap()[2].as_list().unwrap()[1].first_source();
+        let base_v = forms[2].as_list().unwrap()[2].as_list().unwrap()[1].first_source();
+        let _pu = factory.make_profile_point(base_u);
+        let pv = factory.make_profile_point(base_v);
+        let w = ProfileInformation::from_weights([(pv, 1.0)], 1);
+        let first = {
+            let mut incr =
+                IncrementalEngine::new(src, "g.scm", IncrementalConfig::default()).unwrap();
+            let unit = incr.compile(&w).unwrap();
+            incr.save_state(&path).unwrap();
+            unit
+        };
+        let mut incr =
+            IncrementalEngine::new(src, "g.scm", IncrementalConfig::default()).unwrap();
+        let ws = incr.load_state(&path).unwrap();
+        assert_eq!(ws.skipped, 0, "warm start: {ws:?}");
+        let unit = incr.compile(&w).unwrap();
+        assert!(unit.stats.all_reused(), "stats: {:?}", unit.stats);
+        assert_eq!(unit.expansion, first.expansion);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_session_files_error_without_panic() {
+        let dir = std::env::temp_dir().join(format!("pgmp-warmbad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.pgmp");
+        let w = ProfileInformation::empty();
+        let mut incr =
+            IncrementalEngine::new(PROGRAM, "c.scm", IncrementalConfig::default()).unwrap();
+        incr.compile(&w).unwrap();
+        incr.save_state(&path).unwrap();
+        let good = std::fs::read_to_string(&path).unwrap();
+
+        let corpus: Vec<String> = vec![
+            String::new(),
+            "(".to_owned(),
+            "(not-a-session)".to_owned(),
+            "(pgmp-session)".to_owned(),
+            "(pgmp-session (version 99))".to_owned(),
+            "(pgmp-session (version 1) (form -1 \"00\"))".to_owned(),
+            "(pgmp-session (version 1) (form 0 \"zz\"))".to_owned(),
+            "(pgmp-session (version 1) (form 0 \"aa\" (cores (bogus))))".to_owned(),
+            good[..good.len() / 2].to_owned(), // truncated mid-file
+            good.replace("fpre", "fprE"),      // bit-flipped tag
+        ];
+        for (i, bad) in corpus.iter().enumerate() {
+            std::fs::write(&path, bad).unwrap();
+            let mut fresh =
+                IncrementalEngine::new(PROGRAM, "c.scm", IncrementalConfig::default()).unwrap();
+            let err = fresh.load_state(&path);
+            assert!(
+                matches!(err, Err(Error::Profile(_))),
+                "case {i} must fail with a typed error: {err:?}"
+            );
+            // And the engine still works after the failed load.
+            assert!(fresh.compile(&w).is_ok(), "case {i} poisoned the engine");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_before_compile_is_a_typed_error() {
+        let incr =
+            IncrementalEngine::new(PROGRAM, "e.scm", IncrementalConfig::default()).unwrap();
+        let err = incr.save_state("/nonexistent/never-written.pgmp");
+        assert!(matches!(err, Err(Error::Profile(_))), "{err:?}");
     }
 
     #[test]

@@ -21,7 +21,15 @@
 //!   PGMP and block-level PGO consistent;
 //! - [`incremental`] — a per-form recompilation cache that makes
 //!   re-optimization O(changed forms) by tracking which profile points
-//!   each top-level form consulted during expansion.
+//!   each top-level form consulted during expansion;
+//! - [`persist`] — the on-disk session format behind
+//!   [`IncrementalEngine::save_state`] /
+//!   [`IncrementalEngine::load_state`], which carries that cache across
+//!   *process* boundaries so re-optimization warm-starts in O(changed
+//!   forms) from the first compile.
+//!
+//! [`IncrementalEngine::save_state`]: incremental::IncrementalEngine::save_state
+//! [`IncrementalEngine::load_state`]: incremental::IncrementalEngine::load_state
 //!
 //! # Quickstart
 //!
@@ -65,9 +73,11 @@ pub mod api;
 mod engine;
 mod error;
 pub mod incremental;
+pub mod persist;
 pub mod workflow;
 
 pub use api::{install_pgmp_api, PgmpState, ProfileReadLog};
 pub use engine::{AnnotateStrategy, Engine};
 pub use error::Error;
 pub use incremental::{CompiledUnit, IncrementalConfig, IncrementalEngine, ReuseStats};
+pub use persist::{SaveStats, WarmStart};

@@ -112,6 +112,36 @@ impl Counters {
         }
     }
 
+    /// Creates a dense registry whose slot map is preloaded from `table`
+    /// (as reloaded from a v2 profile file, see
+    /// [`crate::StoredProfile`]): every point in `table` already has its
+    /// slot, with all counts zero, so instrumentation that re-resolves the
+    /// same points does no interning work and gets identical slot ids.
+    ///
+    /// The registry still gets a fresh [`Counters::map_id`] — slot caches
+    /// packed against the *saving* process's map id are revalidated, not
+    /// trusted.
+    pub fn with_slot_table(table: SlotMap) -> Counters {
+        let counts = vec![Cell::new(0); table.len()];
+        Counters {
+            backend: Rc::new(Backend::Dense {
+                map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
+                slots: RefCell::new(table),
+                counts: RefCell::new(counts),
+            }),
+        }
+    }
+
+    /// A snapshot of the dense slot table (`None` for hash-keyed
+    /// registries). This is what a v2 profile file persists so the next
+    /// process can skip re-interning.
+    pub fn slot_table(&self) -> Option<SlotMap> {
+        match &*self.backend {
+            Backend::Dense { slots, .. } => Some(slots.borrow().clone()),
+            Backend::Hash { .. } => None,
+        }
+    }
+
     /// The representation behind this registry.
     pub fn impl_kind(&self) -> CounterImpl {
         match &*self.backend {
@@ -467,6 +497,23 @@ mod tests {
             hash.add(point, n);
         }
         assert_eq!(dense.snapshot(), hash.snapshot());
+    }
+
+    #[test]
+    fn preloaded_slot_table_skips_interning() {
+        let c = Counters::new();
+        let s0 = c.resolve(p(0));
+        let s1 = c.resolve(p(1));
+        let table = c.slot_table().unwrap();
+        let warm = Counters::with_slot_table(table);
+        assert_eq!(warm.resolved_slots(), 2, "slots preloaded");
+        assert!(warm.is_empty(), "counts start at zero");
+        assert_eq!(warm.resolve(p(0)), s0, "same slot ids as the saver");
+        assert_eq!(warm.resolve(p(1)), s1);
+        warm.add_slot(s1, 3);
+        assert_eq!(warm.count(p(1)), 3);
+        assert_ne!(warm.map_id(), c.map_id(), "fresh map id");
+        assert!(Counters::with_impl(CounterImpl::Hash).slot_table().is_none());
     }
 
     #[test]

@@ -52,7 +52,7 @@ mod store;
 pub use counters::{CounterImpl, Counters, Dataset};
 pub use slots::SlotMap;
 pub use info::ProfileInformation;
-pub use store::ProfileStoreError;
+pub use store::{write_atomic, ProfileStoreError, StoredProfile};
 
 /// How the evaluator instruments a program for profiling.
 ///

@@ -80,6 +80,27 @@ impl SlotMap {
     pub fn points(&self) -> &[SourceObject] {
         &self.points
     }
+
+    /// Reconstructs a map from points already in slot order, as when loading
+    /// a stored slot table: `points[i]` is assigned slot `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first duplicated point — a slot table must be a
+    /// bijection, or cached slot ids would alias.
+    pub fn from_points(
+        points: impl IntoIterator<Item = SourceObject>,
+    ) -> Result<SlotMap, SourceObject> {
+        let mut m = SlotMap::new();
+        for p in points {
+            let before = m.len();
+            m.resolve(p);
+            if m.len() == before {
+                return Err(p);
+            }
+        }
+        Ok(m)
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +129,21 @@ mod tests {
         m.resolve(p(5));
         m.resolve(p(3));
         assert_eq!(m.points(), &[p(5), p(3)]);
+    }
+
+    #[test]
+    fn from_points_round_trips() {
+        let mut m = SlotMap::new();
+        m.resolve(p(5));
+        m.resolve(p(3));
+        m.resolve(p(9));
+        let back = SlotMap::from_points(m.points().iter().copied()).unwrap();
+        assert_eq!(back.points(), m.points());
+        assert_eq!(back.get(p(3)), Some(1));
+    }
+
+    #[test]
+    fn from_points_rejects_duplicates() {
+        assert!(matches!(SlotMap::from_points([p(0), p(1), p(0)]), Err(q) if q == p(0)));
     }
 }

@@ -3,7 +3,11 @@
 //! As in the Chez implementation (§4.1), what is stored is not raw counts
 //! but the computed **profile weights**, so stored files from different runs
 //! can be merged directly. The on-disk format is a single s-expression,
-//! parsed back with the system's own reader:
+//! parsed back with the system's own reader. Two format versions exist —
+//! see `docs/PROFILE_FORMAT.md` at the repository root for the normative
+//! spec, merge semantics (§3.2), and compatibility rules.
+//!
+//! **Version 1** (weights only):
 //!
 //! ```text
 //! (pgmp-profile
@@ -12,14 +16,35 @@
 //!   (point "classify.scm" 10 30 0.5)
 //!   (point "classify.scm" 40 60 1.0))
 //! ```
+//!
+//! **Version 2** adds the dense slot table (see [`crate::SlotMap`]): each
+//! `(slot i file bfp efp [w])` entry binds slot `i` to a profile point, in
+//! dense ascending order, with an optional recorded weight; `(point ...)`
+//! entries carry weights for points outside the table:
+//!
+//! ```text
+//! (pgmp-profile
+//!   (version 2)
+//!   (datasets 1)
+//!   (slots 2)
+//!   (slot 0 "classify.scm" 10 30 0.5)
+//!   (slot 1 "classify.scm" 40 60 1.0))
+//! ```
+//!
+//! Loading sniffs the version, so v1 files keep loading unchanged; writers
+//! choose a version via [`StoredProfile`]. All store writes go through
+//! [`write_atomic`] (temp file + fsync + rename), so a crash mid-write can
+//! never leave a torn profile at the destination path.
 
 use crate::info::ProfileInformation;
-use pgmp_reader::read_str;
-use pgmp_syntax::{Datum, SourceObject, Syntax};
+use crate::slots::SlotMap;
+use pgmp_reader::read_datums;
+use pgmp_syntax::{Datum, SourceObject};
 use std::fmt;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Error loading or storing profile information.
 #[derive(Debug)]
@@ -28,6 +53,11 @@ pub enum ProfileStoreError {
     Io(std::io::Error),
     /// The file was not a well-formed profile s-expression.
     Malformed(String),
+    /// The file declares a format version this build does not understand.
+    UnsupportedVersion(i64),
+    /// The slot-table section is inconsistent (non-dense indices,
+    /// duplicated points, count mismatch).
+    SlotTable(String),
 }
 
 impl fmt::Display for ProfileStoreError {
@@ -35,6 +65,10 @@ impl fmt::Display for ProfileStoreError {
         match self {
             ProfileStoreError::Io(e) => write!(f, "profile file I/O error: {e}"),
             ProfileStoreError::Malformed(m) => write!(f, "malformed profile file: {m}"),
+            ProfileStoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported profile format version {v} (expected 1 or 2)")
+            }
+            ProfileStoreError::SlotTable(m) => write!(f, "invalid slot table: {m}"),
         }
     }
 }
@@ -43,7 +77,7 @@ impl std::error::Error for ProfileStoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfileStoreError::Io(e) => Some(e),
-            ProfileStoreError::Malformed(_) => None,
+            _ => None,
         }
     }
 }
@@ -58,8 +92,312 @@ fn malformed(msg: impl Into<String>) -> ProfileStoreError {
     ProfileStoreError::Malformed(msg.into())
 }
 
+/// Process-unique suffix for temp file names, so concurrent writers in one
+/// process never collide on the same scratch path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a temp file in
+/// the same directory, are fsynced, and the temp file is renamed over the
+/// destination. Readers either see the old file or the complete new one —
+/// never a torn mix — and a crash mid-write leaves the destination intact.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temp file is removed on failure.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let base = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "profile".to_string());
+    let tmp = dir.join(format!(
+        ".{base}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
+    // Durability of the rename itself needs the directory entry flushed;
+    // best-effort — the data is already safe either way.
+    #[cfg(unix)]
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// A profile file as stored on disk: weights plus (in format v2) the dense
+/// slot table that lets a reloading process skip re-interning.
+///
+/// [`ProfileInformation::store_file`] / [`ProfileInformation::load_file`]
+/// remain the weight-only v1 API; `StoredProfile` is the full-fidelity
+/// handle used by engines and the `pgmp-profile` tool.
+#[derive(Clone, Debug)]
+pub struct StoredProfile {
+    /// The profile weights (and dataset count) the file carries.
+    pub info: ProfileInformation,
+    /// The dense slot table, present iff the file is v2 with a table.
+    pub slots: Option<SlotMap>,
+    /// The format version the file declared (1 or 2).
+    pub version: u32,
+}
+
+impl StoredProfile {
+    /// Wraps weights as a version-1 profile (no slot table).
+    pub fn v1(info: ProfileInformation) -> StoredProfile {
+        StoredProfile {
+            info,
+            slots: None,
+            version: 1,
+        }
+    }
+
+    /// Wraps weights and a slot table as a version-2 profile.
+    pub fn v2(info: ProfileInformation, slots: Option<SlotMap>) -> StoredProfile {
+        StoredProfile {
+            info,
+            slots,
+            version: 2,
+        }
+    }
+
+    /// Serializes to the textual profile format of [`StoredProfile::version`].
+    ///
+    /// Output is deterministic: slot entries in slot order, loose points
+    /// sorted. Storing at version 1 drops the slot table (the downgrade
+    /// path of `pgmp-profile convert`).
+    pub fn store_to_string(&self) -> String {
+        if self.version == 1 {
+            return self.info.store_to_string();
+        }
+        let mut out = String::new();
+        out.push_str("(pgmp-profile\n  (version 2)\n");
+        let _ = writeln!(out, "  (datasets {})", self.info.dataset_count());
+        let empty = SlotMap::new();
+        let slots = self.slots.as_ref().unwrap_or(&empty);
+        if !slots.is_empty() {
+            let _ = writeln!(out, "  (slots {})", slots.len());
+            for (i, p) in slots.points().iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "  (slot {} {} {} {}",
+                    i,
+                    Datum::string(p.file.as_str()),
+                    p.bfp,
+                    p.efp
+                );
+                match self.info.lookup(*p) {
+                    Some(w) => {
+                        let _ = writeln!(out, " {})", Datum::Float(w));
+                    }
+                    None => out.push_str(")\n"),
+                }
+            }
+        }
+        let mut loose: Vec<(SourceObject, f64)> = self
+            .info
+            .iter()
+            .filter(|(p, _)| slots.get(*p).is_none())
+            .collect();
+        loose.sort_by_key(|a| a.0);
+        for (p, w) in loose {
+            let _ = writeln!(
+                out,
+                "  (point {} {} {} {})",
+                Datum::string(p.file.as_str()),
+                p.bfp,
+                p.efp,
+                Datum::Float(w)
+            );
+        }
+        out.push(')');
+        out
+    }
+
+    /// Parses either format version, sniffing `(version n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ProfileStoreError::Malformed`] for unparseable text,
+    /// [`ProfileStoreError::UnsupportedVersion`] for versions other than 1
+    /// and 2, and [`ProfileStoreError::SlotTable`] for v2 files whose slot
+    /// section is not a dense bijection. Never panics on hostile input.
+    pub fn load_from_str(text: &str) -> Result<StoredProfile, ProfileStoreError> {
+        // Profile files are machine-written: parse straight to datums
+        // (`read_datums`) instead of building source-attributed syntax
+        // objects nobody will query.
+        let forms = read_datums(text, "<profile>")
+            .map_err(|e| malformed(format!("unreadable: {e}")))?;
+        let [form]: [Datum; 1] = forms
+            .try_into()
+            .map_err(|_| malformed("expected exactly one top-level form"))?;
+        let elems = form
+            .list_elems()
+            .ok_or_else(|| malformed("top-level form must be a list"))?;
+        let mut iter = elems.into_iter();
+        let head = match iter.next() {
+            Some(Datum::Sym(s)) => s,
+            _ => return Err(malformed("missing pgmp-profile header")),
+        };
+        if head.as_str() != "pgmp-profile" {
+            return Err(malformed(format!("unexpected header `{head}`")));
+        }
+        // First pass: flatten entries, resolve the declared version.
+        let mut entries: Vec<(String, Vec<Datum>)> = Vec::new();
+        let mut version: Option<i64> = None;
+        for entry in iter {
+            let mut fields = entry
+                .list_elems()
+                .ok_or_else(|| malformed("profile entry must be a list"))?;
+            if fields.is_empty() {
+                return Err(malformed("profile entry missing tag"));
+            }
+            let tag = match fields.remove(0) {
+                Datum::Sym(s) => s,
+                _ => return Err(malformed("profile entry missing tag")),
+            };
+            let args: Vec<Datum> = fields;
+            if tag.as_str() == "version" {
+                match args.as_slice() {
+                    [Datum::Int(v)] => {
+                        if version.replace(*v).is_some() {
+                            return Err(malformed("duplicate version entry"));
+                        }
+                    }
+                    _ => return Err(malformed("malformed version entry")),
+                }
+            } else {
+                entries.push((tag.as_str().to_string(), args));
+            }
+        }
+        let version = version.unwrap_or(1);
+        if version != 1 && version != 2 {
+            return Err(ProfileStoreError::UnsupportedVersion(version));
+        }
+        let mut dataset_count: usize = 1;
+        let mut declared_slots: Option<usize> = None;
+        let mut slot_points: Vec<SourceObject> = Vec::new();
+        let mut weights: Vec<(SourceObject, f64)> = Vec::new();
+        for (tag, args) in &entries {
+            match (tag.as_str(), args.as_slice()) {
+                ("datasets", [Datum::Int(n)]) if *n >= 0 => dataset_count = *n as usize,
+                ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w]) => {
+                    let (p, w) = parse_point(file, *bfp, *efp, Some(w))?;
+                    weights.push((p, w.expect("point weight is mandatory")));
+                }
+                ("slots", [Datum::Int(n)]) if version == 2 && *n >= 0 => {
+                    if declared_slots.replace(*n as usize).is_some() {
+                        return Err(ProfileStoreError::SlotTable(
+                            "duplicate slots entry".into(),
+                        ));
+                    }
+                }
+                (
+                    "slot",
+                    [Datum::Int(i), Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), rest @ ..],
+                ) if version == 2 && rest.len() <= 1 => {
+                    if *i != slot_points.len() as i64 {
+                        return Err(ProfileStoreError::SlotTable(format!(
+                            "slot index {i} out of order (expected {})",
+                            slot_points.len()
+                        )));
+                    }
+                    let (p, w) = parse_point(file, *bfp, *efp, rest.first())?;
+                    slot_points.push(p);
+                    if let Some(w) = w {
+                        weights.push((p, w));
+                    }
+                }
+                (other, _) => {
+                    return Err(malformed(format!("unknown or malformed entry `{other}`")));
+                }
+            }
+        }
+        let slots = if slot_points.is_empty() && declared_slots.unwrap_or(0) == 0 {
+            None
+        } else {
+            if let Some(n) = declared_slots {
+                if n != slot_points.len() {
+                    return Err(ProfileStoreError::SlotTable(format!(
+                        "declared {n} slots but found {}",
+                        slot_points.len()
+                    )));
+                }
+            }
+            let table = SlotMap::from_points(slot_points).map_err(|p| {
+                ProfileStoreError::SlotTable(format!("duplicate point {p} in slot table"))
+            })?;
+            Some(table)
+        };
+        Ok(StoredProfile {
+            info: ProfileInformation::from_weights(weights, dataset_count),
+            slots,
+            version: version as u32,
+        })
+    }
+
+    /// Writes the profile to `path` atomically (see [`write_atomic`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileStoreError::Io`] on filesystem failure.
+    pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
+        write_atomic(path, &self.store_to_string())?;
+        Ok(())
+    }
+
+    /// Reads a stored profile of either format version from `path`.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoredProfile::load_from_str`], plus [`ProfileStoreError::Io`]
+    /// on filesystem failure.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<StoredProfile, ProfileStoreError> {
+        let text = std::fs::read_to_string(path)?;
+        StoredProfile::load_from_str(&text)
+    }
+}
+
+/// Validates one profile point's fields; `w` is the optional weight datum.
+fn parse_point(
+    file: &str,
+    bfp: i64,
+    efp: i64,
+    w: Option<&Datum>,
+) -> Result<(SourceObject, Option<f64>), ProfileStoreError> {
+    let w = match w {
+        None => None,
+        Some(Datum::Float(x)) => Some(*x),
+        Some(Datum::Int(n)) => Some(*n as f64),
+        Some(other) => return Err(malformed(format!("bad weight {other}"))),
+    };
+    if let Some(w) = w {
+        if !(0.0..=1.0).contains(&w) {
+            return Err(malformed(format!("weight {w} outside [0,1]")));
+        }
+    }
+    if bfp < 0 || efp < 0 {
+        return Err(malformed("negative file position"));
+    }
+    Ok((SourceObject::new(file, bfp as u32, efp as u32), w))
+}
+
 impl ProfileInformation {
-    /// Serializes to the textual profile format.
+    /// Serializes to the textual **version 1** profile format (weights
+    /// only). Byte-identical to the output of every release since the
+    /// format was introduced; use [`StoredProfile`] for v2.
     ///
     /// Points are sorted so output is deterministic.
     pub fn store_to_string(&self) -> String {
@@ -82,78 +420,25 @@ impl ProfileInformation {
         out
     }
 
-    /// Parses the textual profile format.
+    /// Parses the textual profile format, either version (the slot table of
+    /// a v2 file is dropped; use [`StoredProfile::load_from_str`] to keep
+    /// it).
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileStoreError::Malformed`] if the text is not a valid
-    /// profile s-expression, including weights outside `[0,1]`.
+    /// As [`StoredProfile::load_from_str`].
     pub fn load_from_str(text: &str) -> Result<ProfileInformation, ProfileStoreError> {
-        let forms = read_str(text, "<profile>")
-            .map_err(|e| malformed(format!("unreadable: {e}")))?;
-        let [form]: [Rc<Syntax>; 1] = forms
-            .try_into()
-            .map_err(|_| malformed("expected exactly one top-level form"))?;
-        let elems = form
-            .as_list()
-            .ok_or_else(|| malformed("top-level form must be a list"))?;
-        let mut iter = elems.iter();
-        let head = iter
-            .next()
-            .and_then(|s| s.as_symbol())
-            .ok_or_else(|| malformed("missing pgmp-profile header"))?;
-        if head.as_str() != "pgmp-profile" {
-            return Err(malformed(format!("unexpected header `{head}`")));
-        }
-        let mut dataset_count: usize = 1;
-        let mut weights: Vec<(SourceObject, f64)> = Vec::new();
-        for entry in iter {
-            let fields = entry
-                .as_list()
-                .ok_or_else(|| malformed("profile entry must be a list"))?;
-            let tag = fields
-                .first()
-                .and_then(|s| s.as_symbol())
-                .ok_or_else(|| malformed("profile entry missing tag"))?;
-            let args: Vec<Datum> = fields[1..].iter().map(|s| s.to_datum()).collect();
-            match (tag.as_str(), args.as_slice()) {
-                ("version", [Datum::Int(1)]) => {}
-                ("version", [v]) => {
-                    return Err(malformed(format!("unsupported version {v}")));
-                }
-                ("datasets", [Datum::Int(n)]) if *n >= 0 => dataset_count = *n as usize,
-                ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w]) => {
-                    let w = match w {
-                        Datum::Float(x) => *x,
-                        Datum::Int(n) => *n as f64,
-                        other => {
-                            return Err(malformed(format!("bad weight {other}")));
-                        }
-                    };
-                    if !(0.0..=1.0).contains(&w) {
-                        return Err(malformed(format!("weight {w} outside [0,1]")));
-                    }
-                    if bfp < &0 || efp < &0 {
-                        return Err(malformed("negative file position"));
-                    }
-                    weights.push((SourceObject::new(file, *bfp as u32, *efp as u32), w));
-                }
-                (other, _) => {
-                    return Err(malformed(format!("unknown or malformed entry `{other}`")));
-                }
-            }
-        }
-        Ok(ProfileInformation::from_weights(weights, dataset_count))
+        Ok(StoredProfile::load_from_str(text)?.info)
     }
 
     /// Writes the profile to the file at `path` (Figure 4's
-    /// `store-profile`).
+    /// `store-profile`), atomically (see [`write_atomic`]).
     ///
     /// # Errors
     ///
     /// Returns [`ProfileStoreError::Io`] on filesystem failure.
     pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
-        std::fs::write(path, self.store_to_string())?;
+        write_atomic(path, &self.store_to_string())?;
         Ok(())
     }
 
@@ -162,8 +447,8 @@ impl ProfileInformation {
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileStoreError::Io`] on filesystem failure and
-    /// [`ProfileStoreError::Malformed`] if the contents do not parse.
+    /// Returns [`ProfileStoreError::Io`] on filesystem failure and the
+    /// parse errors of [`StoredProfile::load_from_str`] otherwise.
     pub fn load_file(path: impl AsRef<Path>) -> Result<ProfileInformation, ProfileStoreError> {
         let text = std::fs::read_to_string(path)?;
         ProfileInformation::load_from_str(&text)
@@ -184,6 +469,14 @@ mod tests {
         .into_iter()
         .collect();
         ProfileInformation::from_dataset(&d)
+    }
+
+    fn sample_slots() -> SlotMap {
+        let mut m = SlotMap::new();
+        m.resolve(SourceObject::new("a.scm", 10, 20));
+        m.resolve(SourceObject::new("a.scm", 0, 5));
+        m.resolve(SourceObject::new("never-run.scm", 0, 1));
+        m
     }
 
     #[test]
@@ -208,6 +501,49 @@ mod tests {
     #[test]
     fn output_is_deterministic() {
         assert_eq!(sample().store_to_string(), sample().store_to_string());
+        let sp = StoredProfile::v2(sample(), Some(sample_slots()));
+        assert_eq!(sp.store_to_string(), sp.store_to_string());
+    }
+
+    #[test]
+    fn v2_round_trips_weights_and_slots() {
+        let sp = StoredProfile::v2(sample(), Some(sample_slots()));
+        let text = sp.store_to_string();
+        let back = StoredProfile::load_from_str(&text).unwrap();
+        assert_eq!(back.version, 2);
+        assert_eq!(back.info, sp.info);
+        let slots = back.slots.unwrap();
+        assert_eq!(slots.points(), sample_slots().points());
+    }
+
+    #[test]
+    fn v2_without_table_round_trips() {
+        let sp = StoredProfile::v2(sample(), None);
+        let back = StoredProfile::load_from_str(&sp.store_to_string()).unwrap();
+        assert_eq!(back.version, 2);
+        assert_eq!(back.info, sp.info);
+        assert!(back.slots.is_none());
+    }
+
+    #[test]
+    fn v1_files_load_as_version_1() {
+        let back = StoredProfile::load_from_str(&sample().store_to_string()).unwrap();
+        assert_eq!(back.version, 1);
+        assert!(back.slots.is_none());
+        assert_eq!(back.info, sample());
+    }
+
+    #[test]
+    fn unexecuted_slot_entries_have_no_weight() {
+        // `never-run.scm` is interned but has no weight: round-tripping must
+        // not invent a 0-weight entry for it.
+        let sp = StoredProfile::v2(sample(), Some(sample_slots()));
+        let back = StoredProfile::load_from_str(&sp.store_to_string()).unwrap();
+        assert_eq!(
+            back.info.lookup(SourceObject::new("never-run.scm", 0, 1)),
+            None
+        );
+        assert_eq!(back.info.len(), sample().len());
     }
 
     #[test]
@@ -215,7 +551,6 @@ mod tests {
         for bad in [
             "",
             "(not-a-profile)",
-            "(pgmp-profile (version 2))",
             "(pgmp-profile (point \"f\" 0 1 2.0))", // weight out of range
             "(pgmp-profile (point \"f\" 0 1 -0.5))",
             "(pgmp-profile (point \"f\" 0 1 \"x\"))",
@@ -223,6 +558,11 @@ mod tests {
             "(pgmp-profile (mystery 1))",
             "(pgmp-profile (version 1)) (extra)",
             "(pgmp-profile (point \"f\" -1 1 0.5))",
+            "(pgmp-profile (version 1) (version 1))",
+            "(pgmp-profile (version \"2\"))",
+            // v2-only entries are not valid in a v1 file.
+            "(pgmp-profile (version 1) (slot 0 \"f\" 0 1 0.5))",
+            "(pgmp-profile (version 1) (slots 1))",
         ] {
             assert!(
                 ProfileInformation::load_from_str(bad).is_err(),
@@ -232,10 +572,58 @@ mod tests {
     }
 
     #[test]
+    fn unsupported_version_is_typed() {
+        for (text, want) in [
+            ("(pgmp-profile (version 3))", 3i64),
+            ("(pgmp-profile (version 0))", 0),
+            ("(pgmp-profile (version -1))", -1),
+        ] {
+            match ProfileInformation::load_from_str(text) {
+                Err(ProfileStoreError::UnsupportedVersion(v)) => assert_eq!(v, want),
+                other => panic!("expected UnsupportedVersion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn slot_table_errors_are_typed() {
+        for bad in [
+            // Out-of-order / non-dense indices.
+            "(pgmp-profile (version 2) (slot 1 \"f\" 0 1))",
+            "(pgmp-profile (version 2) (slot 0 \"f\" 0 1) (slot 2 \"g\" 0 1))",
+            // Count mismatch.
+            "(pgmp-profile (version 2) (slots 2) (slot 0 \"f\" 0 1))",
+            "(pgmp-profile (version 2) (slots 0) (slot 0 \"f\" 0 1))",
+            // Duplicate point.
+            "(pgmp-profile (version 2) (slot 0 \"f\" 0 1) (slot 1 \"f\" 0 1))",
+            // Duplicate slots declaration.
+            "(pgmp-profile (version 2) (slots 1) (slots 1) (slot 0 \"f\" 0 1))",
+        ] {
+            match StoredProfile::load_from_str(bad) {
+                Err(ProfileStoreError::SlotTable(_)) => {}
+                other => panic!("expected SlotTable error for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_v2_is_valid() {
+        let back = StoredProfile::load_from_str("(pgmp-profile (version 2))").unwrap();
+        assert_eq!(back.version, 2);
+        assert!(back.slots.is_none());
+        assert_eq!(back.info.len(), 0);
+    }
+
+    #[test]
     fn integer_weights_accepted() {
         let info =
             ProfileInformation::load_from_str("(pgmp-profile (point \"f\" 0 1 1))").unwrap();
         assert_eq!(info.weight(SourceObject::new("f", 0, 1)), 1.0);
+        let sp = StoredProfile::load_from_str(
+            "(pgmp-profile (version 2) (slot 0 \"f\" 0 1 1))",
+        )
+        .unwrap();
+        assert_eq!(sp.info.weight(SourceObject::new("f", 0, 1)), 1.0);
     }
 
     #[test]
@@ -252,5 +640,28 @@ mod tests {
         assert_eq!(merged.dataset_count(), 2);
         let back = ProfileInformation::load_from_str(&merged.store_to_string()).unwrap();
         assert_eq!(back.dataset_count(), 2);
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join("pgmp-store-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.pgmp");
+        std::fs::write(&path, "a much longer pre-existing file body").unwrap();
+        write_atomic(&path, "short").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "short");
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+    }
+
+    #[test]
+    fn atomic_write_to_unwritable_dir_fails_cleanly() {
+        let err = write_atomic("/nonexistent-dir/out.pgmp", "x");
+        assert!(err.is_err());
     }
 }

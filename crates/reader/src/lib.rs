@@ -27,4 +27,4 @@ mod lexer;
 mod reader;
 
 pub use lexer::{LexError, Lexer, Token, TokenKind};
-pub use reader::{read_str, ReadError, Reader};
+pub use reader::{read_datums, read_str, ReadError, Reader};

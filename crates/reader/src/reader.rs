@@ -1,7 +1,7 @@
 //! Parsing token streams into syntax objects.
 
 use crate::lexer::{LexError, Lexer, Token, TokenKind};
-use pgmp_syntax::{SourceObject, Syntax, SyntaxBody};
+use pgmp_syntax::{Datum, SourceObject, Syntax, SyntaxBody};
 use std::fmt;
 use std::rc::Rc;
 
@@ -259,6 +259,140 @@ impl Reader {
 /// ```
 pub fn read_str(src: &str, file: &str) -> Result<Vec<Rc<Syntax>>, ReadError> {
     Reader::new(src, file)?.read_all()
+}
+
+/// Reads every datum in `src` directly as plain [`Datum`]s, skipping
+/// syntax-object construction entirely: no per-node [`SourceObject`], no
+/// `Rc<Syntax>` allocation, no second `to_datum` pass.
+///
+/// Use this for machine-written s-expression files — stored profiles,
+/// persisted sessions, epoch snapshots — where source attribution is
+/// meaningless and parse latency is on the process-start path. For program
+/// source, use [`read_str`]: profile points *are* source objects there.
+///
+/// # Errors
+///
+/// The same [`ReadError`]s as [`read_str`], with `file` set to `errfile`.
+///
+/// # Example
+///
+/// ```
+/// use pgmp_reader::read_datums;
+/// let data = read_datums("(a 1 2.5 \"s\") #(x)", "<mem>")?;
+/// assert_eq!(data[0].to_string(), "(a 1 2.5 \"s\")");
+/// assert_eq!(data[1].to_string(), "#(x)");
+/// # Ok::<(), pgmp_reader::ReadError>(())
+/// ```
+pub fn read_datums(src: &str, errfile: &str) -> Result<Vec<Datum>, ReadError> {
+    let mut r = DatumReader {
+        lexer: Lexer::new(src),
+        file: errfile,
+    };
+    let mut out = Vec::new();
+    while let Some(d) = r.read()? {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+/// Streams tokens straight out of the lexer — no token buffer, no clones;
+/// the grammar is LL(1) by token kind so no lookahead is needed.
+struct DatumReader<'a> {
+    lexer: Lexer<'a>,
+    file: &'a str,
+}
+
+impl DatumReader<'_> {
+    fn err(&self, msg: impl Into<String>, at: u32) -> ReadError {
+        ReadError::new(msg, self.file, at)
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, ReadError> {
+        self.lexer
+            .next_token()
+            .map_err(|e| ReadError::from((e, self.file)))
+    }
+
+    fn read(&mut self) -> Result<Option<Datum>, ReadError> {
+        let Some(tok) = self.next()? else {
+            return Ok(None);
+        };
+        self.read_after(tok).map(Some)
+    }
+
+    fn read_required(&mut self, why: &str, at: u32) -> Result<Datum, ReadError> {
+        match self.read()? {
+            Some(d) => Ok(d),
+            None => Err(self.err(format!("unexpected end of input: {why}"), at)),
+        }
+    }
+
+    fn wrap(&mut self, keyword: &str, start: u32) -> Result<Datum, ReadError> {
+        let inner = self.read_required(&format!("{keyword} needs a datum"), start)?;
+        Ok(Datum::list(vec![Datum::sym(keyword), inner]))
+    }
+
+    fn read_after(&mut self, tok: Token) -> Result<Datum, ReadError> {
+        match tok.kind {
+            TokenKind::Atom(d) => Ok(d),
+            TokenKind::Quote => self.wrap("quote", tok.start),
+            TokenKind::Quasiquote => self.wrap("quasiquote", tok.start),
+            TokenKind::Unquote => self.wrap("unquote", tok.start),
+            TokenKind::UnquoteSplicing => self.wrap("unquote-splicing", tok.start),
+            TokenKind::SyntaxQuote => self.wrap("syntax", tok.start),
+            TokenKind::Quasisyntax => self.wrap("quasisyntax", tok.start),
+            TokenKind::Unsyntax => self.wrap("unsyntax", tok.start),
+            TokenKind::UnsyntaxSplicing => self.wrap("unsyntax-splicing", tok.start),
+            TokenKind::DatumComment => {
+                self.read_required("#; needs a datum to skip", tok.start)?;
+                self.read_required("#; consumed the only datum", tok.start)
+            }
+            TokenKind::LParen => self.read_list(tok.start),
+            TokenKind::VecOpen => self.read_vector(tok.start),
+            TokenKind::RParen(_) => Err(self.err("unexpected closing paren", tok.start)),
+            TokenKind::Dot => Err(self.err("unexpected `.` outside a list", tok.start)),
+        }
+    }
+
+    fn read_list(&mut self, start: u32) -> Result<Datum, ReadError> {
+        let mut elems: Vec<Datum> = Vec::new();
+        loop {
+            let Some(tok) = self.next()? else {
+                return Err(self.err("unterminated list", start));
+            };
+            match tok.kind {
+                TokenKind::RParen(_) => return Ok(Datum::list(elems)),
+                TokenKind::Dot => {
+                    if elems.is_empty() {
+                        return Err(self.err("`.` at start of list", tok.start));
+                    }
+                    let tail = self.read_required("dotted tail", tok.start)?;
+                    let Some(close) = self.next()? else {
+                        return Err(self.err("unterminated dotted list", start));
+                    };
+                    if !matches!(close.kind, TokenKind::RParen(_)) {
+                        return Err(self.err("expected `)` after dotted tail", close.start));
+                    }
+                    return Ok(Datum::improper_list(elems, tail));
+                }
+                _ => elems.push(self.read_after(tok)?),
+            }
+        }
+    }
+
+    fn read_vector(&mut self, start: u32) -> Result<Datum, ReadError> {
+        let mut elems: Vec<Datum> = Vec::new();
+        loop {
+            let Some(tok) = self.next()? else {
+                return Err(self.err("unterminated vector", start));
+            };
+            match tok.kind {
+                TokenKind::RParen(_) => return Ok(Datum::Vector(elems.into())),
+                TokenKind::Dot => return Err(self.err("`.` not allowed in vector", tok.start)),
+                _ => elems.push(self.read_after(tok)?),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

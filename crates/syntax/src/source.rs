@@ -123,6 +123,28 @@ impl SourceFactory {
     pub fn reset(&mut self) {
         self.next_suffix.clear();
     }
+
+    /// The allocation state as `(base file, next suffix)` pairs, sorted by
+    /// file name for deterministic output. Together with
+    /// [`SourceFactory::from_entries`] this is what session persistence
+    /// stores, so a fresh process can resume point generation from the
+    /// exact state a cached expansion was produced under.
+    pub fn entries(&self) -> Vec<(Symbol, u32)> {
+        let mut out: Vec<(Symbol, u32)> = self
+            .next_suffix
+            .iter()
+            .map(|(f, n)| (*f, *n))
+            .collect();
+        out.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        out
+    }
+
+    /// Reconstructs a factory from [`SourceFactory::entries`] output.
+    pub fn from_entries(entries: impl IntoIterator<Item = (Symbol, u32)>) -> SourceFactory {
+        SourceFactory {
+            next_suffix: entries.into_iter().collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +205,24 @@ mod tests {
     #[test]
     fn reader_points_are_not_generated() {
         assert!(!SourceObject::new("a.scm", 0, 1).is_generated());
+    }
+
+    #[test]
+    fn entries_round_trip_allocation_state() {
+        let mut f = SourceFactory::new();
+        f.make_profile_point(Some(SourceObject::new("b.scm", 0, 1)));
+        f.make_profile_point(Some(SourceObject::new("a.scm", 0, 1)));
+        f.make_profile_point(Some(SourceObject::new("a.scm", 2, 3)));
+        let entries = f.entries();
+        // Sorted by file, counts preserved.
+        assert_eq!(
+            entries
+                .iter()
+                .map(|(s, n)| (s.as_str().to_owned(), *n))
+                .collect::<Vec<_>>(),
+            vec![("a.scm".to_owned(), 2), ("b.scm".to_owned(), 1)]
+        );
+        let back = SourceFactory::from_entries(entries);
+        assert_eq!(back, f, "equal factories generate equal sequences");
     }
 }

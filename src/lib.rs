@@ -6,6 +6,13 @@
 //! the main entry points ([`pgmp::Engine`], [`pgmp::api`],
 //! [`pgmp::workflow`]).
 
+/// The user guide, rendered from `docs/GUIDE.md`.
+///
+/// Included here so every snippet in the guide compiles and runs as a
+/// doctest (`cargo test --doc`) — the guide cannot drift from the API.
+#[doc = include_str!("../docs/GUIDE.md")]
+pub mod guide {}
+
 pub use pgmp;
 pub use pgmp_bytecode;
 pub use pgmp_case_studies;
