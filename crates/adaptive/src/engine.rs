@@ -5,6 +5,7 @@ use crate::drift::{drift, DriftMetric};
 use crate::rolling::RollingProfile;
 use pgmp::{Engine, Error, IncrementalConfig, IncrementalEngine};
 use pgmp_bytecode::{canonical_form, compile_chunk};
+use pgmp_observe as observe;
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -108,6 +109,15 @@ pub struct EpochReport {
     pub reoptimized: bool,
     /// Generation serving after this epoch.
     pub generation: u64,
+    /// Consecutive over-threshold epochs after this one (hysteresis state).
+    pub streak: u32,
+    /// Epochs of post-re-optimization cooldown remaining.
+    pub cooldown: u32,
+    /// Coalescing-writer buffer flushes performed during this epoch.
+    pub flush_writes: u64,
+    /// Counter hits merged away by coalescing during this epoch (hits
+    /// absorbed into local buffers minus distinct slot writes pushed).
+    pub flush_merged: u64,
 }
 
 struct AggState {
@@ -127,6 +137,8 @@ struct EpochStep {
     hits: u64,
     drift: f64,
     fired: bool,
+    streak: u32,
+    cooldown: u32,
     weights: ProfileInformation,
 }
 
@@ -191,6 +203,8 @@ impl Shared {
             hits,
             drift: value,
             fired,
+            streak: agg.streak,
+            cooldown: agg.cooldown_left as u32,
             weights,
         }
     }
@@ -317,6 +331,11 @@ pub struct AdaptiveEngine {
     /// path (`None` when [`AdaptiveConfig::incremental`] is off). Lives on
     /// the engine (not in [`Shared`]): compilation is single-threaded.
     incremental: Option<IncrementalEngine>,
+    /// Cumulative flush stats at the end of the previous [`tick`], so each
+    /// epoch reports per-epoch deltas.
+    ///
+    /// [`tick`]: AdaptiveEngine::tick
+    last_flush: pgmp_rt::FlushStatsSnapshot,
 }
 
 impl AdaptiveEngine {
@@ -394,6 +413,7 @@ impl AdaptiveEngine {
             config,
             shared,
             incremental,
+            last_flush: pgmp_rt::FlushStatsSnapshot::default(),
         };
         let gen0 = engine.compile(ProfileInformation::empty(), 0)?;
         *engine
@@ -488,16 +508,26 @@ impl AdaptiveEngine {
     /// If compilation fails the old generation keeps serving and the
     /// baseline is unchanged.
     fn reoptimize(&mut self, weights: ProfileInformation) -> Result<Arc<CompiledProgram>, Error> {
+        let t = observe::timer();
         let next_gen = self.current_program().generation + 1;
         let program = self.compile(weights.clone(), next_gen)?;
-        {
+        let swap_us = {
+            let swap_timer = observe::timer();
             let mut cell = self
                 .shared
                 .program
                 .write()
                 .expect("adaptive program cell poisoned");
             *cell = program.clone();
-        }
+            swap_timer.map_or(0, |t0| t0.elapsed().as_micros() as u64)
+        };
+        observe::finish(t, |duration_us| observe::EventKind::Reoptimize {
+            generation: next_gen,
+            reused: program.reused_forms as u32,
+            reexpanded: program.reexpanded_forms as u32,
+            duration_us,
+            swap_us,
+        });
         {
             let mut agg = self
                 .shared
@@ -521,20 +551,72 @@ impl AdaptiveEngine {
     /// Propagates re-optimization errors; the aggregation itself cannot
     /// fail.
     pub fn tick(&mut self) -> Result<EpochReport, Error> {
+        let t = observe::timer();
         let step = self.shared.epoch_step(&self.config);
         let mut reoptimized = false;
         if step.fired {
             self.reoptimize(step.weights.clone())?;
             reoptimized = true;
         }
-        Ok(EpochReport {
+        let flush = self.shared.counters.flush_stats();
+        let merged_total = flush.buffered_hits.saturating_sub(flush.flushed_slots);
+        let last_merged = self
+            .last_flush
+            .buffered_hits
+            .saturating_sub(self.last_flush.flushed_slots);
+        let report = EpochReport {
             epoch: step.epoch,
             hits: step.hits,
             drift: step.drift,
             fired: step.fired,
             reoptimized,
             generation: self.current_program().generation,
-        })
+            streak: step.streak,
+            cooldown: step.cooldown,
+            flush_writes: flush.flushes.saturating_sub(self.last_flush.flushes),
+            flush_merged: merged_total.saturating_sub(last_merged),
+        };
+        self.last_flush = flush;
+        self.publish_epoch_metrics(&report);
+        observe::finish(t, |duration_us| observe::EventKind::Epoch {
+            epoch: report.epoch,
+            hits: report.hits,
+            drift: report.drift,
+            fired: report.fired,
+            reoptimized: report.reoptimized,
+            generation: report.generation,
+            streak: report.streak,
+            cooldown: report.cooldown,
+            flush_writes: report.flush_writes,
+            flush_merged: report.flush_merged,
+            duration_us,
+        });
+        Ok(report)
+    }
+
+    /// Publishes one epoch's outcome to the process-global metrics
+    /// registry (`adaptive.*`). Every consumer — the `--adaptive` console
+    /// lines, `--metrics` snapshots — reads these same values, so they
+    /// cannot disagree.
+    fn publish_epoch_metrics(&self, report: &EpochReport) {
+        let m = observe::metrics();
+        m.counter_add("adaptive.epochs", 1);
+        m.counter_add("adaptive.hits", report.hits);
+        m.counter_add("adaptive.flush_writes", report.flush_writes);
+        m.counter_add("adaptive.flush_merged", report.flush_merged);
+        if report.fired {
+            m.counter_add("adaptive.fired", 1);
+        }
+        if report.reoptimized {
+            m.counter_add("adaptive.reoptimizations", 1);
+            let p = self.current_program();
+            m.counter_add("adaptive.reused_forms", p.reused_forms as u64);
+            m.counter_add("adaptive.reexpanded_forms", p.reexpanded_forms as u64);
+        }
+        m.gauge_set("adaptive.drift", report.drift);
+        m.gauge_set("adaptive.generation", report.generation as f64);
+        m.gauge_set("adaptive.streak", f64::from(report.streak));
+        m.gauge_set("adaptive.cooldown", f64::from(report.cooldown));
     }
 
     /// Starts the epoch-based background aggregator: every

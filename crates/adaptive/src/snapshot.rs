@@ -20,6 +20,7 @@
 //! [`AdaptiveEngine::save_snapshot`]: crate::AdaptiveEngine::save_snapshot
 
 use crate::rolling::RollingProfile;
+use pgmp_observe as observe;
 use pgmp_profiler::{write_atomic, ProfileInformation, ProfileStoreError};
 use pgmp_reader::read_datums;
 use pgmp_syntax::{Datum, SourceObject};
@@ -173,7 +174,15 @@ impl EpochSnapshot {
     ///
     /// [`ProfileStoreError::Io`] on I/O failure.
     pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
-        write_atomic(path, &self.store_to_string())?;
+        let text = self.store_to_string();
+        let t = observe::timer();
+        write_atomic(path.as_ref(), &text)?;
+        observe::finish(t, |duration_us| observe::EventKind::StoreWrite {
+            path: path.as_ref().display().to_string(),
+            kind: "snapshot".to_string(),
+            bytes: text.len() as u64,
+            duration_us,
+        });
         Ok(())
     }
 
@@ -183,8 +192,16 @@ impl EpochSnapshot {
     ///
     /// As [`EpochSnapshot::load_from_str`], plus I/O errors.
     pub fn load_file(path: impl AsRef<Path>) -> Result<EpochSnapshot, ProfileStoreError> {
-        let text = std::fs::read_to_string(path)?;
-        EpochSnapshot::load_from_str(&text)
+        let t = observe::timer();
+        let text = std::fs::read_to_string(path.as_ref())?;
+        let snap = EpochSnapshot::load_from_str(&text)?;
+        observe::finish(t, |duration_us| observe::EventKind::StoreRead {
+            path: path.as_ref().display().to_string(),
+            kind: "snapshot".to_string(),
+            bytes: text.len() as u64,
+            duration_us,
+        });
+        Ok(snap)
     }
 }
 

@@ -1,0 +1,60 @@
+//! E15 bench — disabled-tracing overhead.
+//!
+//! The observability acceptance bar: with no recording active, the trace
+//! bus may cost the every-expression interpreter loop at most ~1%. The
+//! per-expression path contains *no* instrumentation site at all — events
+//! are emitted only at boundaries (run, expand, compile, epoch), each
+//! gated on one relaxed atomic load — so the disabled configuration here
+//! should be indistinguishable from the pre-observability engine.
+//!
+//! Three configurations over the same CPU-bound workload:
+//!
+//! - `every-expression/tracing-off` — the default state; the number the
+//!   ≤ 1% claim is about.
+//! - `every-expression/tracing-on` — a recording is active, so boundary
+//!   sites actually build and buffer events. The off/on delta bounds the
+//!   *entire* cost of the bus on this loop from above; the disabled cost
+//!   is strictly smaller (the same sites, minus event construction).
+//! - `uninstrumented/tracing-off` — context: the profiler's own counters
+//!   dominate any trace-bus effect (§4.4 / bench E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pgmp::Engine;
+use pgmp_bench::workloads::fib_program;
+use pgmp_observe as observe;
+use pgmp_profiler::ProfileMode;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let program = fib_program(16);
+    let mut group = c.benchmark_group("e15_trace_overhead");
+    group.sample_size(10);
+
+    group.bench_function("uninstrumented/tracing-off", |b| {
+        let mut e = Engine::new();
+        b.iter(|| e.run_str(&program, "e15.scm").expect("run"))
+    });
+
+    group.bench_function("every-expression/tracing-off", |b| {
+        assert!(
+            !observe::enabled(),
+            "tracing must be disabled for the baseline measurement"
+        );
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        b.iter(|| e.run_str(&program, "e15.scm").expect("run"))
+    });
+
+    group.bench_function("every-expression/tracing-on", |b| {
+        let _bus = observe::exclusive();
+        observe::start(observe::TraceConfig::default()).expect("start recording");
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        b.iter(|| e.run_str(&program, "e15.scm").expect("run"));
+        observe::stop();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

@@ -4,6 +4,7 @@ use crate::chunk::{BlockId, Chunk, Instr, Terminator};
 use crate::compile::compile_chunk;
 use crate::counters::{BlockCounters, NO_BASE};
 use pgmp_eval::{Closure, Core, EvalError, EvalErrorKind, Frame, Interp, LambdaDef, Value};
+use pgmp_observe as observe;
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -107,7 +108,18 @@ impl<'a> Vm<'a> {
     ///
     /// Propagates [`EvalError`]s from primitives and the program itself.
     pub fn run_chunk(&mut self, chunk: &Chunk) -> Result<Value, EvalError> {
-        self.exec(Rc::new(chunk.clone()))
+        let t = observe::timer();
+        let blocks_before = self.metrics.blocks_executed;
+        let out = self.exec(Rc::new(chunk.clone()));
+        if t.is_some() {
+            let blocks = self.metrics.blocks_executed - blocks_before;
+            observe::finish(t, |duration_us| observe::EventKind::VmRun {
+                chunk: chunk.id,
+                blocks,
+                duration_us,
+            });
+        }
+        out
     }
 
     /// The chunks compiled so far for lambdas called through the VM,

@@ -21,14 +21,41 @@
      ;; the list of constants.
      #`((key-in? #,key-ref '(k ...)) body ...)]))
 
+;; Compile-time helpers for decision provenance. The weight of a case
+;; clause is the weight of its first body expression — exactly what the
+;; inner exclusive-cond consults after rewriting — so the order recorded
+;; here is the order exclusive-cond will produce (the profiler's read log
+;; de-duplicates points, so querying them twice is harmless).
+(define-for-syntax (case-else-clause? clause)
+  (syntax-case clause (else)
+    [(else body ...) #t]
+    [_ #f]))
+
+(define-for-syntax (case-clause-label clause)
+  (syntax-case clause ()
+    [((k ...) body ...) #'(k ...)]))
+
+(define-for-syntax (case-clause-weight clause)
+  (syntax-case clause ()
+    [((k ...) e1 e2 ...) (profile-query #'e1)]
+    [_ 0.0]))
+
 (define-syntax (case stx)
   ;; Start of code transformation.
   (syntax-case stx ()
     [(_ key-expr clause ...)
-     ;; Evaluate the key-expr only once, instead of copying the entire
-     ;; expression into the template.
-     #`(let ([t key-expr])
-         (exclusive-cond
-          ;; Transform each case clause into an exclusive-cond clause.
-          #,@(map (curry rewrite-case-clause #'t)
-                  (syntax->list #'(clause ...)))))]))
+     (let* ([clauses (syntax->list #'(clause ...))]
+            [ordinary (filter (lambda (c) (not (case-else-clause? c)))
+                              clauses)])
+       ;; Decision provenance: key sets with the weights the rewritten
+       ;; clauses will carry, in the order exclusive-cond will emit them.
+       (record-optimization-decision "case" stx
+         (map (lambda (c) (cons (case-clause-label c) (case-clause-weight c)))
+              ordinary)
+         (map case-clause-label (sort-by ordinary > case-clause-weight)))
+       ;; Evaluate the key-expr only once, instead of copying the entire
+       ;; expression into the template.
+       #`(let ([t key-expr])
+           (exclusive-cond
+            ;; Transform each case clause into an exclusive-cond clause.
+            #,@(map (curry rewrite-case-clause #'t) clauses))))]))

@@ -19,11 +19,21 @@
     ;; Sort clauses greatest-to-least by weight; stable, so clauses with
     ;; equal weights keep their source order.
     (sort-by clause* > clause-weight))
+  (define (clause-label clause)
+    ;; A clause is identified by its test expression.
+    (syntax-case clause ()
+      [(test e ...) #'test]))
   ;; Start of code transformation.
   (syntax-case stx ()
     [(_ clause ...)
      (let* ([clauses (syntax->list #'(clause ...))]
             [els (filter else-clause? clauses)]
-            [ordinary (filter (lambda (c) (not (else-clause? c))) clauses)])
+            [ordinary (filter (lambda (c) (not (else-clause? c))) clauses)]
+            [sorted (sort-clauses ordinary)])
+       ;; Decision provenance: every clause with the weight consulted, and
+       ;; the order that won (no-op unless a trace is being recorded).
+       (record-optimization-decision "exclusive-cond" stx
+         (map (lambda (c) (cons (clause-label c) (clause-weight c))) ordinary)
+         (map clause-label sorted))
        ;; Splice sorted clauses into a cond expression.
-       #`(cond #,@(sort-clauses ordinary) #,@els))]))
+       #`(cond #,@sorted #,@els))]))

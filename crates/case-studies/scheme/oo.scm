@@ -160,6 +160,13 @@
                   [nonzero (filter (lambda (p) (> (cdr p) 0.0)) weighted)]
                   [sorted (sort nonzero (lambda (a b) (> (cdr a) (cdr b))))]
                   [top (take sorted (min (oo-inline-limit) (length sorted)))])
+             ;; Decision provenance: every registered class with the weight
+             ;; its call-site profile point reported, and which classes won
+             ;; an inline slot (most frequent first).
+             (record-optimization-decision "receiver-prediction" stx
+               (map (lambda (p) (cons (oo-entry-name (car p)) (cdr p)))
+                    weighted)
+               (map (lambda (p) (oo-entry-name (car p))) top))
              #`(let ([x obj])
                  (cond
                    #,@(map (lambda (p)

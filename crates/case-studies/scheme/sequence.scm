@@ -75,7 +75,13 @@
      ;; Conditionally generate wrapped versions of the list *or* vector
      ;; operations, and represent the underlying data using a list *or*
      ;; vector, depending on the profile information.
-     (if (>= (profile-query list-src) (profile-query vector-src))
+     (let ([lw (profile-query list-src)]
+           [vw (profile-query vector-src)])
+       ;; Decision provenance: both representation weights and the winner.
+       (record-optimization-decision "datastructure" stx
+         (list (cons "list" lw) (cons "vector" vw))
+         (list (if (>= lw vw) "list" "vector")))
+     (if (>= lw vw)
          #`(make-seq 'list
              (let ([ht (make-eq-hashtable)])
                (hashtable-set! ht 'first #,(instrument-call #'car list-src))
@@ -93,4 +99,4 @@
                (hashtable-set! ht 'ref #,(instrument-call #'vector-ref vector-src))
                (hashtable-set! ht 'length #,(instrument-call #'vector-length vector-src))
                ht)
-             (vector init ...)))]))
+             (vector init ...))))]))

@@ -18,12 +18,20 @@
 //!     given, which synthesizes a dense slot table from the points in
 //!     sorted order (a process preloading it interns nothing on the warm
 //!     path).
+//!
+//! pgmp-profile diff [--top N] <a.pgmp> <b.pgmp>
+//!     Compares two profiles: overall drift under both of the adaptive
+//!     subsystem's metrics (L1 and total-variation — the same `drift`
+//!     the online detector uses, so a diff score is directly comparable
+//!     to `--drift-threshold`), plus the top N movers by absolute
+//!     normalized-weight change (default 10).
 //! ```
 //!
 //! All writes are atomic (temp file + rename); corrupt inputs fail with a
 //! typed error, never a panic. See `docs/PROFILE_FORMAT.md` for the
 //! normative format specification.
 
+use pgmp_adaptive::{drift, DriftMetric};
 use pgmp_profiler::{ProfileInformation, SlotMap, StoredProfile};
 use std::process::ExitCode;
 
@@ -31,7 +39,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgmp-profile inspect <file.pgmp>\n\
          \u{20}      pgmp-profile merge [--to 1|2] -o <out.pgmp> <in.pgmp>...\n\
-         \u{20}      pgmp-profile convert --to 1|2 [--slots] -o <out.pgmp> <in.pgmp>"
+         \u{20}      pgmp-profile convert --to 1|2 [--slots] -o <out.pgmp> <in.pgmp>\n\
+         \u{20}      pgmp-profile diff [--top N] <a.pgmp> <b.pgmp>"
     );
     std::process::exit(2)
 }
@@ -169,6 +178,78 @@ fn convert(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `diff <a> <b>` — per-point weight deltas plus the same drift score the
+/// adaptive detector computes, so "how different are these two profiles?"
+/// has one answer everywhere.
+fn diff(args: &[String]) -> Result<(), String> {
+    let mut top = 10usize;
+    let mut inputs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                top = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            other if !other.starts_with('-') => inputs.push(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let [a_path, b_path] = inputs.as_slice() else {
+        usage()
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+    for (path, stored) in [(a_path, &a), (b_path, &b)] {
+        println!(
+            "{path}: v{}, {} dataset(s), {} point(s)",
+            stored.version,
+            stored.info.dataset_count(),
+            stored.info.len()
+        );
+    }
+    println!(
+        "drift: {:.4} (total-variation), {:.4} (L1) — comparable to --drift-threshold",
+        drift(&a.info, &b.info, DriftMetric::TotalVariation),
+        drift(&a.info, &b.info, DriftMetric::L1),
+    );
+
+    // Union of points with (old, new) weights; absent points weigh 0.0.
+    let mut movers: Vec<_> = a
+        .info
+        .iter()
+        .map(|(p, _)| p)
+        .chain(b.info.iter().map(|(p, _)| p))
+        .collect();
+    movers.sort();
+    movers.dedup();
+    let mut movers: Vec<_> = movers
+        .into_iter()
+        .map(|p| (p, a.info.weight(p), b.info.weight(p)))
+        .filter(|(_, wa, wb)| wa != wb)
+        .collect();
+    movers.sort_by(|x, y| {
+        (y.2 - y.1)
+            .abs()
+            .total_cmp(&(x.2 - x.1).abs())
+            .then(x.0.cmp(&y.0))
+    });
+    if movers.is_empty() {
+        println!("no per-point weight changes");
+        return Ok(());
+    }
+    println!("top movers (|Δweight|, of {} changed point(s)):", movers.len());
+    for (p, wa, wb) in movers.iter().take(top) {
+        println!("  {:+.4}  {wa:.4} -> {wb:.4}  {p}", wb - wa);
+    }
+    if movers.len() > top {
+        println!("  ... and {} more", movers.len() - top);
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.split_first() {
@@ -176,6 +257,7 @@ fn main() -> ExitCode {
             "inspect" => inspect(rest),
             "merge" => merge(rest),
             "convert" => convert(rest),
+            "diff" => diff(rest),
             "--help" | "-h" => usage(),
             other => Err(format!("unknown command `{other}`")),
         },

@@ -51,6 +51,15 @@
 //!                                distinct points, flushed at the latest at
 //!                                the epoch boundary; prints per-epoch
 //!                                flush statistics (0 = off, the default)
+//!
+//!   --trace <out.jsonl>          record a structured trace of the whole
+//!                                run (expansion spans, profile queries,
+//!                                cache hits/misses, epochs, optimization
+//!                                decisions) and write it as JSONL; inspect
+//!                                with `pgmp-trace`
+//!   --metrics                    print the metrics-registry snapshot as
+//!                                JSON on stderr after the run
+//!   --metrics-out <file>         write the same snapshot to a file
 //! ```
 //!
 //! The paper's basic cycle:
@@ -71,6 +80,7 @@ use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine};
 use pgmp::{AnnotateStrategy, Engine, IncrementalConfig, IncrementalEngine};
 use pgmp_bytecode::Vm;
 use pgmp_case_studies::{install, Lib};
+use pgmp_observe as observe;
 use pgmp_profiler::{CounterImpl, ProfileInformation, ProfileMode};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -99,6 +109,9 @@ struct Options {
     cooldown: u64,
     adaptive_incremental: bool,
     coalesce: usize,
+    trace: Option<String>,
+    metrics: bool,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -109,7 +122,8 @@ fn usage() -> ! {
          \u{20}               [--incremental [--save-state F] [--load-state F]]\n\
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
-         \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]] file.scm"
+         \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]]\n\
+         \u{20}               [--trace OUT.jsonl] [--metrics] [--metrics-out F] file.scm"
     );
     std::process::exit(2)
 }
@@ -167,6 +181,9 @@ fn parse_args() -> Options {
         cooldown: 0,
         adaptive_incremental: true,
         coalesce: 0,
+        trace: None,
+        metrics: false,
+        metrics_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -201,6 +218,9 @@ fn parse_args() -> Options {
             "--cooldown" => opts.cooldown = parse_num(args.next()),
             "--no-incremental" => opts.adaptive_incremental = false,
             "--coalesce" => opts.coalesce = parse_num(args.next()),
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics" => opts.metrics = true,
+            "--metrics-out" => opts.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             file if !file.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(file.to_owned());
@@ -263,7 +283,13 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         opts.threads.max(1),
         opts.epochs
     );
-    let mut last_flush = engine.handle().flush_stats();
+    // The epoch loop publishes every per-epoch statistic to the metrics
+    // registry (`adaptive.*`) before `tick` returns; the console lines
+    // below read the printed numbers back from the registry, so the
+    // `--adaptive` output and a `--metrics` snapshot cannot disagree.
+    let reg = observe::metrics();
+    let mut prev_reused = reg.counter("adaptive.reused_forms");
+    let mut prev_reexpanded = reg.counter("adaptive.reexpanded_forms");
     for _ in 0..opts.epochs {
         std::thread::scope(|s| {
             let workers: Vec<_> = (0..opts.threads.max(1))
@@ -281,28 +307,27 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         })?;
         let report = engine.tick().map_err(|e| e.to_string())?;
         let reuse = if report.reoptimized {
-            let p = engine.current_program();
-            format!(
-                " REOPTIMIZED ({} reused, {} re-expanded)",
-                p.reused_forms, p.reexpanded_forms
-            )
+            let reused = reg.counter("adaptive.reused_forms") - prev_reused;
+            let reexpanded = reg.counter("adaptive.reexpanded_forms") - prev_reexpanded;
+            prev_reused += reused;
+            prev_reexpanded += reexpanded;
+            format!(" REOPTIMIZED ({reused} reused, {reexpanded} re-expanded)")
         } else {
             String::new()
         };
         eprintln!(
             "adaptive: epoch {} hits {} drift {:.3}{} -> generation {}",
-            report.epoch, report.hits, report.drift, reuse, report.generation,
+            report.epoch,
+            report.hits,
+            reg.gauge("adaptive.drift").unwrap_or(report.drift),
+            reuse,
+            reg.gauge("adaptive.generation").unwrap_or(report.generation as f64) as u64,
         );
         if opts.coalesce > 0 {
-            let flush = engine.handle().flush_stats();
             eprintln!(
-                "adaptive: epoch {} coalescing: {} flush(es) wrote {} slot(s) for {} buffered hit(s)",
-                report.epoch,
-                flush.flushes - last_flush.flushes,
-                flush.flushed_slots - last_flush.flushed_slots,
-                flush.buffered_hits - last_flush.buffered_hits,
+                "adaptive: epoch {} coalescing: {} flush(es) merged {} buffered hit(s)",
+                report.epoch, report.flush_writes, report.flush_merged,
             );
-            last_flush = flush;
         }
     }
 
@@ -414,11 +439,49 @@ fn run(opts: Options) -> Result<(), String> {
     {
         return Err("--save-state/--load-state require --incremental or --adaptive".into());
     }
+    if opts.trace.is_some() || opts.metrics || opts.metrics_out.is_some() {
+        // One run per process: reset so the snapshot describes this run only.
+        observe::metrics().reset();
+    }
+    if opts.trace.is_some() {
+        observe::start(observe::TraceConfig::default()).map_err(|e| e.to_string())?;
+    }
+    let result = run_mode(&opts, &source, &file);
+    if let Some(path) = &opts.trace {
+        // Write the trace even when the run failed: a trace of a failing
+        // run is exactly what you want to look at.
+        let dropped = observe::dropped();
+        match observe::stop_and_write(path) {
+            Ok((events, bytes)) => {
+                eprintln!("trace: {events} event(s), {bytes} bytes written to {path}");
+                if dropped > 0 {
+                    eprintln!("trace: ring buffer dropped {dropped} oldest event(s)");
+                }
+            }
+            Err(e) => eprintln!("pgmp-run: failed to write trace to {path}: {e}"),
+        }
+    }
+    if opts.metrics || opts.metrics_out.is_some() {
+        let snapshot = observe::metrics().snapshot().to_json();
+        if opts.metrics {
+            eprintln!("{snapshot}");
+        }
+        if let Some(path) = &opts.metrics_out {
+            let mut text = snapshot;
+            text.push('\n');
+            observe::write_atomic(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("metrics snapshot written to {path}");
+        }
+    }
+    result
+}
+
+fn run_mode(opts: &Options, source: &str, file: &str) -> Result<(), String> {
     if opts.adaptive {
-        return run_adaptive(&opts, &source, &file);
+        return run_adaptive(opts, source, file);
     }
     if opts.incremental {
-        return run_incremental(&opts, &source, &file);
+        return run_incremental(opts, source, file);
     }
 
     let mut engine = Engine::with_strategy(opts.strategy);
@@ -438,12 +501,12 @@ fn run(opts: Options) -> Result<(), String> {
     }
 
     if opts.expand {
-        let forms = engine.expand_str(&source, &file).map_err(|e| e.to_string())?;
+        let forms = engine.expand_str(source, file).map_err(|e| e.to_string())?;
         for form in forms {
             println!("{}", form.to_datum());
         }
     } else {
-        let value = engine.run_str(&source, &file).map_err(|e| e.to_string())?;
+        let value = engine.run_str(source, file).map_err(|e| e.to_string())?;
         print!("{}", engine.take_output());
         println!("{}", value.write_string());
     }

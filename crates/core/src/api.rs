@@ -16,6 +16,7 @@
 
 use crate::engine::AnnotateStrategy;
 use pgmp_eval::{EvalError, EvalErrorKind, Interp, Value};
+use pgmp_observe as observe;
 use pgmp_profiler::{Counters, ProfileInformation};
 use pgmp_syntax::{SourceFactory, SourceObject, Syntax, SyntaxBody};
 use std::cell::RefCell;
@@ -103,6 +104,18 @@ fn want_string(v: &Value) -> Result<String, EvalError> {
     }
 }
 
+/// Renders a decision label/point the way a human reads the source: strings
+/// and symbols bare, syntax as its datum, profile points as `file:bfp-efp`.
+fn decision_label(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.borrow().clone(),
+        Value::Sym(s) => s.to_string(),
+        Value::Syntax(s) => s.to_datum().to_string(),
+        Value::Source(p) => p.to_string(),
+        other => other.to_string(),
+    }
+}
+
 /// Wraps `e` as `((lambda () e))` with the call annotated by `pp` — the
 /// Racket `errortrace` strategy of §4.2: only function calls are profiled,
 /// so the expression is wrapped in a generated function whose *call* the
@@ -159,6 +172,13 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
                 if let Some(log) = st.read_log.as_mut() {
                     log.points.push((p, w));
                 }
+                if observe::enabled() {
+                    observe::emit(observe::EventKind::ProfileQuery {
+                        point: p.to_string(),
+                        weight: st.profile.lookup(p),
+                        available: !st.profile.is_empty(),
+                    });
+                }
                 w
             }
             None => 0.0,
@@ -176,7 +196,14 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
                 if let Some(log) = st.read_log.as_mut() {
                     log.volatile_reads = true;
                 }
-                st.counters.count(p)
+                let n = st.counters.count(p);
+                if observe::enabled() {
+                    observe::emit(observe::EventKind::ProfileCount {
+                        point: p.to_string(),
+                        count: Some(n as f64),
+                    });
+                }
+                n
             }
             None => 0,
         };
@@ -189,6 +216,9 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
         let available = !st.profile.is_empty();
         if let Some(log) = st.read_log.as_mut() {
             log.availability = Some(available);
+        }
+        if observe::enabled() {
+            observe::emit(observe::EventKind::AvailabilityCheck { available });
         }
         Ok(Value::Bool(available))
     });
@@ -238,6 +268,64 @@ pub fn install_pgmp_api(interp: &mut Interp, state: Rc<RefCell<PgmpState>>) {
         st.profile = info;
         Ok(Value::Unspecified)
     });
+
+    interp.define_native(
+        "record-optimization-decision",
+        4,
+        Some(4),
+        move |_, args| {
+            // Provenance only: with no active recording this is a no-op, so
+            // macros can call it unconditionally.
+            if !observe::enabled() {
+                return Ok(Value::Unspecified);
+            }
+            let site = want_string(&args[0])?;
+            let decision_point = match &args[1] {
+                Value::Syntax(s) => match s.first_source() {
+                    Some(p) => p.to_string(),
+                    None => decision_label(&args[1]),
+                },
+                other => decision_label(other),
+            };
+            let alt_vals = args[2]
+                .list_elems()
+                .ok_or_else(|| EvalError::type_error("list of (label . weight)", &args[2]))?;
+            let mut alternatives = Vec::with_capacity(alt_vals.len());
+            for v in &alt_vals {
+                let Value::Pair(p) = v else {
+                    return Err(EvalError::type_error("(label . weight) pair", v));
+                };
+                let label = decision_label(&p.car.borrow());
+                let weight = match &*p.cdr.borrow() {
+                    Value::Bool(false) => None,
+                    Value::Float(x) => Some(*x),
+                    Value::Int(n) => Some(*n as f64),
+                    other => return Err(EvalError::type_error("weight or #f", other)),
+                };
+                alternatives.push(observe::DecisionAlt { label, weight });
+            }
+            let chosen: Vec<String> = args[3]
+                .list_elems()
+                .ok_or_else(|| EvalError::type_error("list of labels", &args[3]))?
+                .iter()
+                .map(decision_label)
+                .collect();
+            // Source-order rank of the winner: > 0 iff the profile moved
+            // some later-written alternative to the front.
+            let rank = chosen
+                .first()
+                .and_then(|c| alternatives.iter().position(|a| &a.label == c))
+                .unwrap_or(0) as u32;
+            observe::emit(observe::EventKind::Decision {
+                site,
+                decision_point,
+                alternatives,
+                chosen,
+                rank,
+            });
+            Ok(Value::Unspecified)
+        },
+    );
 
     let st = state.clone();
     interp.define_native("merge-profile", 1, Some(1), move |_, args| {

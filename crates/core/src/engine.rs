@@ -3,6 +3,7 @@
 use crate::api::{install_pgmp_api, PgmpState};
 use crate::error::Error;
 use pgmp_eval::{install_primitives, resolve_profile_slots, Interp, Value};
+use pgmp_observe as observe;
 use pgmp_expander::{install_expander_support, Expander};
 use pgmp_profiler::{CounterImpl, Counters, ProfileInformation, ProfileMode, StoredProfile};
 use pgmp_reader::read_str;
@@ -262,18 +263,40 @@ impl Engine {
                 // Dense registry: resolve every profile point to its slot
                 // now, at instrumentation time, so the run itself never
                 // interns — each bump is a cached-slot vector add.
+                let t = observe::timer();
                 for form in &program {
                     resolve_profile_slots(form, &counters);
+                }
+                if t.is_some() {
+                    let mut resolved: u32 = 0;
+                    for form in &program {
+                        form.walk(&mut |n| resolved += u32::from(n.src.is_some()));
+                    }
+                    observe::finish(t, |duration_us| observe::EventKind::SlotResolve {
+                        resolved,
+                        duration_us,
+                    });
                 }
             }
             self.interp.set_profiling(self.mode, counters);
         } else {
             self.interp.clear_profiling();
         }
+        let t = observe::timer();
         let mut last = Value::Unspecified;
         for form in &program {
             last = self.interp.eval(form, &None)?;
         }
+        observe::finish(t, |duration_us| observe::EventKind::Run {
+            file: file.to_string(),
+            mode: match self.mode {
+                ProfileMode::Off => "none",
+                ProfileMode::EveryExpression => "every-expression",
+                ProfileMode::CallsOnly => "calls-only",
+            }
+            .to_string(),
+            duration_us,
+        });
         Ok(last)
     }
 

@@ -51,6 +51,7 @@ use crate::persist::{self, SaveStats, WarmStart};
 use pgmp_bytecode::{canonical_form, compile_chunk, Chunk};
 use pgmp_eval::{core_to_datum_with, Core, StringTable};
 use pgmp_expander::form_hash;
+use pgmp_observe as observe;
 use pgmp_profiler::{write_atomic, ProfileInformation, ProfileStoreError};
 use pgmp_reader::read_str;
 use pgmp_syntax::{Datum, SourceFactory, SourceObject, Syntax};
@@ -362,7 +363,9 @@ impl IncrementalEngine {
         // downstream entries.
         let _ = self.engine.expander_mut().take_meta_dirty();
 
+        let compile_timer = observe::timer();
         let candidates = self.reuse_candidates(weights);
+        let first_compile = self.last_weights.is_none();
         // Cleared until this compile succeeds: a failed compile leaves the
         // cache with entries recorded under mixed weights, so the next one
         // must fall back to checking every form.
@@ -402,7 +405,16 @@ impl IncrementalEngine {
                 unit.chunks.extend(entry.chunks.iter().cloned());
                 unit.cfgs.extend(entry.cfgs.iter().cloned());
                 unit.stats.reused += 1;
+                if observe::enabled() {
+                    observe::emit(observe::EventKind::CacheHit { form: i as u32 });
+                }
                 continue;
+            }
+            if observe::enabled() {
+                observe::emit(observe::EventKind::CacheMiss {
+                    form: i as u32,
+                    reason: self.miss_reason(i, upstream_dirty, first_compile, weights),
+                });
             }
 
             let form = self.forms[i].clone();
@@ -449,7 +461,64 @@ impl IncrementalEngine {
             self.index_entry(i);
         }
         self.last_weights = Some(weights.clone());
+        observe::finish(compile_timer, |duration_us| {
+            observe::EventKind::IncrementalCompile {
+                forms: unit.stats.total_forms as u32,
+                reused: unit.stats.reused as u32,
+                reexpanded: unit.stats.reexpanded as u32,
+                duration_us,
+            }
+        });
         Ok(unit)
+    }
+
+    /// Why form `i` cannot be served from cache — the trace-event reason
+    /// vocabulary of `EventKind::CacheMiss`. Mirrors the checks of
+    /// [`reusable`](IncrementalEngine::reusable) in order, so the reported
+    /// reason is the first check that failed. Only called on the miss path
+    /// with tracing enabled.
+    fn miss_reason(
+        &self,
+        i: usize,
+        upstream_dirty: bool,
+        first_compile: bool,
+        weights: &ProfileInformation,
+    ) -> String {
+        if upstream_dirty {
+            return "meta-dirty".into();
+        }
+        let Some(entry) = self.entries[i].as_ref() else {
+            // No cache entry: either nothing was ever compiled, or
+            // `set_source` evicted it on a fingerprint change.
+            return if first_compile {
+                "first-compile".into()
+            } else {
+                "source-changed".into()
+            };
+        };
+        let reads = &entry.reads;
+        if reads.volatile_reads {
+            return "volatile-reads".into();
+        }
+        if self.engine.factory_snapshot() != entry.factory_pre {
+            return "factory-mismatch".into();
+        }
+        if let Some(avail) = reads.availability {
+            if avail == weights.is_empty() {
+                return "availability-flip".into();
+            }
+        }
+        if reads.whole_profile && entry.profile_snapshot.as_ref() != Some(weights) {
+            return "whole-profile".into();
+        }
+        for (p, w) in &reads.points {
+            if (weights.weight(*p) - w).abs() > self.config.epsilon {
+                return format!("drifted-point:{p}");
+            }
+        }
+        // Every individual check passed, yet `compile` decided against
+        // reuse — conservatively attribute it to upstream meta state.
+        "meta-dirty".into()
     }
 
     /// Serializes the recompilation cache to `path` so a fresh process can
@@ -536,7 +605,14 @@ impl IncrementalEngine {
             stats.saved += 1;
         }
         let text = persist::session_string(&file, weights, table.symbols(), &rendered);
-        write_atomic(path, &text).map_err(|e| Error::Profile(ProfileStoreError::Io(e)))?;
+        let t = observe::timer();
+        write_atomic(path.as_ref(), &text).map_err(|e| Error::Profile(ProfileStoreError::Io(e)))?;
+        observe::finish(t, |duration_us| observe::EventKind::StoreWrite {
+            path: path.as_ref().display().to_string(),
+            kind: "session".to_string(),
+            bytes: text.len() as u64,
+            duration_us,
+        });
         Ok(stats)
     }
 
@@ -570,8 +646,15 @@ impl IncrementalEngine {
     /// never partially mutates the cache — parsing completes before any
     /// state changes), and expansion errors from meta-form replay.
     pub fn load_state(&mut self, path: impl AsRef<Path>) -> Result<WarmStart, Error> {
-        let text = std::fs::read_to_string(path)
+        let t = observe::timer();
+        let text = std::fs::read_to_string(path.as_ref())
             .map_err(|e| Error::Profile(ProfileStoreError::Io(e)))?;
+        observe::finish(t, |duration_us| observe::EventKind::StoreRead {
+            path: path.as_ref().display().to_string(),
+            kind: "session".to_string(),
+            bytes: text.len() as u64,
+            duration_us,
+        });
         let session = persist::parse_session(&text).map_err(Error::Profile)?;
         let stored_weights = session.weights;
         let mut by_index: HashMap<usize, persist::StoredForm> = session

@@ -5,9 +5,16 @@ use crate::error::{ExpandError, ExpandErrorKind};
 use crate::forms;
 use crate::support::install_expander_support;
 use pgmp_eval::{install_primitives, Core, CoreKind, Interp, Value};
+use pgmp_observe as observe;
 use pgmp_syntax::{Datum, Mark, Symbol, Syntax, SyntaxBody};
 use std::collections::HashMap;
 use std::rc::Rc;
+
+/// The source file an expansion span is attributed to.
+fn form_file(form: &Syntax) -> String {
+    form.first_source()
+        .map_or_else(|| "<none>".to_string(), |s| s.file.as_str().to_string())
+}
 
 /// The macro expander.
 ///
@@ -233,8 +240,14 @@ impl Expander {
     ) -> Result<Vec<Rc<Core>>, ExpandError> {
         self.steps = 0;
         let mut out = Vec::new();
-        for form in program {
+        for (i, form) in program.iter().enumerate() {
+            let t = observe::timer();
             self.expand_toplevel_form(form.clone(), &mut out)?;
+            observe::finish(t, |duration_us| observe::EventKind::ExpandForm {
+                file: form_file(form),
+                index: i as u32,
+                duration_us,
+            });
         }
         Ok(out)
     }
@@ -253,7 +266,13 @@ impl Expander {
     pub fn expand_form(&mut self, form: &Rc<Syntax>) -> Result<Vec<Rc<Core>>, ExpandError> {
         self.steps = 0;
         let mut out = Vec::new();
+        let t = observe::timer();
         self.expand_toplevel_form(form.clone(), &mut out)?;
+        observe::finish(t, |duration_us| observe::EventKind::ExpandForm {
+            file: form_file(form),
+            index: 0,
+            duration_us,
+        });
         Ok(out)
     }
 

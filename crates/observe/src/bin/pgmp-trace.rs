@@ -1,0 +1,334 @@
+//! `pgmp-trace` — inspect JSONL traces recorded by `pgmp-run --trace`.
+//!
+//! ```text
+//! pgmp-trace summary <trace.jsonl>             per-type counts, span time, drops
+//! pgmp-trace decisions <trace.jsonl>           every optimization decision, one per line
+//! pgmp-trace explain <trace.jsonl> <query>     provenance for a form index or point/site substring
+//! pgmp-trace compare <a.jsonl> <b.jsonl>       decisions whose outcome differs between two traces
+//! ```
+//!
+//! Traces are read leniently: corrupt lines (a truncated tail, interleaved
+//! garbage) are reported on stderr and skipped, so a crash mid-write never
+//! hides the events that did land.
+
+use pgmp_observe::{read_trace_lenient, DecisionAlt, EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pgmp-trace <command> ...
+  summary <trace.jsonl>            event counts, span time by type, ring-buffer drops
+  decisions <trace.jsonl>          optimization decisions with chosen order and rank
+  explain <trace.jsonl> <query>    provenance for a decision point, profile point, or form index
+  compare <a.jsonl> <b.jsonl>      decisions whose chosen order differs between two traces";
+
+/// Appends a line to the output buffer (infallible — `String` sink).
+macro_rules! outln {
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)*);
+    }};
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut out = String::new();
+    let result = match strs.as_slice() {
+        ["summary", path] => load(path).map(|t| summary(&mut out, &t)),
+        ["decisions", path] => load(path).map(|t| decisions(&mut out, &t)),
+        ["explain", path, query] => load(path).map(|t| explain(&mut out, &t, query)),
+        ["compare", a, b] => match (load(a), load(b)) {
+            (Ok(ta), Ok(tb)) => {
+                compare(&mut out, &ta, &tb);
+                Ok(())
+            }
+            (Err(e), _) | (_, Err(e)) => Err(e),
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    // One buffered write; a closed pipe (`pgmp-trace ... | head`) is not
+    // an error worth dying loudly over.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pgmp-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reads a trace leniently, reporting (but surviving) corrupt lines.
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let (events, errors) = read_trace_lenient(path).map_err(|e| e.to_string())?;
+    for e in &errors {
+        eprintln!("pgmp-trace: warning: {e} (line skipped)");
+    }
+    Ok(events)
+}
+
+/// Sequence-number gaps mean the ring buffer dropped events mid-recording.
+fn seq_gaps(events: &[TraceEvent]) -> u64 {
+    let mut gaps = 0;
+    for w in events.windows(2) {
+        gaps += w[1].seq.saturating_sub(w[0].seq + 1);
+    }
+    gaps
+}
+
+fn summary(out: &mut String, events: &[TraceEvent]) {
+    if events.is_empty() {
+        outln!(out, "empty trace");
+        return;
+    }
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut span_us: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut miss_reasons: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        *counts.entry(e.kind.type_tag()).or_insert(0) += 1;
+        if let Some(us) = e.kind.duration_us() {
+            *span_us.entry(e.kind.type_tag()).or_insert(0) += us;
+        }
+        if let EventKind::CacheMiss { reason, .. } = &e.kind {
+            // Normalize `drifted-point:<p>` so the table groups by cause.
+            let key = reason.split_once(':').map_or(reason.as_str(), |(h, _)| h);
+            *miss_reasons.entry(key.to_string()).or_insert(0) += 1;
+        }
+    }
+    let wall = events.last().map_or(0, |e| e.t_us) - events.first().map_or(0, |e| e.t_us);
+    outln!(
+        out,
+        "{} events over {:.3} ms (seq {}..{})",
+        events.len(),
+        wall as f64 / 1000.0,
+        events.first().unwrap().seq,
+        events.last().unwrap().seq,
+    );
+    let gaps = seq_gaps(events);
+    if gaps > 0 {
+        outln!(
+            out,
+            "WARNING: {gaps} events dropped by the ring buffer (sequence gaps)"
+        );
+    }
+    outln!(out, "{:<22} {:>8} {:>14}", "type", "count", "span total");
+    for (tag, n) in &counts {
+        match span_us.get(tag) {
+            Some(us) => outln!(out, "{tag:<22} {n:>8} {:>11.3} ms", *us as f64 / 1000.0),
+            None => outln!(out, "{tag:<22} {n:>8} {:>14}", "-"),
+        }
+    }
+    if !miss_reasons.is_empty() {
+        outln!(out, "cache-miss reasons:");
+        for (reason, n) in &miss_reasons {
+            outln!(out, "  {reason:<20} {n}");
+        }
+    }
+    let n_decisions = counts.get("decision").copied().unwrap_or(0);
+    if n_decisions > 0 {
+        outln!(
+            out,
+            "{n_decisions} optimization decisions (see `pgmp-trace decisions`)"
+        );
+    }
+}
+
+fn fmt_weight(w: Option<f64>) -> String {
+    match w {
+        Some(x) => format!("{x:.4}"),
+        None => "-".to_string(),
+    }
+}
+
+fn fmt_alts(alts: &[DecisionAlt]) -> String {
+    alts.iter()
+        .map(|a| format!("{}={}", a.label, fmt_weight(a.weight)))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn decisions(out: &mut String, events: &[TraceEvent]) {
+    let mut n = 0;
+    for e in events {
+        if let EventKind::Decision {
+            site,
+            decision_point,
+            alternatives,
+            chosen,
+            rank,
+        } = &e.kind
+        {
+            n += 1;
+            outln!(
+                out,
+                "[{}] {site} at {decision_point}: chose [{}] rank {rank}{} | weights: {}",
+                e.seq,
+                chosen.join(" "),
+                if *rank > 0 { " (reordered)" } else { "" },
+                fmt_alts(alternatives),
+            );
+        }
+    }
+    if n == 0 {
+        outln!(out, "no decision events in trace");
+    }
+}
+
+/// True when `query` names this event: a substring of its point/site/file
+/// labels, or (for cache events) an exact form index.
+fn matches_query(kind: &EventKind, query: &str) -> bool {
+    let form_query: Option<u32> = query.parse().ok();
+    match kind {
+        EventKind::Decision {
+            site,
+            decision_point,
+            ..
+        } => site.contains(query) || decision_point.contains(query),
+        EventKind::ProfileQuery { point, .. } | EventKind::ProfileCount { point, .. } => {
+            point.contains(query)
+        }
+        EventKind::CacheHit { form } | EventKind::CacheMiss { form, .. } => {
+            Some(*form) == form_query
+        }
+        _ => false,
+    }
+}
+
+fn explain(out: &mut String, events: &[TraceEvent], query: &str) {
+    let mut n = 0;
+    for e in events {
+        if !matches_query(&e.kind, query) {
+            continue;
+        }
+        n += 1;
+        match &e.kind {
+            EventKind::Decision {
+                site,
+                decision_point,
+                alternatives,
+                chosen,
+                rank,
+            } => {
+                outln!(out, "[{}] decision `{site}` at {decision_point}", e.seq);
+                for (i, a) in alternatives.iter().enumerate() {
+                    let pos = chosen.iter().position(|c| c == &a.label);
+                    let placed = match pos {
+                        Some(p) => format!("emitted at position {p}"),
+                        None => "not emitted".to_string(),
+                    };
+                    outln!(
+                        out,
+                        "    alt {i}: {} weight {} -> {placed}",
+                        a.label,
+                        fmt_weight(a.weight)
+                    );
+                }
+                outln!(
+                    out,
+                    "    chosen order: [{}] — source-order rank of winner: {rank}{}",
+                    chosen.join(" "),
+                    if *rank > 0 {
+                        " (profile data reordered this form)"
+                    } else {
+                        " (source order kept)"
+                    }
+                );
+            }
+            EventKind::ProfileQuery {
+                point,
+                weight,
+                available,
+            } => outln!(
+                out,
+                "[{}] profile-query {point} -> weight {} (profile {})",
+                e.seq,
+                fmt_weight(*weight),
+                if *available { "available" } else { "absent" },
+            ),
+            EventKind::ProfileCount { point, count } => outln!(
+                out,
+                "[{}] profile-count {point} -> {}",
+                e.seq,
+                fmt_weight(*count)
+            ),
+            EventKind::CacheHit { form } => outln!(out, "[{}] form {form}: cache hit", e.seq),
+            EventKind::CacheMiss { form, reason } => {
+                outln!(out, "[{}] form {form}: re-expanded ({reason})", e.seq)
+            }
+            _ => {}
+        }
+    }
+    if n == 0 {
+        outln!(
+            out,
+            "nothing in trace matches `{query}` (try a decision site, point, or form index)"
+        );
+    }
+}
+
+/// The last decision per (site, decision_point) — the outcome that stuck.
+fn final_decisions(events: &[TraceEvent]) -> BTreeMap<(String, String), (Vec<String>, u32)> {
+    let mut map = BTreeMap::new();
+    for e in events {
+        if let EventKind::Decision {
+            site,
+            decision_point,
+            chosen,
+            rank,
+            ..
+        } = &e.kind
+        {
+            map.insert(
+                (site.clone(), decision_point.clone()),
+                (chosen.clone(), *rank),
+            );
+        }
+    }
+    map
+}
+
+fn compare(out: &mut String, a: &[TraceEvent], b: &[TraceEvent]) {
+    let da = final_decisions(a);
+    let db = final_decisions(b);
+    let mut flips = 0;
+    let mut same = 0;
+    for (key, (chosen_a, rank_a)) in &da {
+        match db.get(key) {
+            None => outln!(
+                out,
+                "only in first:  {} at {} chose [{}]",
+                key.0,
+                key.1,
+                chosen_a.join(" ")
+            ),
+            Some((chosen_b, rank_b)) if chosen_a != chosen_b => {
+                flips += 1;
+                outln!(
+                    out,
+                    "FLIP: {} at {}: [{}] (rank {rank_a}) -> [{}] (rank {rank_b})",
+                    key.0,
+                    key.1,
+                    chosen_a.join(" "),
+                    chosen_b.join(" "),
+                );
+            }
+            Some(_) => same += 1,
+        }
+    }
+    for (key, (chosen_b, _)) in &db {
+        if !da.contains_key(key) {
+            outln!(
+                out,
+                "only in second: {} at {} chose [{}]",
+                key.0,
+                key.1,
+                chosen_b.join(" ")
+            );
+        }
+    }
+    outln!(out, "{flips} decision(s) flipped, {same} unchanged");
+}

@@ -1,0 +1,569 @@
+//! The typed trace events and their versioned JSONL encoding.
+//!
+//! Every event serializes to one JSON object per line with a fixed field
+//! order: `v` (schema version, currently [`SCHEMA_VERSION`]), `seq`
+//! (monotone per recording), `t_us` (microseconds since the recording
+//! started), `type` (the kind tag), then the kind-specific fields in
+//! declaration order. The encoding is fixture-pinned by
+//! `tests/schema.rs`: changing any field name, order, or number
+//! formatting is a schema break and must bump `SCHEMA_VERSION`.
+
+use crate::json::Json;
+
+/// Version stamped into every event line as `"v"`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One recorded event: bus-assigned sequencing plus the typed payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Monotone sequence number within one recording (gaps mean the ring
+    /// buffer dropped events).
+    pub seq: u64,
+    /// Microseconds since the recording started.
+    pub t_us: u64,
+    pub kind: EventKind,
+}
+
+/// One alternative considered by a profile-guided decision: a printable
+/// label (usually the clause/arm datum) and the weight consulted for it,
+/// `None` when no profile data covered it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionAlt {
+    pub label: String,
+    pub weight: Option<f64>,
+}
+
+/// The typed event payloads. Span-like events carry their own
+/// `duration_us`; they are emitted at close.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The expander finished one toplevel form (a per-form expansion span).
+    ExpandForm {
+        /// Source file of the form (or `<none>` for synthetic forms).
+        file: String,
+        /// Toplevel index of the form within this expansion run.
+        index: u32,
+        duration_us: u64,
+    },
+    /// A meta-program called `profile-query` (the Figure 4 API).
+    ProfileQuery {
+        /// The profile point, printed as `file:bfp-efp`.
+        point: String,
+        /// The weight returned, `None` when the profile had no entry.
+        weight: Option<f64>,
+        /// Whether any profile dataset was loaded at query time.
+        available: bool,
+    },
+    /// A meta-program called `profile-count` (raw, volatile counts).
+    ProfileCount { point: String, count: Option<f64> },
+    /// A meta-program called `profile-data-available?`.
+    AvailabilityCheck { available: bool },
+    /// The incremental cache served a form without re-expansion.
+    CacheHit { form: u32 },
+    /// The incremental cache re-expanded a form; `reason` says why (see
+    /// `docs/OBSERVABILITY.md` for the vocabulary: `first-compile`,
+    /// `source-changed`, `drifted-point:<p>`, `availability-flip`,
+    /// `whole-profile`, `volatile-reads`, `meta-dirty`,
+    /// `factory-mismatch`).
+    CacheMiss { form: u32, reason: String },
+    /// One full `IncrementalEngine::compile` pass (span).
+    IncrementalCompile {
+        forms: u32,
+        reused: u32,
+        reexpanded: u32,
+        duration_us: u64,
+    },
+    /// One adaptive epoch (span over drain + absorb + drift decision).
+    Epoch {
+        epoch: u64,
+        /// Counter hits drained this epoch.
+        hits: u64,
+        /// Drift score vs the last-optimized baseline.
+        drift: f64,
+        /// Whether the raw drift threshold was exceeded.
+        fired: bool,
+        /// Whether re-optimization actually ran (post-hysteresis).
+        reoptimized: bool,
+        /// Program generation after this epoch.
+        generation: u64,
+        /// Consecutive over-threshold epochs (hysteresis state).
+        streak: u32,
+        /// Epochs of cooldown remaining (hysteresis state).
+        cooldown: u32,
+        /// Coalescing-writer flushes observed this epoch.
+        flush_writes: u64,
+        /// Writes merged by coalescing before reaching shared counters.
+        flush_merged: u64,
+        duration_us: u64,
+    },
+    /// One adaptive re-optimization (span): recompile plus program swap.
+    Reoptimize {
+        generation: u64,
+        reused: u32,
+        reexpanded: u32,
+        duration_us: u64,
+        /// Time spent holding the program lock to swap in the new
+        /// program (the reader-visible stall).
+        swap_us: u64,
+    },
+    /// One engine run of a program (span).
+    Run {
+        file: String,
+        /// Instrumentation mode: `none`, `every-expression`, `calls-only`.
+        mode: String,
+        duration_us: u64,
+    },
+    /// Eager profile-point slot resolution before a run (span).
+    SlotResolve { resolved: u32, duration_us: u64 },
+    /// One VM `run_chunk` call (span).
+    VmRun {
+        chunk: u32,
+        /// Basic blocks executed during this call.
+        blocks: u64,
+        duration_us: u64,
+    },
+    /// The persistence layer wrote a file (profile, session, snapshot).
+    StoreWrite {
+        path: String,
+        /// Payload kind: `profile-v1`, `profile-v2`, `session`, `snapshot`,
+        /// `trace`, `metrics`.
+        kind: String,
+        bytes: u64,
+        duration_us: u64,
+    },
+    /// The persistence layer read a file.
+    StoreRead {
+        path: String,
+        kind: String,
+        bytes: u64,
+        duration_us: u64,
+    },
+    /// Optimization-decision provenance: a profile-guided macro chose
+    /// among alternatives. `alternatives` lists every option in source
+    /// order with the weight consulted; `chosen` lists labels in the
+    /// order the macro emitted them; `rank` is the source-order position
+    /// of `chosen[0]` (0-based), so `rank > 0` means the profile
+    /// reordered the code.
+    Decision {
+        /// Which decision site: `exclusive-cond`, `case`,
+        /// `receiver-prediction`, `datastructure`.
+        site: String,
+        /// Source span of the form the decision applies to.
+        decision_point: String,
+        alternatives: Vec<DecisionAlt>,
+        chosen: Vec<String>,
+        rank: u32,
+    },
+}
+
+impl EventKind {
+    /// The `"type"` tag used on the wire.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            EventKind::ExpandForm { .. } => "expand_form",
+            EventKind::ProfileQuery { .. } => "profile_query",
+            EventKind::ProfileCount { .. } => "profile_count",
+            EventKind::AvailabilityCheck { .. } => "availability",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::IncrementalCompile { .. } => "incremental_compile",
+            EventKind::Epoch { .. } => "epoch",
+            EventKind::Reoptimize { .. } => "reoptimize",
+            EventKind::Run { .. } => "run",
+            EventKind::SlotResolve { .. } => "slot_resolve",
+            EventKind::VmRun { .. } => "vm_run",
+            EventKind::StoreWrite { .. } => "store_write",
+            EventKind::StoreRead { .. } => "store_read",
+            EventKind::Decision { .. } => "decision",
+        }
+    }
+
+    /// The span duration for span-like events, `None` for point events.
+    pub fn duration_us(&self) -> Option<u64> {
+        match self {
+            EventKind::ExpandForm { duration_us, .. }
+            | EventKind::IncrementalCompile { duration_us, .. }
+            | EventKind::Epoch { duration_us, .. }
+            | EventKind::Reoptimize { duration_us, .. }
+            | EventKind::Run { duration_us, .. }
+            | EventKind::SlotResolve { duration_us, .. }
+            | EventKind::VmRun { duration_us, .. }
+            | EventKind::StoreWrite { duration_us, .. }
+            | EventKind::StoreRead { duration_us, .. } => Some(*duration_us),
+            _ => None,
+        }
+    }
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn opt_f64(v: Option<f64>) -> Json {
+    match v {
+        Some(x) => Json::Num(x),
+        None => Json::Null,
+    }
+}
+
+impl TraceEvent {
+    /// Encodes the event as its canonical single-line JSON form (no
+    /// trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("v".into(), num(SCHEMA_VERSION)),
+            ("seq".into(), num(self.seq)),
+            ("t_us".into(), num(self.t_us)),
+            ("type".into(), Json::Str(self.kind.type_tag().into())),
+        ];
+        let mut push = |k: &str, v: Json| fields.push((k.into(), v));
+        match &self.kind {
+            EventKind::ExpandForm {
+                file,
+                index,
+                duration_us,
+            } => {
+                push("file", Json::Str(file.clone()));
+                push("index", num(*index as u64));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::ProfileQuery {
+                point,
+                weight,
+                available,
+            } => {
+                push("point", Json::Str(point.clone()));
+                push("weight", opt_f64(*weight));
+                push("available", Json::Bool(*available));
+            }
+            EventKind::ProfileCount { point, count } => {
+                push("point", Json::Str(point.clone()));
+                push("count", opt_f64(*count));
+            }
+            EventKind::AvailabilityCheck { available } => {
+                push("available", Json::Bool(*available));
+            }
+            EventKind::CacheHit { form } => push("form", num(*form as u64)),
+            EventKind::CacheMiss { form, reason } => {
+                push("form", num(*form as u64));
+                push("reason", Json::Str(reason.clone()));
+            }
+            EventKind::IncrementalCompile {
+                forms,
+                reused,
+                reexpanded,
+                duration_us,
+            } => {
+                push("forms", num(*forms as u64));
+                push("reused", num(*reused as u64));
+                push("reexpanded", num(*reexpanded as u64));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::Epoch {
+                epoch,
+                hits,
+                drift,
+                fired,
+                reoptimized,
+                generation,
+                streak,
+                cooldown,
+                flush_writes,
+                flush_merged,
+                duration_us,
+            } => {
+                push("epoch", num(*epoch));
+                push("hits", num(*hits));
+                push("drift", Json::Num(*drift));
+                push("fired", Json::Bool(*fired));
+                push("reoptimized", Json::Bool(*reoptimized));
+                push("generation", num(*generation));
+                push("streak", num(*streak as u64));
+                push("cooldown", num(*cooldown as u64));
+                push("flush_writes", num(*flush_writes));
+                push("flush_merged", num(*flush_merged));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::Reoptimize {
+                generation,
+                reused,
+                reexpanded,
+                duration_us,
+                swap_us,
+            } => {
+                push("generation", num(*generation));
+                push("reused", num(*reused as u64));
+                push("reexpanded", num(*reexpanded as u64));
+                push("duration_us", num(*duration_us));
+                push("swap_us", num(*swap_us));
+            }
+            EventKind::Run {
+                file,
+                mode,
+                duration_us,
+            } => {
+                push("file", Json::Str(file.clone()));
+                push("mode", Json::Str(mode.clone()));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::SlotResolve {
+                resolved,
+                duration_us,
+            } => {
+                push("resolved", num(*resolved as u64));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::VmRun {
+                chunk,
+                blocks,
+                duration_us,
+            } => {
+                push("chunk", num(*chunk as u64));
+                push("blocks", num(*blocks));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::StoreWrite {
+                path,
+                kind,
+                bytes,
+                duration_us,
+            }
+            | EventKind::StoreRead {
+                path,
+                kind,
+                bytes,
+                duration_us,
+            } => {
+                push("path", Json::Str(path.clone()));
+                push("kind", Json::Str(kind.clone()));
+                push("bytes", num(*bytes));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::Decision {
+                site,
+                decision_point,
+                alternatives,
+                chosen,
+                rank,
+            } => {
+                push("site", Json::Str(site.clone()));
+                push("decision_point", Json::Str(decision_point.clone()));
+                push(
+                    "alternatives",
+                    Json::Arr(
+                        alternatives
+                            .iter()
+                            .map(|a| {
+                                Json::Obj(vec![
+                                    ("label".into(), Json::Str(a.label.clone())),
+                                    ("weight".into(), opt_f64(a.weight)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                );
+                push(
+                    "chosen",
+                    Json::Arr(chosen.iter().map(|c| Json::Str(c.clone())).collect()),
+                );
+                push("rank", num(*rank as u64));
+            }
+        }
+        Json::Obj(fields).to_string()
+    }
+}
+
+/// A field-level decode failure (wrapped with line context by the reader).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// `"v"` was missing or not a supported version.
+    BadVersion(String),
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field was present with the wrong JSON type or an invalid value.
+    BadField(&'static str),
+    /// The `"type"` tag named no known event kind.
+    UnknownType(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadVersion(v) => write!(f, "unsupported schema version {v}"),
+            DecodeError::MissingField(name) => write!(f, "missing field `{name}`"),
+            DecodeError::BadField(name) => write!(f, "malformed field `{name}`"),
+            DecodeError::UnknownType(t) => write!(f, "unknown event type `{t}`"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn get_u64(obj: &Json, name: &'static str) -> Result<u64, DecodeError> {
+    obj.get(name)
+        .ok_or(DecodeError::MissingField(name))?
+        .as_u64()
+        .ok_or(DecodeError::BadField(name))
+}
+
+fn get_u32(obj: &Json, name: &'static str) -> Result<u32, DecodeError> {
+    u32::try_from(get_u64(obj, name)?).map_err(|_| DecodeError::BadField(name))
+}
+
+fn get_f64(obj: &Json, name: &'static str) -> Result<f64, DecodeError> {
+    obj.get(name)
+        .ok_or(DecodeError::MissingField(name))?
+        .as_f64()
+        .ok_or(DecodeError::BadField(name))
+}
+
+fn get_opt_f64(obj: &Json, name: &'static str) -> Result<Option<f64>, DecodeError> {
+    match obj.get(name) {
+        None => Err(DecodeError::MissingField(name)),
+        Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or(DecodeError::BadField(name)),
+    }
+}
+
+fn get_str(obj: &Json, name: &'static str) -> Result<String, DecodeError> {
+    obj.get(name)
+        .ok_or(DecodeError::MissingField(name))?
+        .as_str()
+        .map(str::to_string)
+        .ok_or(DecodeError::BadField(name))
+}
+
+fn get_bool(obj: &Json, name: &'static str) -> Result<bool, DecodeError> {
+    obj.get(name)
+        .ok_or(DecodeError::MissingField(name))?
+        .as_bool()
+        .ok_or(DecodeError::BadField(name))
+}
+
+impl TraceEvent {
+    /// Decodes one parsed JSON object into a typed event.
+    pub fn from_json(obj: &Json) -> Result<TraceEvent, DecodeError> {
+        match obj.get("v") {
+            Some(v) if v.as_u64() == Some(SCHEMA_VERSION) => {}
+            Some(v) => return Err(DecodeError::BadVersion(v.to_string())),
+            None => return Err(DecodeError::BadVersion("<missing>".into())),
+        }
+        let seq = get_u64(obj, "seq")?;
+        let t_us = get_u64(obj, "t_us")?;
+        let ty = get_str(obj, "type")?;
+        let kind = match ty.as_str() {
+            "expand_form" => EventKind::ExpandForm {
+                file: get_str(obj, "file")?,
+                index: get_u32(obj, "index")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "profile_query" => EventKind::ProfileQuery {
+                point: get_str(obj, "point")?,
+                weight: get_opt_f64(obj, "weight")?,
+                available: get_bool(obj, "available")?,
+            },
+            "profile_count" => EventKind::ProfileCount {
+                point: get_str(obj, "point")?,
+                count: get_opt_f64(obj, "count")?,
+            },
+            "availability" => EventKind::AvailabilityCheck {
+                available: get_bool(obj, "available")?,
+            },
+            "cache_hit" => EventKind::CacheHit {
+                form: get_u32(obj, "form")?,
+            },
+            "cache_miss" => EventKind::CacheMiss {
+                form: get_u32(obj, "form")?,
+                reason: get_str(obj, "reason")?,
+            },
+            "incremental_compile" => EventKind::IncrementalCompile {
+                forms: get_u32(obj, "forms")?,
+                reused: get_u32(obj, "reused")?,
+                reexpanded: get_u32(obj, "reexpanded")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "epoch" => EventKind::Epoch {
+                epoch: get_u64(obj, "epoch")?,
+                hits: get_u64(obj, "hits")?,
+                drift: get_f64(obj, "drift")?,
+                fired: get_bool(obj, "fired")?,
+                reoptimized: get_bool(obj, "reoptimized")?,
+                generation: get_u64(obj, "generation")?,
+                streak: get_u32(obj, "streak")?,
+                cooldown: get_u32(obj, "cooldown")?,
+                flush_writes: get_u64(obj, "flush_writes")?,
+                flush_merged: get_u64(obj, "flush_merged")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "reoptimize" => EventKind::Reoptimize {
+                generation: get_u64(obj, "generation")?,
+                reused: get_u32(obj, "reused")?,
+                reexpanded: get_u32(obj, "reexpanded")?,
+                duration_us: get_u64(obj, "duration_us")?,
+                swap_us: get_u64(obj, "swap_us")?,
+            },
+            "run" => EventKind::Run {
+                file: get_str(obj, "file")?,
+                mode: get_str(obj, "mode")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "slot_resolve" => EventKind::SlotResolve {
+                resolved: get_u32(obj, "resolved")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "vm_run" => EventKind::VmRun {
+                chunk: get_u32(obj, "chunk")?,
+                blocks: get_u64(obj, "blocks")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "store_write" => EventKind::StoreWrite {
+                path: get_str(obj, "path")?,
+                kind: get_str(obj, "kind")?,
+                bytes: get_u64(obj, "bytes")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "store_read" => EventKind::StoreRead {
+                path: get_str(obj, "path")?,
+                kind: get_str(obj, "kind")?,
+                bytes: get_u64(obj, "bytes")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "decision" => {
+                let alts = obj
+                    .get("alternatives")
+                    .ok_or(DecodeError::MissingField("alternatives"))?
+                    .as_arr()
+                    .ok_or(DecodeError::BadField("alternatives"))?
+                    .iter()
+                    .map(|a| {
+                        Ok(DecisionAlt {
+                            label: get_str(a, "label")?,
+                            weight: get_opt_f64(a, "weight")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                let chosen = obj
+                    .get("chosen")
+                    .ok_or(DecodeError::MissingField("chosen"))?
+                    .as_arr()
+                    .ok_or(DecodeError::BadField("chosen"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or(DecodeError::BadField("chosen"))
+                    })
+                    .collect::<Result<Vec<_>, DecodeError>>()?;
+                EventKind::Decision {
+                    site: get_str(obj, "site")?,
+                    decision_point: get_str(obj, "decision_point")?,
+                    alternatives: alts,
+                    chosen,
+                    rank: get_u32(obj, "rank")?,
+                }
+            }
+            other => return Err(DecodeError::UnknownType(other.to_string())),
+        };
+        Ok(TraceEvent { seq, t_us, kind })
+    }
+}

@@ -1,0 +1,276 @@
+//! # pgmp-observe — tracing, metrics, and decision provenance
+//!
+//! The engine makes layered, profile-driven decisions: which `case` arm
+//! goes first, which forms the incremental cache re-expands, when the
+//! adaptive loop swaps a program. This crate makes those decisions
+//! observable without slowing down the paths that don't care:
+//!
+//! - a process-global **event bus** ([`start`], [`emit`], [`stop`]) whose
+//!   disabled fast path is a single relaxed atomic load ([`enabled`]) —
+//!   bench E15 holds the every-expression interpreter loop to ≤ 1%
+//!   overhead with tracing off;
+//! - **typed events** ([`TraceEvent`], [`EventKind`]) covering every
+//!   layer: per-form expansion spans, Figure-4 `profile-query` calls,
+//!   incremental cache hit/miss (with the invalidation *reason*),
+//!   adaptive epochs and swap latency, engine/VM run spans, and
+//!   persistence byte counts — plus [`EventKind::Decision`], the
+//!   optimization-decision provenance each profile-guided macro records
+//!   ("this arm went first because its weight was 0.93");
+//! - an in-memory **ring buffer** drained to a **JSONL sink** written
+//!   with the workspace's [`write_atomic`] discipline (schema pinned at
+//!   [`SCHEMA_VERSION`], see `docs/OBSERVABILITY.md`);
+//! - a **metrics registry** ([`metrics`]) of counters, gauges, and
+//!   log2-bucket histograms, fed automatically from emitted events and
+//!   directly by boundary code (the adaptive epoch loop), exported as a
+//!   JSON snapshot via `pgmp-run --metrics`;
+//! - a strict/lenient **trace reader** ([`read_trace`],
+//!   [`read_trace_lenient`]) with typed errors — corrupt traces never
+//!   panic — backing the `pgmp-trace` CLI (`summary`, `decisions`,
+//!   `explain`, `compare`).
+//!
+//! ## Example
+//!
+//! ```
+//! use pgmp_observe as observe;
+//! let _guard = observe::exclusive(); // serialize bus access across tests
+//! observe::start(observe::TraceConfig::default()).unwrap();
+//! observe::emit(observe::EventKind::CacheHit { form: 3 });
+//! let events = observe::stop();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].kind, observe::EventKind::CacheHit { form: 3 });
+//! ```
+
+mod event;
+pub mod json;
+mod metrics;
+mod reader;
+mod sink;
+
+pub use event::{DecisionAlt, DecodeError, EventKind, TraceEvent, SCHEMA_VERSION};
+pub use metrics::{metrics, Histogram, MetricsSnapshot, Registry};
+pub use reader::{
+    parse_trace, parse_trace_lenient, read_trace, read_trace_lenient, TraceError,
+};
+pub use sink::{to_jsonl, write_atomic, write_trace};
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// The one flag every instrumentation site checks before doing any work.
+/// Relaxed is sufficient: recording start/stop does not need to order
+/// against event payload reads, only to eventually flip the gate.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Recording {
+    start: Instant,
+    next_seq: u64,
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+fn bus() -> &'static Mutex<Option<Recording>> {
+    static BUS: OnceLock<Mutex<Option<Recording>>> = OnceLock::new();
+    BUS.get_or_init(|| Mutex::new(None))
+}
+
+fn lock_bus() -> MutexGuard<'static, Option<Recording>> {
+    bus().lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Configuration for one recording.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events; once full, the oldest events are
+    /// dropped (and counted — `summary` reports the gap).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { capacity: 1 << 16 }
+    }
+}
+
+/// Starting a recording failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObserveError {
+    /// A recording is already active; stop it first. The bus is
+    /// process-global, so two concurrent tenants would interleave.
+    AlreadyRecording,
+}
+
+impl std::fmt::Display for ObserveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObserveError::AlreadyRecording => f.write_str("a trace recording is already active"),
+        }
+    }
+}
+
+impl std::error::Error for ObserveError {}
+
+/// True while a recording is active. This is the disabled-path cost of
+/// every instrumentation site: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Begins a recording. Fails if one is already active.
+pub fn start(config: TraceConfig) -> Result<(), ObserveError> {
+    let mut g = lock_bus();
+    if g.is_some() {
+        return Err(ObserveError::AlreadyRecording);
+    }
+    *g = Some(Recording {
+        start: Instant::now(),
+        next_seq: 0,
+        ring: VecDeque::with_capacity(config.capacity.min(1 << 20)),
+        capacity: config.capacity.max(1),
+        dropped: 0,
+    });
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Records one event (no-op when no recording is active). The bus stamps
+/// the sequence number and relative timestamp, appends to the ring
+/// buffer, and mirrors the event into the metrics registry
+/// (`events.<type>` counter; `span.<type>_us` histogram for spans).
+pub fn emit(kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    let reg = metrics();
+    reg.counter_add(&format!("events.{}", kind.type_tag()), 1);
+    if let Some(us) = kind.duration_us() {
+        reg.record(&format!("span.{}_us", kind.type_tag()), us);
+    }
+    let mut g = lock_bus();
+    let Some(rec) = g.as_mut() else { return };
+    let ev = TraceEvent {
+        seq: rec.next_seq,
+        t_us: rec.start.elapsed().as_micros() as u64,
+        kind,
+    };
+    rec.next_seq += 1;
+    if rec.ring.len() == rec.capacity {
+        rec.ring.pop_front();
+        rec.dropped += 1;
+    }
+    rec.ring.push_back(ev);
+}
+
+/// Starts a span clock: `Some(Instant)` while recording, `None` (free)
+/// otherwise. Pair with [`finish`].
+#[inline]
+pub fn timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Closes a span started with [`timer`]: builds the event from the
+/// elapsed microseconds and emits it. Free when the timer was `None`.
+pub fn finish(timer: Option<Instant>, make: impl FnOnce(u64) -> EventKind) {
+    if let Some(t0) = timer {
+        emit(make(t0.elapsed().as_micros() as u64));
+    }
+}
+
+/// Events dropped by the ring buffer so far in the active recording.
+pub fn dropped() -> u64 {
+    lock_bus().as_ref().map_or(0, |r| r.dropped)
+}
+
+/// Copies out the events recorded so far without ending the recording.
+pub fn snapshot_events() -> Vec<TraceEvent> {
+    lock_bus()
+        .as_ref()
+        .map_or_else(Vec::new, |r| r.ring.iter().cloned().collect())
+}
+
+/// Ends the recording and returns every buffered event (oldest first).
+/// Returns an empty vec when no recording was active.
+pub fn stop() -> Vec<TraceEvent> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let mut g = lock_bus();
+    g.take().map_or_else(Vec::new, |r| r.ring.into())
+}
+
+/// Ends the recording and writes the events to `path` as JSONL via
+/// [`write_atomic`]. Returns `(event_count, bytes_written)`.
+pub fn stop_and_write(path: impl AsRef<std::path::Path>) -> std::io::Result<(usize, u64)> {
+    let events = stop();
+    let bytes = write_trace(path, &events)?;
+    Ok((events.len(), bytes))
+}
+
+/// Serializes tenants of the process-global bus. Tests (and any driver
+/// embedding several engines) hold this guard around
+/// [`start`]`..`[`stop`] so parallel test threads don't interleave
+/// recordings. Poisoning is ignored: a panicking test must not take the
+/// whole suite down with it.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest() {
+        let _g = exclusive();
+        start(TraceConfig { capacity: 2 }).unwrap();
+        emit(EventKind::CacheHit { form: 0 });
+        emit(EventKind::CacheHit { form: 1 });
+        emit(EventKind::CacheHit { form: 2 });
+        assert_eq!(dropped(), 1);
+        let events = stop();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::CacheHit { form: 1 });
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn emit_without_recording_is_noop() {
+        let _g = exclusive();
+        assert!(!enabled());
+        emit(EventKind::CacheHit { form: 9 });
+        assert!(stop().is_empty());
+    }
+
+    #[test]
+    fn double_start_rejected() {
+        let _g = exclusive();
+        start(TraceConfig::default()).unwrap();
+        assert_eq!(
+            start(TraceConfig::default()),
+            Err(ObserveError::AlreadyRecording)
+        );
+        stop();
+    }
+
+    #[test]
+    fn events_feed_metrics() {
+        let _g = exclusive();
+        metrics().reset();
+        start(TraceConfig::default()).unwrap();
+        emit(EventKind::Run {
+            file: "x.scm".into(),
+            mode: "none".into(),
+            duration_us: 42,
+        });
+        stop();
+        assert_eq!(metrics().counter("events.run"), 1);
+        let snap = metrics().snapshot();
+        assert_eq!(snap.histograms["span.run_us"].sum(), 42);
+    }
+}

@@ -1,0 +1,76 @@
+//! Durable output: atomic file writes and the JSONL trace sink.
+
+use crate::event::TraceEvent;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-unique suffix for temp file names, so concurrent writers in one
+/// process never collide on the same scratch path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` atomically: the bytes land in a temp file in
+/// the same directory, are fsynced, and the temp file is renamed over the
+/// destination. Readers either see the old file or the complete new one —
+/// never a torn mix — and a crash mid-write leaves the destination intact.
+///
+/// This is the canonical implementation of the store discipline shared by
+/// every format the workspace persists (profiles, sessions, adaptive
+/// snapshots, traces, metrics snapshots); `pgmp_profiler::store` re-exports
+/// it under its historical path.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temp file is removed on failure.
+pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let base = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "profile".to_string());
+    let tmp = dir.join(format!(
+        ".{base}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return write;
+    }
+    // Durability of the rename itself needs the directory entry flushed;
+    // best-effort — the data is already safe either way.
+    #[cfg(unix)]
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Renders `events` as JSONL (one canonical line per event, trailing
+/// newline after each).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `events` to `path` as JSONL with the [`write_atomic`]
+/// discipline. Returns the byte count written.
+pub fn write_trace(path: impl AsRef<Path>, events: &[TraceEvent]) -> std::io::Result<u64> {
+    let text = to_jsonl(events);
+    write_atomic(path, &text)?;
+    Ok(text.len() as u64)
+}

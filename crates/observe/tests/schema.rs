@@ -1,0 +1,175 @@
+//! Fixture-pinned JSONL schema test.
+//!
+//! `tests/fixtures/schema_v1.jsonl` is the normative encoding of one
+//! exemplar event per kind, committed to the repository. If this test
+//! fails, the wire format changed: either revert the change, or bump
+//! `SCHEMA_VERSION`, regenerate the fixture with
+//! `UPDATE_SCHEMA_FIXTURE=1 cargo test -p pgmp-observe --test schema`,
+//! and document the break in `docs/OBSERVABILITY.md`.
+
+use pgmp_observe::{parse_trace, to_jsonl, DecisionAlt, EventKind, TraceEvent};
+
+const FIXTURE: &str = include_str!("fixtures/schema_v1.jsonl");
+
+/// One exemplar per event kind, exercising the interesting encodings:
+/// `null` for absent weights, shortest-roundtrip floats, escaped strings,
+/// empty and non-empty lists.
+fn exemplar_events() -> Vec<TraceEvent> {
+    let kinds = vec![
+        EventKind::ExpandForm {
+            file: "prog.scm".into(),
+            index: 3,
+            duration_us: 120,
+        },
+        EventKind::ProfileQuery {
+            point: "prog.scm:10-25".into(),
+            weight: Some(0.25),
+            available: true,
+        },
+        EventKind::ProfileQuery {
+            point: "lib/\"quoted\".scm:0-1".into(),
+            weight: None,
+            available: false,
+        },
+        EventKind::ProfileCount {
+            point: "prog.scm:10-25".into(),
+            count: Some(17.0),
+        },
+        EventKind::AvailabilityCheck { available: true },
+        EventKind::CacheHit { form: 7 },
+        EventKind::CacheMiss {
+            form: 8,
+            reason: "drifted-point:prog.scm:10-25".into(),
+        },
+        EventKind::IncrementalCompile {
+            forms: 12,
+            reused: 10,
+            reexpanded: 2,
+            duration_us: 4510,
+        },
+        EventKind::Epoch {
+            epoch: 4,
+            hits: 9000,
+            drift: 0.375,
+            fired: true,
+            reoptimized: false,
+            generation: 2,
+            streak: 1,
+            cooldown: 0,
+            flush_writes: 6,
+            flush_merged: 8994,
+            duration_us: 310,
+        },
+        EventKind::Reoptimize {
+            generation: 3,
+            reused: 11,
+            reexpanded: 1,
+            duration_us: 2750,
+            swap_us: 12,
+        },
+        EventKind::Run {
+            file: "prog.scm".into(),
+            mode: "every-expression".into(),
+            duration_us: 88000,
+        },
+        EventKind::SlotResolve {
+            resolved: 42,
+            duration_us: 95,
+        },
+        EventKind::VmRun {
+            chunk: 1,
+            blocks: 64,
+            duration_us: 510,
+        },
+        EventKind::StoreWrite {
+            path: "out/p.pgmp".into(),
+            kind: "profile-v2".into(),
+            bytes: 2048,
+            duration_us: 140,
+        },
+        EventKind::StoreRead {
+            path: "out/p.pgmp".into(),
+            kind: "profile-v2".into(),
+            bytes: 2048,
+            duration_us: 60,
+        },
+        EventKind::Decision {
+            site: "exclusive-cond".into(),
+            decision_point: "prog.scm:23-113".into(),
+            alternatives: vec![
+                DecisionAlt {
+                    label: "(< n 10)".into(),
+                    weight: Some(0.0625),
+                },
+                DecisionAlt {
+                    label: "(else)".into(),
+                    weight: None,
+                },
+            ],
+            chosen: vec!["(< n 10)".into(), "(else)".into()],
+            rank: 0,
+        },
+        EventKind::Decision {
+            site: "datastructure".into(),
+            decision_point: "prog.scm:200-260".into(),
+            alternatives: vec![],
+            chosen: vec![],
+            rank: 0,
+        },
+    ];
+    kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| TraceEvent {
+            seq: i as u64,
+            t_us: (i as u64) * 100,
+            kind,
+        })
+        .collect()
+}
+
+#[test]
+fn encoding_matches_pinned_fixture() {
+    let actual = to_jsonl(&exemplar_events());
+    if std::env::var_os("UPDATE_SCHEMA_FIXTURE").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/schema_v1.jsonl");
+        std::fs::write(path, &actual).expect("write fixture");
+    }
+    assert_eq!(
+        actual, FIXTURE,
+        "trace wire format drifted from tests/fixtures/schema_v1.jsonl; \
+         this is a schema break — bump SCHEMA_VERSION or revert"
+    );
+}
+
+#[test]
+fn pinned_fixture_decodes_to_the_exemplars() {
+    // A trace written by any past build of this schema version must keep
+    // reading back, field for field.
+    let decoded = parse_trace(FIXTURE).expect("fixture must parse strictly");
+    assert_eq!(decoded, exemplar_events());
+}
+
+#[test]
+fn every_kind_is_covered_by_the_fixture() {
+    // If a new EventKind variant is added, its wire form must be pinned
+    // here too. Count distinct "type" tags in the fixture against the
+    // exemplars (which the compiler forces through the match in
+    // to_json_line).
+    let tags: std::collections::BTreeSet<&'static str> = exemplar_events()
+        .iter()
+        .map(|e| e.kind.type_tag())
+        .collect();
+    assert_eq!(tags.len(), 15, "fixture must exemplify every event kind");
+}
+
+#[test]
+fn future_schema_version_is_a_typed_error() {
+    let line = FIXTURE.lines().next().expect("fixture non-empty");
+    let bumped = line.replacen("{\"v\":1,", "{\"v\":2,", 1);
+    let err = parse_trace(&bumped).expect_err("version skew must not decode");
+    assert!(
+        err.to_string().contains("unsupported schema version"),
+        "unexpected error: {err}"
+    );
+}

@@ -38,13 +38,19 @@
 
 use crate::info::ProfileInformation;
 use crate::slots::SlotMap;
+use pgmp_observe as observe;
 use pgmp_reader::read_datums;
 use pgmp_syntax::{Datum, SourceObject};
 use std::fmt;
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The atomic-write discipline every store in the workspace uses.
+///
+/// Re-exported from `pgmp_observe` (the canonical home, so the trace sink
+/// and the profile store share one implementation) under this historical
+/// path, which predates the observe crate.
+pub use pgmp_observe::write_atomic;
 
 /// Error loading or storing profile information.
 #[derive(Debug)]
@@ -92,50 +98,42 @@ fn malformed(msg: impl Into<String>) -> ProfileStoreError {
     ProfileStoreError::Malformed(msg.into())
 }
 
-/// Process-unique suffix for temp file names, so concurrent writers in one
-/// process never collide on the same scratch path.
-static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+/// The trace label for a profile of format `version`.
+fn store_kind(version: u32) -> &'static str {
+    if version >= 2 {
+        "profile-v2"
+    } else {
+        "profile-v1"
+    }
+}
 
-/// Writes `contents` to `path` atomically: the bytes land in a temp file in
-/// the same directory, are fsynced, and the temp file is renamed over the
-/// destination. Readers either see the old file or the complete new one —
-/// never a torn mix — and a crash mid-write leaves the destination intact.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error; the temp file is removed on failure.
-pub fn write_atomic(path: impl AsRef<Path>, contents: &str) -> std::io::Result<()> {
-    let path = path.as_ref();
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
-        _ => std::path::PathBuf::from("."),
-    };
-    let base = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "profile".to_string());
-    let tmp = dir.join(format!(
-        ".{base}.tmp.{}.{}",
-        std::process::id(),
-        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
-    ));
-    let write = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(contents.as_bytes())?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)
-    })();
-    if write.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-        return write;
-    }
-    // Durability of the rename itself needs the directory entry flushed;
-    // best-effort — the data is already safe either way.
-    #[cfg(unix)]
-    if let Ok(d) = std::fs::File::open(&dir) {
-        let _ = d.sync_all();
-    }
+/// Atomically writes serialized profile `text` and emits a `store_write`
+/// trace event (bytes + duration) when a recording is active.
+fn write_traced(path: &Path, text: &str, version: u32) -> std::io::Result<()> {
+    let t = observe::timer();
+    write_atomic(path, text)?;
+    observe::finish(t, |duration_us| observe::EventKind::StoreWrite {
+        path: path.display().to_string(),
+        kind: store_kind(version).to_string(),
+        bytes: text.len() as u64,
+        duration_us,
+    });
     Ok(())
+}
+
+/// Reads and parses the profile at `path`, emitting a `store_read` trace
+/// event (with the parsed version's kind) when a recording is active.
+fn load_traced(path: &Path) -> Result<StoredProfile, ProfileStoreError> {
+    let t = observe::timer();
+    let text = std::fs::read_to_string(path)?;
+    let sp = StoredProfile::load_from_str(&text)?;
+    observe::finish(t, |duration_us| observe::EventKind::StoreRead {
+        path: path.display().to_string(),
+        kind: store_kind(sp.version).to_string(),
+        bytes: text.len() as u64,
+        duration_us,
+    });
+    Ok(sp)
 }
 
 /// A profile file as stored on disk: weights plus (in format v2) the dense
@@ -354,7 +352,7 @@ impl StoredProfile {
     ///
     /// Returns [`ProfileStoreError::Io`] on filesystem failure.
     pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
-        write_atomic(path, &self.store_to_string())?;
+        write_traced(path.as_ref(), &self.store_to_string(), self.version)?;
         Ok(())
     }
 
@@ -365,8 +363,7 @@ impl StoredProfile {
     /// As [`StoredProfile::load_from_str`], plus [`ProfileStoreError::Io`]
     /// on filesystem failure.
     pub fn load_file(path: impl AsRef<Path>) -> Result<StoredProfile, ProfileStoreError> {
-        let text = std::fs::read_to_string(path)?;
-        StoredProfile::load_from_str(&text)
+        load_traced(path.as_ref())
     }
 }
 
@@ -438,7 +435,7 @@ impl ProfileInformation {
     ///
     /// Returns [`ProfileStoreError::Io`] on filesystem failure.
     pub fn store_file(&self, path: impl AsRef<Path>) -> Result<(), ProfileStoreError> {
-        write_atomic(path, &self.store_to_string())?;
+        write_traced(path.as_ref(), &self.store_to_string(), 1)?;
         Ok(())
     }
 
@@ -450,8 +447,7 @@ impl ProfileInformation {
     /// Returns [`ProfileStoreError::Io`] on filesystem failure and the
     /// parse errors of [`StoredProfile::load_from_str`] otherwise.
     pub fn load_file(path: impl AsRef<Path>) -> Result<ProfileInformation, ProfileStoreError> {
-        let text = std::fs::read_to_string(path)?;
-        ProfileInformation::load_from_str(&text)
+        Ok(load_traced(path.as_ref())?.info)
     }
 }
 

@@ -14,11 +14,13 @@
 pub mod guide {}
 
 pub use pgmp;
+pub use pgmp_adaptive;
 pub use pgmp_bytecode;
 pub use pgmp_case_studies;
 pub use pgmp_eval;
 pub use pgmp_expander;
 pub use pgmp_macros;
+pub use pgmp_observe;
 pub use pgmp_profiler;
 pub use pgmp_reader;
 pub use pgmp_rt;
