@@ -684,6 +684,43 @@ impl AdaptiveEngine {
         }
     }
 
+    /// Applies a *fleet* profile — the canonical merged weights pushed by
+    /// a `pgmp-profiled` epoch broadcast — as a drift source: measures
+    /// drift of `weights` against the weights this engine's serving
+    /// program was optimized under and, past the configured threshold,
+    /// recompiles and swaps exactly as a local over-threshold epoch
+    /// would. Returns the new program when re-optimization ran, `None`
+    /// when fleet behavior matches what is already being served.
+    ///
+    /// Hysteresis and cooldown do not apply: they damp per-epoch counter
+    /// noise, while a broadcast is already one merged observation over
+    /// the whole fleet (the daemon's merge cadence is the damping).
+    ///
+    /// # Errors
+    ///
+    /// Propagates re-optimization errors; on failure the old generation
+    /// keeps serving and the baseline is unchanged.
+    pub fn apply_fleet_profile(
+        &mut self,
+        weights: &ProfileInformation,
+    ) -> Result<Option<Arc<CompiledProgram>>, Error> {
+        let value = {
+            let agg = self
+                .shared
+                .agg
+                .lock()
+                .expect("adaptive aggregation state poisoned");
+            drift(weights, &agg.baseline, self.config.metric)
+        };
+        observe::metrics().gauge_set("adaptive.fleet_drift", value);
+        if value <= self.config.drift_threshold {
+            return Ok(None);
+        }
+        let program = self.reoptimize(weights.clone())?;
+        observe::metrics().counter_add("adaptive.fleet_reoptimizations", 1);
+        Ok(Some(program))
+    }
+
     /// Persists the aggregation state — rolling profile (decayed counts +
     /// epoch counter) and optimization baseline — to `path`, atomically.
     /// Pair with [`AdaptiveEngine::restore_snapshot`] to carry an online
@@ -975,6 +1012,47 @@ mod tests {
         assert_eq!(program.generation, 1);
         assert!(engine.poll_reoptimize().unwrap().is_none(), "flag must be consumed");
         assert_eq!(handle.reoptimizations(), 1);
+    }
+
+    #[test]
+    fn fleet_profile_drives_reoptimization() {
+        let config = AdaptiveConfig {
+            drift_threshold: 0.2,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new(IF_R, "ifr.scm", config).unwrap();
+
+        // Discover the program's profile points from one instrumented run,
+        // then fabricate "fleet" weights that make 'big hot.
+        let mut probe = pgmp::Engine::new();
+        probe.set_instrumentation(ProfileMode::EveryExpression);
+        probe.run_str(IF_R, "ifr.scm").unwrap();
+        probe.run_str(&drive(10, 60), "adaptive-driver.scm").unwrap();
+        let fleet = ProfileInformation::from_dataset(&probe.counters().snapshot());
+
+        let program = engine
+            .apply_fleet_profile(&fleet)
+            .unwrap()
+            .expect("fleet drift from empty baseline must re-optimize");
+        assert_eq!(program.generation, 1);
+        let text = program.expansion.join("\n");
+        assert!(
+            text.contains("(if (not (< n 10)) (quote big) (quote small))"),
+            "fleet-hot 'big branch should lead: {text}"
+        );
+
+        // The same fleet profile again: baseline now matches, no recompile.
+        assert!(engine.apply_fleet_profile(&fleet).unwrap().is_none());
+        assert_eq!(engine.current_program().generation, 1);
+
+        // Shifted fleet behavior re-optimizes again.
+        let mut probe = pgmp::Engine::new();
+        probe.set_instrumentation(ProfileMode::EveryExpression);
+        probe.run_str(IF_R, "ifr.scm").unwrap();
+        probe.run_str(&drive(0, 10), "adaptive-driver.scm").unwrap();
+        let shifted = ProfileInformation::from_dataset(&probe.counters().snapshot());
+        assert!(engine.apply_fleet_profile(&shifted).unwrap().is_some());
+        assert_eq!(engine.current_program().generation, 2);
     }
 
     #[test]

@@ -10,7 +10,14 @@
 //!     average, weighted by each profile's dataset count, so a 9-dataset
 //!     profile outweighs a 1-dataset profile 9:1 on disagreement. Inputs
 //!     of either format version are accepted; output is v1 unless
-//!     --to 2 is given.
+//!     --to 2 is given. Inputs carrying v2 slot tables are validated
+//!     with the same compatibility gate the fleet daemon's handshake
+//!     uses (`SlotMap::check_mergeable`): tables that reorder the same
+//!     points (slot order is process-local) are re-keyed by point
+//!     identity with a notice, while tables sharing no point — a
+//!     different program, whose slot-indexed counters could only
+//!     alias — are refused with a typed error. With --to 2, the merged
+//!     output carries the combined validated table.
 //!
 //! pgmp-profile convert --to <1|2> -o <out.pgmp> <in.pgmp>
 //!     Rewrites a profile in the requested format version. v2 → v1 drops
@@ -19,12 +26,18 @@
 //!     sorted order (a process preloading it interns nothing on the warm
 //!     path).
 //!
-//! pgmp-profile diff [--top N] <a.pgmp> <b.pgmp>
+//! pgmp-profile diff [--top N] [--explain <trace.jsonl>] <a.pgmp> <b.pgmp>
 //!     Compares two profiles: overall drift under both of the adaptive
 //!     subsystem's metrics (L1 and total-variation — the same `drift`
 //!     the online detector uses, so a diff score is directly comparable
 //!     to `--drift-threshold`), plus the top N movers by absolute
-//!     normalized-weight change (default 10).
+//!     normalized-weight change (default 10). With --explain, each top
+//!     mover is cross-referenced against a recorded trace (the same
+//!     provenance engine as `pgmp-trace explain`): every optimization
+//!     decision that consulted the moved point — directly, or through
+//!     the profile queries it issued while ranking alternatives — is
+//!     listed under it, so "this weight changed" connects directly to
+//!     "these decisions would be revisited".
 //! ```
 //!
 //! All writes are atomic (temp file + rename); corrupt inputs fail with a
@@ -32,7 +45,9 @@
 //! normative format specification.
 
 use pgmp_adaptive::{drift, DriftMetric};
-use pgmp_profiler::{ProfileInformation, SlotMap, StoredProfile};
+use pgmp_observe as observe;
+use pgmp_profiler::{ProfileInformation, SlotCompat, SlotMap, StoredProfile};
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn usage() -> ! {
@@ -40,7 +55,7 @@ fn usage() -> ! {
         "usage: pgmp-profile inspect <file.pgmp>\n\
          \u{20}      pgmp-profile merge [--to 1|2] -o <out.pgmp> <in.pgmp>...\n\
          \u{20}      pgmp-profile convert --to 1|2 [--slots] -o <out.pgmp> <in.pgmp>\n\
-         \u{20}      pgmp-profile diff [--top N] <a.pgmp> <b.pgmp>"
+         \u{20}      pgmp-profile diff [--top N] [--explain <trace.jsonl>] <a.pgmp> <b.pgmp>"
     );
     std::process::exit(2)
 }
@@ -49,26 +64,30 @@ fn load(path: &str) -> Result<StoredProfile, String> {
     StoredProfile::load_file(path).map_err(|e| format!("{path}: {e}"))
 }
 
-fn inspect(args: &[String]) -> Result<(), String> {
+fn inspect(out: &mut String, args: &[String]) -> Result<(), String> {
     let [path] = args else { usage() };
     let stored = load(path)?;
-    println!("file:     {path}");
-    println!("format:   v{}", stored.version);
-    println!("datasets: {}", stored.info.dataset_count());
-    println!("points:   {}", stored.info.len());
+    let _ = writeln!(out, "file:     {path}");
+    let _ = writeln!(out, "format:   v{}", stored.version);
+    let _ = writeln!(out, "datasets: {}", stored.info.dataset_count());
+    let _ = writeln!(out, "points:   {}", stored.info.len());
     match &stored.slots {
-        Some(table) => println!("slots:    {}", table.len()),
-        None => println!("slots:    (none)"),
+        Some(table) => {
+            let _ = writeln!(out, "slots:    {}", table.len());
+        }
+        None => {
+            let _ = writeln!(out, "slots:    (none)");
+        }
     }
     let mut points: Vec<_> = stored.info.iter().collect();
     points.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     if !points.is_empty() {
-        println!("hottest:");
+        let _ = writeln!(out, "hottest:");
         for (p, w) in points.iter().take(10) {
-            println!("  {w:<8.4} {p}");
+            let _ = writeln!(out, "  {w:<8.4} {p}");
         }
         if points.len() > 10 {
-            println!("  ... and {} more", points.len() - 10);
+            let _ = writeln!(out, "  ... and {} more", points.len() - 10);
         }
     }
     Ok(())
@@ -136,6 +155,15 @@ fn merge(args: &[String]) -> Result<(), String> {
         usage();
     }
     let mut merged = ProfileInformation::empty();
+    // The combined slot table of every v2 input, validated pairwise with
+    // the same `check_mergeable` gate the fleet daemon applies at
+    // handshake. Slot order is process-local (dense slots are assigned
+    // partly at first execution), so inputs whose tables reorder the
+    // same points are re-keyed by point identity — §3.2 weights are
+    // keyed by point, never by slot, so nothing can alias. Inputs whose
+    // tables share no point describe a different program and are
+    // refused with the typed mismatch.
+    let mut table = SlotMap::new();
     for path in &opts.inputs {
         let stored = load(path)?;
         eprintln!(
@@ -144,9 +172,25 @@ fn merge(args: &[String]) -> Result<(), String> {
             stored.info.dataset_count(),
             stored.info.len()
         );
+        if let Some(slots) = &stored.slots {
+            match table
+                .check_mergeable(slots)
+                .map_err(|mismatch| format!("{path}: {mismatch}"))?
+            {
+                SlotCompat::Extends => {}
+                SlotCompat::Rekey(divergence) => eprintln!(
+                    "pgmp-profile: {path}: slot order diverges ({divergence}); \
+                     output table re-keyed by point identity"
+                ),
+            }
+            for p in slots.points() {
+                table.resolve(*p);
+            }
+        }
         merged = merged.merge(&stored.info);
     }
-    let stored = assemble(merged, None, opts.to, opts.slots)?;
+    let carried = (!table.is_empty()).then_some(table);
+    let stored = assemble(merged, carried, opts.to, opts.slots)?;
     stored.store_file(&out).map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
         "pgmp-profile: wrote {out}: v{}, {} dataset(s), {} point(s)",
@@ -181,8 +225,9 @@ fn convert(args: &[String]) -> Result<(), String> {
 /// `diff <a> <b>` — per-point weight deltas plus the same drift score the
 /// adaptive detector computes, so "how different are these two profiles?"
 /// has one answer everywhere.
-fn diff(args: &[String]) -> Result<(), String> {
+fn diff(out: &mut String, args: &[String]) -> Result<(), String> {
     let mut top = 10usize;
+    let mut explain_trace: Option<String> = None;
     let mut inputs = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -193,6 +238,9 @@ fn diff(args: &[String]) -> Result<(), String> {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--explain" => {
+                explain_trace = Some(it.next().cloned().unwrap_or_else(|| usage()));
+            }
             other if !other.starts_with('-') => inputs.push(other.to_owned()),
             _ => usage(),
         }
@@ -200,17 +248,47 @@ fn diff(args: &[String]) -> Result<(), String> {
     let [a_path, b_path] = inputs.as_slice() else {
         usage()
     };
+    // Consultation events from the trace, for cross-referencing movers:
+    // decisions match when the mover is the decided form itself, and
+    // profile queries/counts match when a macro read the mover's weight
+    // while deciding (the clause-body case). Read leniently: a torn tail
+    // should not hide the events that landed.
+    let decisions: Option<Vec<observe::TraceEvent>> = match &explain_trace {
+        Some(path) => {
+            let (events, errors) =
+                observe::read_trace_lenient(path).map_err(|e| format!("{path}: {e}"))?;
+            for e in &errors {
+                eprintln!("pgmp-profile: warning: {path}: {e} (line skipped)");
+            }
+            Some(
+                events
+                    .into_iter()
+                    .filter(|e| {
+                        matches!(
+                            e.kind,
+                            observe::EventKind::Decision { .. }
+                                | observe::EventKind::ProfileQuery { .. }
+                                | observe::EventKind::ProfileCount { .. }
+                        )
+                    })
+                    .collect(),
+            )
+        }
+        None => None,
+    };
     let a = load(a_path)?;
     let b = load(b_path)?;
     for (path, stored) in [(a_path, &a), (b_path, &b)] {
-        println!(
+        let _ = writeln!(
+            out,
             "{path}: v{}, {} dataset(s), {} point(s)",
             stored.version,
             stored.info.dataset_count(),
             stored.info.len()
         );
     }
-    println!(
+    let _ = writeln!(
+        out,
         "drift: {:.4} (total-variation), {:.4} (L1) — comparable to --drift-threshold",
         drift(&a.info, &b.info, DriftMetric::TotalVariation),
         drift(&a.info, &b.info, DriftMetric::L1),
@@ -237,32 +315,55 @@ fn diff(args: &[String]) -> Result<(), String> {
             .then(x.0.cmp(&y.0))
     });
     if movers.is_empty() {
-        println!("no per-point weight changes");
+        let _ = writeln!(out, "no per-point weight changes");
         return Ok(());
     }
-    println!("top movers (|Δweight|, of {} changed point(s)):", movers.len());
+    let _ = writeln!(
+        out,
+        "top movers (|Δweight|, of {} changed point(s)):",
+        movers.len()
+    );
     for (p, wa, wb) in movers.iter().take(top) {
-        println!("  {:+.4}  {wa:.4} -> {wb:.4}  {p}", wb - wa);
+        let _ = writeln!(out, "  {:+.4}  {wa:.4} -> {wb:.4}  {p}", wb - wa);
+        if let Some(decisions) = &decisions {
+            // The same provenance engine as `pgmp-trace explain`,
+            // scoped to this mover: which decisions consulted it?
+            let (text, n) = observe::explain_query(decisions, &p.to_string());
+            if n == 0 {
+                let _ = writeln!(out, "      (no recorded decision consulted this point)");
+            } else {
+                for line in text.lines() {
+                    let _ = writeln!(out, "      {line}");
+                }
+            }
+        }
     }
     if movers.len() > top {
-        println!("  ... and {} more", movers.len() - top);
+        let _ = writeln!(out, "  ... and {} more", movers.len() - top);
     }
     Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
     let result = match args.split_first() {
         Some((cmd, rest)) => match cmd.as_str() {
-            "inspect" => inspect(rest),
+            "inspect" => inspect(&mut out, rest),
             "merge" => merge(rest),
             "convert" => convert(rest),
-            "diff" => diff(rest),
+            "diff" => diff(&mut out, rest),
             "--help" | "-h" => usage(),
             other => Err(format!("unknown command `{other}`")),
         },
         None => usage(),
     };
+    // One buffered write; a closed pipe (`pgmp-profile ... | head`) is
+    // not an error worth dying loudly over.
+    {
+        use std::io::Write as _;
+        let _ = std::io::stdout().write_all(out.as_bytes());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {

@@ -52,6 +52,18 @@
 //!                                the epoch boundary; prints per-epoch
 //!                                flush statistics (0 = off, the default)
 //!
+//!   --publish <socket>           stream this run's counter deltas to a
+//!                                `pgmp-profiled` fleet daemon over the
+//!                                given Unix socket (instrumented runs,
+//!                                dense counters only): the slot table is
+//!                                exchanged at handshake and the deltas
+//!                                are binary (slot, count) pairs through
+//!                                a bounded never-blocking flusher
+//!   --subscribe <socket>         adaptive: receive the fleet daemon's
+//!                                merged profile each merge epoch and
+//!                                re-optimize when fleet drift exceeds
+//!                                --drift-threshold
+//!
 //!   --trace <out.jsonl>          record a structured trace of the whole
 //!                                run (expansion spans, profile queries,
 //!                                cache hits/misses, epochs, optimization
@@ -109,6 +121,8 @@ struct Options {
     cooldown: u64,
     adaptive_incremental: bool,
     coalesce: usize,
+    publish: Option<String>,
+    subscribe: Option<String>,
     trace: Option<String>,
     metrics: bool,
     metrics_out: Option<String>,
@@ -123,6 +137,7 @@ fn usage() -> ! {
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
          \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]]\n\
+         \u{20}               [--publish SOCKET] [--subscribe SOCKET]\n\
          \u{20}               [--trace OUT.jsonl] [--metrics] [--metrics-out F] file.scm"
     );
     std::process::exit(2)
@@ -181,6 +196,8 @@ fn parse_args() -> Options {
         cooldown: 0,
         adaptive_incremental: true,
         coalesce: 0,
+        publish: None,
+        subscribe: None,
         trace: None,
         metrics: false,
         metrics_out: None,
@@ -218,6 +235,8 @@ fn parse_args() -> Options {
             "--cooldown" => opts.cooldown = parse_num(args.next()),
             "--no-incremental" => opts.adaptive_incremental = false,
             "--coalesce" => opts.coalesce = parse_num(args.next()),
+            "--publish" => opts.publish = Some(args.next().unwrap_or_else(|| usage())),
+            "--subscribe" => opts.subscribe = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics" => opts.metrics = true,
             "--metrics-out" => opts.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
@@ -277,6 +296,16 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
         );
     }
 
+    let mut subscriber = match &opts.subscribe {
+        Some(socket) => {
+            let s = pgmp_profiled::Subscriber::connect(socket)
+                .map_err(|e| format!("{socket}: {e}"))?;
+            eprintln!("fleet: subscribed to {socket}");
+            Some(s)
+        }
+        None => None,
+    };
+
     eprintln!(
         "adaptive: serving generation 0 ({} forms), {} worker(s) x {} epoch(s)",
         engine.current_program().expansion.len(),
@@ -329,6 +358,9 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
                 report.epoch, report.flush_writes, report.flush_merged,
             );
         }
+        if let Some(sub) = subscriber.as_mut() {
+            apply_fleet_updates(&mut engine, sub)?;
+        }
     }
 
     let program = engine.current_program();
@@ -345,6 +377,48 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
     if let Some(path) = &opts.save_state {
         engine.save_snapshot(path).map_err(|e| e.to_string())?;
         eprintln!("adaptive: epoch snapshot saved to {path}");
+    }
+    Ok(())
+}
+
+/// Drains every fleet epoch broadcast that has arrived since the last
+/// local epoch and applies the newest one. Waits briefly for the first
+/// update of the window so a daemon merging faster than our epochs
+/// can't be missed; a timeout loses nothing (partial frames stay
+/// buffered in the subscriber).
+fn apply_fleet_updates(
+    engine: &mut AdaptiveEngine,
+    sub: &mut pgmp_profiled::Subscriber,
+) -> Result<(), String> {
+    use pgmp_profiled::ClientError;
+    let mut newest = None;
+    let mut wait = Duration::from_millis(100);
+    loop {
+        match sub.next_epoch(wait) {
+            Ok(update) => {
+                newest = Some(update);
+                // Already have one; only sweep up queued stragglers.
+                wait = Duration::from_millis(1);
+            }
+            Err(ClientError::Timeout) => break,
+            Err(e) => return Err(format!("fleet subscription: {e}")),
+        }
+    }
+    let Some(update) = newest else { return Ok(()) };
+    let stored = pgmp_profiler::StoredProfile::load_from_str(&update.profile)
+        .map_err(|e| format!("fleet epoch {}: {e}", update.epoch))?;
+    match engine
+        .apply_fleet_profile(&stored.info)
+        .map_err(|e| e.to_string())?
+    {
+        Some(program) => eprintln!(
+            "fleet: epoch {} ({} dataset(s), tv {:.3}) -> REOPTIMIZED generation {}",
+            update.epoch, update.datasets, update.tv, program.generation
+        ),
+        None => eprintln!(
+            "fleet: epoch {} ({} dataset(s), tv {:.3}) within threshold",
+            update.epoch, update.datasets, update.tv
+        ),
     }
     Ok(())
 }
@@ -430,6 +504,35 @@ fn run_incremental(opts: &Options, source: &str, file: &str) -> Result<(), Strin
     Ok(())
 }
 
+/// Hands this run's counter deltas to the fleet daemon. Runs after the
+/// program so the slot table is complete at handshake time — the daemon
+/// only merges slots it saw in the hello.
+fn publish_counters(engine: &Engine, socket: &str) -> Result<(), String> {
+    let counters = engine.counters();
+    let table = counters
+        .slot_table()
+        .ok_or("--publish requires dense counters (drop --counter-impl hash)")?;
+    let delta = counters.take_delta();
+    let mut publisher = pgmp_profiled::Publisher::connect(socket, &table, 64)
+        .map_err(|e| format!("{socket}: {e}"))?;
+    let dataset = publisher.dataset();
+    publisher.publish(&delta);
+    let stats = publisher
+        .close()
+        .map_err(|e| format!("{socket}: {e}"))?;
+    eprintln!(
+        "fleet: published {} hit(s) over {} slot(s) to {socket} as dataset {dataset}{}",
+        stats.published_hits,
+        delta.len(),
+        if stats.dropped_hits > 0 {
+            format!(" ({} hit(s) dropped under backpressure)", stats.dropped_hits)
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
 fn run(opts: Options) -> Result<(), String> {
     let file = opts.file.clone().ok_or("no input file given")?;
     let source = std::fs::read_to_string(&file).map_err(|e| format!("{file}: {e}"))?;
@@ -438,6 +541,12 @@ fn run(opts: Options) -> Result<(), String> {
         && !opts.adaptive
     {
         return Err("--save-state/--load-state require --incremental or --adaptive".into());
+    }
+    if opts.publish.is_some() && (opts.adaptive || opts.incremental || opts.instrument.is_none()) {
+        return Err("--publish requires a plain --instrument run".into());
+    }
+    if opts.subscribe.is_some() && !opts.adaptive {
+        return Err("--subscribe requires --adaptive".into());
     }
     if opts.trace.is_some() || opts.metrics || opts.metrics_out.is_some() {
         // One run per process: reset so the snapshot describes this run only.
@@ -512,6 +621,9 @@ fn run_mode(opts: &Options, source: &str, file: &str) -> Result<(), String> {
     }
     for warning in engine.take_warnings() {
         eprintln!("warning: {warning}");
+    }
+    if let Some(socket) = &opts.publish {
+        publish_counters(&engine, socket)?;
     }
     if let Some(path) = &opts.store {
         if opts.store_format == 2 {

@@ -1,0 +1,300 @@
+//! End-to-end test of the fleet profile daemon: a real `pgmp-profiled`
+//! process, several concurrent `pgmp-run --publish` writers with skewed
+//! workloads, a `--subscribe` consumer that re-optimizes from fleet
+//! drift, and an oracle comparing the daemon's canonical profile against
+//! the offline `pgmp-profile merge` of the writers' stored profiles.
+//!
+//! The writers must present *identical slot tables* (the daemon refuses
+//! incompatible tables at handshake) yet run *skewed workloads*. Slot
+//! tables derive from source positions, so each writer runs the same
+//! relative path `prog.scm` from its own working directory, with program
+//! texts that differ only in same-width numeric literals: identical
+//! byte offsets, identical points, different behavior.
+
+use pgmp_profiler::StoredProfile;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+/// The shared fleet program. Every writer gets this text with `lo`/`hi`
+/// spliced in as exactly-three-digit literals, so the annotated source
+/// positions — and therefore the slot table — are identical across the
+/// fleet while the `case` key distribution is not.
+fn program(lo: u32, hi: u32) -> String {
+    assert!((100..1000).contains(&lo) && (100..1000).contains(&hi));
+    format!(
+        "(define (bucket n)
+  (case (quotient n 100)
+    [(3 4) 'low]
+    [(5 6) 'mid]
+    [(7 8) 'high]
+    [else 'other]))
+(let loop ([i {lo}] [lows 0])
+  (if (= i {hi}) lows
+      (loop (add1 i) (if (eqv? (bucket i) 'low) (add1 lows) lows))))"
+    )
+}
+
+/// A sibling binary of `pgmp-run` in the same target directory. Only the
+/// crate that defines a bin gets a `CARGO_BIN_EXE_*` env var, so the
+/// daemon and profile tools are located relative to the one we do have.
+fn sibling_bin(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_BIN_EXE_pgmp-run"))
+        .parent()
+        .expect("bin dir")
+        .join(name)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgmp-fleet-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn pgmp_run_in(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pgmp-run"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("pgmp-run spawns")
+}
+
+/// Kills the daemon if the test panics before the orderly shutdown.
+struct DaemonGuard(Option<Child>);
+
+impl DaemonGuard {
+    /// Waits for exit, polling; panics if the daemon outlives the deadline.
+    fn wait(mut self) -> Output {
+        let mut child = self.0.take().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while child.try_wait().expect("daemon wait").is_none() {
+            assert!(Instant::now() < deadline, "daemon did not exit after shutdown request");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        child.wait_with_output().expect("daemon output")
+    }
+}
+
+impl Drop for DaemonGuard {
+    fn drop(&mut self) {
+        if let Some(child) = self.0.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_daemon(socket: &Path, profile: &Path) -> DaemonGuard {
+    let child = Command::new(sibling_bin("pgmp-profiled"))
+        .args(["serve", "--socket"])
+        .arg(socket)
+        .arg("--profile")
+        .arg(profile)
+        .args(["--interval-ms", "40"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("pgmp-profiled spawns");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {}", socket.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    DaemonGuard(Some(child))
+}
+
+#[test]
+fn fleet_daemon_merges_three_skewed_writers_and_drives_a_subscriber() {
+    if !sibling_bin("pgmp-profiled").exists() {
+        // Only reachable under a `-p pgmp-case-studies` invocation that
+        // skipped building the daemon crate's bin; the workspace run
+        // (tier 1) always builds it.
+        eprintln!("skipping: pgmp-profiled binary not built");
+        return;
+    }
+    let dir = scratch("e2e");
+    let socket = dir.join("fleet.sock");
+    let fleet_profile = dir.join("fleet.pgmp");
+    let daemon = spawn_daemon(&socket, &fleet_profile);
+
+    // Three writers over disjoint 300-element ranges of the same `case`
+    // dispatch: low-heavy, mid-heavy, and high-heavy. `lows` printed at
+    // the end pins each workload's skew observably.
+    let writers = [(300u32, 600u32, "200"), (500, 800, "0"), (600, 900, "0")];
+    let mut children = Vec::new();
+    for (i, (lo, hi, _)) in writers.iter().enumerate() {
+        let wdir = dir.join(format!("w{i}"));
+        std::fs::create_dir_all(&wdir).unwrap();
+        std::fs::write(wdir.join("prog.scm"), program(*lo, *hi)).unwrap();
+        let child = Command::new(env!("CARGO_BIN_EXE_pgmp-run"))
+            .current_dir(&wdir)
+            .args(["--libs", "case", "--instrument", "every", "--publish"])
+            .arg(&socket)
+            .args(["--store", "local.pgmp", "--store-format", "2", "prog.scm"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("writer spawns");
+        children.push(child);
+    }
+    for (child, (_, _, lows)) in children.into_iter().zip(&writers) {
+        let out = child.wait_with_output().expect("writer output");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{stderr}");
+        assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), *lows);
+        assert!(stderr.contains("fleet: published"), "{stderr}");
+    }
+
+    // The subscriber's local workload matches writer 0 (low-heavy), but
+    // the fleet aggregate is mid-heavy — drift it can only learn about
+    // from the daemon's broadcasts.
+    let sdir = dir.join("sub");
+    std::fs::create_dir_all(&sdir).unwrap();
+    std::fs::write(sdir.join("prog.scm"), program(300, 600)).unwrap();
+    let out = pgmp_run_in(
+        &sdir,
+        &[
+            "--libs", "case",
+            "--adaptive", "--epochs", "3", "--threads", "1", "--epoch-ms", "120",
+            "--drift-threshold", "0.02",
+            "--subscribe", socket.to_str().unwrap(),
+            "prog.scm",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("fleet: subscribed to"), "{stderr}");
+    assert!(
+        stderr
+            .lines()
+            .any(|l| l.starts_with("fleet: epoch") && l.contains("REOPTIMIZED generation")),
+        "subscriber never re-optimized from fleet drift:\n{stderr}"
+    );
+
+    // Orderly shutdown: the daemon final-merges, writes the canonical
+    // profile, and exits.
+    let out = Command::new(sibling_bin("pgmp-profiled"))
+        .args(["shutdown", "--socket"])
+        .arg(&socket)
+        .output()
+        .expect("shutdown spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = daemon.wait();
+    let dstderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{dstderr}");
+    assert!(dstderr.contains("shut down after"), "{dstderr}");
+
+    // Oracle: the daemon's live ingestion must equal the offline
+    // `pgmp-profile merge` of the writers' own stored v2 profiles —
+    // same §3.2 dataset-weighted rule, same typed slot-table gate.
+    let offline = dir.join("offline.pgmp");
+    let out = Command::new(sibling_bin("pgmp-profile"))
+        .args(["merge", "--to", "2", "-o"])
+        .arg(&offline)
+        .args(
+            (0..writers.len())
+                .map(|i| dir.join(format!("w{i}/local.pgmp")))
+                .collect::<Vec<_>>(),
+        )
+        .output()
+        .expect("pgmp-profile spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let fleet = StoredProfile::load_file(&fleet_profile).expect("canonical profile parses");
+    let merged = StoredProfile::load_file(&offline).expect("offline merge parses");
+    assert_eq!(fleet.version, 2);
+    assert!(fleet.slots.as_ref().is_some_and(|t| !t.is_empty()), "canonical profile carries the fleet slot table");
+    assert_eq!(fleet.info.dataset_count(), 3);
+    assert_eq!(merged.info.dataset_count(), 3);
+    let mut points: Vec<_> = fleet
+        .info
+        .iter()
+        .map(|(p, _)| p)
+        .chain(merged.info.iter().map(|(p, _)| p))
+        .collect();
+    points.sort();
+    points.dedup();
+    assert!(!points.is_empty());
+    for p in points {
+        let live = fleet.info.weight(p);
+        let offline = merged.info.weight(p);
+        assert!(
+            (live - offline).abs() < 1e-9,
+            "daemon and offline merge disagree at {p}: {live} vs {offline}"
+        );
+    }
+}
+
+#[test]
+fn offline_merge_refuses_aliasing_slot_tables_like_the_daemon() {
+    let dir = scratch("merge-gate");
+    let a = dir.join("a.pgmp");
+    let b = dir.join("b.pgmp");
+    std::fs::write(
+        &a,
+        "(pgmp-profile (version 2) (datasets 1) (slots 1) (slot 0 \"x.scm\" 0 1 1.0))",
+    )
+    .unwrap();
+    std::fs::write(
+        &b,
+        "(pgmp-profile (version 2) (datasets 1) (slots 1) (slot 0 \"y.scm\" 4 9 1.0))",
+    )
+    .unwrap();
+    let out = Command::new(sibling_bin("pgmp-profile"))
+        .args(["merge", "-o"])
+        .arg(dir.join("out.pgmp"))
+        .arg(&a)
+        .arg(&b)
+        .output()
+        .expect("pgmp-profile spawns");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("incompatible slot tables"), "{stderr}");
+    assert!(stderr.contains("slot 0"), "{stderr}");
+}
+
+#[test]
+fn diff_explains_movers_through_recorded_consultations() {
+    let dir = scratch("diff-explain");
+    std::fs::write(dir.join("prog.scm"), program(300, 600)).unwrap();
+
+    // A low-heavy local profile, then an optimized+traced run under it:
+    // expanding `case` queries each clause's weight, and those profile
+    // queries are exactly the consultations diff --explain surfaces.
+    let out = pgmp_run_in(
+        &dir,
+        &["--libs", "case", "--instrument", "every", "--store", "local.pgmp",
+          "--store-format", "2", "prog.scm"],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = pgmp_run_in(
+        &dir,
+        &["--libs", "case", "--load", "local.pgmp", "--trace", "trace.jsonl", "prog.scm"],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A mid-heavy profile to diff against, from a shifted range.
+    let wdir = dir.join("shifted");
+    std::fs::create_dir_all(&wdir).unwrap();
+    std::fs::write(wdir.join("prog.scm"), program(500, 800)).unwrap();
+    let out = pgmp_run_in(
+        &wdir,
+        &["--libs", "case", "--instrument", "every", "--store", "local.pgmp",
+          "--store-format", "2", "prog.scm"],
+    );
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = Command::new(sibling_bin("pgmp-profile"))
+        .current_dir(&dir)
+        .args(["diff", "--explain", "trace.jsonl", "local.pgmp", "shifted/local.pgmp"])
+        .output()
+        .expect("pgmp-profile spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top movers"), "{stdout}");
+    // The clause bodies whose weights moved were consulted by the case
+    // expansion's weight queries; at least one mover must show one.
+    assert!(stdout.contains("profile-query"), "{stdout}");
+    assert!(stdout.contains("drift:"), "{stdout}");
+}

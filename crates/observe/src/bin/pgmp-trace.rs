@@ -11,7 +11,7 @@
 //! garbage) are reported on stderr and skipped, so a crash mid-write never
 //! hides the events that did land.
 
-use pgmp_observe::{read_trace_lenient, DecisionAlt, EventKind, TraceEvent};
+use pgmp_observe::{explain_query, read_trace_lenient, DecisionAlt, EventKind, TraceEvent};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -178,90 +178,11 @@ fn decisions(out: &mut String, events: &[TraceEvent]) {
     }
 }
 
-/// True when `query` names this event: a substring of its point/site/file
-/// labels, or (for cache events) an exact form index.
-fn matches_query(kind: &EventKind, query: &str) -> bool {
-    let form_query: Option<u32> = query.parse().ok();
-    match kind {
-        EventKind::Decision {
-            site,
-            decision_point,
-            ..
-        } => site.contains(query) || decision_point.contains(query),
-        EventKind::ProfileQuery { point, .. } | EventKind::ProfileCount { point, .. } => {
-            point.contains(query)
-        }
-        EventKind::CacheHit { form } | EventKind::CacheMiss { form, .. } => {
-            Some(*form) == form_query
-        }
-        _ => false,
-    }
-}
-
+/// Provenance rendering lives in the library (`pgmp_observe::explain_query`)
+/// so `pgmp-profile diff --explain` shares it byte for byte.
 fn explain(out: &mut String, events: &[TraceEvent], query: &str) {
-    let mut n = 0;
-    for e in events {
-        if !matches_query(&e.kind, query) {
-            continue;
-        }
-        n += 1;
-        match &e.kind {
-            EventKind::Decision {
-                site,
-                decision_point,
-                alternatives,
-                chosen,
-                rank,
-            } => {
-                outln!(out, "[{}] decision `{site}` at {decision_point}", e.seq);
-                for (i, a) in alternatives.iter().enumerate() {
-                    let pos = chosen.iter().position(|c| c == &a.label);
-                    let placed = match pos {
-                        Some(p) => format!("emitted at position {p}"),
-                        None => "not emitted".to_string(),
-                    };
-                    outln!(
-                        out,
-                        "    alt {i}: {} weight {} -> {placed}",
-                        a.label,
-                        fmt_weight(a.weight)
-                    );
-                }
-                outln!(
-                    out,
-                    "    chosen order: [{}] — source-order rank of winner: {rank}{}",
-                    chosen.join(" "),
-                    if *rank > 0 {
-                        " (profile data reordered this form)"
-                    } else {
-                        " (source order kept)"
-                    }
-                );
-            }
-            EventKind::ProfileQuery {
-                point,
-                weight,
-                available,
-            } => outln!(
-                out,
-                "[{}] profile-query {point} -> weight {} (profile {})",
-                e.seq,
-                fmt_weight(*weight),
-                if *available { "available" } else { "absent" },
-            ),
-            EventKind::ProfileCount { point, count } => outln!(
-                out,
-                "[{}] profile-count {point} -> {}",
-                e.seq,
-                fmt_weight(*count)
-            ),
-            EventKind::CacheHit { form } => outln!(out, "[{}] form {form}: cache hit", e.seq),
-            EventKind::CacheMiss { form, reason } => {
-                outln!(out, "[{}] form {form}: re-expanded ({reason})", e.seq)
-            }
-            _ => {}
-        }
-    }
+    let (text, n) = explain_query(events, query);
+    out.push_str(&text);
     if n == 0 {
         outln!(
             out,

@@ -138,6 +138,45 @@ pub enum EventKind {
         bytes: u64,
         duration_us: u64,
     },
+    /// The profile daemon absorbed one delta frame from a publisher.
+    IngestBatch {
+        /// Daemon-assigned dataset id of the publishing connection.
+        dataset: u32,
+        /// The publisher's epoch counter at flush time.
+        epoch: u64,
+        /// Distinct slots carried by the frame.
+        slots: u32,
+        /// Total hits carried by the frame (sum of counts).
+        hits: u64,
+    },
+    /// The profile daemon merged every dataset into the canonical
+    /// profile (span over snapshot + §3.2 merge + atomic write).
+    Merge {
+        /// Daemon merge epoch (monotone).
+        epoch: u64,
+        /// Datasets participating in the merge.
+        datasets: u32,
+        /// Profile points in the merged result.
+        points: u32,
+        /// L1 drift of the merged weights vs the previous merge.
+        l1: f64,
+        /// Total-variation drift vs the previous merge.
+        tv: f64,
+        duration_us: u64,
+    },
+    /// The profile daemon pushed an epoch update to its subscribers.
+    Broadcast {
+        /// Daemon merge epoch being broadcast.
+        epoch: u64,
+        /// Subscribers the frame was written to.
+        subscribers: u32,
+        /// Encoded frame size in bytes.
+        bytes: u64,
+    },
+    /// A bounded channel was full and payload was dropped instead of
+    /// blocking the producer. `channel` names the channel (`trace`,
+    /// `publish`); `dropped` counts the items lost in this instance.
+    BackpressureDrop { channel: String, dropped: u64 },
     /// Optimization-decision provenance: a profile-guided macro chose
     /// among alternatives. `alternatives` lists every option in source
     /// order with the weight consulted; `chosen` lists labels in the
@@ -174,6 +213,10 @@ impl EventKind {
             EventKind::VmRun { .. } => "vm_run",
             EventKind::StoreWrite { .. } => "store_write",
             EventKind::StoreRead { .. } => "store_read",
+            EventKind::IngestBatch { .. } => "ingest_batch",
+            EventKind::Merge { .. } => "merge",
+            EventKind::Broadcast { .. } => "broadcast",
+            EventKind::BackpressureDrop { .. } => "backpressure_drop",
             EventKind::Decision { .. } => "decision",
         }
     }
@@ -189,7 +232,8 @@ impl EventKind {
             | EventKind::SlotResolve { duration_us, .. }
             | EventKind::VmRun { duration_us, .. }
             | EventKind::StoreWrite { duration_us, .. }
-            | EventKind::StoreRead { duration_us, .. } => Some(*duration_us),
+            | EventKind::StoreRead { duration_us, .. }
+            | EventKind::Merge { duration_us, .. } => Some(*duration_us),
             _ => None,
         }
     }
@@ -338,6 +382,45 @@ impl TraceEvent {
                 push("kind", Json::Str(kind.clone()));
                 push("bytes", num(*bytes));
                 push("duration_us", num(*duration_us));
+            }
+            EventKind::IngestBatch {
+                dataset,
+                epoch,
+                slots,
+                hits,
+            } => {
+                push("dataset", num(*dataset as u64));
+                push("epoch", num(*epoch));
+                push("slots", num(*slots as u64));
+                push("hits", num(*hits));
+            }
+            EventKind::Merge {
+                epoch,
+                datasets,
+                points,
+                l1,
+                tv,
+                duration_us,
+            } => {
+                push("epoch", num(*epoch));
+                push("datasets", num(*datasets as u64));
+                push("points", num(*points as u64));
+                push("l1", Json::Num(*l1));
+                push("tv", Json::Num(*tv));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::Broadcast {
+                epoch,
+                subscribers,
+                bytes,
+            } => {
+                push("epoch", num(*epoch));
+                push("subscribers", num(*subscribers as u64));
+                push("bytes", num(*bytes));
+            }
+            EventKind::BackpressureDrop { channel, dropped } => {
+                push("channel", Json::Str(channel.clone()));
+                push("dropped", num(*dropped));
             }
             EventKind::Decision {
                 site,
@@ -527,6 +610,29 @@ impl TraceEvent {
                 kind: get_str(obj, "kind")?,
                 bytes: get_u64(obj, "bytes")?,
                 duration_us: get_u64(obj, "duration_us")?,
+            },
+            "ingest_batch" => EventKind::IngestBatch {
+                dataset: get_u32(obj, "dataset")?,
+                epoch: get_u64(obj, "epoch")?,
+                slots: get_u32(obj, "slots")?,
+                hits: get_u64(obj, "hits")?,
+            },
+            "merge" => EventKind::Merge {
+                epoch: get_u64(obj, "epoch")?,
+                datasets: get_u32(obj, "datasets")?,
+                points: get_u32(obj, "points")?,
+                l1: get_f64(obj, "l1")?,
+                tv: get_f64(obj, "tv")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "broadcast" => EventKind::Broadcast {
+                epoch: get_u64(obj, "epoch")?,
+                subscribers: get_u32(obj, "subscribers")?,
+                bytes: get_u64(obj, "bytes")?,
+            },
+            "backpressure_drop" => EventKind::BackpressureDrop {
+                channel: get_str(obj, "channel")?,
+                dropped: get_u64(obj, "dropped")?,
             },
             "decision" => {
                 let alts = obj

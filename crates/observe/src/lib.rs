@@ -41,17 +41,21 @@
 //! ```
 
 mod event;
+mod explain;
 pub mod json;
 mod metrics;
 mod reader;
 mod sink;
+mod stream;
 
 pub use event::{DecisionAlt, DecodeError, EventKind, TraceEvent, SCHEMA_VERSION};
+pub use explain::{explain_query, matches_query};
 pub use metrics::{metrics, Histogram, MetricsSnapshot, Registry};
 pub use reader::{
     parse_trace, parse_trace_lenient, read_trace, read_trace_lenient, TraceError,
 };
 pub use sink::{to_jsonl, write_atomic, write_trace};
+pub use stream::{BoundedWriter, WriterStats};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +73,11 @@ struct Recording {
     ring: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
+    /// When set, events stream to this writer as they are emitted (the
+    /// ring stays empty); `None` is the classic buffer-then-write mode.
+    stream: Option<BoundedWriter>,
+    /// Events accepted by the stream writer.
+    streamed: u64,
 }
 
 fn bus() -> &'static Mutex<Option<Recording>> {
@@ -100,12 +109,15 @@ pub enum ObserveError {
     /// A recording is already active; stop it first. The bus is
     /// process-global, so two concurrent tenants would interleave.
     AlreadyRecording,
+    /// The streaming sink could not be opened.
+    Io(String),
 }
 
 impl std::fmt::Display for ObserveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ObserveError::AlreadyRecording => f.write_str("a trace recording is already active"),
+            ObserveError::Io(e) => write!(f, "trace sink i/o error: {e}"),
         }
     }
 }
@@ -121,16 +133,41 @@ pub fn enabled() -> bool {
 
 /// Begins a recording. Fails if one is already active.
 pub fn start(config: TraceConfig) -> Result<(), ObserveError> {
+    start_with(config, None)
+}
+
+/// Begins a recording that streams events to `path` as they are emitted,
+/// through a [`BoundedWriter`] thread bounded at `config.capacity`
+/// in-flight events — constant memory however long the recording runs,
+/// where [`start`] buffers the whole ring and writes at [`stop`]. When
+/// the writer thread falls behind, events are dropped and counted
+/// ([`dropped`]), never allowed to block the emitting thread. The sink
+/// file is written incrementally (no [`write_atomic`] rename): a crash
+/// leaves a valid prefix, which the lenient reader accepts.
+pub fn start_streaming(
+    path: impl AsRef<std::path::Path>,
+    config: TraceConfig,
+) -> Result<(), ObserveError> {
+    let file = std::fs::File::create(path.as_ref())
+        .map_err(|e| ObserveError::Io(e.to_string()))?;
+    let writer = BoundedWriter::spawn(std::io::BufWriter::new(file), config.capacity.max(1));
+    start_with(config, Some(writer))
+}
+
+fn start_with(config: TraceConfig, stream: Option<BoundedWriter>) -> Result<(), ObserveError> {
     let mut g = lock_bus();
     if g.is_some() {
         return Err(ObserveError::AlreadyRecording);
     }
+    let ring_capacity = if stream.is_some() { 0 } else { config.capacity.min(1 << 20) };
     *g = Some(Recording {
         start: Instant::now(),
         next_seq: 0,
-        ring: VecDeque::with_capacity(config.capacity.min(1 << 20)),
+        ring: VecDeque::with_capacity(ring_capacity),
         capacity: config.capacity.max(1),
         dropped: 0,
+        stream,
+        streamed: 0,
     });
     ENABLED.store(true, Ordering::Relaxed);
     Ok(())
@@ -157,6 +194,16 @@ pub fn emit(kind: EventKind) {
         kind,
     };
     rec.next_seq += 1;
+    if let Some(w) = &rec.stream {
+        let mut line = ev.to_json_line().into_bytes();
+        line.push(b'\n');
+        // The writer counts rejected buffers itself; `dropped()` folds
+        // its count in, so every emit lands in exactly one tally.
+        if w.try_write(line) {
+            rec.streamed += 1;
+        }
+        return;
+    }
     if rec.ring.len() == rec.capacity {
         rec.ring.pop_front();
         rec.dropped += 1;
@@ -183,9 +230,12 @@ pub fn finish(timer: Option<Instant>, make: impl FnOnce(u64) -> EventKind) {
     }
 }
 
-/// Events dropped by the ring buffer so far in the active recording.
+/// Events dropped so far in the active recording — by the ring buffer
+/// (buffered mode) or by the bounded stream writer (streaming mode).
 pub fn dropped() -> u64 {
-    lock_bus().as_ref().map_or(0, |r| r.dropped)
+    lock_bus().as_ref().map_or(0, |r| {
+        r.dropped + r.stream.as_ref().map_or(0, BoundedWriter::dropped)
+    })
 }
 
 /// Copies out the events recorded so far without ending the recording.
@@ -196,11 +246,54 @@ pub fn snapshot_events() -> Vec<TraceEvent> {
 }
 
 /// Ends the recording and returns every buffered event (oldest first).
-/// Returns an empty vec when no recording was active.
+/// Returns an empty vec when no recording was active. For a streaming
+/// recording this closes the sink (best-effort) and returns an empty
+/// vec — use [`stop_streaming`] to observe the sink accounting.
 pub fn stop() -> Vec<TraceEvent> {
     ENABLED.store(false, Ordering::Relaxed);
     let mut g = lock_bus();
-    g.take().map_or_else(Vec::new, |r| r.ring.into())
+    g.take().map_or_else(Vec::new, |mut r| {
+        if let Some(w) = r.stream.take() {
+            let _ = w.close();
+        }
+        r.ring.into()
+    })
+}
+
+/// Accounting of one streaming recording, returned by [`stop_streaming`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Events accepted by the writer and durably written.
+    pub events: u64,
+    /// Bytes written to the sink.
+    pub bytes: u64,
+    /// Events dropped because the writer thread was behind.
+    pub dropped: u64,
+}
+
+/// Ends a streaming recording started with [`start_streaming`]: closes
+/// the sink, joins the writer thread, and returns the exact accounting.
+/// Also accepts a buffered recording (`events`/`bytes` are then 0) so
+/// callers need not track which mode they started.
+pub fn stop_streaming() -> std::io::Result<StreamSummary> {
+    ENABLED.store(false, Ordering::Relaxed);
+    let rec = lock_bus().take();
+    let Some(mut rec) = rec else {
+        return Ok(StreamSummary::default());
+    };
+    let Some(w) = rec.stream.take() else {
+        return Ok(StreamSummary {
+            events: 0,
+            bytes: 0,
+            dropped: rec.dropped,
+        });
+    };
+    let stats = w.close()?;
+    Ok(StreamSummary {
+        events: stats.written,
+        bytes: stats.bytes,
+        dropped: rec.dropped + stats.dropped,
+    })
 }
 
 /// Ends the recording and writes the events to `path` as JSONL via
@@ -256,6 +349,35 @@ mod tests {
             Err(ObserveError::AlreadyRecording)
         );
         stop();
+    }
+
+    #[test]
+    fn streaming_writes_during_recording() {
+        let _g = exclusive();
+        let dir = std::env::temp_dir().join(format!("pgmp-obs-stream-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.jsonl");
+        start_streaming(&path, TraceConfig { capacity: 1 << 10 }).unwrap();
+        for form in 0..200 {
+            emit(EventKind::CacheHit { form });
+        }
+        let summary = stop_streaming().unwrap();
+        assert_eq!(summary.events + summary.dropped, 200);
+        let events = read_trace(&path).unwrap();
+        assert_eq!(events.len() as u64, summary.events);
+        assert_eq!(events[0].kind, EventKind::CacheHit { form: 0 });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_streaming_on_buffered_recording_reports_ring_drops() {
+        let _g = exclusive();
+        start(TraceConfig { capacity: 1 }).unwrap();
+        emit(EventKind::CacheHit { form: 0 });
+        emit(EventKind::CacheHit { form: 1 });
+        let summary = stop_streaming().unwrap();
+        assert_eq!(summary.dropped, 1);
+        assert_eq!(summary.events, 0);
     }
 
     #[test]

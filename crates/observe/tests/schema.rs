@@ -93,6 +93,29 @@ fn exemplar_events() -> Vec<TraceEvent> {
             bytes: 2048,
             duration_us: 60,
         },
+        EventKind::IngestBatch {
+            dataset: 2,
+            epoch: 5,
+            slots: 40,
+            hits: 12345,
+        },
+        EventKind::Merge {
+            epoch: 6,
+            datasets: 3,
+            points: 57,
+            l1: 123.5,
+            tv: 0.125,
+            duration_us: 420,
+        },
+        EventKind::Broadcast {
+            epoch: 6,
+            subscribers: 2,
+            bytes: 4096,
+        },
+        EventKind::BackpressureDrop {
+            channel: "publish".into(),
+            dropped: 3,
+        },
         EventKind::Decision {
             site: "exclusive-cond".into(),
             decision_point: "prog.scm:23-113".into(),
@@ -160,7 +183,7 @@ fn every_kind_is_covered_by_the_fixture() {
         .iter()
         .map(|e| e.kind.type_tag())
         .collect();
-    assert_eq!(tags.len(), 15, "fixture must exemplify every event kind");
+    assert_eq!(tags.len(), 19, "fixture must exemplify every event kind");
 }
 
 #[test]

@@ -1,0 +1,631 @@
+//! The versioned, length-prefixed frame protocol between runner
+//! processes and `pgmp-profiled`.
+//!
+//! Every message is one frame:
+//!
+//! ```text
+//! u32 length (LE) | u8 kind | payload (length - 1 bytes)
+//! ```
+//!
+//! The *control channel* (handshake, acknowledgements, epoch broadcasts)
+//! carries JSON payloads — same single-line discipline, version stamping,
+//! and typed decode errors as `pgmp-observe`'s JSONL trace codec. The
+//! *hot path* is the [`Frame::Delta`] frame: a binary `(slot, u64)` pair
+//! list keyed against the slot table exchanged at handshake, so steady
+//! publishing moves no strings at all. The normative spec lives in
+//! `docs/FLEET.md`; the codec is fixture-free but property-tested
+//! (`tests/wire_props.rs`): truncation, bit flips, and garbage decode to
+//! typed [`WireError`]s, never panics.
+
+use pgmp_observe::json::{self, Json};
+use pgmp_syntax::SourceObject;
+use std::io::{Read, Write};
+
+/// Version stamped into every JSON control payload as `"v"`.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Upper bound on one frame's length field. Anything larger is rejected
+/// before allocation — a garbage or hostile header cannot make the
+/// daemon reserve gigabytes.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Who a connecting process is, declared in its [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Streams counter deltas in; owns one daemon-side dataset.
+    Publisher,
+    /// Receives epoch broadcasts (merged weights + fleet drift).
+    Subscriber,
+}
+
+impl Role {
+    fn as_str(self) -> &'static str {
+        match self {
+            Role::Publisher => "publisher",
+            Role::Subscriber => "subscriber",
+        }
+    }
+}
+
+/// The handshake a client opens its connection with. A publisher sends
+/// its dense slot table (`points`, in slot order) so every later
+/// [`Frame::Delta`] can name points by bare `u32` slot; a subscriber
+/// sends an empty table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    pub role: Role,
+    /// Client process id, for provenance in daemon logs and traces.
+    pub pid: u64,
+    /// The client's slot table: `points[i]` is the point its deltas call
+    /// slot `i`. Gated by `SlotMap::check_mergeable` against the daemon's
+    /// canonical table — order-compatible tables stream untranslated,
+    /// reordered tables of the same program are re-keyed per connection,
+    /// and only a table sharing no point is refused.
+    pub points: Vec<SourceObject>,
+}
+
+/// Daemon acceptance of a [`Hello`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ack {
+    /// The dataset id assigned to a publisher (0 for subscribers).
+    pub dataset: u32,
+    /// The daemon's current merge epoch at accept time.
+    pub epoch: u64,
+}
+
+/// The hot-path frame: counts accrued since the publisher's previous
+/// delta, as `(slot, additional_hits)` pairs under the handshake table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// The publisher's own epoch counter at flush time (provenance; the
+    /// daemon's merge cadence is independent).
+    pub epoch: u64,
+    pub counts: Vec<(u32, u64)>,
+}
+
+/// One epoch broadcast: the daemon merged every dataset and pushed the
+/// outcome to its subscribers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochUpdate {
+    /// Daemon merge epoch (monotone).
+    pub epoch: u64,
+    /// Datasets that participated in the merge.
+    pub datasets: u32,
+    /// Profile points in the merged result.
+    pub points: u32,
+    /// L1 drift of the merged weights vs the previous merge.
+    pub l1: f64,
+    /// Total-variation drift vs the previous merge (`[0, 1]`).
+    pub tv: f64,
+    /// Path of the canonical profile the daemon just wrote.
+    pub path: String,
+    /// The merged canonical profile itself, serialized in the stored
+    /// v2 format — subscribers re-optimize from this without touching
+    /// the filesystem.
+    pub profile: String,
+}
+
+/// Every message the protocol knows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → daemon: identify and (for publishers) exchange the table.
+    Hello(Hello),
+    /// Daemon → client: handshake accepted / drain barrier reached.
+    Ack(Ack),
+    /// Daemon → client: refusal, with a human-readable reason. The
+    /// connection closes after this frame.
+    Error(String),
+    /// Publisher → daemon: the binary hot-path delta.
+    Delta(Delta),
+    /// Daemon → subscriber: one merge epoch's outcome.
+    Epoch(EpochUpdate),
+    /// Publisher → daemon: drain barrier before disconnect. The daemon
+    /// replies [`Frame::Ack`] once every earlier delta is ingested.
+    Bye,
+    /// Control client → daemon: merge once more, write the canonical
+    /// profile, and exit (`pgmp-profiled shutdown`).
+    Shutdown,
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_ACK: u8 = 2;
+const KIND_ERROR: u8 = 3;
+const KIND_DELTA: u8 = 4;
+const KIND_EPOCH: u8 = 5;
+const KIND_BYE: u8 = 6;
+const KIND_SHUTDOWN: u8 = 7;
+
+/// Decoding or transporting a frame failed. Every hostile input maps
+/// here; the codec never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file I/O failed (includes EOF mid-frame when
+    /// reading from a stream).
+    Io(std::io::Error),
+    /// The buffer ends before the frame does (truncation).
+    Truncated,
+    /// The length field is 0 or exceeds [`MAX_FRAME_LEN`].
+    BadLength(u32),
+    /// The kind byte names no known frame.
+    UnknownKind(u8),
+    /// The payload does not decode under its kind's schema.
+    BadPayload(String),
+    /// A JSON control payload declared an unsupported `"v"`.
+    BadVersion(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::BadLength(n) => write!(f, "bad frame length {n}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireError::BadPayload(m) => write!(f, "malformed frame payload: {m}"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> WireError {
+    WireError::BadPayload(msg.into())
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn get_u64(obj: &Json, name: &str) -> Result<u64, WireError> {
+    obj.get(name)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad(format!("missing or malformed field `{name}`")))
+}
+
+fn get_f64(obj: &Json, name: &str) -> Result<f64, WireError> {
+    obj.get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| bad(format!("missing or malformed field `{name}`")))
+}
+
+fn get_str<'a>(obj: &'a Json, name: &str) -> Result<&'a str, WireError> {
+    obj.get(name)
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad(format!("missing or malformed field `{name}`")))
+}
+
+/// Parses and version-checks a JSON control payload.
+fn control_payload(payload: &[u8]) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|_| bad("control payload not UTF-8"))?;
+    let obj = json::parse(text).map_err(|e| bad(format!("control payload: {e}")))?;
+    match obj.get("v").and_then(Json::as_u64) {
+        Some(WIRE_VERSION) => Ok(obj),
+        Some(v) => Err(WireError::BadVersion(v)),
+        None => Err(bad("control payload missing version")),
+    }
+}
+
+impl Frame {
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Frame::Hello(_) => KIND_HELLO,
+            Frame::Ack(_) => KIND_ACK,
+            Frame::Error(_) => KIND_ERROR,
+            Frame::Delta(_) => KIND_DELTA,
+            Frame::Epoch(_) => KIND_EPOCH,
+            Frame::Bye => KIND_BYE,
+            Frame::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Frame::Hello(h) => {
+                let slots = h
+                    .points
+                    .iter()
+                    .map(|p| {
+                        Json::Arr(vec![
+                            Json::Str(p.file.as_str().to_string()),
+                            num(u64::from(p.bfp)),
+                            num(u64::from(p.efp)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("v".into(), num(WIRE_VERSION)),
+                    ("role".into(), Json::Str(h.role.as_str().into())),
+                    ("pid".into(), num(h.pid)),
+                    ("slots".into(), Json::Arr(slots)),
+                ])
+                .to_string()
+                .into_bytes()
+            }
+            Frame::Ack(a) => Json::Obj(vec![
+                ("v".into(), num(WIRE_VERSION)),
+                ("dataset".into(), num(u64::from(a.dataset))),
+                ("epoch".into(), num(a.epoch)),
+            ])
+            .to_string()
+            .into_bytes(),
+            Frame::Error(msg) => Json::Obj(vec![
+                ("v".into(), num(WIRE_VERSION)),
+                ("error".into(), Json::Str(msg.clone())),
+            ])
+            .to_string()
+            .into_bytes(),
+            Frame::Delta(d) => {
+                let mut out = Vec::with_capacity(12 + d.counts.len() * 12);
+                out.extend_from_slice(&d.epoch.to_le_bytes());
+                out.extend_from_slice(&(d.counts.len() as u32).to_le_bytes());
+                for (slot, count) in &d.counts {
+                    out.extend_from_slice(&slot.to_le_bytes());
+                    out.extend_from_slice(&count.to_le_bytes());
+                }
+                out
+            }
+            Frame::Epoch(e) => Json::Obj(vec![
+                ("v".into(), num(WIRE_VERSION)),
+                ("epoch".into(), num(e.epoch)),
+                ("datasets".into(), num(u64::from(e.datasets))),
+                ("points".into(), num(u64::from(e.points))),
+                ("l1".into(), Json::Num(e.l1)),
+                ("tv".into(), Json::Num(e.tv)),
+                ("path".into(), Json::Str(e.path.clone())),
+                ("profile".into(), Json::Str(e.profile.clone())),
+            ])
+            .to_string()
+            .into_bytes(),
+            Frame::Bye | Frame::Shutdown => Vec::new(),
+        }
+    }
+
+    /// Encodes the whole frame, length prefix included.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let len = (payload.len() + 1) as u32;
+        let mut out = Vec::with_capacity(payload.len() + 5);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(self.kind_byte());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a frame's body (kind byte already consumed).
+    fn decode_body(kind: u8, payload: &[u8]) -> Result<Frame, WireError> {
+        match kind {
+            KIND_HELLO => {
+                let obj = control_payload(payload)?;
+                let role = match get_str(&obj, "role")? {
+                    "publisher" => Role::Publisher,
+                    "subscriber" => Role::Subscriber,
+                    other => return Err(bad(format!("unknown role `{other}`"))),
+                };
+                let pid = get_u64(&obj, "pid")?;
+                let slots = obj
+                    .get("slots")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("missing or malformed field `slots`"))?;
+                let mut points = Vec::with_capacity(slots.len());
+                for entry in slots {
+                    let triple = entry
+                        .as_arr()
+                        .filter(|t| t.len() == 3)
+                        .ok_or_else(|| bad("slot entry must be [file, bfp, efp]"))?;
+                    let file = triple[0].as_str().ok_or_else(|| bad("slot file"))?;
+                    let bfp = triple[1]
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| bad("slot bfp"))?;
+                    let efp = triple[2]
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| bad("slot efp"))?;
+                    points.push(SourceObject::new(file, bfp, efp));
+                }
+                Ok(Frame::Hello(Hello { role, pid, points }))
+            }
+            KIND_ACK => {
+                let obj = control_payload(payload)?;
+                Ok(Frame::Ack(Ack {
+                    dataset: u32::try_from(get_u64(&obj, "dataset")?)
+                        .map_err(|_| bad("dataset id out of range"))?,
+                    epoch: get_u64(&obj, "epoch")?,
+                }))
+            }
+            KIND_ERROR => {
+                let obj = control_payload(payload)?;
+                Ok(Frame::Error(get_str(&obj, "error")?.to_string()))
+            }
+            KIND_DELTA => {
+                if payload.len() < 12 {
+                    return Err(bad("delta shorter than its header"));
+                }
+                let epoch = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+                let n = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+                let body = &payload[12..];
+                if body.len() != n * 12 {
+                    return Err(bad(format!(
+                        "delta declares {n} pairs but carries {} bytes",
+                        body.len()
+                    )));
+                }
+                let mut counts = Vec::with_capacity(n);
+                for pair in body.chunks_exact(12) {
+                    let slot = u32::from_le_bytes(pair[0..4].try_into().unwrap());
+                    let count = u64::from_le_bytes(pair[4..12].try_into().unwrap());
+                    counts.push((slot, count));
+                }
+                Ok(Frame::Delta(Delta { epoch, counts }))
+            }
+            KIND_EPOCH => {
+                let obj = control_payload(payload)?;
+                Ok(Frame::Epoch(EpochUpdate {
+                    epoch: get_u64(&obj, "epoch")?,
+                    datasets: u32::try_from(get_u64(&obj, "datasets")?)
+                        .map_err(|_| bad("datasets out of range"))?,
+                    points: u32::try_from(get_u64(&obj, "points")?)
+                        .map_err(|_| bad("points out of range"))?,
+                    l1: get_f64(&obj, "l1")?,
+                    tv: get_f64(&obj, "tv")?,
+                    path: get_str(&obj, "path")?.to_string(),
+                    profile: get_str(&obj, "profile")?.to_string(),
+                }))
+            }
+            KIND_BYE => {
+                if payload.is_empty() {
+                    Ok(Frame::Bye)
+                } else {
+                    Err(bad("bye carries no payload"))
+                }
+            }
+            KIND_SHUTDOWN => {
+                if payload.is_empty() {
+                    Ok(Frame::Shutdown)
+                } else {
+                    Err(bad("shutdown carries no payload"))
+                }
+            }
+            other => Err(WireError::UnknownKind(other)),
+        }
+    }
+
+    /// Decodes one frame from the front of `buf`, returning it and the
+    /// bytes consumed. [`WireError::Truncated`] when `buf` holds less
+    /// than one whole frame — never a panic, whatever the bytes.
+    pub fn decode(buf: &[u8]) -> Result<(Frame, usize), WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let len = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(WireError::BadLength(len));
+        }
+        let total = 4 + len as usize;
+        if buf.len() < total {
+            return Err(WireError::Truncated);
+        }
+        let frame = Frame::decode_body(buf[4], &buf[5..total])?;
+        Ok((frame, total))
+    }
+}
+
+/// Reads exactly one frame from `r` (blocking). EOF before a complete
+/// frame is [`WireError::Io`] with `UnexpectedEof`.
+///
+/// Only safe on a stream with no read timeout: a timeout mid-frame
+/// would lose the bytes already consumed. Connections that poll with
+/// read timeouts must use a [`FrameReader`], which buffers partial
+/// frames across `WouldBlock`.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, WireError> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(WireError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Frame::decode_body(body[0], &body[1..])
+}
+
+/// An incremental frame reader that survives read timeouts.
+///
+/// Bytes already received stay buffered when the underlying read
+/// returns `WouldBlock`/`TimedOut`, so a poll loop can keep calling
+/// [`FrameReader::next_frame`] without ever tearing a frame in half —
+/// the property the daemon relies on to poll its shutdown flag between
+/// reads.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`; reads are buffered internally from here on.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Returns the next complete frame. [`WireError::Io`] with
+    /// `WouldBlock`/`TimedOut` means "no complete frame yet" — call
+    /// again, nothing was lost. `UnexpectedEof` means the peer closed
+    /// the stream (mid-frame or cleanly).
+    pub fn next_frame(&mut self) -> Result<Frame, WireError> {
+        loop {
+            match Frame::decode(&self.buf) {
+                Ok((frame, used)) => {
+                    self.buf.drain(..used);
+                    return Ok(frame);
+                }
+                Err(WireError::Truncated) => {} // need more bytes
+                Err(e) => return Err(e),
+            }
+            let mut chunk = [0u8; 8192];
+            match self.inner.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(WireError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed the stream",
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Writes one frame to `w` (no flush policy of its own).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), WireError> {
+    w.write_all(&frame.encode())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u32) -> SourceObject {
+        SourceObject::new("w.scm", n, n + 1)
+    }
+
+    fn exemplars() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                role: Role::Publisher,
+                pid: 4242,
+                points: vec![p(0), p(1), SourceObject::new("lib/\"q\".scm", 7, 9)],
+            }),
+            Frame::Hello(Hello {
+                role: Role::Subscriber,
+                pid: 7,
+                points: vec![],
+            }),
+            Frame::Ack(Ack {
+                dataset: 3,
+                epoch: 17,
+            }),
+            Frame::Error("incompatible slot tables: slot 4 differs".into()),
+            Frame::Delta(Delta {
+                epoch: 5,
+                counts: vec![(0, 1), (9, u64::MAX), (1024, 77)],
+            }),
+            Frame::Delta(Delta {
+                epoch: 0,
+                counts: vec![],
+            }),
+            Frame::Epoch(EpochUpdate {
+                epoch: 6,
+                datasets: 3,
+                points: 57,
+                l1: 12.5,
+                tv: 0.25,
+                path: "/tmp/fleet.pgmp".into(),
+                profile: "(pgmp-profile\n  (version 2)\n  (datasets 3))".into(),
+            }),
+            Frame::Bye,
+            Frame::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in exemplars() {
+            let bytes = frame.encode();
+            let (back, used) = Frame::decode(&bytes).unwrap();
+            assert_eq!(used, bytes.len(), "whole frame consumed: {frame:?}");
+            assert_eq!(back, frame);
+            // And through the stream reader.
+            let mut cursor = &bytes[..];
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        for frame in exemplars() {
+            let bytes = frame.encode();
+            for cut in 0..bytes.len() {
+                match Frame::decode(&bytes[..cut]) {
+                    Err(WireError::Truncated) => {}
+                    other => panic!("truncated at {cut}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_zero_lengths_are_rejected_before_allocation() {
+        let mut oversized = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        oversized.push(KIND_BYE);
+        assert!(matches!(
+            Frame::decode(&oversized),
+            Err(WireError::BadLength(n)) if n == MAX_FRAME_LEN + 1
+        ));
+        let zero = 0u32.to_le_bytes().to_vec();
+        assert!(matches!(Frame::decode(&zero), Err(WireError::BadLength(0))));
+    }
+
+    #[test]
+    fn unknown_kind_is_typed() {
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.push(99);
+        assert!(matches!(
+            Frame::decode(&buf),
+            Err(WireError::UnknownKind(99))
+        ));
+    }
+
+    #[test]
+    fn delta_length_mismatch_is_typed() {
+        let mut frame = Frame::Delta(Delta {
+            epoch: 1,
+            counts: vec![(1, 2)],
+        })
+        .encode();
+        // Lie about the pair count without changing the frame length.
+        let payload_n_offset = 4 + 1 + 8;
+        frame[payload_n_offset] = 2;
+        assert!(matches!(
+            Frame::decode(&frame),
+            Err(WireError::BadPayload(_))
+        ));
+    }
+
+    #[test]
+    fn control_version_skew_is_typed() {
+        let bytes = Frame::Ack(Ack {
+            dataset: 0,
+            epoch: 0,
+        })
+        .encode();
+        let text = String::from_utf8(bytes[5..].to_vec()).unwrap();
+        let skewed = text.replace("\"v\":1", "\"v\":9");
+        let mut frame = ((skewed.len() + 1) as u32).to_le_bytes().to_vec();
+        frame.push(KIND_ACK);
+        frame.extend_from_slice(skewed.as_bytes());
+        assert!(matches!(
+            Frame::decode(&frame),
+            Err(WireError::BadVersion(9))
+        ));
+    }
+}

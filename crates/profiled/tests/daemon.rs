@@ -1,0 +1,302 @@
+//! In-process integration tests for the fleet daemon: the slot-table
+//! handshake gate, the daemon-vs-offline merge oracle, epoch broadcasts,
+//! and — the accounting contract — that every hit handed to a
+//! [`Publisher`] is either delivered to the daemon or counted as
+//! dropped, exactly, with nothing silently lost in between.
+
+use pgmp_profiled::daemon::{Daemon, DaemonConfig};
+use pgmp_profiled::wire::{self, Frame};
+use pgmp_profiled::{Ack, ClientError, Publisher, Subscriber};
+use pgmp_profiler::{Dataset, ProfileInformation, SlotMap, StoredProfile};
+use pgmp_syntax::SourceObject;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pgmp-profiled-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn p(n: u32) -> SourceObject {
+    SourceObject::new("fleet.scm", n * 10, n * 10 + 5)
+}
+
+fn table(points: &[SourceObject]) -> SlotMap {
+    SlotMap::from_points(points.iter().copied()).unwrap()
+}
+
+/// Starts a daemon on its own thread; returns a join guard.
+fn spawn_daemon(config: DaemonConfig) -> std::thread::JoinHandle<()> {
+    let socket = config.socket.clone();
+    let handle = std::thread::spawn(move || {
+        Daemon::new(config).run().expect("daemon run");
+    });
+    // Wait for the socket to exist before letting clients connect.
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    handle
+}
+
+#[test]
+fn fleet_merge_equals_offline_merge_and_subscribers_see_epochs() {
+    let dir = scratch("oracle");
+    let socket = dir.join("d.sock");
+    let profile = dir.join("fleet.pgmp");
+    let mut config = DaemonConfig::new(&socket, &profile);
+    config.merge_interval = Duration::from_millis(30);
+    let daemon = spawn_daemon(config);
+
+    let points = [p(0), p(1), p(2), p(3)];
+    // Three skewed workloads: each process hammers a different point.
+    let workloads: [Vec<(u32, u64)>; 3] = [
+        vec![(0, 1000), (1, 10), (2, 5)],
+        vec![(1, 800), (3, 40)],
+        vec![(0, 3), (2, 600), (3, 600)],
+    ];
+
+    let mut subscriber = Subscriber::connect(&socket).expect("subscribe");
+    for counts in &workloads {
+        let mut publisher = Publisher::connect(&socket, &table(&points), 64).expect("connect");
+        // Split each workload across two deltas to exercise accumulation.
+        let mid = counts.len() / 2;
+        assert!(publisher.publish(&counts[..mid]));
+        assert!(publisher.publish(&counts[mid..]));
+        let stats = publisher.close().expect("close");
+        assert_eq!(stats.dropped_frames, 0);
+        assert_eq!(
+            stats.published_hits,
+            counts.iter().map(|(_, c)| c).sum::<u64>()
+        );
+    }
+
+    // All three publishers closed behind the Bye barrier, so their
+    // deltas are ingested; the next merge must reflect the whole fleet.
+    let update = loop {
+        let u = subscriber.next_epoch(Duration::from_secs(10)).expect("epoch");
+        if u.datasets == 3 {
+            break u;
+        }
+    };
+    assert_eq!(update.points, 4);
+    assert!(update.tv >= 0.0 && update.tv <= 1.0, "tv={}", update.tv);
+
+    // The broadcast carries the same profile the daemon wrote.
+    let broadcast = StoredProfile::load_from_str(&update.profile).expect("broadcast profile");
+    assert_eq!(broadcast.version, 2);
+
+    Daemon::request_shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    // Oracle: the offline §3.2 merge of the three per-process datasets.
+    let offline = workloads
+        .iter()
+        .map(|counts| {
+            let mut d = Dataset::new();
+            for (slot, count) in counts {
+                d.record(points[*slot as usize], *count);
+            }
+            ProfileInformation::from_dataset(&d)
+        })
+        .reduce(|acc, info| acc.merge(&info))
+        .unwrap();
+
+    let canonical = StoredProfile::load_file(&profile).expect("canonical profile");
+    assert_eq!(canonical.version, 2);
+    assert_eq!(canonical.info.dataset_count(), 3);
+    assert_eq!(canonical.info.len(), offline.len());
+    for (point, weight) in offline.iter() {
+        let daemon_weight = canonical.info.weight(point);
+        assert!(
+            (daemon_weight - weight).abs() < 1e-9,
+            "{point}: daemon {daemon_weight} vs offline {weight}"
+        );
+        // And the broadcast agreed with the file.
+        assert!((broadcast.info.weight(point) - weight).abs() < 1e-9);
+    }
+    // The canonical slot table covers every fleet point.
+    let slots = canonical.slots.expect("v2 slot table");
+    assert_eq!(slots.len(), 4);
+    for (i, point) in points.iter().enumerate() {
+        assert_eq!(slots.get(*point), Some(i as u32));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The handshake's three-way slot-table gate: order-divergent tables of
+/// the same program are re-keyed by point identity (dense slot order is
+/// process-local — first execution order assigns part of it), compatible
+/// extensions stream untranslated, and a table sharing no point with the
+/// canonical one (a different program) is refused with the typed error.
+#[test]
+fn slot_table_gate_remaps_reorders_and_refuses_aliens() {
+    let dir = scratch("gate");
+    let socket = dir.join("d.sock");
+    let profile = dir.join("fleet.pgmp");
+    let mut config = DaemonConfig::new(&socket, &profile);
+    config.merge_interval = Duration::from_millis(50);
+    let daemon = spawn_daemon(config);
+
+    let mut first = Publisher::connect(&socket, &table(&[p(0), p(1)]), 8).expect("first");
+    assert!(first.publish(&[(0, 8), (1, 2)]));
+    first.close().expect("close first");
+
+    // Same points, swapped interning order: accepted, with each delta
+    // slot translated through the client's own table. Slot 0 here means
+    // p(1), and must land on p(1) in the canonical profile.
+    let mut swapped = Publisher::connect(&socket, &table(&[p(1), p(0)]), 8)
+        .expect("order-divergent table of the same program must be accepted");
+    assert!(swapped.publish(&[(0, 6), (1, 3)]));
+    swapped.close().expect("close swapped");
+
+    // No shared point at all: a different program; combining would alias.
+    let alien: Vec<SourceObject> = (0..2).map(|n| SourceObject::new("other.scm", n, n + 1)).collect();
+    let err = match Publisher::connect(&socket, &table(&alien), 8) {
+        Ok(_) => panic!("alien table accepted"),
+        Err(e) => e,
+    };
+    match err {
+        ClientError::Refused(reason) => {
+            assert!(
+                reason.contains("incompatible slot tables"),
+                "unexpected reason: {reason}"
+            );
+            assert!(reason.contains("slot 0"), "unexpected reason: {reason}");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // A compatible extension is welcome and the daemon keeps serving.
+    let mut third =
+        Publisher::connect(&socket, &table(&[p(0), p(1), p(2)]), 8).expect("extension");
+    assert!(third.publish(&[(2, 7)]));
+    third.close().expect("close third");
+
+    // A delta slot outside the handshake table is a protocol error.
+    let mut loose = Publisher::connect(&socket, &table(&[p(0)]), 8).expect("loose");
+    assert!(loose.publish(&[(5, 1)]));
+    assert!(loose.close().is_err(), "out-of-range slot must be refused");
+
+    Daemon::request_shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    // Per-point attribution across the remap. Dataset weights (each
+    // normalized by its own max): first {p0: 1.0, p1: 0.25}, swapped
+    // {p0: 0.5, p1: 1.0}, extension {p2: 1.0}. An aliasing ingest would
+    // have swapped the middle dataset's two weights.
+    let canonical = StoredProfile::load_file(&profile).expect("canonical profile");
+    assert_eq!(canonical.info.dataset_count(), 3);
+    assert!((canonical.info.weight(p(0)) - 1.5 / 3.0).abs() < 1e-9);
+    assert!((canonical.info.weight(p(1)) - 1.25 / 3.0).abs() < 1e-9);
+    assert!((canonical.info.weight(p(2)) - 1.0 / 3.0).abs() < 1e-9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The exact-loss-accounting contract, end to end: against a stalled
+/// daemon every hit is either delivered or counted dropped — the two
+/// tallies partition what the caller handed in, with nothing silent.
+#[test]
+fn backpressure_drops_are_accounted_exactly() {
+    let dir = scratch("backpressure");
+    let socket = dir.join("d.sock");
+    let listener = UnixListener::bind(&socket).unwrap();
+
+    // A hand-rolled daemon that handshakes, then stalls on command:
+    // it reads nothing until told to drain, forcing the publisher's
+    // kernel buffer and bounded channel to fill.
+    let (drain_tx, drain_rx) = std::sync::mpsc::channel::<()>();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        match wire::read_frame(&mut stream).unwrap() {
+            Frame::Hello(h) => assert!(!h.points.is_empty()),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        wire::write_frame(&mut stream, &Frame::Ack(Ack { dataset: 0, epoch: 0 })).unwrap();
+        drain_rx.recv().unwrap();
+        let mut received = 0u64;
+        loop {
+            match wire::read_frame(&mut stream).unwrap() {
+                Frame::Delta(d) => received += d.counts.iter().map(|(_, c)| c).sum::<u64>(),
+                Frame::Bye => {
+                    wire::write_frame(&mut stream, &Frame::Ack(Ack { dataset: 0, epoch: 0 }))
+                        .unwrap();
+                    return received;
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+    });
+
+    let points: Vec<SourceObject> = (0..4).map(p).collect();
+    let mut publisher = Publisher::connect(&socket, &table(&points), 1).expect("connect");
+
+    // Big frames fill the kernel socket buffer in a few writes; with a
+    // one-slot channel behind it, publishes must start failing.
+    let big: Vec<(u32, u64)> = (0..20_000).map(|i| (i % 4, 3)).collect();
+    let per_frame: u64 = big.iter().map(|(_, c)| c).sum();
+    let mut sent_total = 0u64;
+    let mut attempts = 0u32;
+    while publisher.stats().dropped_frames < 3 && attempts < 500 {
+        publisher.publish(&big);
+        sent_total += per_frame;
+        attempts += 1;
+    }
+    let mid_stats = publisher.stats();
+    assert!(
+        mid_stats.dropped_frames >= 3,
+        "never saw backpressure after {attempts} attempts"
+    );
+
+    drain_tx.send(()).unwrap();
+    let stats = publisher.close().expect("close");
+    let received = server.join().expect("server thread");
+
+    // The partition: every hit is in exactly one tally.
+    assert_eq!(stats.published_hits + stats.dropped_hits, sent_total);
+    assert_eq!(received, stats.published_hits, "accepted hits all arrived");
+    assert!(stats.dropped_hits > 0);
+    assert_eq!(stats.dropped_hits, stats.dropped_frames * per_frame);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Publishers that disconnect keep contributing: their dataset stays in
+/// the canonical profile, exactly as a stored per-process profile would.
+#[test]
+fn disconnected_publishers_stay_in_the_canonical_profile() {
+    let dir = scratch("sticky");
+    let socket = dir.join("d.sock");
+    let profile = dir.join("fleet.pgmp");
+    let mut config = DaemonConfig::new(&socket, &profile);
+    config.merge_interval = Duration::from_millis(20);
+    let daemon = spawn_daemon(config);
+
+    let points = [p(0), p(1)];
+    let mut early = Publisher::connect(&socket, &table(&points), 8).expect("early");
+    assert!(early.publish(&[(0, 100)]));
+    early.close().expect("close early");
+
+    let mut late = Publisher::connect(&socket, &table(&points), 8).expect("late");
+    assert!(late.publish(&[(1, 50)]));
+    late.close().expect("close late");
+
+    Daemon::request_shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    let canonical = StoredProfile::load_file(&profile).expect("canonical profile");
+    assert_eq!(canonical.info.dataset_count(), 2);
+    // Each dataset's own maximum normalizes to 1.0; the average of
+    // {1.0, 0.0} on each point is 0.5.
+    assert!((canonical.info.weight(p(0)) - 0.5).abs() < 1e-9);
+    assert!((canonical.info.weight(p(1)) - 0.5).abs() < 1e-9);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

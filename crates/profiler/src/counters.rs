@@ -55,6 +55,9 @@ enum Backend {
         map_id: u32,
         slots: RefCell<SlotMap>,
         counts: RefCell<Vec<Cell<u64>>>,
+        /// Per-slot count as of the last [`Counters::take_delta`], the
+        /// baseline the next delta is computed against.
+        reported: RefCell<Vec<u64>>,
     },
     Hash {
         counts: RefCell<HashMap<SourceObject, u64>>,
@@ -102,6 +105,7 @@ impl Counters {
                 map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
                 slots: RefCell::new(SlotMap::new()),
                 counts: RefCell::new(Vec::new()),
+                reported: RefCell::new(Vec::new()),
             },
             CounterImpl::Hash => Backend::Hash {
                 counts: RefCell::new(HashMap::new()),
@@ -128,6 +132,7 @@ impl Counters {
                 map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
                 slots: RefCell::new(table),
                 counts: RefCell::new(counts),
+                reported: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -293,6 +298,46 @@ impl Counters {
                 }
             }
             Backend::Hash { counts } => counts.borrow_mut().clear(),
+        }
+    }
+
+    /// Extracts the counts accrued since the previous `take_delta` as
+    /// dense `(slot, additional_hits)` pairs, and advances the baseline —
+    /// each hit appears in exactly one delta. Slots whose count did not
+    /// grow are omitted. This is the publisher-side extraction the fleet
+    /// daemon's wire format consumes: no strings, no hashing, one pass
+    /// over the dense counter vector.
+    ///
+    /// A [`Counters::clear`] between deltas rebases the baseline silently
+    /// (counts that went *down* report nothing rather than underflowing).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry — check `map_id() != 0` first.
+    pub fn take_delta(&self) -> Vec<(u32, u64)> {
+        match &*self.backend {
+            Backend::Dense {
+                counts, reported, ..
+            } => {
+                let counts = counts.borrow();
+                let mut reported = reported.borrow_mut();
+                if reported.len() < counts.len() {
+                    reported.resize(counts.len(), 0);
+                }
+                let mut delta = Vec::new();
+                for (i, c) in counts.iter().enumerate() {
+                    let current = c.get();
+                    let base = reported[i];
+                    if current > base {
+                        delta.push((i as u32, current - base));
+                    }
+                    reported[i] = current;
+                }
+                delta
+            }
+            Backend::Hash { .. } => {
+                panic!("Counters::take_delta on a hash-keyed registry (map_id 0)")
+            }
         }
     }
 
@@ -514,6 +559,36 @@ mod tests {
         assert_eq!(warm.count(p(1)), 3);
         assert_ne!(warm.map_id(), c.map_id(), "fresh map id");
         assert!(Counters::with_impl(CounterImpl::Hash).slot_table().is_none());
+    }
+
+    #[test]
+    fn take_delta_partitions_hits_exactly() {
+        let c = Counters::new();
+        let s0 = c.resolve(p(0));
+        let s1 = c.resolve(p(1));
+        c.add_slot(s0, 5);
+        assert_eq!(c.take_delta(), vec![(s0, 5)]);
+        assert_eq!(c.take_delta(), vec![], "no new hits, no delta");
+        c.add_slot(s0, 2);
+        c.add_slot(s1, 1);
+        let mut d = c.take_delta();
+        d.sort_unstable();
+        assert_eq!(d, vec![(s0, 2), (s1, 1)]);
+        // Sum of all deltas equals the live totals: each hit in exactly one.
+        assert_eq!(c.count_slot(s0), 7);
+        assert_eq!(c.count_slot(s1), 1);
+    }
+
+    #[test]
+    fn take_delta_rebases_after_clear() {
+        let c = Counters::new();
+        let s = c.resolve(p(0));
+        c.add_slot(s, 10);
+        assert_eq!(c.take_delta(), vec![(s, 10)]);
+        c.clear();
+        assert_eq!(c.take_delta(), vec![], "shrunk counts report nothing");
+        c.add_slot(s, 3);
+        assert_eq!(c.take_delta(), vec![(s, 3)], "baseline rebased to zero");
     }
 
     #[test]

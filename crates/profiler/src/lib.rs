@@ -50,7 +50,7 @@ mod slots;
 mod store;
 
 pub use counters::{CounterImpl, Counters, Dataset};
-pub use slots::SlotMap;
+pub use slots::{SlotCompat, SlotMap, SlotTableMismatch};
 pub use info::ProfileInformation;
 pub use store::{write_atomic, ProfileStoreError, StoredProfile};
 

@@ -81,6 +81,64 @@ impl SlotMap {
         &self.points
     }
 
+    /// Checks that this table and `other` agree on every slot both have
+    /// assigned: one table must be a (possibly equal) prefix extension of
+    /// the other. Compatible tables give the same dense slot the same
+    /// profile point, so counters indexed under either table can be
+    /// combined without aliasing; the §3.2 merge in `pgmp-profile merge`
+    /// and the fleet daemon's handshake both gate on this.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first disagreeing slot with the point each side
+    /// assigned to it.
+    pub fn check_compatible(&self, other: &SlotMap) -> Result<(), SlotTableMismatch> {
+        let shared = self.points.len().min(other.points.len());
+        for slot in 0..shared {
+            if self.points[slot] != other.points[slot] {
+                return Err(SlotTableMismatch {
+                    slot: slot as u32,
+                    left: self.points[slot],
+                    right: other.points[slot],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Classifies `other` against this table for merging, the shared
+    /// policy behind both `pgmp-profile merge` and the fleet daemon's
+    /// handshake:
+    ///
+    /// - [`SlotCompat::Extends`] — the tables agree on every shared slot
+    ///   ([`SlotMap::check_compatible`]), so slot ids are interchangeable
+    ///   with no translation; `other` may simply extend this table.
+    /// - [`SlotCompat::Rekey`] — the tables disagree on some shared slot
+    ///   but share at least one *point*: the same program interned its
+    ///   points in a different order (dense slots are assigned partly at
+    ///   first execution, so skewed workloads reorder them). Counters
+    ///   indexed under `other` must be translated point-by-point before
+    ///   combining — the carried [`SlotTableMismatch`] says where the
+    ///   orders first diverge.
+    ///
+    /// # Errors
+    ///
+    /// Tables that disagree *and* share no point at all describe
+    /// different programs; combining their slot-indexed counters could
+    /// only alias, so that is the typed refusal.
+    pub fn check_mergeable(&self, other: &SlotMap) -> Result<SlotCompat, SlotTableMismatch> {
+        match self.check_compatible(other) {
+            Ok(()) => Ok(SlotCompat::Extends),
+            Err(mismatch) => {
+                if other.points.iter().any(|p| self.slots.contains_key(p)) {
+                    Ok(SlotCompat::Rekey(mismatch))
+                } else {
+                    Err(mismatch)
+                }
+            }
+        }
+    }
+
     /// Reconstructs a map from points already in slot order, as when loading
     /// a stored slot table: `points[i]` is assigned slot `i`.
     ///
@@ -102,6 +160,44 @@ impl SlotMap {
         Ok(m)
     }
 }
+
+/// How a second slot table may be combined with a canonical one — the
+/// successful outcomes of [`SlotMap::check_mergeable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotCompat {
+    /// Every shared slot agrees: slot ids are interchangeable without
+    /// translation and the longer table simply extends the shorter.
+    Extends,
+    /// Same points (at least in part), different interning order: counters
+    /// must be re-keyed point-by-point. Carries the first disagreement,
+    /// for diagnostics.
+    Rekey(SlotTableMismatch),
+}
+
+/// Two slot tables assign different profile points to the same dense
+/// slot — combining counters indexed under them would silently alias
+/// unrelated points. See [`SlotMap::check_compatible`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotTableMismatch {
+    /// The first slot the tables disagree on.
+    pub slot: u32,
+    /// The point the left-hand table assigns to `slot`.
+    pub left: SourceObject,
+    /// The point the right-hand table assigns to `slot`.
+    pub right: SourceObject,
+}
+
+impl std::fmt::Display for SlotTableMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "incompatible slot tables: slot {} is `{}` on one side but `{}` on the other",
+            self.slot, self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for SlotTableMismatch {}
 
 #[cfg(test)]
 mod tests {
@@ -145,5 +241,51 @@ mod tests {
     #[test]
     fn from_points_rejects_duplicates() {
         assert!(matches!(SlotMap::from_points([p(0), p(1), p(0)]), Err(q) if q == p(0)));
+    }
+
+    #[test]
+    fn prefix_tables_are_compatible_both_ways() {
+        let long = SlotMap::from_points([p(0), p(1), p(2)]).unwrap();
+        let short = SlotMap::from_points([p(0), p(1)]).unwrap();
+        assert_eq!(long.check_compatible(&short), Ok(()));
+        assert_eq!(short.check_compatible(&long), Ok(()));
+        assert_eq!(long.check_compatible(&long), Ok(()));
+        assert_eq!(SlotMap::new().check_compatible(&long), Ok(()));
+    }
+
+    #[test]
+    fn disagreeing_slot_is_reported() {
+        let a = SlotMap::from_points([p(0), p(1)]).unwrap();
+        let b = SlotMap::from_points([p(0), p(9)]).unwrap();
+        let err = a.check_compatible(&b).unwrap_err();
+        assert_eq!(
+            err,
+            SlotTableMismatch {
+                slot: 1,
+                left: p(1),
+                right: p(9),
+            }
+        );
+        assert!(err.to_string().contains("slot 1"));
+    }
+
+    #[test]
+    fn mergeable_distinguishes_extension_rekey_and_refusal() {
+        let canon = SlotMap::from_points([p(0), p(1)]).unwrap();
+        // Prefix extension: no translation needed.
+        let longer = SlotMap::from_points([p(0), p(1), p(2)]).unwrap();
+        assert_eq!(canon.check_mergeable(&longer), Ok(SlotCompat::Extends));
+        // Same points, swapped order: re-key, carrying the divergence.
+        let swapped = SlotMap::from_points([p(1), p(0)]).unwrap();
+        match canon.check_mergeable(&swapped) {
+            Ok(SlotCompat::Rekey(m)) => assert_eq!(m.slot, 0),
+            other => panic!("expected rekey, got {other:?}"),
+        }
+        // No shared point at all: a different program, refused.
+        let alien = SlotMap::from_points([p(7), p(8)]).unwrap();
+        let err = canon.check_mergeable(&alien).unwrap_err();
+        assert_eq!(err.slot, 0);
+        // An empty canonical table accepts anything.
+        assert_eq!(SlotMap::new().check_mergeable(&alien), Ok(SlotCompat::Extends));
     }
 }
