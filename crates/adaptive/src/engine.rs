@@ -4,7 +4,11 @@ use crate::counters::ShardedCounters;
 use crate::drift::{drift, DriftMetric};
 use crate::rolling::RollingProfile;
 use pgmp::{Engine, Error, IncrementalConfig, IncrementalEngine};
-use pgmp_bytecode::{canonical_form, compile_chunk};
+use pgmp_bytecode::{
+    canonical_form, compile_chunk, optimize_layout, BlockCounters, Chunk, DispatchMode,
+    FusionPlan, Vm, VmMetrics,
+};
+use pgmp_eval::{EvalError, EvalErrorKind};
 use pgmp_observe as observe;
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -300,6 +304,27 @@ impl AdaptiveHandle {
 
 type Setup = Box<dyn Fn(&mut Engine) -> Result<(), Error> + Send + Sync>;
 
+/// VM-serving state: a persistent [`Vm`] that executes the current
+/// generation's compiled chunks with block-level profiling on, so each
+/// re-optimization can re-lay-out the code it keeps (drift-driven
+/// re-layout) and re-mine the superinstruction plan. Lives on the engine —
+/// the VM borrows the incremental engine's interpreter, and both are
+/// single-threaded.
+struct VmServing {
+    vm: Vm,
+    /// Block counters for the current generation's serving window; cleared
+    /// at each re-optimization so the next re-layout sees only current
+    /// behavior (dense registrations survive the clear).
+    counters: BlockCounters,
+    /// Top-level chunks of the serving generation. Reused forms keep their
+    /// chunk ids across re-optimizations, so counters collected against an
+    /// earlier generation stay valid for them.
+    chunks: Vec<Chunk>,
+    /// Whether re-optimization re-mines a [`FusionPlan`] from the window's
+    /// counters.
+    fuse: bool,
+}
+
 /// The online driver that closes the paper's loop.
 ///
 /// The paper's workflow (§4.3) is offline: instrument, run, store,
@@ -331,6 +356,9 @@ pub struct AdaptiveEngine {
     /// path (`None` when [`AdaptiveConfig::incremental`] is off). Lives on
     /// the engine (not in [`Shared`]): compilation is single-threaded.
     incremental: Option<IncrementalEngine>,
+    /// VM-serving state ([`AdaptiveEngine::enable_vm_serving`]); `None`
+    /// until enabled. Requires the incremental path.
+    serving: Option<VmServing>,
     /// Cumulative flush stats at the end of the previous [`tick`], so each
     /// epoch reports per-epoch deltas.
     ///
@@ -413,6 +441,7 @@ impl AdaptiveEngine {
             config,
             shared,
             incremental,
+            serving: None,
             last_flush: pgmp_rt::FlushStatsSnapshot::default(),
         };
         let gen0 = engine.compile(ProfileInformation::empty(), 0)?;
@@ -453,6 +482,110 @@ impl AdaptiveEngine {
         self.handle().collect_run(driver)
     }
 
+    /// Turns on VM serving: compiles the current generation's chunks
+    /// through the incremental cache, runs them once on a persistent
+    /// [`Vm`] (defining the program's globals in the incremental engine's
+    /// interpreter), and starts collecting block-level counters. From then
+    /// on every re-optimization also re-lays-out the chunks it keeps under
+    /// the counters of the closing generation (and, with `fuse`, re-mines
+    /// the superinstruction plan) before the new generation starts
+    /// serving.
+    ///
+    /// Top-level side effects run once here and once per re-optimization
+    /// (the serving program is expected to be definition-shaped, like any
+    /// program a long-lived service re-loads on deploy).
+    ///
+    /// # Errors
+    ///
+    /// Fails when [`AdaptiveConfig::incremental`] is off — serving depends
+    /// on the cache keeping chunk ids stable for reused forms — and
+    /// propagates compile/run errors.
+    pub fn enable_vm_serving(&mut self, dispatch: DispatchMode, fuse: bool) -> Result<(), Error> {
+        if self.incremental.is_none() {
+            return Err(Error::Eval(EvalError::new(
+                EvalErrorKind::Runtime,
+                "VM serving requires the incremental re-optimization path \
+                 (AdaptiveConfig::incremental)",
+            )));
+        }
+        let weights = {
+            let agg = self
+                .shared
+                .agg
+                .lock()
+                .expect("adaptive aggregation state poisoned");
+            agg.baseline.clone()
+        };
+        let unit = self
+            .incremental
+            .as_mut()
+            .expect("checked above")
+            .compile(&weights)?;
+        let counters = BlockCounters::new();
+        let mut vm = Vm::new();
+        vm.dispatch = dispatch;
+        vm.set_block_profiling(counters.clone());
+        self.serving = Some(VmServing {
+            vm,
+            counters,
+            chunks: unit.chunks,
+            fuse,
+        });
+        self.run_serving_chunks()?;
+        Ok(())
+    }
+
+    /// True once [`AdaptiveEngine::enable_vm_serving`] has succeeded.
+    pub fn vm_serving_enabled(&self) -> bool {
+        self.serving.is_some()
+    }
+
+    /// One unit of VM-served traffic: re-runs the serving generation's
+    /// top-level chunks and then `driver` (expanded through the engine, so
+    /// the program's macros are visible) on the serving VM, mirroring what
+    /// [`AdaptiveHandle::collect_run`] does tree-walked in a fresh engine.
+    /// Block counters accumulate into the current generation's window;
+    /// [`Vm::metrics`] accumulate for [`AdaptiveEngine::vm_metrics`].
+    /// Returns the last value, printed.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless serving is enabled; propagates expansion and runtime
+    /// errors.
+    pub fn vm_serve_run(&mut self, driver: Option<&str>) -> Result<String, Error> {
+        if self.serving.is_none() {
+            return Err(Error::Eval(EvalError::new(
+                EvalErrorKind::Runtime,
+                "vm_serve_run before enable_vm_serving",
+            )));
+        }
+        let mut last = self.run_serving_chunks()?;
+        if let Some(src) = driver {
+            let incr = self
+                .incremental
+                .as_mut()
+                .expect("VM serving requires the incremental path");
+            let cores = incr.engine_mut().expand_to_core(src, "adaptive-vm-driver.scm")?;
+            let serving = self.serving.as_mut().expect("checked above");
+            let incr = self
+                .incremental
+                .as_mut()
+                .expect("VM serving requires the incremental path");
+            let interp = incr.engine_mut().interp_mut();
+            for core in &cores {
+                last = serving.vm.run_core(interp, core)?.write_string();
+            }
+        }
+        Ok(last)
+    }
+
+    /// Cumulative execution metrics of the serving VM (`None` until
+    /// [`AdaptiveEngine::enable_vm_serving`]). Copy out before and after a
+    /// [`AdaptiveEngine::vm_serve_run`] to measure one unit of traffic.
+    pub fn vm_metrics(&self) -> Option<VmMetrics> {
+        self.serving.as_ref().map(|s| s.vm.metrics)
+    }
+
     /// Compiles the program under `weights` (expansion + bytecode), off
     /// to the side; does not swap. Incremental when configured: only
     /// forms whose recorded profile reads changed re-expand.
@@ -464,6 +597,12 @@ impl AdaptiveEngine {
         let optimized_under_points = weights.len();
         if let Some(incr) = self.incremental.as_mut() {
             let unit = incr.compile(&weights)?;
+            if let Some(serving) = self.serving.as_mut() {
+                // Hand the new generation's chunks to the serving VM;
+                // reused forms keep their chunk ids, so the counters
+                // collected under the previous generation still apply.
+                serving.chunks = unit.chunks;
+            }
             return Ok(Arc::new(CompiledProgram {
                 generation,
                 expansion: unit.expansion,
@@ -539,7 +678,68 @@ impl AdaptiveEngine {
             agg.cooldown_left = self.config.cooldown_epochs;
         }
         self.shared.reoptimizations.fetch_add(1, Ordering::Relaxed);
+        self.relayout_serving(next_gen)?;
         Ok(program)
+    }
+
+    /// The drift-driven re-layout half of a re-optimization (no-op unless
+    /// VM serving is enabled): re-lays-out the new generation's chunks —
+    /// and every lambda chunk the serving VM has compiled — under the
+    /// block counters collected since the previous generation, re-mines
+    /// the superinstruction plan from the same window, re-runs the
+    /// (re-laid-out) top-level chunks so re-expanded definitions take
+    /// effect, and opens a fresh counter window for the next generation.
+    fn relayout_serving(&mut self, generation: u64) -> Result<(), Error> {
+        let Some(serving) = self.serving.as_mut() else {
+            return Ok(());
+        };
+        let t = observe::timer();
+        for chunk in serving.chunks.iter_mut() {
+            *chunk = optimize_layout(chunk, &serving.counters);
+        }
+        serving.vm.relayout_cached(&serving.counters);
+        if serving.fuse {
+            let lambda_chunks = serving.vm.compiled_chunks();
+            let plan = FusionPlan::mine(
+                serving
+                    .chunks
+                    .iter()
+                    .chain(lambda_chunks.iter().map(|c| &**c)),
+                &serving.counters,
+                3,
+            );
+            serving.vm.set_fusion(plan);
+        }
+        let chunks = serving.chunks.len() as u32;
+        serving.counters.clear();
+        observe::finish(t, |duration_us| observe::EventKind::LayoutReoptimize {
+            generation,
+            chunks,
+            duration_us,
+        });
+        observe::metrics().counter_add("vm.layout_reoptimizations", 1);
+        self.run_serving_chunks()?;
+        Ok(())
+    }
+
+    /// Runs the serving generation's top-level chunks on the serving VM
+    /// against the incremental engine's interpreter (where the serving
+    /// globals live), returning the last chunk's value, printed.
+    fn run_serving_chunks(&mut self) -> Result<String, Error> {
+        let serving = self
+            .serving
+            .as_mut()
+            .expect("run_serving_chunks without serving state");
+        let incr = self
+            .incremental
+            .as_mut()
+            .expect("VM serving requires the incremental path");
+        let interp = incr.engine_mut().interp_mut();
+        let mut last = String::from("#<unspecified>");
+        for chunk in &serving.chunks {
+            last = serving.vm.run_chunk(interp, chunk)?.write_string();
+        }
+        Ok(last)
     }
 
     /// Runs one epoch synchronously: drain counters into the rolling
@@ -617,6 +817,10 @@ impl AdaptiveEngine {
         m.gauge_set("adaptive.generation", report.generation as f64);
         m.gauge_set("adaptive.streak", f64::from(report.streak));
         m.gauge_set("adaptive.cooldown", f64::from(report.cooldown));
+        if let Some(s) = &self.serving {
+            m.gauge_set("vm.taken_jumps", s.vm.metrics.taken_jumps as f64);
+            m.gauge_set("vm.fused_share", s.vm.metrics.fused_share());
+        }
     }
 
     /// Starts the epoch-based background aggregator: every
@@ -884,6 +1088,71 @@ mod tests {
         assert!(
             text.contains("(if (< n 10) (quote small) (quote big))"),
             "after the shift 'small is hot again: {text}"
+        );
+    }
+
+    /// Fall-through ratio of the control transfers between two metric
+    /// snapshots.
+    fn transfer_ratio(before: VmMetrics, after: VmMetrics) -> f64 {
+        let ft = after.fallthroughs - before.fallthroughs;
+        let tj = after.taken_jumps - before.taken_jumps;
+        assert!(ft + tj > 0, "no control transfers measured");
+        ft as f64 / (ft + tj) as f64
+    }
+
+    #[test]
+    fn vm_serving_requires_the_incremental_path() {
+        let config = AdaptiveConfig {
+            incremental: false,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new("(define x 1)", "p.scm", config).unwrap();
+        assert!(engine.enable_vm_serving(DispatchMode::Flat, false).is_err());
+        assert!(!engine.vm_serving_enabled());
+        assert!(engine.vm_metrics().is_none());
+    }
+
+    #[test]
+    fn drift_relayout_raises_the_fallthrough_ratio() {
+        // No profile-reading macros: every form is reused across the
+        // re-optimization, so any fall-through improvement on the served
+        // workload comes from drift-driven block re-layout alone.
+        let src = "(define (classify n) (if (< n 10) 'small 'big))";
+        let config = AdaptiveConfig {
+            decay: 0.5,
+            drift_threshold: 0.2,
+            ..AdaptiveConfig::default()
+        };
+        let mut engine = AdaptiveEngine::new(src, "plain.scm", config).unwrap();
+        engine.enable_vm_serving(DispatchMode::Flat, true).unwrap();
+        assert!(engine.vm_serving_enabled());
+
+        // Serve shifted traffic: n >= 10 throughout, so classify's
+        // source-second 'big branch is the hot one (a taken jump under the
+        // source-order layout).
+        let before = engine.vm_metrics().unwrap();
+        engine.vm_serve_run(Some(&drive(10, 60))).unwrap();
+        let pre = transfer_ratio(before, engine.vm_metrics().unwrap());
+
+        // Source-level drift from the empty baseline fires; the compile
+        // reuses every form; the re-layout half re-orders the serving
+        // chunks (and the VM's cached lambda bodies) under the counters
+        // the serving run just collected.
+        engine.collect_run(Some(&drive(10, 60))).unwrap();
+        let report = engine.tick().unwrap();
+        assert!(report.reoptimized, "drift from empty baseline must fire");
+        assert!(
+            engine.current_program().reused_forms > 0,
+            "plain program must reuse, not re-expand"
+        );
+
+        // The same workload again: the hot branch now falls through.
+        let before = engine.vm_metrics().unwrap();
+        engine.vm_serve_run(Some(&drive(10, 60))).unwrap();
+        let post = transfer_ratio(before, engine.vm_metrics().unwrap());
+        assert!(
+            post > pre,
+            "re-layout must raise the fall-through ratio: pre {pre:.3} post {post:.3}"
         );
     }
 

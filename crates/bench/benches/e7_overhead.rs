@@ -73,10 +73,10 @@ fn bench_overhead(c: &mut Criterion) {
         let mut e = Engine::new();
         let core = e.expand_to_core(&program, "e7.scm").expect("expand");
         let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
-        let mut vm = Vm::new(e.interp_mut());
+        let mut vm = Vm::new();
         b.iter(|| {
             for chunk in &chunks {
-                vm.run_chunk(chunk).expect("run");
+                vm.run_chunk(e.interp_mut(), chunk).expect("run");
             }
         })
     });
@@ -88,11 +88,11 @@ fn bench_overhead(c: &mut Criterion) {
             let mut e = Engine::new();
             let core = e.expand_to_core(&program, "e7.scm").expect("expand");
             let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
-            let mut vm = Vm::new(e.interp_mut());
+            let mut vm = Vm::new();
             vm.set_block_profiling(BlockCounters::with_impl(kind));
             b.iter(|| {
                 for chunk in &chunks {
-                    vm.run_chunk(chunk).expect("run");
+                    vm.run_chunk(e.interp_mut(), chunk).expect("run");
                 }
             })
         });

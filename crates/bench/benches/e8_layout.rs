@@ -25,10 +25,10 @@ fn bench_layout(c: &mut Criterion) {
         let mut engine = Engine::new();
         let core = engine.expand_to_core(PROGRAM, "e8.scm").expect("expand");
         let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
-        let mut vm = Vm::new(engine.interp_mut());
+        let mut vm = Vm::new();
         b.iter(|| {
             for chunk in &chunks {
-                vm.run_chunk(chunk).expect("run");
+                vm.run_chunk(engine.interp_mut(), chunk).expect("run");
             }
         })
     });
@@ -39,10 +39,10 @@ fn bench_layout(c: &mut Criterion) {
         let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
         // Profile pass.
         let counters = BlockCounters::new();
-        let mut vm = Vm::new(engine.interp_mut());
+        let mut vm = Vm::new();
         vm.set_block_profiling(counters.clone());
         for chunk in &chunks {
-            vm.run_chunk(chunk).expect("profile run");
+            vm.run_chunk(engine.interp_mut(), chunk).expect("profile run");
         }
         // Relayout everything with the collected counts.
         let chunks: Vec<_> = chunks
@@ -53,7 +53,7 @@ fn bench_layout(c: &mut Criterion) {
         vm.block_counters = None;
         b.iter(|| {
             for chunk in &chunks {
-                vm.run_chunk(chunk).expect("run");
+                vm.run_chunk(engine.interp_mut(), chunk).expect("run");
             }
         })
     });

@@ -95,18 +95,18 @@ fn main() {
         let mut e = Engine::new();
         let core = e.expand_to_core(&program, "e7.scm").expect("expand");
         let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
-        let mut vm = Vm::new(e.interp_mut());
+        let mut vm = Vm::new();
         if let Some(c) = counters {
             vm.set_block_profiling(c);
         }
         // Warmup, then the mean of `reps` runs.
         for chunk in &chunks {
-            vm.run_chunk(chunk).expect("run");
+            vm.run_chunk(e.interp_mut(), chunk).expect("run");
         }
         let t0 = Instant::now();
         for _ in 0..reps {
             for chunk in &chunks {
-                vm.run_chunk(chunk).expect("run");
+                vm.run_chunk(e.interp_mut(), chunk).expect("run");
             }
         }
         t0.elapsed() / reps

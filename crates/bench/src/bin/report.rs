@@ -170,17 +170,17 @@ fn e7() {
         let mut e = pgmp::Engine::new();
         let core = e.expand_to_core(&program, "e7.scm").expect("expand");
         let chunks: Vec<_> = core.iter().map(compile_chunk).collect();
-        let mut vm = Vm::new(e.interp_mut());
+        let mut vm = Vm::new();
         if let Some(kind) = kind {
             vm.set_block_profiling(BlockCounters::with_impl(kind));
         }
         for chunk in &chunks {
-            vm.run_chunk(chunk).expect("warmup");
+            vm.run_chunk(e.interp_mut(), chunk).expect("warmup");
         }
         let t0 = Instant::now();
         for _ in 0..3 {
             for chunk in &chunks {
-                vm.run_chunk(chunk).expect("run");
+                vm.run_chunk(e.interp_mut(), chunk).expect("run");
             }
         }
         t0.elapsed() / 3

@@ -1,0 +1,589 @@
+//! Flat code streams: the direct-threaded execution form of a [`Chunk`].
+//!
+//! The block/`Terminator` graph is the *profiling and layout IR* — block
+//! counters, [`crate::optimize_layout`], and [`crate::canonical_form`] all
+//! operate on it. Execution wants something else entirely: one contiguous
+//! `Vec` of fixed-size, fully decoded [`Op`]s that the VM walks by index,
+//! with every heap payload (constants, lambda defs, syntax objects) hoisted
+//! into side pools at lowering time. The hot loop then copies one small
+//! `Copy` op per step — no `Instr::clone()`, no `Datum` re-conversion for
+//! immutable constants, no `Option`-checked step budget.
+//!
+//! [`lower_chunk`] converts a chunk (in its current block layout order)
+//! into a [`FlatChunk`]. Jump ops carry the resolved target `pc` *and* the
+//! target block id plus a precomputed fall-through flag, so block-counter
+//! bumps and [`crate::VmMetrics`] are bit-identical with the match-loop VM.
+//! Superinstruction fusion (see [`crate::fuse`]) happens here, guided by a
+//! [`FusionPlan`]; it never crosses a block boundary, so the lowering is
+//! sound whenever the source chunk is.
+//!
+//! Rust has no computed goto, so "direct-threaded" here means the next
+//! best thing the language allows: a dense `Copy` enum matched in one
+//! tight loop, which LLVM compiles to a single indirect jump through a
+//! table — one dispatch per decoded op.
+
+use crate::chunk::{BlockId, Chunk, Instr, Terminator};
+use crate::fuse::{candidate_instr, candidate_term, imm_datum, FusionPlan};
+use pgmp_eval::{LambdaDef, Value};
+use pgmp_syntax::{Datum, SourceObject, Symbol, Syntax};
+use std::rc::Rc;
+
+/// A resolved control transfer: where to continue (`pc`), which block that
+/// is (for counter bumps), and whether the transfer is a fall-through in
+/// the chunk's layout order (for [`crate::VmMetrics`]). Packed to 8 bytes
+/// so the two-target [`Op::Branch`] stays small: the fall-through flag
+/// rides in the block word's top bit (block ids are interned `u32`s that
+/// never approach 2³¹).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JumpTarget {
+    /// Index of the target block's first op in [`FlatChunk::ops`].
+    pub pc: u32,
+    packed: u32,
+}
+
+impl JumpTarget {
+    const FALLTHROUGH: u32 = 1 << 31;
+
+    /// Builds a target for `block`, flagged as layout fall-through or not.
+    pub fn new(pc: u32, block: BlockId, fallthrough: bool) -> JumpTarget {
+        debug_assert!(block < Self::FALLTHROUGH, "block id overflows packing");
+        JumpTarget {
+            pc,
+            packed: block | if fallthrough { Self::FALLTHROUGH } else { 0 },
+        }
+    }
+
+    /// Target block id (in the lowered chunk's layout order).
+    #[inline]
+    pub fn block(self) -> BlockId {
+        self.packed & !Self::FALLTHROUGH
+    }
+
+    /// True when the target is the next block in layout order.
+    #[inline]
+    pub fn fallthrough(self) -> bool {
+        self.packed & Self::FALLTHROUGH != 0
+    }
+}
+
+/// One decoded, fixed-size VM operation. `Copy`: all heap payloads live in
+/// the owning [`FlatChunk`]'s pools and are referenced by index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push a clone of the pre-converted immutable constant
+    /// [`FlatChunk::imms`]`[pool]`.
+    Imm { pool: u32 },
+    /// Push a fresh [`Value`] converted from [`FlatChunk::datums`]`[pool]`.
+    /// String/pair/vector literals are mutable, so each execution must
+    /// allocate anew — exactly what [`Instr::Const`] does.
+    DatumConst { pool: u32 },
+    /// Push the syntax object [`FlatChunk::syntaxes`]`[pool]`.
+    SyntaxConst { pool: u32 },
+    /// Push the unspecified value.
+    Unspecified,
+    /// Push a local variable.
+    LocalRef { depth: u16, index: u16 },
+    /// Push a global variable (error if unbound); `cache` indexes the
+    /// chunk's global-slot cache exactly as in [`Instr::GlobalRef`].
+    GlobalRef { name: Symbol, cache: u32 },
+    /// Pop a value into a local slot.
+    SetLocal { depth: u16, index: u16 },
+    /// Pop a value into a global (which must exist).
+    SetGlobal { name: Symbol },
+    /// Pop a value, defining a global.
+    DefineGlobal { name: Symbol },
+    /// Pop `n` values into a fresh frame.
+    PushFrame { n: u16 },
+    /// Push a fresh frame of `n` unspecified slots.
+    PushFrameUnspec { n: u16 },
+    /// Pop the current frame.
+    PopFrame,
+    /// Push a closure over the current frame from
+    /// [`FlatChunk::lambdas`]`[pool]`.
+    MakeClosure { pool: u32 },
+    /// Pop `argc` arguments and a callee; push the result. `src` indexes
+    /// [`FlatChunk::srcs`] and is resolved only on the slow path (native
+    /// application and errors), keeping the op at two words.
+    Call { argc: u16, src: u32 },
+    /// Pop and discard the top of stack.
+    Pop,
+    /// Unconditional transfer (a lowered [`Terminator::Jump`]).
+    Jump { target: JumpTarget },
+    /// Pop a value; transfer to `then_` when truthy (a lowered
+    /// [`Terminator::Branch`]).
+    Branch {
+        then_: JumpTarget,
+        else_: JumpTarget,
+    },
+    /// Pop the result and return from the current activation.
+    Return,
+    /// Pop `argc` arguments and a callee; transfer without growing the
+    /// call stack.
+    TailCall { argc: u16, src: u32 },
+
+    // --- Superinstructions (profile-chosen; see `crate::fuse`) ---------
+    /// Fused `LocalRef; LocalRef`.
+    LocalLocal {
+        depth0: u16,
+        index0: u16,
+        depth1: u16,
+        index1: u16,
+    },
+    /// Fused `LocalRef; Call`: the local is the last value pushed before
+    /// the call (its final argument, or the callee itself when
+    /// `argc == 0`).
+    LocalCall {
+        depth: u16,
+        index: u16,
+        argc: u16,
+        src: u32,
+    },
+    /// Fused `Const; Call` over a pooled immediate, same convention.
+    ImmCall { pool: u32, argc: u16, src: u32 },
+    /// Fused `Const; Branch`. A constant's truthiness is a lowering-time
+    /// fact (only `#f` is falsy), so the taken side is resolved statically
+    /// and the op carries a single pre-decided target — the metrics and
+    /// counter bumps are exactly those the unfused pair would record.
+    ImmBranch { target: JumpTarget },
+    /// Fused `LocalRef; Return`.
+    LocalReturn { depth: u16, index: u16 },
+}
+
+/// A chunk lowered to a flat op stream plus side pools. Produced by
+/// [`lower_chunk`]; executed by [`crate::Vm`] in flat dispatch mode.
+#[derive(Debug)]
+pub struct FlatChunk {
+    /// The source chunk's id (block counters and global caches stay keyed
+    /// exactly as for the block form).
+    pub id: u32,
+    /// The op stream, blocks concatenated in layout order.
+    pub ops: Vec<Op>,
+    /// Pre-converted immutable constants ([`Op::Imm`]).
+    pub imms: Vec<Value>,
+    /// Mutable-literal datums, converted per execution
+    /// ([`Op::DatumConst`]).
+    pub datums: Vec<Datum>,
+    /// Syntax constants ([`Op::SyntaxConst`]).
+    pub syntaxes: Vec<Rc<Syntax>>,
+    /// Lambda definitions ([`Op::MakeClosure`]).
+    pub lambdas: Vec<Rc<LambdaDef>>,
+    /// Call-site source objects, indexed by the `src` field of call ops.
+    /// Slot 0 is always `None`, so `src == 0` means "no source recorded"
+    /// without an `Option` in the op itself.
+    pub srcs: Vec<Option<SourceObject>>,
+    /// First-op pc of each block, indexed by block id.
+    pub block_starts: Vec<u32>,
+    /// Entry block id.
+    pub entry_block: BlockId,
+    /// Entry pc (`block_starts[entry_block]`).
+    pub entry_pc: u32,
+    /// Number of blocks (the counter registration width).
+    pub block_count: u32,
+    /// Global-slot cache width, copied from [`Chunk::global_refs`].
+    pub global_refs: u32,
+    /// Superinstructions emitted during lowering.
+    pub fused: u32,
+    /// Structural hash of the source chunk's layout (see [`layout_sig`]):
+    /// lets the VM detect that a cached lowering is stale after
+    /// [`crate::optimize_layout`] reordered the blocks.
+    pub layout_sig: u64,
+}
+
+/// A structural hash of a chunk's *layout*: entry block, block order, per
+/// block every instruction discriminant with its inline scalar operands,
+/// and the terminator with its targets. Two layouts of the same chunk
+/// (same id) hash equal only when their block sequences are
+/// position-by-position identical — i.e. when they are the same code.
+pub fn layout_sig(chunk: &Chunk) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(chunk.entry as u64);
+    mix(chunk.blocks.len() as u64);
+    for block in &chunk.blocks {
+        mix(block.instrs.len() as u64);
+        for instr in &block.instrs {
+            match instr {
+                Instr::Const(d) => {
+                    mix(1);
+                    mix(match d {
+                        Datum::Nil => 0,
+                        Datum::Bool(b) => 0x10 | *b as u64,
+                        Datum::Int(n) => 0x100u64.wrapping_add(*n as u64),
+                        Datum::Float(x) => 0x200u64.wrapping_add(x.to_bits()),
+                        Datum::Char(c) => 0x300 | *c as u64,
+                        Datum::Sym(s) => {
+                            use std::hash::{Hash, Hasher};
+                            let mut sh = std::collections::hash_map::DefaultHasher::new();
+                            s.hash(&mut sh);
+                            0x400u64.wrapping_add(sh.finish())
+                        }
+                        Datum::Str(_) => 0x500,
+                        Datum::Pair(_) => 0x600,
+                        Datum::Vector(_) => 0x700,
+                    });
+                }
+                Instr::SyntaxConst(_) => mix(2),
+                Instr::Unspecified => mix(3),
+                Instr::LocalRef { depth, index } => {
+                    mix(4);
+                    mix((*depth as u64) << 16 | *index as u64);
+                }
+                Instr::GlobalRef { cache, .. } => {
+                    mix(5);
+                    mix(*cache as u64);
+                }
+                Instr::SetLocal { depth, index } => {
+                    mix(6);
+                    mix((*depth as u64) << 16 | *index as u64);
+                }
+                Instr::SetGlobal(_) => mix(7),
+                Instr::DefineGlobal(_) => mix(8),
+                Instr::PushFrame(n) => {
+                    mix(9);
+                    mix(*n as u64);
+                }
+                Instr::PushFrameUnspec(n) => {
+                    mix(10);
+                    mix(*n as u64);
+                }
+                Instr::PopFrame => mix(11),
+                Instr::MakeClosure(_) => mix(12),
+                Instr::Call { argc, .. } => {
+                    mix(13);
+                    mix(*argc as u64);
+                }
+                Instr::Pop => mix(14),
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                mix(20);
+                mix(*t as u64);
+            }
+            Terminator::Branch(t, e) => {
+                mix(21);
+                mix((*t as u64) << 32 | *e as u64);
+            }
+            Terminator::Return => mix(22),
+            Terminator::TailCall { argc, .. } => {
+                mix(23);
+                mix(*argc as u64);
+            }
+        }
+    }
+    h
+}
+
+struct Lowerer {
+    ops: Vec<Op>,
+    imms: Vec<Value>,
+    datums: Vec<Datum>,
+    syntaxes: Vec<Rc<Syntax>>,
+    lambdas: Vec<Rc<LambdaDef>>,
+    srcs: Vec<Option<SourceObject>>,
+    fused: u32,
+}
+
+impl Lowerer {
+    fn src_pool(&mut self, src: &Option<SourceObject>) -> u32 {
+        if src.is_none() {
+            return 0;
+        }
+        self.srcs.push(*src);
+        (self.srcs.len() - 1) as u32
+    }
+
+    fn pool_const(&mut self, d: &Datum) -> Op {
+        if imm_datum(d) {
+            self.imms.push(Value::from_datum(d));
+            Op::Imm {
+                pool: (self.imms.len() - 1) as u32,
+            }
+        } else {
+            self.datums.push(d.clone());
+            Op::DatumConst {
+                pool: (self.datums.len() - 1) as u32,
+            }
+        }
+    }
+
+    fn imm_pool(&mut self, d: &Datum) -> u32 {
+        self.imms.push(Value::from_datum(d));
+        (self.imms.len() - 1) as u32
+    }
+
+    fn single(&mut self, instr: &Instr) -> Op {
+        match instr {
+            Instr::Const(d) => self.pool_const(d),
+            Instr::SyntaxConst(s) => {
+                self.syntaxes.push(s.clone());
+                Op::SyntaxConst {
+                    pool: (self.syntaxes.len() - 1) as u32,
+                }
+            }
+            Instr::Unspecified => Op::Unspecified,
+            Instr::LocalRef { depth, index } => Op::LocalRef {
+                depth: *depth,
+                index: *index,
+            },
+            Instr::GlobalRef { name, cache } => Op::GlobalRef {
+                name: *name,
+                cache: *cache,
+            },
+            Instr::SetLocal { depth, index } => Op::SetLocal {
+                depth: *depth,
+                index: *index,
+            },
+            Instr::SetGlobal(name) => Op::SetGlobal { name: *name },
+            Instr::DefineGlobal(name) => Op::DefineGlobal { name: *name },
+            Instr::PushFrame(n) => Op::PushFrame { n: *n },
+            Instr::PushFrameUnspec(n) => Op::PushFrameUnspec { n: *n },
+            Instr::PopFrame => Op::PopFrame,
+            Instr::MakeClosure(def) => {
+                self.lambdas.push(def.clone());
+                Op::MakeClosure {
+                    pool: (self.lambdas.len() - 1) as u32,
+                }
+            }
+            Instr::Call { argc, src } => Op::Call {
+                argc: *argc,
+                src: self.src_pool(src),
+            },
+            Instr::Pop => Op::Pop,
+        }
+    }
+
+    /// Emits the fused form of an adjacent instruction pair. Only called
+    /// for pairs [`candidate_instr`] classified, so the match is total.
+    fn fused_pair(&mut self, a: &Instr, b: &Instr) -> Op {
+        self.fused += 1;
+        match (a, b) {
+            (
+                Instr::LocalRef {
+                    depth: d0,
+                    index: i0,
+                },
+                Instr::LocalRef {
+                    depth: d1,
+                    index: i1,
+                },
+            ) => Op::LocalLocal {
+                depth0: *d0,
+                index0: *i0,
+                depth1: *d1,
+                index1: *i1,
+            },
+            (Instr::LocalRef { depth, index }, Instr::Call { argc, src }) => Op::LocalCall {
+                depth: *depth,
+                index: *index,
+                argc: *argc,
+                src: self.src_pool(src),
+            },
+            (Instr::Const(d), Instr::Call { argc, src }) => Op::ImmCall {
+                pool: self.imm_pool(d),
+                argc: *argc,
+                src: self.src_pool(src),
+            },
+            _ => unreachable!("fused_pair on a non-candidate pair"),
+        }
+    }
+}
+
+/// Placeholder target used during emission; patched to real pcs once every
+/// block's start offset is known.
+fn pending(block: BlockId, from: BlockId) -> JumpTarget {
+    JumpTarget::new(0, block, block == from + 1)
+}
+
+/// Lowers `chunk` (in its current block layout order) to a flat op
+/// stream, fusing the adjacencies `plan` enables. Pure: the chunk is not
+/// consumed, and lowering the same chunk with the same plan is
+/// deterministic.
+pub fn lower_chunk(chunk: &Chunk, plan: &FusionPlan) -> FlatChunk {
+    let n = chunk.blocks.len();
+    let mut lw = Lowerer {
+        ops: Vec::new(),
+        imms: Vec::new(),
+        datums: Vec::new(),
+        syntaxes: Vec::new(),
+        lambdas: Vec::new(),
+        srcs: vec![None],
+        fused: 0,
+    };
+    let mut block_starts = vec![0u32; n];
+    for (b, block) in chunk.blocks.iter().enumerate() {
+        let from = b as BlockId;
+        block_starts[b] = lw.ops.len() as u32;
+        let instrs = &block.instrs;
+        let mut i = 0;
+        let mut term_fused = false;
+        while i < instrs.len() {
+            if i + 1 < instrs.len() {
+                if let Some(f) = candidate_instr(&instrs[i], &instrs[i + 1]) {
+                    if plan.has(f) {
+                        let op = lw.fused_pair(&instrs[i], &instrs[i + 1]);
+                        lw.ops.push(op);
+                        i += 2;
+                        continue;
+                    }
+                }
+            } else if let Some(f) = candidate_term(&instrs[i], &block.term) {
+                if plan.has(f) {
+                    lw.fused += 1;
+                    let op = match (&instrs[i], &block.term) {
+                        (Instr::Const(d), Terminator::Branch(t, e)) => {
+                            // Only `#f` is falsy, so the branch direction
+                            // is decided here, not per execution.
+                            let taken = if matches!(d, Datum::Bool(false)) { e } else { t };
+                            Op::ImmBranch {
+                                target: pending(*taken, from),
+                            }
+                        }
+                        (Instr::LocalRef { depth, index }, Terminator::Return) => {
+                            Op::LocalReturn {
+                                depth: *depth,
+                                index: *index,
+                            }
+                        }
+                        _ => unreachable!("fused terminator on a non-candidate pair"),
+                    };
+                    lw.ops.push(op);
+                    i += 1;
+                    term_fused = true;
+                    continue;
+                }
+            }
+            let op = lw.single(&instrs[i]);
+            lw.ops.push(op);
+            i += 1;
+        }
+        if !term_fused {
+            let op = match &block.term {
+                Terminator::Jump(t) => Op::Jump {
+                    target: pending(*t, from),
+                },
+                Terminator::Branch(t, e) => Op::Branch {
+                    then_: pending(*t, from),
+                    else_: pending(*e, from),
+                },
+                Terminator::Return => Op::Return,
+                Terminator::TailCall { argc, src } => Op::TailCall {
+                    argc: *argc,
+                    src: lw.src_pool(src),
+                },
+            };
+            lw.ops.push(op);
+        }
+    }
+    // Patch every transfer's pc now that block offsets are known.
+    let patch = |t: &mut JumpTarget| t.pc = block_starts[t.block() as usize];
+    for op in &mut lw.ops {
+        match op {
+            Op::Jump { target } | Op::ImmBranch { target } => patch(target),
+            Op::Branch { then_, else_ } => {
+                patch(then_);
+                patch(else_);
+            }
+            _ => {}
+        }
+    }
+    let entry_pc = block_starts[chunk.entry as usize];
+    FlatChunk {
+        id: chunk.id,
+        ops: lw.ops,
+        imms: lw.imms,
+        datums: lw.datums,
+        syntaxes: lw.syntaxes,
+        lambdas: lw.lambdas,
+        srcs: lw.srcs,
+        block_starts,
+        entry_block: chunk.entry,
+        entry_pc,
+        block_count: n as u32,
+        global_refs: chunk.global_refs,
+        fused: lw.fused,
+        layout_sig: layout_sig(chunk),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{fresh_chunk_id_for_tests, Block};
+    use crate::counters::BlockCounters;
+    use crate::layout::optimize_layout;
+
+    fn sample() -> Chunk {
+        Chunk {
+            id: fresh_chunk_id_for_tests(),
+            entry: 0,
+            global_refs: 0,
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Const(Datum::Int(1))],
+                    term: Terminator::Branch(1, 2),
+                },
+                Block {
+                    instrs: vec![
+                        Instr::LocalRef { depth: 0, index: 0 },
+                        Instr::LocalRef { depth: 0, index: 1 },
+                    ],
+                    term: Terminator::Return,
+                },
+                Block {
+                    instrs: vec![Instr::Const(Datum::string("mut"))],
+                    term: Terminator::Jump(1),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn lowering_resolves_block_starts_and_targets() {
+        let chunk = sample();
+        let flat = lower_chunk(&chunk, &FusionPlan::none());
+        assert_eq!(flat.block_count, 3);
+        assert_eq!(flat.entry_pc, 0);
+        // Ops: [Imm, Branch] [Local, Local, Return] [DatumConst, Jump]
+        assert_eq!(flat.ops.len(), 7);
+        assert_eq!(flat.block_starts, vec![0, 2, 5]);
+        match flat.ops[1] {
+            Op::Branch { then_, else_ } => {
+                assert_eq!(then_, JumpTarget::new(2, 1, true));
+                assert_eq!(else_, JumpTarget::new(5, 2, false));
+                assert_eq!((then_.block(), then_.fallthrough()), (1, true));
+                assert_eq!((else_.block(), else_.fallthrough()), (2, false));
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+        // The mutable string literal stays a datum, not a pooled value.
+        assert!(matches!(flat.ops[5], Op::DatumConst { .. }));
+        assert_eq!(flat.datums.len(), 1);
+        assert_eq!(flat.imms.len(), 1);
+    }
+
+    #[test]
+    fn fusion_shrinks_the_stream_without_changing_blocks() {
+        let chunk = sample();
+        let plain = lower_chunk(&chunk, &FusionPlan::none());
+        let fused = lower_chunk(&chunk, &FusionPlan::all());
+        assert!(fused.fused >= 2, "imm+branch and local+local: {}", fused.fused);
+        assert!(fused.ops.len() < plain.ops.len());
+        assert_eq!(fused.block_count, plain.block_count);
+        assert_eq!(fused.entry_block, plain.entry_block);
+    }
+
+    #[test]
+    fn layout_sig_tracks_reordering() {
+        let chunk = sample();
+        let counters = BlockCounters::new();
+        for _ in 0..10 {
+            counters.increment(chunk.id, 2);
+        }
+        let moved = optimize_layout(&chunk, &counters);
+        assert_ne!(layout_sig(&chunk), layout_sig(&moved), "reorder must re-sign");
+        assert_eq!(layout_sig(&chunk), layout_sig(&chunk.clone()), "sig is stable");
+    }
+}

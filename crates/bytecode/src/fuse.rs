@@ -1,0 +1,298 @@
+//! Profile-guided superinstruction selection.
+//!
+//! The flat lowering ([`crate::flat`]) can fuse the hottest *adjacent*
+//! opcode pairs into single combined ops, cutting dispatches on hot
+//! paths — a PGMP use case the paper never had: the meta-program
+//! specializes the VM itself. Which pairs are worth fusing is a per-program
+//! decision driven by the block-level profile: [`FusionPlan::mine`] weighs
+//! every fusable adjacency by its block's execution count, enables the top
+//! candidates, and records the choice as an optimization decision
+//! (alternatives + weights + chosen) so `pgmp-trace decisions` can explain
+//! it exactly like the case-study macros.
+//!
+//! Fusion is a pure dispatch-level rewrite: a fused op performs the same
+//! stack/frame effects as the two ops it replaces, blocks keep their
+//! boundaries, and the block/`Terminator` graph is untouched — so
+//! [`crate::canonical_form`] of the source chunk is invariant and block
+//! counters are bit-identical with and without fusion.
+
+use crate::chunk::{Chunk, Instr, Terminator};
+use crate::counters::BlockCounters;
+use pgmp_observe as observe;
+use pgmp_syntax::Datum;
+
+/// The fusable adjacent-pair shapes the lowering knows how to emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fused {
+    /// `LocalRef; LocalRef` — push two locals in one dispatch.
+    LocalLocal,
+    /// `LocalRef; Call` — the local is the value pushed immediately before
+    /// the call (its last argument, or the callee when `argc == 0`).
+    LocalCall,
+    /// `Const; Call` with an immutable constant — ditto for a pooled
+    /// immediate.
+    ImmCall,
+    /// `Const; Branch` with an immutable constant — branch on the pooled
+    /// immediate's truthiness without stack traffic.
+    ImmBranch,
+    /// `LocalRef; Return` — return a local directly.
+    LocalReturn,
+}
+
+/// All candidates, in a stable order (the decision's alternative order).
+pub const FUSED_CANDIDATES: [Fused; 5] = [
+    Fused::LocalLocal,
+    Fused::LocalCall,
+    Fused::ImmCall,
+    Fused::ImmBranch,
+    Fused::LocalReturn,
+];
+
+impl Fused {
+    /// Stable label used in decision provenance and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fused::LocalLocal => "local+local",
+            Fused::LocalCall => "local+call",
+            Fused::ImmCall => "const+call",
+            Fused::ImmBranch => "const+branch",
+            Fused::LocalReturn => "local+return",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Fused::LocalLocal => 0,
+            Fused::LocalCall => 1,
+            Fused::ImmCall => 2,
+            Fused::ImmBranch => 3,
+            Fused::LocalReturn => 4,
+        }
+    }
+}
+
+/// True for datum kinds whose [`pgmp_eval::Value`] form is immutable and
+/// therefore poolable: pushing a clone of a pre-converted value is
+/// indistinguishable from converting the datum afresh. String, pair, and
+/// vector literals are *mutable* in Scheme, so they must be rebuilt per
+/// execution and are never fused.
+pub(crate) fn imm_datum(d: &Datum) -> bool {
+    matches!(
+        d,
+        Datum::Nil | Datum::Bool(_) | Datum::Int(_) | Datum::Float(_) | Datum::Char(_) | Datum::Sym(_)
+    )
+}
+
+/// The fusable shape of an adjacent instruction pair, if any.
+pub(crate) fn candidate_instr(a: &Instr, b: &Instr) -> Option<Fused> {
+    match (a, b) {
+        (Instr::LocalRef { .. }, Instr::LocalRef { .. }) => Some(Fused::LocalLocal),
+        (Instr::LocalRef { .. }, Instr::Call { .. }) => Some(Fused::LocalCall),
+        (Instr::Const(d), Instr::Call { .. }) if imm_datum(d) => Some(Fused::ImmCall),
+        _ => None,
+    }
+}
+
+/// The fusable shape of a block's last instruction and its terminator.
+pub(crate) fn candidate_term(a: &Instr, t: &Terminator) -> Option<Fused> {
+    match (a, t) {
+        (Instr::Const(d), Terminator::Branch(..)) if imm_datum(d) => Some(Fused::ImmBranch),
+        (Instr::LocalRef { .. }, Terminator::Return) => Some(Fused::LocalReturn),
+        _ => None,
+    }
+}
+
+/// Which superinstructions the lowering may emit. The default plan fuses
+/// nothing; [`FusionPlan::mine`] builds one from a block profile.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FusionPlan {
+    enabled: [bool; FUSED_CANDIDATES.len()],
+}
+
+impl FusionPlan {
+    /// No fusion (the default): the flat stream is a 1:1 lowering.
+    pub fn none() -> FusionPlan {
+        FusionPlan::default()
+    }
+
+    /// Every candidate enabled — profile-free maximal fusion, used by
+    /// benches and the differential oracle.
+    pub fn all() -> FusionPlan {
+        FusionPlan {
+            enabled: [true; FUSED_CANDIDATES.len()],
+        }
+    }
+
+    /// True when the lowering may emit `f`.
+    pub fn has(&self, f: Fused) -> bool {
+        self.enabled[f.index()]
+    }
+
+    /// Number of enabled candidates.
+    pub fn len(&self) -> usize {
+        self.enabled.iter().filter(|e| **e).count()
+    }
+
+    /// True when no candidate is enabled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Labels of the enabled candidates, in candidate order.
+    pub fn labels(&self) -> Vec<&'static str> {
+        FUSED_CANDIDATES
+            .iter()
+            .filter(|f| self.has(**f))
+            .map(|f| f.label())
+            .collect()
+    }
+
+    /// Mines the block profile for the hottest fusable adjacencies across
+    /// `chunks` and enables the top `limit` candidates with nonzero
+    /// weight. Each fusable pair contributes its block's execution count;
+    /// a never-profiled program therefore fuses nothing (the honest
+    /// default — fusion is profile-guided, not speculative).
+    ///
+    /// Records the selection as a `decision` trace event (site
+    /// `vm-fusion`): every candidate with its normalized weight as an
+    /// alternative, the enabled labels as `chosen`, so `pgmp-trace
+    /// decisions`/`compare` treat it exactly like a case-study macro's
+    /// clause reordering.
+    pub fn mine<'a>(
+        chunks: impl IntoIterator<Item = &'a Chunk>,
+        counters: &BlockCounters,
+        limit: usize,
+    ) -> FusionPlan {
+        let mut weights = [0u64; FUSED_CANDIDATES.len()];
+        let mut sites = 0u64;
+        for chunk in chunks {
+            for (b, block) in chunk.blocks.iter().enumerate() {
+                let hits = counters.count(chunk.id, b as u32);
+                let mut note = |f: Fused| {
+                    sites += 1;
+                    weights[f.index()] = weights[f.index()].saturating_add(hits);
+                };
+                for pair in block.instrs.windows(2) {
+                    if let Some(f) = candidate_instr(&pair[0], &pair[1]) {
+                        note(f);
+                    }
+                }
+                if let Some(last) = block.instrs.last() {
+                    if let Some(f) = candidate_term(last, &block.term) {
+                        note(f);
+                    }
+                }
+            }
+        }
+        let total: u64 = weights.iter().sum();
+        let mut ranked: Vec<(Fused, u64)> = FUSED_CANDIDATES
+            .iter()
+            .map(|f| (*f, weights[f.index()]))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.index().cmp(&b.0.index())));
+        let mut plan = FusionPlan::none();
+        for (f, w) in ranked.iter().take(limit) {
+            if *w > 0 {
+                plan.enabled[f.index()] = true;
+            }
+        }
+        if observe::enabled() && sites > 0 {
+            let alternatives = FUSED_CANDIDATES
+                .iter()
+                .map(|f| observe::DecisionAlt {
+                    label: f.label().to_owned(),
+                    weight: (total > 0)
+                        .then(|| weights[f.index()] as f64 / total as f64),
+                })
+                .collect();
+            let chosen: Vec<String> =
+                plan.labels().iter().map(|l| (*l).to_owned()).collect();
+            let rank = ranked
+                .first()
+                .map(|(f, _)| f.index() as u32)
+                .unwrap_or(0);
+            observe::emit(observe::EventKind::Decision {
+                site: "vm-fusion".to_owned(),
+                decision_point: format!("superinstructions:{sites}-sites"),
+                alternatives,
+                chosen,
+                rank,
+            });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{fresh_chunk_id_for_tests, Block};
+
+    fn local(depth: u16, index: u16) -> Instr {
+        Instr::LocalRef { depth, index }
+    }
+
+    fn hot_chunk() -> Chunk {
+        Chunk {
+            id: fresh_chunk_id_for_tests(),
+            entry: 0,
+            global_refs: 0,
+            blocks: vec![
+                Block {
+                    instrs: vec![local(0, 0), local(0, 1), Instr::Call { argc: 1, src: None }],
+                    term: Terminator::Return,
+                },
+                Block {
+                    instrs: vec![local(0, 0)],
+                    term: Terminator::Return,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn unprofiled_programs_fuse_nothing() {
+        let chunk = hot_chunk();
+        let plan = FusionPlan::mine([&chunk], &BlockCounters::new(), 3);
+        assert!(plan.is_empty(), "no profile, no fusion: {plan:?}");
+    }
+
+    #[test]
+    fn mining_enables_the_hot_pairs() {
+        let chunk = hot_chunk();
+        let counters = BlockCounters::new();
+        for _ in 0..50 {
+            counters.increment(chunk.id, 0);
+        }
+        counters.increment(chunk.id, 1);
+        let plan = FusionPlan::mine([&chunk], &counters, 2);
+        // Block 0 carries LocalLocal + LocalCall at weight 50 each; block 1
+        // carries LocalReturn at weight 1 — the limit of 2 keeps the top two.
+        assert!(plan.has(Fused::LocalLocal));
+        assert!(plan.has(Fused::LocalCall));
+        assert!(!plan.has(Fused::LocalReturn));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn all_and_none_are_what_they_say() {
+        assert_eq!(FusionPlan::all().len(), FUSED_CANDIDATES.len());
+        assert!(FusionPlan::none().is_empty());
+        for f in FUSED_CANDIDATES {
+            assert!(FusionPlan::all().has(f));
+        }
+    }
+
+    #[test]
+    fn mutable_constants_are_never_candidates() {
+        let call = Instr::Call { argc: 1, src: None };
+        assert_eq!(
+            candidate_instr(&Instr::Const(Datum::string("s")), &call),
+            None
+        );
+        assert_eq!(
+            candidate_instr(&Instr::Const(Datum::Int(1)), &call),
+            Some(Fused::ImmCall)
+        );
+    }
+}

@@ -14,7 +14,12 @@
 //! - [`BlockCounters`] counts block executions (the block-level profile);
 //! - [`optimize_layout`] is the block-level PGO: a greedy hottest-successor
 //!   trace layout that maximizes fall-through on hot paths, measured by
-//!   [`VmMetrics`] (taken jumps vs. fall-throughs).
+//!   [`VmMetrics`] (taken jumps vs. fall-throughs);
+//! - [`lower_chunk`] flattens a chunk (in its current layout order) into a
+//!   contiguous stream of fixed-size decoded ops ([`FlatChunk`]) that the
+//!   VM executes by index in its default [`DispatchMode::Flat`], optionally
+//!   fusing the profile-hottest adjacent pairs into superinstructions
+//!   chosen by [`FusionPlan::mine`].
 //!
 //! # Example
 //!
@@ -32,19 +37,23 @@
 //! let mut interp = Interp::new();
 //! install_primitives(&mut interp);
 //! install_expander_support(&mut interp);
-//! let mut vm = Vm::new(&mut interp);
-//! let v = vm.run_chunk(&chunk).unwrap();
+//! let mut vm = Vm::new();
+//! let v = vm.run_chunk(&mut interp, &chunk).unwrap();
 //! assert_eq!(v.to_string(), "42");
 //! ```
 
 mod chunk;
 mod compile;
 mod counters;
+mod flat;
+mod fuse;
 mod layout;
 mod vm;
 
 pub use chunk::{Block, BlockId, Chunk, Instr, Terminator};
 pub use compile::compile_chunk;
 pub use counters::{BlockCounters, NO_BASE};
+pub use flat::{layout_sig, lower_chunk, FlatChunk, JumpTarget, Op};
+pub use fuse::{Fused, FusionPlan, FUSED_CANDIDATES};
 pub use layout::{canonical_form, optimize_layout};
-pub use vm::{Vm, VmMetrics};
+pub use vm::{DispatchMode, Vm, VmMetrics};

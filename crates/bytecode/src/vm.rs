@@ -1,9 +1,26 @@
 //! The stack VM executing basic-block bytecode.
+//!
+//! Two dispatch engines over the same semantics:
+//!
+//! - [`DispatchMode::Flat`] (the default): chunks are lowered once to
+//!   contiguous [`FlatChunk`] op streams ([`crate::flat`]) and executed by
+//!   index — one small `Copy` op per step, constants pre-converted into a
+//!   side pool, profile-chosen superinstructions ([`crate::fuse`]) fusing
+//!   hot adjacent pairs into single dispatches.
+//! - [`DispatchMode::Match`]: the original block/`Terminator` walker, kept
+//!   as the semantic reference and the honest baseline for bench E17.
+//!
+//! Both engines bump the same [`VmMetrics`] and block counters at the same
+//! program points, so profiles and the layout cost model are dispatch-mode
+//! independent — the differential oracle in `tests/proptests.rs` holds the
+//! engines to that bit-for-bit.
 
 use crate::chunk::{BlockId, Chunk, Instr, Terminator};
 use crate::compile::compile_chunk;
 use crate::counters::{BlockCounters, NO_BASE};
-use pgmp_eval::{Closure, Core, EvalError, EvalErrorKind, Frame, Interp, LambdaDef, Value};
+use crate::flat::{self, FlatChunk, JumpTarget, Op};
+use crate::fuse::FusionPlan;
+use pgmp_eval::{Closure, Core, EvalError, EvalErrorKind, Frame, Interp, LambdaDef, QuickOp, Value};
 use pgmp_observe as observe;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -12,12 +29,44 @@ use std::rc::Rc;
 /// Sentinel for an unresolved entry in a chunk's global-slot cache.
 const UNRESOLVED: u32 = u32::MAX;
 
+/// How the VM executes chunks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Lower to flat op streams and execute by index (fast path).
+    #[default]
+    Flat,
+    /// Walk the block/`Terminator` form directly (reference engine).
+    Match,
+}
+
+impl DispatchMode {
+    /// Parses a CLI spelling (`flat` / `match`).
+    pub fn parse(s: &str) -> Option<DispatchMode> {
+        match s {
+            "flat" => Some(DispatchMode::Flat),
+            "match" => Some(DispatchMode::Match),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchMode::Flat => "flat",
+            DispatchMode::Match => "match",
+        }
+    }
+}
+
 /// Execution statistics: the cost model block-level PGO optimizes.
 ///
 /// A `Jump`/`Branch` to the block laid out immediately after the current
 /// one counts as a fall-through; any other target is a taken jump. Layout
 /// optimization ([`crate::optimize_layout`]) raises the fall-through ratio
-/// on hot paths.
+/// on hot paths. `blocks_executed`, `fallthroughs`, `taken_jumps`, and
+/// `calls` are identical across dispatch modes; `dispatches` and
+/// `fused_dispatches` describe the flat stream (fusion makes `dispatches`
+/// smaller, which is the point).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct VmMetrics {
     /// Basic blocks entered.
@@ -28,6 +77,10 @@ pub struct VmMetrics {
     pub taken_jumps: u64,
     /// Procedure calls (including tail calls).
     pub calls: u64,
+    /// Ops dispatched (loop iterations, both engines).
+    pub dispatches: u64,
+    /// Dispatches that executed a fused superinstruction.
+    pub fused_dispatches: u64,
 }
 
 impl VmMetrics {
@@ -38,6 +91,14 @@ impl VmMetrics {
             return 1.0;
         }
         self.fallthroughs as f64 / total as f64
+    }
+
+    /// Fraction of dispatches that were fused superinstructions.
+    pub fn fused_share(&self) -> f64 {
+        if self.dispatches == 0 {
+            return 0.0;
+        }
+        self.fused_dispatches as f64 / self.dispatches as f64
     }
 }
 
@@ -56,14 +117,51 @@ struct Activation {
     globals: Rc<[Cell<u32>]>,
 }
 
+/// Sentinel `def_key` for activations not entered through a lambda (the
+/// toplevel chunk). `LambdaDef`s live behind `Rc`, so no real key is 0.
+const NO_DEF: usize = 0;
+
+struct FlatActivation {
+    code: Rc<FlatChunk>,
+    pc: u32,
+    frame: Option<Rc<Frame>>,
+    counter_base: u32,
+    globals: Rc<[Cell<u32>]>,
+    /// Identity (`Rc` pointer) of the `LambdaDef` this code was lowered
+    /// from, letting a tail self-call re-enter `code` without touching
+    /// the lowering cache. [`NO_DEF`] for toplevel chunks.
+    def_key: usize,
+}
+
+/// A flat lowering bundled with its chunk's global-slot cache, so entering
+/// an activation costs one cache lookup, not two. The globals `Rc` aliases
+/// the entry in `Vm::global_caches` (keyed by chunk id), which is what
+/// keeps resolved slots alive across re-lowerings.
+#[derive(Clone)]
+struct FlatEntry {
+    code: Rc<FlatChunk>,
+    globals: Rc<[Cell<u32>]>,
+}
+
 /// The bytecode virtual machine.
 ///
-/// Borrows an [`Interp`] for globals, natives, and (tree-walked) closure
-/// application inside higher-order natives. See the crate-level example.
-pub struct Vm<'a> {
-    /// The shared interpreter (globals + natives).
-    pub interp: &'a mut Interp,
+/// Owns its chunk/lowering caches and borrows an [`Interp`] per run for
+/// globals, natives, and (tree-walked) closure application inside
+/// higher-order natives. See the crate-level example.
+#[derive(Default)]
+pub struct Vm {
     chunk_cache: HashMap<usize, Rc<Chunk>>,
+    /// Flat lowerings of lambda chunks, keyed like `chunk_cache` by the
+    /// `LambdaDef` pointer; invalidated by `set_fusion`/`relayout_cached`.
+    flat_lambda_cache: HashMap<usize, FlatEntry>,
+    /// One-entry inline cache in front of `flat_lambda_cache`: calls in a
+    /// loop are overwhelmingly monomorphic, so the common closure call
+    /// skips the hash lookup entirely.
+    last_flat: Option<(usize, FlatEntry)>,
+    /// Flat lowerings of toplevel chunks passed to [`Vm::run_chunk`],
+    /// keyed by chunk id and revalidated against [`flat::layout_sig`]
+    /// (callers may re-lay-out a chunk without changing its id).
+    flat_cache: HashMap<u32, FlatEntry>,
     /// Per-chunk global-slot caches, keyed by chunk id.
     global_caches: HashMap<u32, Rc<[Cell<u32>]>>,
     /// Block-level profile counters, when enabled.
@@ -72,19 +170,15 @@ pub struct Vm<'a> {
     pub metrics: VmMetrics,
     /// Optional instruction budget.
     pub max_steps: Option<u64>,
+    /// Which execution engine runs chunks.
+    pub dispatch: DispatchMode,
+    fusion: FusionPlan,
 }
 
-impl<'a> Vm<'a> {
-    /// Creates a VM over `interp`.
-    pub fn new(interp: &'a mut Interp) -> Vm<'a> {
-        Vm {
-            interp,
-            chunk_cache: HashMap::new(),
-            global_caches: HashMap::new(),
-            block_counters: None,
-            metrics: VmMetrics::default(),
-            max_steps: None,
-        }
+impl Vm {
+    /// Creates a VM (flat dispatch, no fusion, no profiling).
+    pub fn new() -> Vm {
+        Vm::default()
     }
 
     /// Enables block-level profiling into `counters`.
@@ -92,14 +186,30 @@ impl<'a> Vm<'a> {
         self.block_counters = Some(counters);
     }
 
+    /// Sets the superinstruction plan for subsequent lowerings and drops
+    /// stale ones (lowering is lazy, so the next execution re-lowers).
+    pub fn set_fusion(&mut self, plan: FusionPlan) {
+        if plan != self.fusion {
+            self.fusion = plan;
+            self.flat_lambda_cache.clear();
+            self.last_flat = None;
+            self.flat_cache.clear();
+        }
+    }
+
+    /// The active superinstruction plan.
+    pub fn fusion(&self) -> &FusionPlan {
+        &self.fusion
+    }
+
     /// Compiles `core` and runs it.
     ///
     /// # Errors
     ///
     /// Propagates [`EvalError`]s exactly as the tree-walker would.
-    pub fn run_core(&mut self, core: &Rc<Core>) -> Result<Value, EvalError> {
+    pub fn run_core(&mut self, interp: &mut Interp, core: &Rc<Core>) -> Result<Value, EvalError> {
         let chunk = compile_chunk(core);
-        self.run_chunk(&chunk)
+        self.run_chunk(interp, &chunk)
     }
 
     /// Runs an already-compiled chunk.
@@ -107,10 +217,23 @@ impl<'a> Vm<'a> {
     /// # Errors
     ///
     /// Propagates [`EvalError`]s from primitives and the program itself.
-    pub fn run_chunk(&mut self, chunk: &Chunk) -> Result<Value, EvalError> {
+    pub fn run_chunk(&mut self, interp: &mut Interp, chunk: &Chunk) -> Result<Value, EvalError> {
         let t = observe::timer();
         let blocks_before = self.metrics.blocks_executed;
-        let out = self.exec(Rc::new(chunk.clone()));
+        let fused_before = self.metrics.fused_dispatches;
+        let out = match self.dispatch {
+            DispatchMode::Flat => {
+                let code = self.flat_for_toplevel(chunk);
+                self.exec_flat(interp, code)
+            }
+            DispatchMode::Match => self.exec(interp, Rc::new(chunk.clone())),
+        };
+        let m = observe::metrics();
+        m.gauge_set("vm.fallthrough_ratio", self.metrics.fallthrough_ratio());
+        let fused_delta = self.metrics.fused_dispatches - fused_before;
+        if fused_delta > 0 {
+            m.counter_add("vm.fused_dispatches", fused_delta);
+        }
         if t.is_some() {
             let blocks = self.metrics.blocks_executed - blocks_before;
             observe::finish(t, |duration_us| observe::EventKind::VmRun {
@@ -131,11 +254,14 @@ impl<'a> Vm<'a> {
         chunks
     }
 
-    /// Re-lays-out every cached lambda chunk using `counters`.
+    /// Re-lays-out every cached lambda chunk using `counters` and drops
+    /// their flat lowerings (re-lowered lazily from the new layout).
     pub fn relayout_cached(&mut self, counters: &BlockCounters) {
         for chunk in self.chunk_cache.values_mut() {
             *chunk = Rc::new(crate::layout::optimize_layout(chunk, counters));
         }
+        self.flat_lambda_cache.clear();
+        self.last_flat = None;
     }
 
     fn chunk_for(&mut self, def: &Rc<LambdaDef>) -> Rc<Chunk> {
@@ -148,31 +274,93 @@ impl<'a> Vm<'a> {
         chunk
     }
 
-    /// The global-slot cache for `chunk`, created on first use. Keyed by
-    /// chunk id, so re-laid-out chunks (same id, same instructions) keep
-    /// their resolved slots.
-    fn global_cache_for(&mut self, chunk: &Chunk) -> Rc<[Cell<u32>]> {
-        if let Some(c) = self.global_caches.get(&chunk.id) {
-            if c.len() >= chunk.global_refs as usize {
+    /// The flat lowering of a lambda's chunk (with its global-slot cache),
+    /// cached by def pointer behind a one-entry inline cache. Also
+    /// populates `chunk_cache`, so layout/CFG consumers see the same
+    /// chunks regardless of dispatch mode.
+    fn flat_for(&mut self, def: &Rc<LambdaDef>) -> FlatEntry {
+        let key = Rc::as_ptr(def) as usize;
+        if let Some((k, entry)) = &self.last_flat {
+            if *k == key {
+                return entry.clone();
+            }
+        }
+        let entry = match self.flat_lambda_cache.get(&key) {
+            Some(e) => e.clone(),
+            None => {
+                let chunk = self.chunk_for(def);
+                let code = Rc::new(self.lower(&chunk));
+                let globals = self.global_cache_for(code.id, code.global_refs);
+                let entry = FlatEntry { code, globals };
+                self.flat_lambda_cache.insert(key, entry.clone());
+                entry
+            }
+        };
+        self.last_flat = Some((key, entry.clone()));
+        entry
+    }
+
+    /// The flat lowering of a toplevel chunk, cached by id and
+    /// revalidated by layout signature: a caller that re-lays-out a chunk
+    /// (same id, new block order) gets a fresh lowering, not stale code.
+    fn flat_for_toplevel(&mut self, chunk: &Chunk) -> FlatEntry {
+        let sig = flat::layout_sig(chunk);
+        if let Some(e) = self.flat_cache.get(&chunk.id) {
+            if e.code.layout_sig == sig {
+                return e.clone();
+            }
+        }
+        let code = Rc::new(self.lower(chunk));
+        let globals = self.global_cache_for(code.id, code.global_refs);
+        let entry = FlatEntry { code, globals };
+        self.flat_cache.insert(chunk.id, entry.clone());
+        entry
+    }
+
+    /// Lowers `chunk` under the active fusion plan, tracing the lowering
+    /// as a `vm_lower` span when observability is armed.
+    fn lower(&self, chunk: &Chunk) -> FlatChunk {
+        let t = observe::timer();
+        let code = flat::lower_chunk(chunk, &self.fusion);
+        if t.is_some() {
+            let (ops, fused) = (code.ops.len() as u64, code.fused);
+            observe::finish(t, |duration_us| observe::EventKind::VmLower {
+                chunk: chunk.id,
+                ops,
+                fused,
+                duration_us,
+            });
+        }
+        code
+    }
+
+    /// The global-slot cache for chunk `id`, created on first use. Keyed
+    /// by chunk id, so re-laid-out chunks (same id, same instructions)
+    /// keep their resolved slots.
+    fn global_cache_for(&mut self, id: u32, global_refs: u32) -> Rc<[Cell<u32>]> {
+        if let Some(c) = self.global_caches.get(&id) {
+            if c.len() >= global_refs as usize {
                 return c.clone();
             }
         }
-        let cache: Rc<[Cell<u32>]> = (0..chunk.global_refs)
-            .map(|_| Cell::new(UNRESOLVED))
-            .collect();
-        self.global_caches.insert(chunk.id, cache.clone());
+        let cache: Rc<[Cell<u32>]> = (0..global_refs).map(|_| Cell::new(UNRESOLVED)).collect();
+        self.global_caches.insert(id, cache.clone());
         cache
     }
 
-    /// Builds an activation for `chunk`, resolving its block-counter base
-    /// and global-slot cache once — the per-call cost that buys hash-free
-    /// block entries and global reads.
-    fn activation(&mut self, chunk: Rc<Chunk>, frame: Option<Rc<Frame>>) -> Activation {
-        let counter_base = match &self.block_counters {
-            Some(c) => c.register_chunk(chunk.id, chunk.block_count() as u32),
+    /// Resolves a chunk's block-counter base once per activation — the
+    /// per-call cost that buys hash-free block entries.
+    fn counter_base(&self, id: u32, blocks: u32) -> u32 {
+        match &self.block_counters {
+            Some(c) => c.register_chunk(id, blocks),
             None => NO_BASE,
-        };
-        let globals = self.global_cache_for(&chunk);
+        }
+    }
+
+    /// Builds an activation for `chunk` (match engine).
+    fn activation(&mut self, chunk: Rc<Chunk>, frame: Option<Rc<Frame>>) -> Activation {
+        let counter_base = self.counter_base(chunk.id, chunk.block_count() as u32);
+        let globals = self.global_cache_for(chunk.id, chunk.global_refs);
         Activation {
             block: chunk.entry,
             ip: 0,
@@ -183,6 +371,43 @@ impl<'a> Vm<'a> {
         }
     }
 
+    /// Builds an activation for a flat entry (flat engine). The global
+    /// cache rides in the entry, so this touches no `Vm` map when
+    /// profiling is off.
+    fn flat_activation(
+        &mut self,
+        entry: FlatEntry,
+        def_key: usize,
+        frame: Option<Rc<Frame>>,
+    ) -> FlatActivation {
+        let FlatEntry { code, globals } = entry;
+        let counter_base = self.counter_base(code.id, code.block_count);
+        FlatActivation {
+            pc: code.entry_pc,
+            code,
+            frame,
+            counter_base,
+            globals,
+            def_key,
+        }
+    }
+
+    /// Records entry into a block: the one counter both engines bump at
+    /// identical program points (activation entry and every taken
+    /// `Jump`/`Branch` edge; never on return into a block's middle).
+    #[inline]
+    fn enter_block(&mut self, base: u32, chunk_id: u32, block: BlockId) {
+        self.metrics.blocks_executed += 1;
+        if let Some(counters) = &self.block_counters {
+            if base != NO_BASE {
+                counters.increment_at(base, block);
+            } else {
+                counters.increment(chunk_id, block);
+            }
+        }
+    }
+
+    #[inline]
     fn transfer(&mut self, from: BlockId, to: BlockId) {
         if to == from + 1 {
             self.metrics.fallthroughs += 1;
@@ -191,50 +416,42 @@ impl<'a> Vm<'a> {
         }
     }
 
-    fn exec(&mut self, chunk: Rc<Chunk>) -> Result<Value, EvalError> {
-        let mut stack: Vec<Value> = Vec::new();
-        let mut saved: Vec<Activation> = Vec::new();
+    /// The reference engine: walks the block/`Terminator` form. The step
+    /// budget is a pre-resolved fuel countdown and instructions are
+    /// matched by reference (payloads cloned only in the arms that keep
+    /// them), so the E17 baseline carries no avoidable per-step cost.
+    fn exec(&mut self, interp: &mut Interp, chunk: Rc<Chunk>) -> Result<Value, EvalError> {
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut saved: Vec<Activation> = Vec::with_capacity(16);
+        let mut fuel: u64 = self.max_steps.unwrap_or(u64::MAX);
         let mut cur = self.activation(chunk, None);
-        let mut entering = true;
-        let mut steps: u64 = 0;
+        self.enter_block(cur.counter_base, cur.chunk.id, cur.block);
         loop {
-            if entering {
-                self.metrics.blocks_executed += 1;
-                if let Some(counters) = &self.block_counters {
-                    if cur.counter_base != NO_BASE {
-                        counters.increment_at(cur.counter_base, cur.block);
-                    } else {
-                        counters.increment(cur.chunk.id, cur.block);
-                    }
-                }
-                entering = false;
+            if fuel == 0 {
+                return Err(EvalError::new(EvalErrorKind::Fuel, "vm step budget exhausted"));
             }
-            if let Some(max) = self.max_steps {
-                steps += 1;
-                if steps > max {
-                    return Err(EvalError::new(EvalErrorKind::Fuel, "vm step budget exhausted"));
-                }
-            }
+            fuel -= 1;
+            self.metrics.dispatches += 1;
             let block = &cur.chunk.blocks[cur.block as usize];
             if cur.ip < block.instrs.len() {
-                let instr = block.instrs[cur.ip].clone();
+                let instr = &block.instrs[cur.ip];
                 cur.ip += 1;
                 match instr {
-                    Instr::Const(d) => stack.push(Value::from_datum(&d)),
-                    Instr::SyntaxConst(s) => stack.push(Value::Syntax(s)),
+                    Instr::Const(d) => stack.push(Value::from_datum(d)),
+                    Instr::SyntaxConst(s) => stack.push(Value::Syntax(s.clone())),
                     Instr::Unspecified => stack.push(Value::Unspecified),
                     Instr::LocalRef { depth, index } => {
                         let frame = cur.frame.as_ref().expect("local ref without frame");
-                        stack.push(frame.get(depth, index));
+                        stack.push(frame.get(*depth, *index));
                     }
                     Instr::GlobalRef { name, cache } => {
-                        let cell = &cur.globals[cache as usize];
+                        let cell = &cur.globals[*cache as usize];
                         let mut slot = cell.get();
                         if slot == UNRESOLVED {
-                            slot = self.interp.global_slot_or_reserve(name);
+                            slot = interp.global_slot_or_reserve(*name);
                             cell.set(slot);
                         }
-                        match self.interp.global_by_slot(slot) {
+                        match interp.global_by_slot(slot) {
                             Some(v) => stack.push(v.clone()),
                             None => {
                                 return Err(EvalError::new(
@@ -249,29 +466,29 @@ impl<'a> Vm<'a> {
                         cur.frame
                             .as_ref()
                             .expect("local set without frame")
-                            .set(depth, index, v);
+                            .set(*depth, *index, v);
                     }
                     Instr::SetGlobal(name) => {
-                        if self.interp.global(name).is_none() {
+                        if interp.global(*name).is_none() {
                             return Err(EvalError::new(
                                 EvalErrorKind::Unbound,
                                 format!("set!: unbound variable `{name}`"),
                             ));
                         }
                         let v = stack.pop().expect("stack underflow");
-                        self.interp.define_global(name, v);
+                        interp.define_global(*name, v);
                     }
                     Instr::DefineGlobal(name) => {
                         let v = stack.pop().expect("stack underflow");
-                        self.interp.define_global(name, v);
+                        interp.define_global(*name, v);
                     }
                     Instr::PushFrame(n) => {
-                        let slots = stack.split_off(stack.len() - n as usize);
+                        let slots = stack.split_off(stack.len() - *n as usize);
                         cur.frame = Some(Frame::new(slots, cur.frame.take()));
                     }
                     Instr::PushFrameUnspec(n) => {
                         cur.frame = Some(Frame::new(
-                            vec![Value::Unspecified; n as usize],
+                            vec![Value::Unspecified; *n as usize],
                             cur.frame.take(),
                         ));
                     }
@@ -281,18 +498,18 @@ impl<'a> Vm<'a> {
                     }
                     Instr::MakeClosure(def) => {
                         stack.push(Value::Closure(Rc::new(Closure {
-                            def,
+                            def: def.clone(),
                             env: cur.frame.clone(),
                         })));
                     }
                     Instr::Call { argc, src } => {
+                        let (argc, src) = (*argc, *src);
                         self.metrics.calls += 1;
                         let args = stack.split_off(stack.len() - argc as usize);
                         let callee = stack.pop().expect("stack underflow");
                         match callee {
                             Value::Native(_) => {
-                                let v = self
-                                    .interp
+                                let v = interp
                                     .apply(&callee, args)
                                     .map_err(|e| e.with_src(src))?;
                                 stack.push(v);
@@ -303,7 +520,7 @@ impl<'a> Vm<'a> {
                                 let chunk = self.chunk_for(&c.def);
                                 let next = self.activation(chunk, Some(frame));
                                 saved.push(std::mem::replace(&mut cur, next));
-                                entering = true;
+                                self.enter_block(cur.counter_base, cur.chunk.id, cur.block);
                             }
                             other => {
                                 return Err(
@@ -319,20 +536,22 @@ impl<'a> Vm<'a> {
                 continue;
             }
             // Terminator.
-            match block.term.clone() {
+            match &block.term {
                 Terminator::Jump(t) => {
+                    let t = *t;
                     self.transfer(cur.block, t);
                     cur.block = t;
                     cur.ip = 0;
-                    entering = true;
+                    self.enter_block(cur.counter_base, cur.chunk.id, t);
                 }
                 Terminator::Branch(t, e) => {
+                    let (t, e) = (*t, *e);
                     let cond = stack.pop().expect("stack underflow");
                     let target = if cond.is_truthy() { t } else { e };
                     self.transfer(cur.block, target);
                     cur.block = target;
                     cur.ip = 0;
-                    entering = true;
+                    self.enter_block(cur.counter_base, cur.chunk.id, target);
                 }
                 Terminator::Return => {
                     let v = stack.pop().expect("stack underflow");
@@ -345,13 +564,13 @@ impl<'a> Vm<'a> {
                     }
                 }
                 Terminator::TailCall { argc, src } => {
+                    let (argc, src) = (*argc, *src);
                     self.metrics.calls += 1;
                     let args = stack.split_off(stack.len() - argc as usize);
                     let callee = stack.pop().expect("stack underflow");
                     match callee {
                         Value::Native(_) => {
-                            let v = self
-                                .interp
+                            let v = interp
                                 .apply(&callee, args)
                                 .map_err(|e| e.with_src(src))?;
                             match saved.pop() {
@@ -367,7 +586,7 @@ impl<'a> Vm<'a> {
                                 bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
                             let chunk = self.chunk_for(&c.def);
                             cur = self.activation(chunk, Some(frame));
-                            entering = true;
+                            self.enter_block(cur.counter_base, cur.chunk.id, cur.block);
                         }
                         other => {
                             return Err(EvalError::type_error("procedure", &other).with_src(src))
@@ -377,6 +596,459 @@ impl<'a> Vm<'a> {
             }
         }
     }
+
+    /// The fast engine: executes a flat op stream by index. Every op is a
+    /// small `Copy` read out of one contiguous `Vec`; constants come
+    /// pre-converted from the pool; superinstructions collapse hot pairs
+    /// into one dispatch. The loop runs against a local `VmMetrics` and a
+    /// local counters handle (this wrapper writes the metrics back on
+    /// every exit path), so per-step bookkeeping stays in registers
+    /// instead of round-tripping through `self`.
+    fn exec_flat(&mut self, interp: &mut Interp, entry: FlatEntry) -> Result<Value, EvalError> {
+        let mut m = self.metrics;
+        let counters = self.block_counters.clone();
+        let out = self.exec_flat_inner(interp, entry, &mut m, &counters);
+        self.metrics = m;
+        out
+    }
+
+    fn exec_flat_inner(
+        &mut self,
+        interp: &mut Interp,
+        entry: FlatEntry,
+        m: &mut VmMetrics,
+        counters: &Option<BlockCounters>,
+    ) -> Result<Value, EvalError> {
+        let mut stack: Vec<Value> = Vec::with_capacity(64);
+        let mut saved: Vec<FlatActivation> = Vec::with_capacity(16);
+        // The dispatch counter doubles as the step budget: one counter to
+        // bump, one register compare per op.
+        let limit: u64 = match self.max_steps {
+            Some(n) => m.dispatches.saturating_add(n),
+            None => u64::MAX,
+        };
+        let mut cur = self.flat_activation(entry, NO_DEF, None);
+        enter_block_at(counters, m, cur.counter_base, cur.code.id, cur.code.entry_block);
+        loop {
+            if m.dispatches >= limit {
+                return Err(EvalError::new(EvalErrorKind::Fuel, "vm step budget exhausted"));
+            }
+            m.dispatches += 1;
+            let op = cur.code.ops[cur.pc as usize];
+            cur.pc += 1;
+            match op {
+                Op::Imm { pool } => stack.push(cur.code.imms[pool as usize].clone()),
+                Op::DatumConst { pool } => {
+                    stack.push(Value::from_datum(&cur.code.datums[pool as usize]))
+                }
+                Op::SyntaxConst { pool } => {
+                    stack.push(Value::Syntax(cur.code.syntaxes[pool as usize].clone()))
+                }
+                Op::Unspecified => stack.push(Value::Unspecified),
+                Op::LocalRef { depth, index } => {
+                    let frame = cur.frame.as_ref().expect("local ref without frame");
+                    stack.push(frame.get(depth, index));
+                }
+                Op::GlobalRef { name, cache } => {
+                    let cell = &cur.globals[cache as usize];
+                    let mut slot = cell.get();
+                    if slot == UNRESOLVED {
+                        slot = interp.global_slot_or_reserve(name);
+                        cell.set(slot);
+                    }
+                    match interp.global_by_slot(slot) {
+                        Some(v) => stack.push(v.clone()),
+                        None => {
+                            return Err(EvalError::new(
+                                EvalErrorKind::Unbound,
+                                format!("unbound variable `{name}`"),
+                            ))
+                        }
+                    }
+                }
+                Op::SetLocal { depth, index } => {
+                    let v = stack.pop().expect("stack underflow");
+                    cur.frame
+                        .as_ref()
+                        .expect("local set without frame")
+                        .set(depth, index, v);
+                }
+                Op::SetGlobal { name } => {
+                    if interp.global(name).is_none() {
+                        return Err(EvalError::new(
+                            EvalErrorKind::Unbound,
+                            format!("set!: unbound variable `{name}`"),
+                        ));
+                    }
+                    let v = stack.pop().expect("stack underflow");
+                    interp.define_global(name, v);
+                }
+                Op::DefineGlobal { name } => {
+                    let v = stack.pop().expect("stack underflow");
+                    interp.define_global(name, v);
+                }
+                Op::PushFrame { n } => {
+                    let slots = stack.split_off(stack.len() - n as usize);
+                    cur.frame = Some(Frame::new(slots, cur.frame.take()));
+                }
+                Op::PushFrameUnspec { n } => {
+                    cur.frame = Some(Frame::new(
+                        vec![Value::Unspecified; n as usize],
+                        cur.frame.take(),
+                    ));
+                }
+                Op::PopFrame => {
+                    let frame = cur.frame.take().expect("pop without frame");
+                    cur.frame = frame.parent().cloned();
+                }
+                Op::MakeClosure { pool } => {
+                    stack.push(Value::Closure(Rc::new(Closure {
+                        def: cur.code.lambdas[pool as usize].clone(),
+                        env: cur.frame.clone(),
+                    })));
+                }
+                Op::Call { argc, src } => {
+                    if let Some(v) = quick_call(&mut stack, argc) {
+                        m.calls += 1;
+                        stack.push(v);
+                        continue;
+                    }
+                    let args = stack.split_off(stack.len() - argc as usize);
+                    let callee = stack.pop().expect("stack underflow");
+                    let src = cur.code.srcs[src as usize];
+                    self.call_value(
+                        interp, callee, args, src, &mut stack, &mut saved, &mut cur, m, counters,
+                    )?;
+                }
+                Op::Pop => {
+                    stack.pop().expect("stack underflow");
+                }
+                Op::Jump { target } => {
+                    transfer_to(m, target);
+                    cur.pc = target.pc;
+                    enter_block_at(counters, m, cur.counter_base, cur.code.id, target.block());
+                }
+                Op::Branch { then_, else_ } => {
+                    let cond = stack.pop().expect("stack underflow");
+                    let target = if cond.is_truthy() { then_ } else { else_ };
+                    transfer_to(m, target);
+                    cur.pc = target.pc;
+                    enter_block_at(counters, m, cur.counter_base, cur.code.id, target.block());
+                }
+                Op::Return => {
+                    let v = stack.pop().expect("stack underflow");
+                    match saved.pop() {
+                        None => return Ok(v),
+                        Some(prev) => {
+                            cur = prev;
+                            stack.push(v);
+                        }
+                    }
+                }
+                Op::TailCall { argc, src } => {
+                    let flow = match quick_call(&mut stack, argc) {
+                        Some(v) => {
+                            m.calls += 1;
+                            Some(v)
+                        }
+                        None if tail_frame_is_reusable(&stack, &cur.frame, argc) => {
+                            m.calls += 1;
+                            let frame = cur.frame.as_ref().expect("reuse without frame");
+                            frame.refill_from_stack(&mut stack);
+                            let Value::Closure(c) = stack.pop().expect("stack underflow")
+                            else {
+                                unreachable!("reuse check admitted a non-closure")
+                            };
+                            // A self-call re-enters the code already in
+                            // hand; only a different callee needs the
+                            // lowering cache.
+                            let key = Rc::as_ptr(&c.def) as usize;
+                            if key != cur.def_key {
+                                let entry = self.flat_for(&c.def);
+                                cur.counter_base =
+                                    self.counter_base(entry.code.id, entry.code.block_count);
+                                cur.globals = entry.globals;
+                                cur.code = entry.code;
+                                cur.def_key = key;
+                            }
+                            cur.pc = cur.code.entry_pc;
+                            enter_block_at(
+                                counters,
+                                m,
+                                cur.counter_base,
+                                cur.code.id,
+                                cur.code.entry_block,
+                            );
+                            None
+                        }
+                        None => {
+                            let args = stack.split_off(stack.len() - argc as usize);
+                            let callee = stack.pop().expect("stack underflow");
+                            let src = cur.code.srcs[src as usize];
+                            self.tail_call_value(interp, callee, args, src, &mut cur, m, counters)?
+                        }
+                    };
+                    if let Some(v) = flow {
+                        match saved.pop() {
+                            None => return Ok(v),
+                            Some(prev) => {
+                                cur = prev;
+                                stack.push(v);
+                            }
+                        }
+                    }
+                }
+
+                // --- Superinstructions ---------------------------------
+                Op::LocalLocal {
+                    depth0,
+                    index0,
+                    depth1,
+                    index1,
+                } => {
+                    m.fused_dispatches += 1;
+                    let frame = cur.frame.as_ref().expect("local ref without frame");
+                    let a = frame.get(depth0, index0);
+                    let b = frame.get(depth1, index1);
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Op::LocalCall {
+                    depth,
+                    index,
+                    argc,
+                    src,
+                } => {
+                    m.fused_dispatches += 1;
+                    let local = cur
+                        .frame
+                        .as_ref()
+                        .expect("local ref without frame")
+                        .get(depth, index);
+                    // Re-materialize the push the fusion elided, then take
+                    // the common call path (incl. the quickened fast path).
+                    stack.push(local);
+                    if let Some(v) = quick_call(&mut stack, argc) {
+                        m.calls += 1;
+                        stack.push(v);
+                        continue;
+                    }
+                    let args = stack.split_off(stack.len() - argc as usize);
+                    let callee = stack.pop().expect("stack underflow");
+                    let src = cur.code.srcs[src as usize];
+                    self.call_value(
+                        interp, callee, args, src, &mut stack, &mut saved, &mut cur, m, counters,
+                    )?;
+                }
+                Op::ImmCall { pool, argc, src } => {
+                    m.fused_dispatches += 1;
+                    let imm = cur.code.imms[pool as usize].clone();
+                    stack.push(imm);
+                    if let Some(v) = quick_call(&mut stack, argc) {
+                        m.calls += 1;
+                        stack.push(v);
+                        continue;
+                    }
+                    let args = stack.split_off(stack.len() - argc as usize);
+                    let callee = stack.pop().expect("stack underflow");
+                    let src = cur.code.srcs[src as usize];
+                    self.call_value(
+                        interp, callee, args, src, &mut stack, &mut saved, &mut cur, m, counters,
+                    )?;
+                }
+                Op::ImmBranch { target } => {
+                    m.fused_dispatches += 1;
+                    transfer_to(m, target);
+                    cur.pc = target.pc;
+                    enter_block_at(counters, m, cur.counter_base, cur.code.id, target.block());
+                }
+                Op::LocalReturn { depth, index } => {
+                    m.fused_dispatches += 1;
+                    let v = cur
+                        .frame
+                        .as_ref()
+                        .expect("local ref without frame")
+                        .get(depth, index);
+                    match saved.pop() {
+                        None => return Ok(v),
+                        Some(prev) => {
+                            cur = prev;
+                            stack.push(v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-tail call dispatch for the flat engine: natives apply inline,
+    /// closures push the current activation and enter their flat code.
+    #[allow(clippy::too_many_arguments)]
+    fn call_value(
+        &mut self,
+        interp: &mut Interp,
+        callee: Value,
+        args: Vec<Value>,
+        src: Option<pgmp_syntax::SourceObject>,
+        stack: &mut Vec<Value>,
+        saved: &mut Vec<FlatActivation>,
+        cur: &mut FlatActivation,
+        m: &mut VmMetrics,
+        counters: &Option<BlockCounters>,
+    ) -> Result<(), EvalError> {
+        m.calls += 1;
+        match callee {
+            Value::Native(_) => {
+                let v = interp.apply(&callee, args).map_err(|e| e.with_src(src))?;
+                stack.push(v);
+            }
+            Value::Closure(c) => {
+                let frame = bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
+                let key = Rc::as_ptr(&c.def) as usize;
+                let entry = self.flat_for(&c.def);
+                let next = self.flat_activation(entry, key, Some(frame));
+                saved.push(std::mem::replace(cur, next));
+                enter_block_at(counters, m, cur.counter_base, cur.code.id, cur.code.entry_block);
+            }
+            other => return Err(EvalError::type_error("procedure", &other).with_src(src)),
+        }
+        Ok(())
+    }
+
+    /// Tail call dispatch for the flat engine. Returns `Some(v)` when the
+    /// callee was a native (the value must flow to the caller's saved
+    /// activation or out of the run); `None` when a closure replaced the
+    /// current activation.
+    #[allow(clippy::too_many_arguments)]
+    fn tail_call_value(
+        &mut self,
+        interp: &mut Interp,
+        callee: Value,
+        args: Vec<Value>,
+        src: Option<pgmp_syntax::SourceObject>,
+        cur: &mut FlatActivation,
+        m: &mut VmMetrics,
+        counters: &Option<BlockCounters>,
+    ) -> Result<Option<Value>, EvalError> {
+        m.calls += 1;
+        match callee {
+            Value::Native(_) => {
+                let v = interp.apply(&callee, args).map_err(|e| e.with_src(src))?;
+                Ok(Some(v))
+            }
+            Value::Closure(c) => {
+                let frame = bind_closure_frame(&c, args).map_err(|e| e.with_src(src))?;
+                let key = Rc::as_ptr(&c.def) as usize;
+                let entry = self.flat_for(&c.def);
+                *cur = self.flat_activation(entry, key, Some(frame));
+                enter_block_at(counters, m, cur.counter_base, cur.code.id, cur.code.entry_block);
+                Ok(None)
+            }
+            other => Err(EvalError::type_error("procedure", &other).with_src(src)),
+        }
+    }
+}
+
+/// Block-entry bookkeeping against a local metrics/counters pair (the flat
+/// engine's register-resident equivalent of [`Vm::enter_block`]).
+#[inline]
+fn enter_block_at(
+    counters: &Option<BlockCounters>,
+    m: &mut VmMetrics,
+    base: u32,
+    chunk_id: u32,
+    block: BlockId,
+) {
+    m.blocks_executed += 1;
+    if let Some(c) = counters {
+        if base != NO_BASE {
+            c.increment_at(base, block);
+        } else {
+            c.increment(chunk_id, block);
+        }
+    }
+}
+
+/// Fall-through/taken classification against a local metrics struct.
+#[inline]
+fn transfer_to(m: &mut VmMetrics, t: JumpTarget) {
+    if t.fallthrough() {
+        m.fallthroughs += 1;
+    } else {
+        m.taken_jumps += 1;
+    }
+}
+
+/// Whether a closure tail call may overwrite the current activation's
+/// frame in place instead of allocating a fresh one: the callee (sitting
+/// below `argc` arguments on the stack) must be a non-variadic closure of
+/// exactly `argc` params whose environment is the frame's parent, and the
+/// frame itself must be unshared (`Rc` count 1 — no closure captured it,
+/// no other activation holds it) with exactly `argc` slots. Under those
+/// conditions the fresh frame the generic path would build is
+/// indistinguishable from the refilled one, so reuse only skips the two
+/// allocations (argument `Vec` + frame `Rc`) of the hot self-call.
+#[inline]
+fn tail_frame_is_reusable(stack: &[Value], frame: &Option<Rc<Frame>>, argc: u16) -> bool {
+    let Some(f) = frame else { return false };
+    let Value::Closure(c) = &stack[stack.len() - 1 - argc as usize] else {
+        return false;
+    };
+    !c.def.variadic
+        && c.def.params as usize == argc as usize
+        && Rc::strong_count(f) == 1
+        && f.len() == argc as usize
+        && match (f.parent(), &c.env) {
+            (None, None) => true,
+            (Some(p), Some(e)) => Rc::ptr_eq(p, e),
+            _ => false,
+        }
+}
+
+/// The quickened call fast path: with `[callee, args…]` on top of `stack`,
+/// executes prelude fixnum primitives inline — no argument `Vec`, no boxed
+/// call. Returns the result after popping the operands, or `None` with the
+/// stack untouched whenever anything is off-pattern (no `quick` tag,
+/// non-`Int` operand, overflow), so the generic path keeps full
+/// number-tower and error semantics. Callers count the call on success,
+/// keeping `VmMetrics::calls` identical to the unquickened engines.
+#[inline]
+fn quick_call(stack: &mut Vec<Value>, argc: u16) -> Option<Value> {
+    let n = stack.len();
+    let result = match argc {
+        2 => {
+            let [Value::Native(nat), Value::Int(a), Value::Int(b)] = &stack[n - 3..] else {
+                return None;
+            };
+            let (a, b) = (*a, *b);
+            match nat.quick? {
+                QuickOp::Add => Value::Int(a.checked_add(b)?),
+                QuickOp::Sub => Value::Int(a.checked_sub(b)?),
+                QuickOp::Mul => Value::Int(a.checked_mul(b)?),
+                QuickOp::Lt => Value::Bool(a < b),
+                QuickOp::Gt => Value::Bool(a > b),
+                QuickOp::Le => Value::Bool(a <= b),
+                QuickOp::Ge => Value::Bool(a >= b),
+                QuickOp::NumEq => Value::Bool(a == b),
+                QuickOp::Add1 | QuickOp::Sub1 => return None,
+            }
+        }
+        1 => {
+            let [Value::Native(nat), Value::Int(a)] = &stack[n - 2..] else {
+                return None;
+            };
+            let a = *a;
+            match nat.quick? {
+                QuickOp::Add1 => Value::Int(a.checked_add(1)?),
+                QuickOp::Sub1 => Value::Int(a.checked_sub(1)?),
+                QuickOp::Sub => Value::Int(a.checked_neg()?),
+                _ => return None,
+            }
+        }
+        _ => return None,
+    };
+    stack.truncate(n - (argc as usize + 1));
+    Some(result)
 }
 
 fn bind_closure_frame(c: &Closure, mut args: Vec<Value>) -> Result<Rc<Frame>, EvalError> {

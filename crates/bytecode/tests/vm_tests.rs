@@ -1,6 +1,8 @@
 //! Cross-checks: VM results must agree with the tree-walking interpreter.
 
-use pgmp_bytecode::{canonical_form, compile_chunk, optimize_layout, BlockCounters, Vm};
+use pgmp_bytecode::{
+    canonical_form, compile_chunk, optimize_layout, BlockCounters, DispatchMode, FusionPlan, Vm,
+};
 use pgmp_eval::{install_primitives, Interp, Value};
 use pgmp_expander::{install_expander_support, Expander};
 use pgmp_reader::read_str;
@@ -24,23 +26,40 @@ fn run_tree(src: &str) -> String {
     last.write_string()
 }
 
-fn run_vm(src: &str) -> String {
+fn run_vm_with(src: &str, dispatch: DispatchMode, fusion: FusionPlan) -> String {
     let forms = read_str(src, "t.scm").unwrap();
     let mut exp = Expander::new();
     let program = exp.expand_program(&forms).unwrap();
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
+    let mut vm = Vm::new();
+    vm.dispatch = dispatch;
+    vm.set_fusion(fusion);
     let mut last = Value::Unspecified;
     for form in &program {
-        last = vm.run_core(form).unwrap();
+        last = vm.run_core(&mut interp, form).unwrap();
     }
     last.write_string()
 }
 
+fn run_vm(src: &str) -> String {
+    run_vm_with(src, DispatchMode::Flat, FusionPlan::none())
+}
+
 fn assert_agree(src: &str) {
     let tree = run_tree(src);
-    let vm = run_vm(src);
-    assert_eq!(tree, vm, "tree-walker and VM disagree on {src}");
+    for (dispatch, fusion) in [
+        (DispatchMode::Match, FusionPlan::none()),
+        (DispatchMode::Flat, FusionPlan::none()),
+        (DispatchMode::Flat, FusionPlan::all()),
+    ] {
+        let vm = run_vm_with(src, dispatch, fusion.clone());
+        assert_eq!(
+            tree, vm,
+            "tree-walker and {}-VM (fusion {:?}) disagree on {src}",
+            dispatch.label(),
+            fusion.labels(),
+        );
+    }
 }
 
 #[test]
@@ -119,8 +138,8 @@ fn vm_errors_match_tree_walker() {
     let mut interp = fresh_interp();
     let tree_err = interp.eval(&program[0], &None).unwrap_err();
     let mut interp2 = fresh_interp();
-    let mut vm = Vm::new(&mut interp2);
-    let vm_err = vm.run_core(&program[0]).unwrap_err();
+    let mut vm = Vm::new();
+    let vm_err = vm.run_core(&mut interp2, &program[0]).unwrap_err();
     assert_eq!(tree_err.kind, vm_err.kind);
 }
 
@@ -130,8 +149,8 @@ fn vm_unbound_variable_errors() {
     let mut exp = Expander::new();
     let program = exp.expand_program(&forms).unwrap();
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
-    assert!(vm.run_core(&program[0]).is_err());
+    let mut vm = Vm::new();
+    assert!(vm.run_core(&mut interp, &program[0]).is_err());
 }
 
 #[test]
@@ -143,11 +162,11 @@ fn block_profiling_counts_hot_path() {
     let mut exp = Expander::new();
     let program = exp.expand_program(&forms).unwrap();
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
+    let mut vm = Vm::new();
     let counters = BlockCounters::new();
     vm.set_block_profiling(counters.clone());
     for form in &program {
-        vm.run_core(form).unwrap();
+        vm.run_core(&mut interp, form).unwrap();
     }
     assert!(!counters.is_empty());
     // classify's chunk: the 'small branch ran 100 times, 'big never — some
@@ -176,11 +195,11 @@ fn layout_optimization_improves_fallthrough_on_biased_branch() {
 
     // Pass 1: profile blocks.
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
+    let mut vm = Vm::new();
     let counters = BlockCounters::new();
     vm.set_block_profiling(counters.clone());
     for form in &program {
-        vm.run_core(form).unwrap();
+        vm.run_core(&mut interp, form).unwrap();
     }
 
     // Pass 2: relayout cached lambda chunks and re-run, measuring.
@@ -203,7 +222,7 @@ fn layout_optimization_improves_fallthrough_on_biased_branch() {
     // Note: `step` stays resident in the interp's globals.
     let call_core = exp2.expand_program(&call).unwrap();
     for form in &call_core {
-        vm.run_core(form).unwrap();
+        vm.run_core(&mut interp, form).unwrap();
     }
     let optimized = vm.metrics;
     assert!(optimized.fallthrough_ratio() > 0.0);
@@ -236,9 +255,9 @@ fn metrics_count_calls() {
     let mut exp = Expander::new();
     let program = exp.expand_program(&forms).unwrap();
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
+    let mut vm = Vm::new();
     for form in &program {
-        vm.run_core(form).unwrap();
+        vm.run_core(&mut interp, form).unwrap();
     }
     assert!(vm.metrics.calls >= 2);
     assert!(vm.metrics.blocks_executed > 0);
@@ -250,7 +269,12 @@ fn vm_step_budget() {
     let mut exp = Expander::new();
     let program = exp.expand_program(&forms).unwrap();
     let mut interp = fresh_interp();
-    let mut vm = Vm::new(&mut interp);
+    let mut vm = Vm::new();
     vm.max_steps = Some(10_000);
-    assert!(vm.run_core(&program[0]).is_err());
+    assert!(vm.run_core(&mut interp, &program[0]).is_err());
+    let mut vm = Vm::new();
+    vm.dispatch = DispatchMode::Match;
+    vm.max_steps = Some(10_000);
+    let mut interp = fresh_interp();
+    assert!(vm.run_core(&mut interp, &program[0]).is_err());
 }

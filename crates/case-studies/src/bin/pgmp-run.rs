@@ -52,6 +52,18 @@
 //!                                the epoch boundary; prints per-epoch
 //!                                flush statistics (0 = off, the default)
 //!
+//!   --dispatch <flat|match>      VM execution engine for --incremental /
+//!                                --adaptive runs: flat code streams (the
+//!                                default) or the block-walking reference
+//!   --fuse                       profile-guide superinstruction fusion: a
+//!                                profiled pass mines the hottest adjacent
+//!                                op pairs, then the program reruns fused
+//!                                (adaptive: the plan is re-mined at every
+//!                                drift-driven re-layout)
+//!   --vm-metrics                 print VM execution metrics (dispatches,
+//!                                fused share, fall-through ratio); with
+//!                                --adaptive, per epoch from a serving VM
+//!
 //!   --publish <socket>           stream this run's counter deltas to a
 //!                                `pgmp-profiled` fleet daemon over the
 //!                                given Unix socket (instrumented runs,
@@ -90,7 +102,7 @@
 
 use pgmp_adaptive::{AdaptiveConfig, AdaptiveEngine};
 use pgmp::{AnnotateStrategy, Engine, IncrementalConfig, IncrementalEngine};
-use pgmp_bytecode::Vm;
+use pgmp_bytecode::{optimize_layout, BlockCounters, Chunk, DispatchMode, FusionPlan, Vm, VmMetrics};
 use pgmp_case_studies::{install, Lib};
 use pgmp_observe as observe;
 use pgmp_profiler::{CounterImpl, ProfileInformation, ProfileMode};
@@ -121,6 +133,9 @@ struct Options {
     cooldown: u64,
     adaptive_incremental: bool,
     coalesce: usize,
+    dispatch: Option<DispatchMode>,
+    fuse: bool,
+    vm_metrics: bool,
     publish: Option<String>,
     subscribe: Option<String>,
     trace: Option<String>,
@@ -137,6 +152,7 @@ fn usage() -> ! {
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
          \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]]\n\
+         \u{20}               [--dispatch flat|match] [--fuse] [--vm-metrics]\n\
          \u{20}               [--publish SOCKET] [--subscribe SOCKET]\n\
          \u{20}               [--trace OUT.jsonl] [--metrics] [--metrics-out F] file.scm"
     );
@@ -196,6 +212,9 @@ fn parse_args() -> Options {
         cooldown: 0,
         adaptive_incremental: true,
         coalesce: 0,
+        dispatch: None,
+        fuse: false,
+        vm_metrics: false,
         publish: None,
         subscribe: None,
         trace: None,
@@ -235,6 +254,16 @@ fn parse_args() -> Options {
             "--cooldown" => opts.cooldown = parse_num(args.next()),
             "--no-incremental" => opts.adaptive_incremental = false,
             "--coalesce" => opts.coalesce = parse_num(args.next()),
+            "--dispatch" => {
+                opts.dispatch = Some(
+                    args.next()
+                        .as_deref()
+                        .and_then(DispatchMode::parse)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--fuse" => opts.fuse = true,
+            "--vm-metrics" => opts.vm_metrics = true,
             "--publish" => opts.publish = Some(args.next().unwrap_or_else(|| usage())),
             "--subscribe" => opts.subscribe = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
@@ -252,6 +281,19 @@ fn parse_args() -> Options {
 
 fn parse_num<T: std::str::FromStr>(arg: Option<String>) -> T {
     arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+}
+
+/// One-line rendering of [`VmMetrics`] shared by the `--vm-metrics`
+/// consumers (incremental summary, adaptive per-epoch lines).
+fn describe_vm_metrics(m: &VmMetrics) -> String {
+    format!(
+        "{} dispatches ({} fused, {:.1}%), fall-through {:.3}, {} calls",
+        m.dispatches,
+        m.fused_dispatches,
+        m.fused_share() * 100.0,
+        m.fallthrough_ratio(),
+        m.calls
+    )
 }
 
 /// Online mode: worker threads collect profiles concurrently, each epoch is
@@ -293,6 +335,25 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
             "adaptive: restored epoch snapshot from {path}: {} epoch(s), {} retained point(s)",
             snap.epochs,
             snap.counts.len()
+        );
+    }
+    let vm_serving = opts.vm_metrics || opts.fuse || opts.dispatch.is_some();
+    if vm_serving {
+        if !opts.adaptive_incremental {
+            return Err(
+                "--dispatch/--fuse/--vm-metrics with --adaptive require the incremental \
+                 path (drop --no-incremental)"
+                    .into(),
+            );
+        }
+        let dispatch = opts.dispatch.unwrap_or_default();
+        engine
+            .enable_vm_serving(dispatch, opts.fuse)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "adaptive: VM serving on ({} dispatch{})",
+            dispatch.label(),
+            if opts.fuse { ", profile-guided fusion" } else { "" }
         );
     }
 
@@ -356,6 +417,27 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
             eprintln!(
                 "adaptive: epoch {} coalescing: {} flush(es) merged {} buffered hit(s)",
                 report.epoch, report.flush_writes, report.flush_merged,
+            );
+        }
+        if vm_serving {
+            // One unit of VM-served traffic per epoch; the line reports
+            // this epoch's window (deltas), not cumulative totals.
+            let before = engine.vm_metrics().unwrap_or_default();
+            engine.vm_serve_run(None).map_err(|e| e.to_string())?;
+            let after = engine.vm_metrics().unwrap_or_default();
+            let window = VmMetrics {
+                blocks_executed: after.blocks_executed - before.blocks_executed,
+                fallthroughs: after.fallthroughs - before.fallthroughs,
+                taken_jumps: after.taken_jumps - before.taken_jumps,
+                calls: after.calls - before.calls,
+                dispatches: after.dispatches - before.dispatches,
+                fused_dispatches: after.fused_dispatches - before.fused_dispatches,
+            };
+            eprintln!(
+                "adaptive: epoch {} vm[{}]: {}",
+                report.epoch,
+                opts.dispatch.unwrap_or_default().label(),
+                describe_vm_metrics(&window)
             );
         }
         if let Some(sub) = subscriber.as_mut() {
@@ -481,15 +563,58 @@ fn run_incremental(opts: &Options, source: &str, file: &str) -> Result<(), Strin
             println!("{form}");
         }
     } else {
-        let mut result = String::from("#<void>");
-        {
-            let mut vm = Vm::new(incr.engine_mut().interp_mut());
-            for chunk in &unit.chunks {
-                result = vm.run_chunk(chunk).map_err(|e| e.to_string())?.write_string();
+        let mut vm = Vm::new();
+        vm.dispatch = opts.dispatch.unwrap_or_default();
+        let mut chunks = unit.chunks;
+        if opts.fuse {
+            // Pass 1 — profiled: collect block counters, then re-lay-out
+            // the chunks and mine the superinstruction plan from them.
+            // Its output is dropped; the fused pass below is the real run.
+            let counters = BlockCounters::new();
+            vm.set_block_profiling(counters.clone());
+            for chunk in &chunks {
+                vm.run_chunk(incr.engine_mut().interp_mut(), chunk)
+                    .map_err(|e| e.to_string())?;
             }
+            let _ = incr.engine_mut().take_output();
+            chunks = chunks
+                .iter()
+                .map(|c| optimize_layout(c, &counters))
+                .collect::<Vec<Chunk>>();
+            vm.relayout_cached(&counters);
+            let lambda_chunks = vm.compiled_chunks();
+            let plan = FusionPlan::mine(
+                chunks.iter().chain(lambda_chunks.iter().map(|c| &**c)),
+                &counters,
+                3,
+            );
+            eprintln!(
+                "vm: fused {}",
+                if plan.is_empty() {
+                    "nothing (no hot fusable pairs)".to_owned()
+                } else {
+                    plan.labels().join(", ")
+                }
+            );
+            vm.set_fusion(plan);
+            vm.metrics = VmMetrics::default();
+        }
+        let mut result = String::from("#<void>");
+        for chunk in &chunks {
+            result = vm
+                .run_chunk(incr.engine_mut().interp_mut(), chunk)
+                .map_err(|e| e.to_string())?
+                .write_string();
         }
         print!("{}", incr.engine_mut().take_output());
         println!("{result}");
+        if opts.vm_metrics {
+            eprintln!(
+                "vm[{}]: {}",
+                vm.dispatch.label(),
+                describe_vm_metrics(&vm.metrics)
+            );
+        }
     }
     for warning in incr.engine_mut().take_warnings() {
         eprintln!("warning: {warning}");
@@ -547,6 +672,16 @@ fn run(opts: Options) -> Result<(), String> {
     }
     if opts.subscribe.is_some() && !opts.adaptive {
         return Err("--subscribe requires --adaptive".into());
+    }
+    if (opts.dispatch.is_some() || opts.fuse || opts.vm_metrics)
+        && !opts.incremental
+        && !opts.adaptive
+    {
+        return Err(
+            "--dispatch/--fuse/--vm-metrics require --incremental or --adaptive \
+             (the plain path tree-walks)"
+                .into(),
+        );
     }
     if opts.trace.is_some() || opts.metrics || opts.metrics_out.is_some() {
         // One run per process: reset so the snapshot describes this run only.

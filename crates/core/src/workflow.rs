@@ -26,7 +26,9 @@
 use crate::engine::Engine;
 use crate::error::Error;
 use crate::incremental::{IncrementalConfig, IncrementalEngine, ReuseStats};
-use pgmp_bytecode::{canonical_form, optimize_layout, BlockCounters, Chunk, Vm, VmMetrics};
+use pgmp_bytecode::{
+    canonical_form, optimize_layout, BlockCounters, Chunk, FusionPlan, Vm, VmMetrics,
+};
 use pgmp_profiler::{ProfileInformation, ProfileMode};
 
 /// Everything the three-pass run observed; see module docs.
@@ -48,6 +50,9 @@ pub struct ThreePassReport {
     pub baseline_metrics: VmMetrics,
     /// Jump behaviour of the pass-3 (profile-laid-out) code.
     pub optimized_metrics: VmMetrics,
+    /// Superinstructions the block profile selected for the final run
+    /// (empty when nothing was hot enough).
+    pub fused: Vec<&'static str>,
     /// Result of the final run, `write`-printed.
     pub result: String,
 }
@@ -89,10 +94,11 @@ pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
     // compile lazily inside the VM and are shared by both passes (reused
     // forms hand back the same core forms).
     let block_counts = BlockCounters::new();
-    let mut vm = Vm::new(incr.engine_mut().interp_mut());
+    let mut vm = Vm::new();
     vm.set_block_profiling(block_counts.clone());
+    let interp = incr.engine_mut().interp_mut();
     for chunk in &unit2.chunks {
-        vm.run_chunk(chunk)?;
+        vm.run_chunk(interp, chunk)?;
     }
     let baseline_metrics = vm.metrics;
     let lambda_canon: Vec<String> =
@@ -110,11 +116,22 @@ pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
         .map(|c| optimize_layout(c, &block_counts))
         .collect();
     vm.relayout_cached(&block_counts);
+    // Block-level PGO step two: fuse the profile-hottest adjacent pairs
+    // into superinstructions for the final lowering.
+    let lambda_chunks = vm.compiled_chunks();
+    let plan = FusionPlan::mine(
+        laid_out.iter().chain(lambda_chunks.iter().map(|c| &**c)),
+        &block_counts,
+        3,
+    );
+    let fused = plan.labels();
+    vm.set_fusion(plan);
     vm.metrics = VmMetrics::default();
     vm.block_counters = None;
     let mut result = String::new();
+    let interp = incr.engine_mut().interp_mut();
     for chunk in &laid_out {
-        result = vm.run_chunk(chunk)?.write_string();
+        result = vm.run_chunk(interp, chunk)?.write_string();
     }
     let optimized_metrics = vm.metrics;
 
@@ -126,6 +143,7 @@ pub fn run_three_pass(src: &str, file: &str) -> Result<ThreePassReport, Error> {
         reuse,
         baseline_metrics,
         optimized_metrics,
+        fused,
         result,
     })
 }

@@ -150,6 +150,7 @@ impl Interp {
             name,
             min_args,
             max_args,
+            quick: crate::value::QuickOp::for_name(name),
             f: Box::new(f) as Box<NativeFn>,
         };
         self.define_global(Symbol::intern(name), Value::Native(Rc::new(native)));

@@ -34,4 +34,4 @@ pub use env::Frame;
 pub use error::{EvalError, EvalErrorKind};
 pub use interp::Interp;
 pub use prims::{install_primitives, value_to_syntax};
-pub use value::{Closure, HashKey, Native, NativeFn, PairCell, Value};
+pub use value::{Closure, HashKey, Native, NativeFn, PairCell, QuickOp, Value};

@@ -279,6 +279,7 @@ pub(super) fn install(interp: &mut Interp) {
             name: "curried",
             min_args: 0,
             max_args: None,
+            quick: None,
             f: Box::new(move |interp: &mut Interp, more: Vec<Value>| {
                 let mut all = pre.clone();
                 all.extend(more);

@@ -16,6 +16,59 @@ use std::rc::Rc;
 /// `map`, `sort`, …) can call back into evaluation.
 pub type NativeFn = dyn Fn(&mut Interp, Vec<Value>) -> Result<Value, EvalError>;
 
+/// Identity of a primitive whose exact-integer case the bytecode VM may
+/// execute inline ("quickening"), skipping the boxed call and its argument
+/// `Vec`. The fast path covers *only* fixnum operands with an in-range
+/// result; every other shape — floats, type errors, overflow, unusual
+/// arity — falls back to `f`, so observable semantics stay defined by the
+/// closure alone. The differential oracle in the bytecode crate holds the
+/// two paths to the same answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuickOp {
+    /// `(+ a b)` — checked add.
+    Add,
+    /// `(- a b)` — checked sub.
+    Sub,
+    /// `(* a b)` — checked mul.
+    Mul,
+    /// `(< a b)`.
+    Lt,
+    /// `(> a b)`.
+    Gt,
+    /// `(<= a b)`.
+    Le,
+    /// `(>= a b)`.
+    Ge,
+    /// `(= a b)`.
+    NumEq,
+    /// `(add1 n)` — checked add of 1.
+    Add1,
+    /// `(sub1 n)` — checked sub of 1.
+    Sub1,
+}
+
+impl QuickOp {
+    /// The fast-path identity for prelude primitive `name`, if it has one.
+    /// Keyed by name at registration time ([`crate::Interp::define_native`]);
+    /// user code that shadows these names rebinds the global to a fresh
+    /// value without a `quick` tag, so shadowing disables the fast path.
+    pub fn for_name(name: &str) -> Option<QuickOp> {
+        match name {
+            "+" => Some(QuickOp::Add),
+            "-" => Some(QuickOp::Sub),
+            "*" => Some(QuickOp::Mul),
+            "<" => Some(QuickOp::Lt),
+            ">" => Some(QuickOp::Gt),
+            "<=" => Some(QuickOp::Le),
+            ">=" => Some(QuickOp::Ge),
+            "=" => Some(QuickOp::NumEq),
+            "add1" => Some(QuickOp::Add1),
+            "sub1" => Some(QuickOp::Sub1),
+            _ => None,
+        }
+    }
+}
+
 /// A named native primitive with arity information.
 pub struct Native {
     /// Name used in error messages.
@@ -24,6 +77,8 @@ pub struct Native {
     pub min_args: usize,
     /// Maximum number of arguments (`None` = variadic).
     pub max_args: Option<usize>,
+    /// Fixnum fast-path identity, when the VM may inline this primitive.
+    pub quick: Option<QuickOp>,
     /// Implementation.
     pub f: Box<NativeFn>,
 }
@@ -157,6 +212,7 @@ impl Value {
     }
 
     /// Scheme truthiness: everything but `#f` is true.
+    #[inline]
     pub fn is_truthy(&self) -> bool {
         !matches!(self, Value::Bool(false))
     }

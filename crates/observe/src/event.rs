@@ -122,6 +122,24 @@ pub enum EventKind {
         blocks: u64,
         duration_us: u64,
     },
+    /// One chunk lowered to a flat op stream for direct-threaded
+    /// dispatch (span).
+    VmLower {
+        chunk: u32,
+        /// Ops in the lowered stream.
+        ops: u64,
+        /// Superinstructions emitted by profile-guided fusion.
+        fused: u32,
+        duration_us: u64,
+    },
+    /// Drift-driven re-layout: live chunks re-laid-out with current
+    /// block counters after an adaptive reoptimization (span).
+    LayoutReoptimize {
+        generation: u64,
+        /// Chunks whose block order was recomputed.
+        chunks: u32,
+        duration_us: u64,
+    },
     /// The persistence layer wrote a file (profile, session, snapshot).
     StoreWrite {
         path: String,
@@ -211,6 +229,8 @@ impl EventKind {
             EventKind::Run { .. } => "run",
             EventKind::SlotResolve { .. } => "slot_resolve",
             EventKind::VmRun { .. } => "vm_run",
+            EventKind::VmLower { .. } => "vm_lower",
+            EventKind::LayoutReoptimize { .. } => "layout_reoptimize",
             EventKind::StoreWrite { .. } => "store_write",
             EventKind::StoreRead { .. } => "store_read",
             EventKind::IngestBatch { .. } => "ingest_batch",
@@ -231,6 +251,8 @@ impl EventKind {
             | EventKind::Run { duration_us, .. }
             | EventKind::SlotResolve { duration_us, .. }
             | EventKind::VmRun { duration_us, .. }
+            | EventKind::VmLower { duration_us, .. }
+            | EventKind::LayoutReoptimize { duration_us, .. }
             | EventKind::StoreWrite { duration_us, .. }
             | EventKind::StoreRead { duration_us, .. }
             | EventKind::Merge { duration_us, .. } => Some(*duration_us),
@@ -364,6 +386,26 @@ impl TraceEvent {
             } => {
                 push("chunk", num(*chunk as u64));
                 push("blocks", num(*blocks));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::VmLower {
+                chunk,
+                ops,
+                fused,
+                duration_us,
+            } => {
+                push("chunk", num(*chunk as u64));
+                push("ops", num(*ops));
+                push("fused", num(*fused as u64));
+                push("duration_us", num(*duration_us));
+            }
+            EventKind::LayoutReoptimize {
+                generation,
+                chunks,
+                duration_us,
+            } => {
+                push("generation", num(*generation));
+                push("chunks", num(*chunks as u64));
                 push("duration_us", num(*duration_us));
             }
             EventKind::StoreWrite {
@@ -597,6 +639,17 @@ impl TraceEvent {
             "vm_run" => EventKind::VmRun {
                 chunk: get_u32(obj, "chunk")?,
                 blocks: get_u64(obj, "blocks")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "vm_lower" => EventKind::VmLower {
+                chunk: get_u32(obj, "chunk")?,
+                ops: get_u64(obj, "ops")?,
+                fused: get_u32(obj, "fused")?,
+                duration_us: get_u64(obj, "duration_us")?,
+            },
+            "layout_reoptimize" => EventKind::LayoutReoptimize {
+                generation: get_u64(obj, "generation")?,
+                chunks: get_u32(obj, "chunks")?,
                 duration_us: get_u64(obj, "duration_us")?,
             },
             "store_write" => EventKind::StoreWrite {

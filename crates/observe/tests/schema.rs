@@ -81,6 +81,17 @@ fn exemplar_events() -> Vec<TraceEvent> {
             blocks: 64,
             duration_us: 510,
         },
+        EventKind::VmLower {
+            chunk: 1,
+            ops: 128,
+            fused: 9,
+            duration_us: 35,
+        },
+        EventKind::LayoutReoptimize {
+            generation: 2,
+            chunks: 4,
+            duration_us: 220,
+        },
         EventKind::StoreWrite {
             path: "out/p.pgmp".into(),
             kind: "profile-v2".into(),
@@ -183,7 +194,7 @@ fn every_kind_is_covered_by_the_fixture() {
         .iter()
         .map(|e| e.kind.type_tag())
         .collect();
-    assert_eq!(tags.len(), 19, "fixture must exemplify every event kind");
+    assert_eq!(tags.len(), 21, "fixture must exemplify every event kind");
 }
 
 #[test]

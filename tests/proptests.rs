@@ -1,7 +1,9 @@
 //! Property-based tests over the whole stack.
 
 use pgmp::Engine;
-use pgmp_bytecode::{canonical_form, compile_chunk, optimize_layout, BlockCounters, Vm};
+use pgmp_bytecode::{
+    canonical_form, compile_chunk, optimize_layout, BlockCounters, DispatchMode, FusionPlan, Vm,
+};
 use pgmp_case_studies::{two_pass, Lib};
 use pgmp_eval::{install_primitives, Interp, Value};
 use pgmp_expander::{install_expander_support, Expander};
@@ -151,6 +153,50 @@ fn arb_expr(depth: u32) -> BoxedStrategy<String> {
     .boxed()
 }
 
+/// One VM execution's observable footprint: the result plus everything the
+/// differential oracle holds dispatch modes to — block-counter totals (as a
+/// creation-order count sequence: absolute chunk ids differ between `Vm`
+/// instances, but chunks are created in a deterministic order) and the
+/// mode-independent metrics.
+#[derive(Debug, PartialEq, Eq)]
+struct VmFootprint {
+    result: String,
+    block_counts: Vec<u64>,
+    blocks_executed: u64,
+    fallthroughs: u64,
+    taken_jumps: u64,
+    calls: u64,
+}
+
+fn run_vm_mode(
+    core: &[std::rc::Rc<pgmp_eval::Core>],
+    dispatch: DispatchMode,
+    fusion: FusionPlan,
+) -> VmFootprint {
+    let mut i = Interp::new();
+    install_primitives(&mut i);
+    install_expander_support(&mut i);
+    let mut vm = Vm::new();
+    vm.dispatch = dispatch;
+    vm.set_fusion(fusion);
+    let counters = BlockCounters::new();
+    vm.set_block_profiling(counters.clone());
+    let mut v = Value::Unspecified;
+    for f in core {
+        v = vm.run_core(&mut i, f).unwrap();
+    }
+    let mut snap: Vec<((u32, u32), u64)> = counters.snapshot().into_iter().collect();
+    snap.sort_unstable();
+    VmFootprint {
+        result: v.write_string(),
+        block_counts: snap.into_iter().map(|(_, c)| c).collect(),
+        blocks_executed: vm.metrics.blocks_executed,
+        fallthroughs: vm.metrics.fallthroughs,
+        taken_jumps: vm.metrics.taken_jumps,
+        calls: vm.metrics.calls,
+    }
+}
+
 fn eval_both(src: &str) -> (String, String) {
     let program = format!("(define x 3) (define y -7) {src}");
     let forms = read_str(&program, "gen.scm").unwrap();
@@ -163,15 +209,8 @@ fn eval_both(src: &str) -> (String, String) {
     for f in &core {
         tree = i1.eval(f, &None).unwrap();
     }
-    let mut i2 = Interp::new();
-    install_primitives(&mut i2);
-    install_expander_support(&mut i2);
-    let mut vm = Vm::new(&mut i2);
-    let mut vmv = Value::Unspecified;
-    for f in &core {
-        vmv = vm.run_core(f).unwrap();
-    }
-    (tree.write_string(), vmv.write_string())
+    let vmv = run_vm_mode(&core, DispatchMode::Flat, FusionPlan::none());
+    (tree.write_string(), vmv.result)
 }
 
 proptest! {
@@ -181,6 +220,26 @@ proptest! {
     fn vm_agrees_with_tree_walker(src in arb_expr(3)) {
         let (tree, vm) = eval_both(&src);
         prop_assert_eq!(tree, vm, "disagreement on {}", src);
+    }
+
+    // The dispatch-mode differential oracle: the match loop, the flat
+    // stream, and the maximally fused flat stream must produce identical
+    // results AND identical block-counter totals / transfer metrics.
+    #[test]
+    fn dispatch_modes_are_observationally_identical(src in arb_expr(3)) {
+        let program = format!("(define x 3) (define y -7) {src}");
+        let forms = read_str(&program, "gen.scm").unwrap();
+        let mut exp = Expander::new();
+        let core = exp.expand_program(&forms).unwrap();
+        let reference = run_vm_mode(&core, DispatchMode::Match, FusionPlan::none());
+        for fusion in [FusionPlan::none(), FusionPlan::all()] {
+            let labels = fusion.labels();
+            let got = run_vm_mode(&core, DispatchMode::Flat, fusion);
+            prop_assert_eq!(
+                &reference, &got,
+                "match vs flat (fusion {:?}) diverge on {}", labels, src
+            );
+        }
     }
 
     #[test]
@@ -213,9 +272,9 @@ proptest! {
         for f in &core[..core.len() - 1] {
             i.eval(f, &None).unwrap();
         }
-        let mut vm = Vm::new(&mut i);
-        let a = vm.run_chunk(&chunk).unwrap().write_string();
-        let b = vm.run_chunk(&optimized).unwrap().write_string();
+        let mut vm = Vm::new();
+        let a = vm.run_chunk(&mut i, &chunk).unwrap().write_string();
+        let b = vm.run_chunk(&mut i, &optimized).unwrap().write_string();
         prop_assert_eq!(a, b);
     }
 }

@@ -22,10 +22,10 @@ fn tree_vs_vm(libs: &[Lib], program: &str) -> (String, String) {
     let mut vm_engine = engine_with(libs).unwrap();
     vm_engine.set_profile(weights);
     let core = vm_engine.expand_to_core(program, "prog.scm").unwrap();
-    let mut vm = Vm::new(vm_engine.interp_mut());
+    let mut vm = Vm::new();
     let mut vm_result = String::new();
     for form in &core {
-        vm_result = vm.run_core(form).unwrap().write_string();
+        vm_result = vm.run_core(vm_engine.interp_mut(), form).unwrap().write_string();
     }
     (tree_result, vm_result)
 }
