@@ -30,40 +30,38 @@ fn time_runs(mut f: impl FnMut(), reps: u32) -> Duration {
 
 fn main() {
     let program = fib_program(18);
-    let reps = 5;
+    let reps = 20;
 
-    let base = time_runs(
-        || {
-            let mut e = Engine::new();
-            e.run_str(&program, "e7.scm").expect("run");
-        },
-        reps,
-    );
-    let every = time_runs(
-        || {
-            let mut e = Engine::new();
-            e.set_instrumentation(ProfileMode::EveryExpression);
-            e.run_str(&program, "e7.scm").expect("run");
-        },
-        reps,
-    );
-    let every_hash = time_runs(
-        || {
-            let mut e = Engine::new();
-            e.set_counter_impl(CounterImpl::Hash);
-            e.set_instrumentation(ProfileMode::EveryExpression);
-            e.run_str(&program, "e7.scm").expect("run");
-        },
-        reps,
-    );
-    let calls = time_runs(
-        || {
-            let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
-            e.set_instrumentation(ProfileMode::CallsOnly);
-            e.run_str(&program, "e7.scm").expect("run");
-        },
-        reps,
-    );
+    // Each configuration reuses one engine across the timed runs (like the
+    // criterion bench) so per-hit cost is what's measured — not engine
+    // setup, which for the sampling backend includes spawning the sampler
+    // thread once per session.
+    let base = {
+        let mut e = Engine::new();
+        time_runs(|| e.run_str(&program, "e7.scm").map(|_| ()).expect("run"), reps)
+    };
+    let every = {
+        let mut e = Engine::new();
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        time_runs(|| e.run_str(&program, "e7.scm").map(|_| ()).expect("run"), reps)
+    };
+    let every_hash = {
+        let mut e = Engine::new();
+        e.set_counter_impl(CounterImpl::Hash);
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        time_runs(|| e.run_str(&program, "e7.scm").map(|_| ()).expect("run"), reps)
+    };
+    let every_sampling = {
+        let mut e = Engine::new();
+        e.set_counter_impl(CounterImpl::Sampling);
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        time_runs(|| e.run_str(&program, "e7.scm").map(|_| ()).expect("run"), reps)
+    };
+    let calls = {
+        let mut e = Engine::with_strategy(AnnotateStrategy::WrapLambda);
+        e.set_instrumentation(ProfileMode::CallsOnly);
+        time_runs(|| e.run_str(&program, "e7.scm").map(|_| ()).expect("run"), reps)
+    };
 
     // Wrapping cost per annotated expression, profiling disabled.
     let annotated = "
@@ -114,6 +112,7 @@ fn main() {
     let vm_base = vm_run(None);
     let vm_dense = vm_run(Some(BlockCounters::with_impl(CounterImpl::Dense)));
     let vm_hash = vm_run(Some(BlockCounters::with_impl(CounterImpl::Hash)));
+    let vm_sampling = vm_run(Some(BlockCounters::with_impl(CounterImpl::Sampling)));
 
     println!("§4.4 profiling overhead (fib workload; interpreter substrate)");
     println!("======================================================================");
@@ -131,6 +130,12 @@ fn main() {
         "  ... with legacy hash-keyed counters",
         every_hash,
         every_hash.as_secs_f64() / base.as_secs_f64()
+    );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "  ... with sampling (beacon, 997 Hz)",
+        every_sampling,
+        every_sampling.as_secs_f64() / base.as_secs_f64()
     );
     println!(
         "{:<44} {:>10.2?} {:>9.2}x",
@@ -168,12 +173,26 @@ fn main() {
         vm_hash,
         vm_hash.as_secs_f64() / vm_base.as_secs_f64()
     );
+    println!(
+        "{:<44} {:>10.2?} {:>9.2}x",
+        "VM: per-block beacon (sampling, 997 Hz)",
+        vm_sampling,
+        vm_sampling.as_secs_f64() / vm_base.as_secs_f64()
+    );
     println!("----------------------------------------------------------------------");
     let added = |t: Duration, b: Duration| (t.as_secs_f64() / b.as_secs_f64() - 1.0).max(1e-9);
     println!(
         "dense vs hash: interp overhead cut {:.1}x, VM overhead cut {:.1}x",
         added(every_hash, base) / added(every, base),
         added(vm_hash, vm_base) / added(vm_dense, vm_base)
+    );
+    let pct = |t: Duration, b: Duration| (t.as_secs_f64() / b.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "sampling vs dense: added interp overhead {:+.1}% vs {:+.1}%, VM {:+.1}% vs {:+.1}%",
+        pct(every_sampling, base),
+        pct(every, base),
+        pct(vm_sampling, vm_base),
+        pct(vm_dense, vm_base)
     );
     println!("----------------------------------------------------------------------");
     println!("paper:   Chez ≈1.09x; errortrace 4–12x plus wrapping overhead.");

@@ -1,16 +1,21 @@
 //! Block-level profile counters.
 //!
-//! Like the source-level [`pgmp_profiler::Counters`], the registry has two
-//! representations. The default **dense** backend assigns each registered
-//! chunk a contiguous base in one `Vec<Cell<u64>>` — the VM resolves the
-//! base once per activation and block entry becomes a vector bump. The
-//! legacy **hash** backend (one `(chunk, block)` hash per entry) survives
-//! behind [`CounterImpl::Hash`] as the e7 baseline and for interop.
+//! Like the source-level [`pgmp_profiler::Counters`], the registry has
+//! several representations. The default **dense** backend assigns each
+//! registered chunk a contiguous base in one `Vec<Cell<u64>>` — the VM
+//! resolves the base once per activation and block entry becomes a vector
+//! bump. The legacy **hash** backend (one `(chunk, block)` hash per entry)
+//! survives behind [`CounterImpl::Hash`] as the e7 baseline and for
+//! interop. The **sampling** backend reuses the dense base assignment but
+//! block entry only publishes a current-position beacon (one relaxed
+//! store); a decoupled [`pgmp_profiler::Sampler`] thread turns periodic
+//! beacon reads into estimated counts (see `pgmp_profiler::sampling`).
 
-use pgmp_profiler::CounterImpl;
+use pgmp_profiler::{CounterImpl, Sampler, SamplingShared, DEFAULT_SAMPLE_HZ};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Base index returned by [`BlockCounters::register_chunk`] when the
 /// registry is hash-keyed (or registration otherwise has no dense base);
@@ -30,6 +35,20 @@ enum Backend {
     },
     Hash {
         counts: RefCell<HashMap<(u32, u32), u64>>,
+    },
+    Sampling {
+        /// chunk id → (base, block count), exactly like the dense layout;
+        /// the *tallies* live in `shared` instead of a `Cell` vector.
+        bases: RefCell<HashMap<u32, (u32, u32)>>,
+        /// Next free dense index (the sampling analogue of `counts.len()`).
+        next: Cell<u32>,
+        /// Beacon + estimated tallies, shared with the sampler.
+        shared: Arc<SamplingShared>,
+        /// Owns the sampler thread; `None` in manual (test) mode. Dropping
+        /// the last clone of the registry stops and joins the thread.
+        sampler: Option<Sampler>,
+        /// Configured tick rate (0 in manual mode).
+        hz: u32,
     },
 }
 
@@ -62,20 +81,52 @@ impl BlockCounters {
         BlockCounters::with_impl(CounterImpl::Dense)
     }
 
-    /// Creates an empty registry with an explicit representation.
+    /// Creates an empty registry with an explicit representation. A
+    /// sampling registry spawns its sampler thread at
+    /// [`DEFAULT_SAMPLE_HZ`]; use [`BlockCounters::with_sampling`] to pick
+    /// the rate.
     pub fn with_impl(kind: CounterImpl) -> BlockCounters {
-        let backend = match kind {
-            CounterImpl::Dense => Backend::Dense {
-                bases: RefCell::new(HashMap::new()),
-                counts: RefCell::new(Vec::new()),
-                overflow: RefCell::new(HashMap::new()),
+        match kind {
+            CounterImpl::Dense => BlockCounters {
+                backend: Rc::new(Backend::Dense {
+                    bases: RefCell::new(HashMap::new()),
+                    counts: RefCell::new(Vec::new()),
+                    overflow: RefCell::new(HashMap::new()),
+                }),
             },
-            CounterImpl::Hash => Backend::Hash {
-                counts: RefCell::new(HashMap::new()),
+            CounterImpl::Hash => BlockCounters {
+                backend: Rc::new(Backend::Hash {
+                    counts: RefCell::new(HashMap::new()),
+                }),
             },
-        };
+            CounterImpl::Sampling => BlockCounters::with_sampling(DEFAULT_SAMPLE_HZ),
+        }
+    }
+
+    /// Creates an empty sampling registry with a sampler thread ticking at
+    /// `hz`.
+    pub fn with_sampling(hz: u32) -> BlockCounters {
+        BlockCounters::sampling_with(hz, true)
+    }
+
+    /// Creates a sampling registry with *no* sampler thread; tests and
+    /// benchmarks drive it deterministically via
+    /// [`BlockCounters::sample_now`].
+    pub fn sampling_manual() -> BlockCounters {
+        BlockCounters::sampling_with(0, false)
+    }
+
+    fn sampling_with(hz: u32, spawn: bool) -> BlockCounters {
+        let shared = Arc::new(SamplingShared::new());
+        let sampler = spawn.then(|| Sampler::spawn(shared.clone(), hz));
         BlockCounters {
-            backend: Rc::new(backend),
+            backend: Rc::new(Backend::Sampling {
+                bases: RefCell::new(HashMap::new()),
+                next: Cell::new(0),
+                shared,
+                sampler,
+                hz,
+            }),
         }
     }
 
@@ -84,6 +135,55 @@ impl BlockCounters {
         match &*self.backend {
             Backend::Dense { .. } => CounterImpl::Dense,
             Backend::Hash { .. } => CounterImpl::Hash,
+            Backend::Sampling { .. } => CounterImpl::Sampling,
+        }
+    }
+
+    /// The configured sampler rate, when this is a sampling registry
+    /// (0 in manual mode; `None` on exact registries).
+    pub fn sample_hz(&self) -> Option<u32> {
+        match &*self.backend {
+            Backend::Sampling { hz, .. } => Some(*hz),
+            _ => None,
+        }
+    }
+
+    /// True when a wall-clock sampler thread is attached to this registry
+    /// (always false for exact registries and manually driven sampling
+    /// registries).
+    pub fn has_sampler_thread(&self) -> bool {
+        matches!(
+            &*self.backend,
+            Backend::Sampling {
+                sampler: Some(_),
+                ..
+            }
+        )
+    }
+
+    /// The shared sampling state, when this is a sampling registry.
+    pub fn sampling_shared(&self) -> Option<Arc<SamplingShared>> {
+        match &*self.backend {
+            Backend::Sampling { shared, .. } => Some(shared.clone()),
+            _ => None,
+        }
+    }
+
+    /// Takes one sample immediately (test/benchmark hook); no-op on exact
+    /// registries.
+    pub fn sample_now(&self) {
+        if let Backend::Sampling { shared, .. } = &*self.backend {
+            shared.sample_now();
+        }
+    }
+
+    /// Parks the sampling beacon so samples taken while no profiled code
+    /// runs (VM run exited, blocking native) attribute nothing; no-op on
+    /// exact registries.
+    #[inline]
+    pub fn park(&self) {
+        if let Backend::Sampling { shared, .. } = &*self.backend {
+            shared.park();
         }
     }
 
@@ -109,16 +209,31 @@ impl BlockCounters {
                 base
             }
             Backend::Hash { .. } => NO_BASE,
+            Backend::Sampling { bases, next, .. } => {
+                let mut bases = bases.borrow_mut();
+                if let Some((base, n)) = bases.get(&chunk) {
+                    if blocks <= *n {
+                        return *base;
+                    }
+                }
+                let base = next.get();
+                next.set(base + blocks);
+                bases.insert(chunk, (base, blocks));
+                base
+            }
         }
     }
 
-    /// Adds one to the counter at `base + block`, saturating. Only valid
-    /// with a `base` returned by [`BlockCounters::register_chunk`] on this
-    /// (dense) registry and `block` within the registered block count.
+    /// Records entry into the block at `base + block`: a saturating counter
+    /// bump on a dense registry, one relaxed beacon store on a sampling
+    /// registry. Only valid with a `base` returned by
+    /// [`BlockCounters::register_chunk`] on this registry and `block`
+    /// within the registered block count.
     ///
     /// # Panics
     ///
-    /// Panics on a hash-keyed registry or an out-of-range index.
+    /// Panics on a hash-keyed registry, or (dense only) an out-of-range
+    /// index.
     #[inline]
     pub fn increment_at(&self, base: u32, block: u32) {
         match &*self.backend {
@@ -130,6 +245,7 @@ impl BlockCounters {
             Backend::Hash { .. } => {
                 panic!("BlockCounters::increment_at on a hash-keyed registry")
             }
+            Backend::Sampling { shared, .. } => shared.publish(0, base + block),
         }
     }
 
@@ -164,6 +280,14 @@ impl BlockCounters {
                 let c = counts.entry((chunk, block)).or_insert(0);
                 *c = c.saturating_add(1);
             }
+            Backend::Sampling { shared, .. } => {
+                // Keyed entries publish the beacon too; a chunk nobody
+                // registered gets a dense range lazily so the sample has a
+                // slot to land in (a sampling registry has no keyed
+                // overflow — estimates only exist per dense slot).
+                let base = self.register_chunk(chunk, block + 1);
+                shared.publish(chunk, base + block);
+            }
         }
     }
 
@@ -195,10 +319,17 @@ impl BlockCounters {
                 .get(&(chunk, block))
                 .copied()
                 .unwrap_or(0),
+            Backend::Sampling { bases, shared, .. } => bases
+                .borrow()
+                .get(&chunk)
+                .filter(|(_, n)| block < *n)
+                .map(|(base, _)| shared.tallies().get(base + block))
+                .unwrap_or(0),
         }
     }
 
-    /// Number of blocks with a nonzero count.
+    /// Number of blocks with a nonzero count (estimated count, on a
+    /// sampling registry).
     pub fn len(&self) -> usize {
         match &*self.backend {
             Backend::Dense {
@@ -210,6 +341,9 @@ impl BlockCounters {
             Backend::Hash { counts } => {
                 counts.borrow().values().filter(|c| **c > 0).count()
             }
+            Backend::Sampling { next, shared, .. } => (0..next.get())
+                .filter(|i| shared.tallies().get(*i) > 0)
+                .count(),
         }
     }
 
@@ -231,6 +365,7 @@ impl BlockCounters {
                 overflow.borrow_mut().clear();
             }
             Backend::Hash { counts } => counts.borrow_mut().clear(),
+            Backend::Sampling { shared, .. } => shared.tallies().clear(),
         }
     }
 
@@ -322,6 +457,35 @@ impl BlockCounters {
                     *e = e.saturating_add(v);
                 }
             }
+            Backend::Sampling { bases, shared, .. } => {
+                let mut bases = bases.borrow_mut();
+                if let Some(entry) = bases.remove(&old) {
+                    use std::collections::hash_map::Entry;
+                    match bases.entry(new) {
+                        Entry::Vacant(v) => {
+                            v.insert(entry);
+                        }
+                        Entry::Occupied(o) => {
+                            // Fold old's estimated tallies into new's dense
+                            // range; blocks beyond new's range have no slot
+                            // on a sampling registry (no keyed overflow) and
+                            // their estimates are dropped.
+                            let (new_base, new_n) = *o.get();
+                            let (base, n) = entry;
+                            let tallies = shared.tallies();
+                            for b in 0..n.min(new_n) {
+                                let c = tallies.take(base + b);
+                                if c > 0 {
+                                    tallies.add(new_base + b, c);
+                                }
+                            }
+                            for b in new_n..n {
+                                tallies.take(base + b);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -356,6 +520,19 @@ impl BlockCounters {
                 .filter(|(_, c)| **c > 0)
                 .map(|(k, c)| (*k, *c))
                 .collect(),
+            Backend::Sampling { bases, shared, .. } => {
+                let tallies = shared.tallies();
+                let mut out = HashMap::new();
+                for (chunk, (base, n)) in bases.borrow().iter() {
+                    for b in 0..*n {
+                        let c = tallies.get(base + b);
+                        if c > 0 {
+                            out.insert((*chunk, b), c);
+                        }
+                    }
+                }
+                out
+            }
         }
     }
 }
@@ -464,6 +641,65 @@ mod tests {
             c.remap_chunk(5, 5);
             assert_eq!(c.count(5, 0), 1);
         }
+    }
+
+    #[test]
+    fn sampling_registry_estimates_from_beacon_samples() {
+        let c = BlockCounters::sampling_manual();
+        assert_eq!(c.impl_kind(), CounterImpl::Sampling);
+        assert_eq!(c.sample_hz(), Some(0));
+        assert!(!c.has_sampler_thread(), "manual mode has no sampler thread");
+        let base = c.register_chunk(2, 4);
+        c.increment_at(base, 1);
+        assert_eq!(c.count(2, 1), 0, "publishing alone tallies nothing");
+        c.sample_now();
+        c.sample_now();
+        assert_eq!(c.count(2, 1), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.snapshot(), HashMap::from([((2, 1), 2)]));
+        c.park();
+        c.sample_now();
+        assert_eq!(c.count(2, 1), 2, "parked beacon attributes nothing");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.register_chunk(2, 4), base, "registration survives clear");
+    }
+
+    #[test]
+    fn sampling_keyed_increment_lazily_registers() {
+        let c = BlockCounters::sampling_manual();
+        c.increment(9, 3);
+        c.sample_now();
+        assert_eq!(c.count(9, 3), 1);
+        // Keyed entries to the now-registered chunk land in the same slots.
+        c.increment(9, 3);
+        c.sample_now();
+        assert_eq!(c.count(9, 3), 2);
+    }
+
+    #[test]
+    fn sampling_remap_moves_and_merges_estimates() {
+        let c = BlockCounters::sampling_manual();
+        let base = c.register_chunk(4, 2);
+        c.increment_at(base, 1);
+        c.sample_now();
+        c.remap_chunk(4, 40);
+        assert_eq!(c.count(4, 1), 0, "old id is empty");
+        assert_eq!(c.count(40, 1), 1);
+        // Remapping onto a chunk with counts of its own sums them.
+        let other = c.register_chunk(5, 2);
+        c.increment_at(other, 1);
+        c.sample_now();
+        c.remap_chunk(5, 40);
+        assert_eq!(c.count(40, 1), 2);
+    }
+
+    #[test]
+    fn sampling_with_thread_reports_rate() {
+        let c = BlockCounters::with_sampling(499);
+        assert_eq!(c.sample_hz(), Some(499));
+        assert!(c.has_sampler_thread());
+        assert!(c.sampling_shared().is_some());
     }
 
     #[test]

@@ -228,6 +228,11 @@ impl Vm {
             }
             DispatchMode::Match => self.exec(interp, Rc::new(chunk.clone())),
         };
+        // The run is over: park the sampling beacon (no-op on exact
+        // registries) so samples taken between runs attribute nothing.
+        if let Some(counters) = &self.block_counters {
+            counters.park();
+        }
         let m = observe::metrics();
         m.gauge_set("vm.fallthrough_ratio", self.metrics.fallthrough_ratio());
         let fused_delta = self.metrics.fused_dispatches - fused_before;

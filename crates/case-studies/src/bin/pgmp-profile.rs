@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! pgmp-profile inspect <file.pgmp>
-//!     Summary: format version, dataset count, point/slot counts, and the
-//!     hottest points.
+//!     Summary: format version, provenance (exact counts or sampled
+//!     estimates, with the sampler rate), dataset count, point/slot
+//!     counts, and the hottest points.
 //!
 //! pgmp-profile merge -o <out.pgmp> <a.pgmp> <b.pgmp> [...]
 //!     Merges profiles by the paper's §3.2 rule: per-point weighted
@@ -17,7 +18,9 @@
 //!     identity with a notice, while tables sharing no point — a
 //!     different program, whose slot-indexed counters could only
 //!     alias — are refused with a typed error. With --to 2, the merged
-//!     output carries the combined validated table.
+//!     output carries the combined validated table. Inputs of mixed
+//!     provenance (exact counts + sampled estimates) merge with a
+//!     warning; a uniform provenance is carried to the output.
 //!
 //! pgmp-profile convert --to <1|2> -o <out.pgmp> <in.pgmp>
 //!     Rewrites a profile in the requested format version. v2 → v1 drops
@@ -46,7 +49,7 @@
 
 use pgmp_adaptive::{drift, DriftMetric};
 use pgmp_observe as observe;
-use pgmp_profiler::{ProfileInformation, SlotCompat, SlotMap, StoredProfile};
+use pgmp_profiler::{ProfileInformation, Provenance, SlotCompat, SlotMap, StoredProfile};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
@@ -69,6 +72,7 @@ fn inspect(out: &mut String, args: &[String]) -> Result<(), String> {
     let stored = load(path)?;
     let _ = writeln!(out, "file:     {path}");
     let _ = writeln!(out, "format:   v{}", stored.version);
+    let _ = writeln!(out, "source:   {}", stored.provenance);
     let _ = writeln!(out, "datasets: {}", stored.info.dataset_count());
     let _ = writeln!(out, "points:   {}", stored.info.len());
     match &stored.slots {
@@ -164,14 +168,19 @@ fn merge(args: &[String]) -> Result<(), String> {
     // tables share no point describe a different program and are
     // refused with the typed mismatch.
     let mut table = SlotMap::new();
+    let mut provenances: Vec<Provenance> = Vec::new();
     for path in &opts.inputs {
         let stored = load(path)?;
         eprintln!(
-            "pgmp-profile: {path}: v{}, {} dataset(s), {} point(s)",
+            "pgmp-profile: {path}: v{}, {}, {} dataset(s), {} point(s)",
             stored.version,
+            stored.provenance,
             stored.info.dataset_count(),
             stored.info.len()
         );
+        if !provenances.contains(&stored.provenance) {
+            provenances.push(stored.provenance);
+        }
         if let Some(slots) = &stored.slots {
             match table
                 .check_mergeable(slots)
@@ -189,8 +198,27 @@ fn merge(args: &[String]) -> Result<(), String> {
         }
         merged = merged.merge(&stored.info);
     }
+    // Mixing exact counts with sampled estimates is legal (§3.2 weights
+    // never required exactness) but worth flagging: the merged weights
+    // inherit the estimates' sampling error. A uniform provenance is
+    // carried through to a v2 output; a mix degrades to implicit exact.
+    let provenance = match provenances.as_slice() {
+        [one] => *one,
+        mixed => {
+            eprintln!(
+                "pgmp-profile: warning: merging profiles of mixed provenance ({}); \
+                 merged weights inherit the estimates' sampling error",
+                mixed
+                    .iter()
+                    .map(Provenance::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" + ")
+            );
+            Provenance::Exact
+        }
+    };
     let carried = (!table.is_empty()).then_some(table);
-    let stored = assemble(merged, carried, opts.to, opts.slots)?;
+    let stored = assemble(merged, carried, opts.to, opts.slots)?.with_provenance(provenance);
     stored.store_file(&out).map_err(|e| format!("{out}: {e}"))?;
     eprintln!(
         "pgmp-profile: wrote {out}: v{}, {} dataset(s), {} point(s)",
@@ -209,7 +237,8 @@ fn convert(args: &[String]) -> Result<(), String> {
     };
     let stored = load(input)?;
     let from = stored.version;
-    let converted = assemble(stored.info, stored.slots, opts.to, opts.slots)?;
+    let converted =
+        assemble(stored.info, stored.slots, opts.to, opts.slots)?.with_provenance(stored.provenance);
     converted.store_file(&out).map_err(|e| format!("{out}: {e}"))?;
     let slots = match &converted.slots {
         Some(t) => format!("{} slot(s)", t.len()),

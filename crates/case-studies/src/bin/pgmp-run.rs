@@ -13,9 +13,16 @@
 //!   --libs <names>               comma-separated case-study libraries:
 //!                                if-r,case,oo,list,vector,sequence,all
 //!   --wrap-lambda                use the Racket annotate-expr strategy
-//!   --counter-impl <dense|hash>  counter representation for instrumented
-//!                                runs: dense slot-indexed (default) or the
-//!                                legacy hash-keyed baseline
+//!   --counter-impl <dense|hash|sampling>
+//!                                counter representation for instrumented
+//!                                runs: dense slot-indexed (default), the
+//!                                legacy hash-keyed baseline, or statistical
+//!                                sampling — each profile point costs one
+//!                                relaxed beacon store and a sampler thread
+//!                                estimates the weights (always-on
+//!                                profiling; weights are estimates)
+//!   --sample-hz <hz>             sampling: beacon reads per second
+//!                                (default 997)
 //!
 //!   --store-format <1|2>         profile format version for --store
 //!                                (2 carries the dense slot table; default 1)
@@ -67,7 +74,8 @@
 //!   --publish <socket>           stream this run's counter deltas to a
 //!                                `pgmp-profiled` fleet daemon over the
 //!                                given Unix socket (instrumented runs,
-//!                                dense counters only): the slot table is
+//!                                slotted — dense or sampling — counters
+//!                                only): the slot table is
 //!                                exchanged at handshake and the deltas
 //!                                are binary (slot, count) pairs through
 //!                                a bounded never-blocking flusher
@@ -119,6 +127,7 @@ struct Options {
     libs: Vec<Lib>,
     strategy: AnnotateStrategy,
     counter_impl: CounterImpl,
+    sample_hz: u32,
     store_format: u32,
     incremental: bool,
     save_state: Option<String>,
@@ -147,7 +156,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pgmp-run [--instrument every|calls] [--load P] [--merge P]...\n\
          \u{20}               [--store P] [--expand] [--libs names] [--wrap-lambda]\n\
-         \u{20}               [--counter-impl dense|hash] [--store-format 1|2]\n\
+         \u{20}               [--counter-impl dense|hash|sampling] [--sample-hz HZ]\n\
+         \u{20}               [--store-format 1|2]\n\
          \u{20}               [--incremental [--save-state F] [--load-state F]]\n\
          \u{20}               [--adaptive [--epochs N] [--threads N] [--epoch-ms MS]\n\
          \u{20}               [--drift-threshold T] [--decay D] [--hysteresis N]\n\
@@ -198,6 +208,7 @@ fn parse_args() -> Options {
         libs: Vec::new(),
         strategy: AnnotateStrategy::Direct,
         counter_impl: CounterImpl::Dense,
+        sample_hz: pgmp_profiler::DEFAULT_SAMPLE_HZ,
         store_format: 1,
         incremental: false,
         save_state: None,
@@ -236,6 +247,7 @@ fn parse_args() -> Options {
             "--libs" => opts.libs = parse_libs(&args.next().unwrap_or_else(|| usage())),
             "--wrap-lambda" => opts.strategy = AnnotateStrategy::WrapLambda,
             "--counter-impl" => opts.counter_impl = parse_num(args.next()),
+            "--sample-hz" => opts.sample_hz = parse_num(args.next()),
             "--store-format" => match args.next().as_deref() {
                 Some("1") => opts.store_format = 1,
                 Some("2") => opts.store_format = 2,
@@ -283,6 +295,16 @@ fn parse_num<T: std::str::FromStr>(arg: Option<String>) -> T {
     arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
 }
 
+/// Applies the selected counter representation (and, for sampling, the
+/// sampler rate) to an engine.
+fn configure_counters(engine: &mut Engine, counter_impl: CounterImpl, sample_hz: u32) {
+    if counter_impl == CounterImpl::Sampling {
+        engine.set_sampling(sample_hz);
+    } else {
+        engine.set_counter_impl(counter_impl);
+    }
+}
+
 /// One-line rendering of [`VmMetrics`] shared by the `--vm-metrics`
 /// consumers (incremental summary, adaptive per-epoch lines).
 fn describe_vm_metrics(m: &VmMetrics) -> String {
@@ -321,8 +343,9 @@ fn run_adaptive(opts: &Options, source: &str, file: &str) -> Result<(), String> 
     };
     let libs = opts.libs.clone();
     let counter_impl = opts.counter_impl;
+    let sample_hz = opts.sample_hz;
     let mut engine = AdaptiveEngine::with_setup(source, file, config, move |e| {
-        e.set_counter_impl(counter_impl);
+        configure_counters(e, counter_impl, sample_hz);
         for lib in &libs {
             install(e, *lib)?;
         }
@@ -636,7 +659,7 @@ fn publish_counters(engine: &Engine, socket: &str) -> Result<(), String> {
     let counters = engine.counters();
     let table = counters
         .slot_table()
-        .ok_or("--publish requires dense counters (drop --counter-impl hash)")?;
+        .ok_or("--publish requires slotted counters (drop --counter-impl hash)")?;
     let delta = counters.take_delta();
     let mut publisher = pgmp_profiled::Publisher::connect(socket, &table, 64)
         .map_err(|e| format!("{socket}: {e}"))?;
@@ -729,7 +752,7 @@ fn run_mode(opts: &Options, source: &str, file: &str) -> Result<(), String> {
     }
 
     let mut engine = Engine::with_strategy(opts.strategy);
-    engine.set_counter_impl(opts.counter_impl);
+    configure_counters(&mut engine, opts.counter_impl, opts.sample_hz);
     for lib in &opts.libs {
         install(&mut engine, *lib).map_err(|e| e.to_string())?;
     }

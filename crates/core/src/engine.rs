@@ -5,7 +5,9 @@ use crate::error::Error;
 use pgmp_eval::{install_primitives, resolve_profile_slots, Interp, Value};
 use pgmp_observe as observe;
 use pgmp_expander::{install_expander_support, Expander};
-use pgmp_profiler::{CounterImpl, Counters, ProfileInformation, ProfileMode, StoredProfile};
+use pgmp_profiler::{
+    CounterImpl, Counters, ProfileInformation, ProfileMode, Provenance, StoredProfile,
+};
 use pgmp_reader::read_str;
 use pgmp_syntax::Syntax;
 use std::cell::RefCell;
@@ -77,11 +79,28 @@ impl Engine {
     }
 
     /// Selects the counter representation for this session's instrumented
-    /// runs: dense slot-indexed (the default) or the legacy hash-keyed
-    /// baseline. Replaces the session counters, so call it before the
-    /// first instrumented run.
+    /// runs: dense slot-indexed (the default), the legacy hash-keyed
+    /// baseline, or statistical sampling (beacon + sampler thread at
+    /// [`pgmp_profiler::DEFAULT_SAMPLE_HZ`]; use [`Engine::set_sampling`]
+    /// to pick the rate). Replaces the session counters, so call it before
+    /// the first instrumented run.
     pub fn set_counter_impl(&mut self, kind: CounterImpl) {
         self.state.borrow_mut().counters = Counters::with_impl(kind);
+    }
+
+    /// Switches this session to sampling counters with a sampler thread
+    /// ticking at `hz`. Subsequent instrumented runs cost one relaxed
+    /// beacon store per profile point; weights are estimated from samples.
+    pub fn set_sampling(&mut self, hz: u32) {
+        self.state.borrow_mut().counters = Counters::with_sampling(hz);
+    }
+
+    /// Replaces the session counter registry wholesale. This is the
+    /// embedding hook for registries the convenience setters cannot build
+    /// — e.g. a manually driven sampling registry
+    /// ([`Counters::sampling_manual`]) in deterministic tests.
+    pub fn set_counters(&mut self, counters: Counters) {
+        self.state.borrow_mut().counters = counters;
     }
 
     /// The counter representation behind this session's registry.
@@ -148,8 +167,17 @@ impl Engine {
     ///
     /// Returns [`Error::Profile`] on I/O failure.
     pub fn store_profile_v2(&self, path: impl AsRef<Path>) -> Result<(), Error> {
-        let slots = self.state.borrow().counters.slot_table();
-        StoredProfile::v2(self.current_weights(), slots).store_file(path)?;
+        let (slots, provenance) = {
+            let st = self.state.borrow();
+            let provenance = match st.counters.sample_hz() {
+                Some(hz) => Provenance::Sampled { hz },
+                None => Provenance::Exact,
+            };
+            (st.counters.slot_table(), provenance)
+        };
+        StoredProfile::v2(self.current_weights(), slots)
+            .with_provenance(provenance)
+            .store_file(path)?;
         Ok(())
     }
 
@@ -167,8 +195,21 @@ impl Engine {
     pub fn load_profile_with_slots(&mut self, path: impl AsRef<Path>) -> Result<u32, Error> {
         let stored = StoredProfile::load_file(path)?;
         if let Some(table) = stored.slots {
-            if self.counter_impl() == CounterImpl::Dense {
-                self.state.borrow_mut().counters = Counters::with_slot_table(table);
+            match self.counter_impl() {
+                CounterImpl::Dense => {
+                    self.state.borrow_mut().counters = Counters::with_slot_table(table);
+                }
+                CounterImpl::Sampling => {
+                    // Preserve the session's sampler rate; only a registry
+                    // with a live sampler thread is replaced (a manually
+                    // driven one keeps its deterministic test harness).
+                    let mut st = self.state.borrow_mut();
+                    if st.counters.has_sampler_thread() {
+                        let hz = st.counters.sample_hz().unwrap_or(0);
+                        st.counters = Counters::with_slot_table_sampling(table, hz);
+                    }
+                }
+                CounterImpl::Hash => {}
             }
         }
         self.set_profile(stored.info);
@@ -260,9 +301,11 @@ impl Engine {
         if self.mode.is_on() {
             let counters = self.state.borrow().counters.clone();
             if counters.map_id() != 0 {
-                // Dense registry: resolve every profile point to its slot
-                // now, at instrumentation time, so the run itself never
-                // interns — each bump is a cached-slot vector add.
+                // Slotted registry (dense or sampling): resolve every
+                // profile point to its slot now, at instrumentation time,
+                // so the run itself never interns — each hit is a
+                // cached-slot vector add (dense) or beacon store
+                // (sampling).
                 let t = observe::timer();
                 for form in &program {
                     resolve_profile_slots(form, &counters);
@@ -284,8 +327,24 @@ impl Engine {
         }
         let t = observe::timer();
         let mut last = Value::Unspecified;
+        let mut failure = None;
         for form in &program {
-            last = self.interp.eval(form, &None)?;
+            match self.interp.eval(form, &None) {
+                Ok(v) => last = v,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        // The run is over (normally or not): park the sampling beacon so
+        // between-run samples attribute nothing, and publish sampler totals
+        // into the metrics registry at this boundary.
+        if let Some(counters) = &self.interp.counters {
+            counters.park();
+            if let Some(shared) = counters.sampling_shared() {
+                shared.publish_metrics();
+            }
         }
         observe::finish(t, |duration_us| observe::EventKind::Run {
             file: file.to_string(),
@@ -297,7 +356,10 @@ impl Engine {
             .to_string(),
             duration_us,
         });
-        Ok(last)
+        match failure {
+            Some(e) => Err(e.into()),
+            None => Ok(last),
+        }
     }
 
     /// Reads and runs the program in the file at `path`, using the file
@@ -503,6 +565,119 @@ mod tests {
             .iter()
             .any(|(p, _)| p.is_generated() && counters.count(p) == 2);
         assert!(generated);
+    }
+
+    #[test]
+    fn sampling_run_estimates_weights_deterministically() {
+        // Manual sampling: a native takes the samples, so the test is
+        // exact — every call to (sample!) tallies whatever profile point
+        // the interpreter entered last.
+        let mut e = Engine::new();
+        let counters = Counters::sampling_manual();
+        let shared = counters.sampling_shared().unwrap();
+        e.set_counters(counters);
+        assert_eq!(e.counter_impl(), CounterImpl::Sampling);
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        let s = shared.clone();
+        e.interp_mut()
+            .define_native("sample!", 0, Some(0), move |_, _| {
+                s.sample_now();
+                Ok(Value::Unspecified)
+            });
+        e.run_str("(define (f) (sample!)) (f) (f) (f)", "s.scm").unwrap();
+        let (ticks, hits, missed) = shared.stats();
+        assert_eq!((ticks, hits, missed), (3, 3, 0));
+        let weights = e.current_weights();
+        assert!(!weights.is_empty(), "samples produced estimated weights");
+        assert!(weights.iter().any(|(_, w)| w == 1.0));
+    }
+
+    #[test]
+    fn blocking_native_parks_the_beacon() {
+        // Satellite: a native that blocks parks the beacon, so samples
+        // taken while it sleeps attribute nothing instead of inflating the
+        // profile point that happened to be entered last.
+        let mut e = Engine::new();
+        let counters = Counters::sampling_manual();
+        let shared = counters.sampling_shared().unwrap();
+        e.set_counters(counters);
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        let s = shared.clone();
+        e.interp_mut()
+            .define_native("sleep-blocked", 0, Some(0), move |interp, _| {
+                interp.park_profiling();
+                // Stand-in for the blocked wait: every sample taken while
+                // parked must miss.
+                for _ in 0..5 {
+                    s.sample_now();
+                }
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(Value::Unspecified)
+            });
+        e.run_str("(sleep-blocked)", "b.scm").unwrap();
+        let (ticks, hits, missed) = shared.stats();
+        assert_eq!(ticks, 5);
+        assert_eq!(hits, 0, "parked beacon must not attribute samples");
+        assert_eq!(missed, 5);
+        // The run has exited, so the beacon stays parked afterwards too.
+        shared.sample_now();
+        assert_eq!(shared.stats().2, 6, "post-run samples miss");
+        assert_eq!(
+            e.current_weights().iter().count(),
+            0,
+            "no point received an estimated weight"
+        );
+    }
+
+    #[test]
+    fn sampling_profile_v2_records_provenance() {
+        let dir = std::env::temp_dir().join("pgmp-engine-sampling-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sampled.pgmp");
+        let mut e = Engine::new();
+        e.set_sampling(250);
+        assert_eq!(e.counter_impl(), CounterImpl::Sampling);
+        e.set_instrumentation(ProfileMode::EveryExpression);
+        e.run_str("(define (f) 'x) (f)", "p.scm").unwrap();
+        e.store_profile_v2(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("(provenance sampled 250)"),
+            "v2 file records sampling provenance: {text}"
+        );
+        let stored = StoredProfile::load_file(&path).unwrap();
+        assert_eq!(stored.provenance, Provenance::Sampled { hz: 250 });
+        // An exact session stays implicit-exact on disk.
+        let exact_path = dir.join("exact.pgmp");
+        let mut ex = Engine::new();
+        ex.set_instrumentation(ProfileMode::EveryExpression);
+        ex.run_str("(define (f) 'x) (f)", "p.scm").unwrap();
+        ex.store_profile_v2(&exact_path).unwrap();
+        let exact_text = std::fs::read_to_string(&exact_path).unwrap();
+        assert!(!exact_text.contains("provenance"));
+        let exact = StoredProfile::load_file(&exact_path).unwrap();
+        assert_eq!(exact.provenance, Provenance::Exact);
+    }
+
+    #[test]
+    fn sampling_session_preloads_v2_slot_table() {
+        let dir = std::env::temp_dir().join("pgmp-engine-sampling-preload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("warm.pgmp");
+        let mut writer = Engine::new();
+        writer.set_instrumentation(ProfileMode::EveryExpression);
+        writer.run_str("(define (f n) (* n n)) (f 2) (f 3)", "w.scm").unwrap();
+        writer.store_profile_v2(&path).unwrap();
+
+        let mut warm = Engine::new();
+        warm.set_sampling(500);
+        warm.load_profile_with_slots(&path).unwrap();
+        assert_eq!(warm.counter_impl(), CounterImpl::Sampling);
+        assert_eq!(warm.counters().sample_hz(), Some(500), "rate survives preload");
+        assert!(
+            warm.counters().slot_table().is_some_and(|t| !t.is_empty()),
+            "slot table preloaded into the sampling registry"
+        );
     }
 
     #[test]

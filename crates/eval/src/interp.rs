@@ -81,6 +81,19 @@ impl Interp {
         self.counters = None;
     }
 
+    /// Parks the sampling beacon, if the live counters are sampling-backed:
+    /// samples taken until the next profile-point entry attribute nothing.
+    /// Call this from natives that genuinely block (sleeps, waits on
+    /// external state) so wall-clock time spent blocked is not charged to
+    /// the last-entered profile point; exact backends ignore it. The next
+    /// profiled expression re-publishes the position automatically.
+    #[inline]
+    pub fn park_profiling(&self) {
+        if let Some(counters) = &self.counters {
+            counters.park();
+        }
+    }
+
     /// Sets a step budget. Evaluation fails with a fuel error when it runs
     /// out — useful for tests that must terminate.
     pub fn set_fuel(&mut self, fuel: Option<u64>) {
@@ -336,12 +349,13 @@ impl Interp {
     }
 }
 
-/// Counts one hit of `expr`'s profile point. Dense registries take the
+/// Records one hit of `expr`'s profile point. Slotted registries take the
 /// paper's fast path: the slot id cached on the node (validated against the
-/// registry's map id) makes the bump a vector index; the first hit per node
-/// resolves and caches the slot, unless [`crate::resolve_profile_slots`]
-/// already did so at instrumentation time. Hash-keyed registries fall back
-/// to the legacy keyed increment.
+/// registry's map id) makes the record a single slot op — a vector bump on
+/// dense counters, one relaxed beacon store on sampling counters; the first
+/// hit per node resolves and caches the slot, unless
+/// [`crate::resolve_profile_slots`] already did so at instrumentation time.
+/// Hash-keyed registries fall back to the legacy keyed increment.
 #[inline]
 fn bump(counters: &Counters, expr: &Core, src: SourceObject) {
     let map_id = counters.map_id();
@@ -357,7 +371,7 @@ fn bump(counters: &Counters, expr: &Core, src: SourceObject) {
             slot
         }
     };
-    counters.add_slot(slot, 1);
+    counters.record_hit(slot);
 }
 
 fn check_native_arity(n: &Native, got: usize) -> Result<(), EvalError> {

@@ -211,6 +211,17 @@ pub enum EventKind {
         chosen: Vec<String>,
         rank: u32,
     },
+    /// Sampling-profiler summary, emitted once when a sampler stops (the
+    /// tick path itself never touches the event bus). `ticks = hits +
+    /// missed`: `hits` tallied a published position, `missed` found the
+    /// beacon idle.
+    SamplerTick {
+        /// Configured tick rate (0 when driven manually).
+        hz: u32,
+        ticks: u64,
+        hits: u64,
+        missed: u64,
+    },
 }
 
 impl EventKind {
@@ -238,6 +249,7 @@ impl EventKind {
             EventKind::Broadcast { .. } => "broadcast",
             EventKind::BackpressureDrop { .. } => "backpressure_drop",
             EventKind::Decision { .. } => "decision",
+            EventKind::SamplerTick { .. } => "sampler_tick",
         }
     }
 
@@ -493,6 +505,17 @@ impl TraceEvent {
                 );
                 push("rank", num(*rank as u64));
             }
+            EventKind::SamplerTick {
+                hz,
+                ticks,
+                hits,
+                missed,
+            } => {
+                push("hz", num(*hz as u64));
+                push("ticks", num(*ticks));
+                push("hits", num(*hits));
+                push("missed", num(*missed));
+            }
         }
         Json::Obj(fields).to_string()
     }
@@ -721,6 +744,12 @@ impl TraceEvent {
                     rank: get_u32(obj, "rank")?,
                 }
             }
+            "sampler_tick" => EventKind::SamplerTick {
+                hz: get_u32(obj, "hz")?,
+                ticks: get_u64(obj, "ticks")?,
+                hits: get_u64(obj, "hits")?,
+                missed: get_u64(obj, "missed")?,
+            },
             other => return Err(DecodeError::UnknownType(other.to_string())),
         };
         Ok(TraceEvent { seq, t_us, kind })

@@ -150,6 +150,12 @@ fn exemplar_events() -> Vec<TraceEvent> {
             chosen: vec![],
             rank: 0,
         },
+        EventKind::SamplerTick {
+            hz: 997,
+            ticks: 10000,
+            hits: 9400,
+            missed: 600,
+        },
     ];
     kinds
         .into_iter()
@@ -194,7 +200,7 @@ fn every_kind_is_covered_by_the_fixture() {
         .iter()
         .map(|e| e.kind.type_tag())
         .collect();
-    assert_eq!(tags.len(), 21, "fixture must exemplify every event kind");
+    assert_eq!(tags.len(), 22, "fixture must exemplify every event kind");
 }
 
 #[test]

@@ -146,7 +146,7 @@ proptest! {
             Err(WireError::BadLength(n)) => {
                 prop_assert!(n == 0 || n > MAX_FRAME_LEN);
             }
-            Err(_) => prop_assert!(len >= 1 && len <= MAX_FRAME_LEN),
+            Err(_) => prop_assert!((1..=MAX_FRAME_LEN).contains(&len)),
             Ok(_) => prop_assert_eq!(len, 1), // only an empty-payload frame fits in 5 bytes
         }
     }

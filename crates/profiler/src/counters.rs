@@ -1,6 +1,6 @@
 //! Live profile counters and per-run datasets.
 //!
-//! Two representations live behind the same [`Counters`] handle:
+//! Three representations live behind the same [`Counters`] handle:
 //!
 //! - **Dense** (the default): each profile point is resolved once — at
 //!   instrumentation time — to a stable `u32` slot in a [`SlotMap`], and a
@@ -10,16 +10,28 @@
 //! - **Hash**: the legacy `HashMap<SourceObject, u64>` keyed by profile
 //!   point, kept as an interop view and as the baseline the e7 overhead
 //!   experiment measures against.
+//! - **Sampling**: the always-on backend. A profiled event publishes a
+//!   current-position beacon (one relaxed atomic store, see
+//!   [`crate::sampling`]); a decoupled sampler thread ticking at a
+//!   configurable rate reads the beacon and accumulates *estimated*
+//!   tallies into the same slot space, so weights are statistical
+//!   estimates rather than exact counts. Direct keyed/slot adds
+//!   ([`Counters::add`], [`Counters::add_slot`]) still land exactly,
+//!   which is what dataset absorption, merging, and the equivalence
+//!   oracle rely on; only the hot-path [`Counters::record_hit`] trades
+//!   exactness for ~zero mutator overhead.
 //!
-//! Both snapshot into the same [`Dataset`], so weight normalization,
+//! All three snapshot into the same [`Dataset`], so weight normalization,
 //! dataset merging, and `store-profile`/`load-profile` are unchanged.
 
+use crate::sampling::{Sampler, SamplingShared, DEFAULT_SAMPLE_HZ};
 use crate::slots::SlotMap;
 use pgmp_syntax::SourceObject;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Which counter representation a [`Counters`] registry uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -29,6 +41,9 @@ pub enum CounterImpl {
     Dense,
     /// Legacy hash-keyed counters (one `SourceObject` hash per bump).
     Hash,
+    /// Statistical sampling: hot-path events publish a position beacon
+    /// (one relaxed store) and a sampler estimates counts from it.
+    Sampling,
 }
 
 impl std::str::FromStr for CounterImpl {
@@ -38,7 +53,10 @@ impl std::str::FromStr for CounterImpl {
         match s {
             "dense" => Ok(CounterImpl::Dense),
             "hash" => Ok(CounterImpl::Hash),
-            other => Err(format!("unknown counter impl `{other}` (dense|hash)")),
+            "sampling" => Ok(CounterImpl::Sampling),
+            other => Err(format!(
+                "unknown counter impl `{other}` (dense|hash|sampling)"
+            )),
         }
     }
 }
@@ -61,6 +79,20 @@ enum Backend {
     },
     Hash {
         counts: RefCell<HashMap<SourceObject, u64>>,
+    },
+    Sampling {
+        map_id: u32,
+        slots: RefCell<SlotMap>,
+        /// Beacon + estimated tallies, shared with the sampler.
+        shared: Arc<SamplingShared>,
+        /// Per-slot tally as of the last [`Counters::take_delta`].
+        reported: RefCell<Vec<u64>>,
+        /// Wall-clock sampler thread; `None` when tests/benches drive
+        /// [`Counters::sample_now`] deterministically instead.
+        sampler: Option<Sampler>,
+        /// Nominal tick rate (0 when manually driven) — recorded as
+        /// `sampled@hz` provenance when the profile is stored.
+        hz: u32,
     },
 }
 
@@ -98,7 +130,10 @@ impl Counters {
         Counters::with_impl(CounterImpl::Dense)
     }
 
-    /// Creates an empty registry with an explicit representation.
+    /// Creates an empty registry with an explicit representation. A
+    /// sampling registry gets a wall-clock sampler at
+    /// [`DEFAULT_SAMPLE_HZ`]; use [`Counters::with_sampling`] to pick the
+    /// rate.
     pub fn with_impl(kind: CounterImpl) -> Counters {
         let backend = match kind {
             CounterImpl::Dense => Backend::Dense {
@@ -110,9 +145,39 @@ impl Counters {
             CounterImpl::Hash => Backend::Hash {
                 counts: RefCell::new(HashMap::new()),
             },
+            CounterImpl::Sampling => {
+                return Counters::with_sampling(DEFAULT_SAMPLE_HZ);
+            }
         };
         Counters {
             backend: Rc::new(backend),
+        }
+    }
+
+    /// Creates a sampling registry whose sampler thread ticks at `hz`.
+    pub fn with_sampling(hz: u32) -> Counters {
+        Counters::sampling_with(SlotMap::new(), hz, true)
+    }
+
+    /// Creates a sampling registry with *no* sampler thread: tests and
+    /// benchmarks call [`Counters::sample_now`] to take each sample
+    /// deterministically.
+    pub fn sampling_manual() -> Counters {
+        Counters::sampling_with(SlotMap::new(), 0, false)
+    }
+
+    fn sampling_with(table: SlotMap, hz: u32, spawn: bool) -> Counters {
+        let shared = Arc::new(SamplingShared::new());
+        let sampler = spawn.then(|| Sampler::spawn(shared.clone(), hz));
+        Counters {
+            backend: Rc::new(Backend::Sampling {
+                map_id: NEXT_MAP_ID.fetch_add(1, Ordering::Relaxed),
+                slots: RefCell::new(table),
+                shared,
+                reported: RefCell::new(Vec::new()),
+                sampler,
+                hz,
+            }),
         }
     }
 
@@ -137,12 +202,21 @@ impl Counters {
         }
     }
 
-    /// A snapshot of the dense slot table (`None` for hash-keyed
-    /// registries). This is what a v2 profile file persists so the next
-    /// process can skip re-interning.
+    /// The sampling analog of [`Counters::with_slot_table`]: slots
+    /// preloaded from a v2 profile file, tallies zero, sampler ticking at
+    /// `hz`.
+    pub fn with_slot_table_sampling(table: SlotMap, hz: u32) -> Counters {
+        Counters::sampling_with(table, hz, true)
+    }
+
+    /// A snapshot of the slot table (`None` for hash-keyed registries).
+    /// This is what a v2 profile file persists so the next process can
+    /// skip re-interning.
     pub fn slot_table(&self) -> Option<SlotMap> {
         match &*self.backend {
-            Backend::Dense { slots, .. } => Some(slots.borrow().clone()),
+            Backend::Dense { slots, .. } | Backend::Sampling { slots, .. } => {
+                Some(slots.borrow().clone())
+            }
             Backend::Hash { .. } => None,
         }
     }
@@ -152,6 +226,7 @@ impl Counters {
         match &*self.backend {
             Backend::Dense { .. } => CounterImpl::Dense,
             Backend::Hash { .. } => CounterImpl::Hash,
+            Backend::Sampling { .. } => CounterImpl::Sampling,
         }
     }
 
@@ -161,9 +236,50 @@ impl Counters {
     /// this before using [`Counters::add_slot`].
     pub fn map_id(&self) -> u32 {
         match &*self.backend {
-            Backend::Dense { map_id, .. } => *map_id,
+            Backend::Dense { map_id, .. } | Backend::Sampling { map_id, .. } => *map_id,
             Backend::Hash { .. } => 0,
         }
+    }
+
+    /// The nominal sampler rate: `Some(hz)` for sampling registries (0
+    /// when manually driven), `None` for exact backends. This is what a
+    /// stored profile records as `sampled@hz` provenance.
+    pub fn sample_hz(&self) -> Option<u32> {
+        match &*self.backend {
+            Backend::Sampling { hz, .. } => Some(*hz),
+            _ => None,
+        }
+    }
+
+    /// The beacon/tally state shared with the sampler (`None` for exact
+    /// backends). Exposed for boundary-time metric publication and for
+    /// tests that inspect tick/hit/miss accounting.
+    pub fn sampling_shared(&self) -> Option<Arc<SamplingShared>> {
+        match &*self.backend {
+            Backend::Sampling { shared, .. } => Some(shared.clone()),
+            _ => None,
+        }
+    }
+
+    /// Takes one sample deterministically (no-op on exact backends).
+    /// Pairs with [`Counters::sampling_manual`] in tests and benchmarks.
+    pub fn sample_now(&self) {
+        if let Backend::Sampling { shared, .. } = &*self.backend {
+            shared.sample_now();
+        }
+    }
+
+    /// True when a wall-clock sampler thread is attached to this registry
+    /// (always false for exact backends and manually driven sampling
+    /// registries).
+    pub fn has_sampler_thread(&self) -> bool {
+        matches!(
+            &*self.backend,
+            Backend::Sampling {
+                sampler: Some(_),
+                ..
+            }
+        )
     }
 
     /// Resolves profile point `p` to its dense slot, interning it on first
@@ -184,6 +300,7 @@ impl Counters {
                 }
                 slot
             }
+            Backend::Sampling { slots, .. } => slots.borrow_mut().resolve(p),
             Backend::Hash { .. } => {
                 panic!("Counters::resolve on a hash-keyed registry (map_id 0)")
             }
@@ -204,9 +321,44 @@ impl Counters {
                 let c = &counts[slot as usize];
                 c.set(c.get().saturating_add(n));
             }
+            Backend::Sampling { shared, .. } => shared.tallies().add(slot, n),
             Backend::Hash { .. } => {
                 panic!("Counters::add_slot on a hash-keyed registry (map_id 0)")
             }
+        }
+    }
+
+    /// Records one hot-path hit in `slot` — the per-event operation the
+    /// instrumented interpreter emits. On exact backends this *counts*
+    /// the hit ([`Counters::add_slot`] by one); on the sampling backend it
+    /// only *publishes* the position beacon (one relaxed store) and the
+    /// sampler supplies the estimated count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a hash-keyed registry or if `slot` was never resolved.
+    #[inline]
+    pub fn record_hit(&self, slot: u32) {
+        match &*self.backend {
+            Backend::Dense { counts, .. } => {
+                let counts = counts.borrow();
+                let c = &counts[slot as usize];
+                c.set(c.get().saturating_add(1));
+            }
+            Backend::Sampling { map_id, shared, .. } => shared.publish(*map_id, slot),
+            Backend::Hash { .. } => {
+                panic!("Counters::record_hit on a hash-keyed registry (map_id 0)")
+            }
+        }
+    }
+
+    /// Clears the published position beacon (no-op on exact backends).
+    /// Called on run exit and around blocking waits so the sampler never
+    /// attributes idle time to the last-executed profile point.
+    #[inline]
+    pub fn park(&self) {
+        if let Backend::Sampling { shared, .. } = &*self.backend {
+            shared.park();
         }
     }
 
@@ -219,6 +371,7 @@ impl Counters {
     pub fn count_slot(&self, slot: u32) -> u64 {
         match &*self.backend {
             Backend::Dense { counts, .. } => counts.borrow()[slot as usize].get(),
+            Backend::Sampling { shared, .. } => shared.tallies().get(slot),
             Backend::Hash { .. } => {
                 panic!("Counters::count_slot on a hash-keyed registry (map_id 0)")
             }
@@ -231,7 +384,7 @@ impl Counters {
     /// use it to assert that cached code replays without re-resolution.
     pub fn resolved_slots(&self) -> usize {
         match &*self.backend {
-            Backend::Dense { slots, .. } => slots.borrow().len(),
+            Backend::Dense { slots, .. } | Backend::Sampling { slots, .. } => slots.borrow().len(),
             Backend::Hash { .. } => 0,
         }
     }
@@ -249,7 +402,7 @@ impl Counters {
     /// wrapped counter would silently invert every weight derived from it.
     pub fn add(&self, p: SourceObject, n: u64) {
         match &*self.backend {
-            Backend::Dense { .. } => {
+            Backend::Dense { .. } | Backend::Sampling { .. } => {
                 let slot = self.resolve(p);
                 self.add_slot(slot, n);
             }
@@ -268,6 +421,10 @@ impl Counters {
                 Some(slot) => counts.borrow()[slot as usize].get(),
                 None => 0,
             },
+            Backend::Sampling { slots, shared, .. } => match slots.borrow().get(p) {
+                Some(slot) => shared.tallies().get(slot),
+                None => 0,
+            },
             Backend::Hash { counts } => counts.borrow().get(&p).copied().unwrap_or(0),
         }
     }
@@ -277,6 +434,10 @@ impl Counters {
         match &*self.backend {
             Backend::Dense { counts, .. } => {
                 counts.borrow().iter().filter(|c| c.get() > 0).count()
+            }
+            Backend::Sampling { slots, shared, .. } => {
+                let n = slots.borrow().len() as u32;
+                (0..n).filter(|&s| shared.tallies().get(s) > 0).count()
             }
             Backend::Hash { counts } => counts.borrow().values().filter(|c| **c > 0).count(),
         }
@@ -297,6 +458,7 @@ impl Counters {
                     c.set(0);
                 }
             }
+            Backend::Sampling { shared, .. } => shared.tallies().clear(),
             Backend::Hash { counts } => counts.borrow_mut().clear(),
         }
     }
@@ -335,6 +497,27 @@ impl Counters {
                 }
                 delta
             }
+            Backend::Sampling {
+                slots,
+                shared,
+                reported,
+                ..
+            } => {
+                let n = slots.borrow().len();
+                let mut reported = reported.borrow_mut();
+                if reported.len() < n {
+                    reported.resize(n, 0);
+                }
+                let mut delta = Vec::new();
+                for (i, base) in reported.iter_mut().enumerate() {
+                    let current = shared.tallies().get(i as u32);
+                    if current > *base {
+                        delta.push((i as u32, current - *base));
+                    }
+                    *base = current;
+                }
+                delta
+            }
             Backend::Hash { .. } => {
                 panic!("Counters::take_delta on a hash-keyed registry (map_id 0)")
             }
@@ -354,6 +537,14 @@ impl Counters {
                     .enumerate()
                     .filter(|(_, c)| c.get() > 0)
                     .map(|(i, c)| (slots.point(i as u32), c.get()))
+                    .collect()
+            }
+            Backend::Sampling { slots, shared, .. } => {
+                let slots = slots.borrow();
+                (0..slots.len() as u32)
+                    .map(|i| (i, shared.tallies().get(i)))
+                    .filter(|(_, c)| *c > 0)
+                    .map(|(i, c)| (slots.point(i), c))
                     .collect()
             }
             Backend::Hash { counts } => counts
@@ -429,16 +620,20 @@ mod tests {
         SourceObject::new("t.scm", n, n + 1)
     }
 
-    fn both() -> [Counters; 2] {
+    /// One registry per backend. The sampling one is manually driven (no
+    /// thread): with no `record_hit`/`sample_now` in sight its keyed and
+    /// slot APIs must behave exactly like the exact backends.
+    fn all_impls() -> [Counters; 3] {
         [
             Counters::with_impl(CounterImpl::Dense),
             Counters::with_impl(CounterImpl::Hash),
+            Counters::sampling_manual(),
         ]
     }
 
     #[test]
     fn increment_accumulates() {
-        for c in both() {
+        for c in all_impls() {
             c.increment(p(0));
             c.increment(p(0));
             c.increment(p(1));
@@ -451,7 +646,7 @@ mod tests {
 
     #[test]
     fn clones_share_state() {
-        for c in both() {
+        for c in all_impls() {
             let c2 = c.clone();
             c2.increment(p(0));
             assert_eq!(c.count(p(0)), 1);
@@ -460,7 +655,7 @@ mod tests {
 
     #[test]
     fn add_bulk() {
-        for c in both() {
+        for c in all_impls() {
             c.add(p(3), 10);
             c.add(p(3), 5);
             assert_eq!(c.count(p(3)), 15);
@@ -469,7 +664,7 @@ mod tests {
 
     #[test]
     fn counts_saturate_instead_of_wrapping() {
-        for c in both() {
+        for c in all_impls() {
             c.add(p(4), u64::MAX - 1);
             c.increment(p(4));
             c.increment(p(4));
@@ -481,7 +676,7 @@ mod tests {
 
     #[test]
     fn snapshot_is_independent() {
-        for c in both() {
+        for c in all_impls() {
             c.increment(p(0));
             let snap = c.snapshot();
             c.increment(p(0));
@@ -492,36 +687,44 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        for c in both() {
+        for c in all_impls() {
             c.increment(p(0));
             c.clear();
             assert!(c.is_empty());
         }
     }
 
+    /// The two slot-indexed backends: same slot/take_delta surface, exact
+    /// vs estimated storage.
+    fn slotted() -> [Counters; 2] {
+        [Counters::new(), Counters::sampling_manual()]
+    }
+
     #[test]
     fn dense_slots_survive_clear() {
-        let c = Counters::new();
-        let s0 = c.resolve(p(0));
-        let s1 = c.resolve(p(1));
-        c.add_slot(s0, 3);
-        c.clear();
-        assert_eq!(c.count_slot(s0), 0);
-        assert_eq!(c.resolve(p(0)), s0, "slot ids are stable across clear");
-        assert_eq!(c.resolve(p(1)), s1);
-        assert_eq!(c.resolved_slots(), 2);
-        c.add_slot(s1, 7);
-        assert_eq!(c.count(p(1)), 7);
+        for c in slotted() {
+            let s0 = c.resolve(p(0));
+            let s1 = c.resolve(p(1));
+            c.add_slot(s0, 3);
+            c.clear();
+            assert_eq!(c.count_slot(s0), 0);
+            assert_eq!(c.resolve(p(0)), s0, "slot ids are stable across clear");
+            assert_eq!(c.resolve(p(1)), s1);
+            assert_eq!(c.resolved_slots(), 2);
+            c.add_slot(s1, 7);
+            assert_eq!(c.count(p(1)), 7);
+        }
     }
 
     #[test]
     fn slot_and_keyed_apis_agree() {
-        let c = Counters::new();
-        let s = c.resolve(p(9));
-        c.add_slot(s, 4);
-        c.increment(p(9));
-        assert_eq!(c.count(p(9)), 5);
-        assert_eq!(c.count_slot(s), 5);
+        for c in slotted() {
+            let s = c.resolve(p(9));
+            c.add_slot(s, 4);
+            c.increment(p(9));
+            assert_eq!(c.count(p(9)), 5);
+            assert_eq!(c.count_slot(s), 5);
+        }
     }
 
     #[test]
@@ -530,18 +733,21 @@ mod tests {
         let b = Counters::new();
         assert_ne!(a.map_id(), b.map_id());
         assert_ne!(a.map_id(), 0);
+        assert_ne!(Counters::sampling_manual().map_id(), 0);
         assert_eq!(Counters::with_impl(CounterImpl::Hash).map_id(), 0);
         assert_eq!(a.map_id(), a.clone().map_id(), "clones share the map");
     }
 
     #[test]
-    fn dense_and_hash_snapshot_identically() {
-        let [dense, hash] = both();
+    fn all_backends_snapshot_identically() {
+        let [dense, hash, sampling] = all_impls();
         for (point, n) in [(p(0), 2), (p(7), 1), (p(0), 3), (p(2), 5)] {
             dense.add(point, n);
             hash.add(point, n);
+            sampling.add(point, n);
         }
         assert_eq!(dense.snapshot(), hash.snapshot());
+        assert_eq!(dense.snapshot(), sampling.snapshot());
     }
 
     #[test]
@@ -563,32 +769,85 @@ mod tests {
 
     #[test]
     fn take_delta_partitions_hits_exactly() {
-        let c = Counters::new();
-        let s0 = c.resolve(p(0));
-        let s1 = c.resolve(p(1));
-        c.add_slot(s0, 5);
-        assert_eq!(c.take_delta(), vec![(s0, 5)]);
-        assert_eq!(c.take_delta(), vec![], "no new hits, no delta");
-        c.add_slot(s0, 2);
-        c.add_slot(s1, 1);
-        let mut d = c.take_delta();
-        d.sort_unstable();
-        assert_eq!(d, vec![(s0, 2), (s1, 1)]);
-        // Sum of all deltas equals the live totals: each hit in exactly one.
-        assert_eq!(c.count_slot(s0), 7);
-        assert_eq!(c.count_slot(s1), 1);
+        for c in slotted() {
+            let s0 = c.resolve(p(0));
+            let s1 = c.resolve(p(1));
+            c.add_slot(s0, 5);
+            assert_eq!(c.take_delta(), vec![(s0, 5)]);
+            assert_eq!(c.take_delta(), vec![], "no new hits, no delta");
+            c.add_slot(s0, 2);
+            c.add_slot(s1, 1);
+            let mut d = c.take_delta();
+            d.sort_unstable();
+            assert_eq!(d, vec![(s0, 2), (s1, 1)]);
+            // Sum of all deltas equals the live totals: each hit in exactly one.
+            assert_eq!(c.count_slot(s0), 7);
+            assert_eq!(c.count_slot(s1), 1);
+        }
     }
 
     #[test]
     fn take_delta_rebases_after_clear() {
+        for c in slotted() {
+            let s = c.resolve(p(0));
+            c.add_slot(s, 10);
+            assert_eq!(c.take_delta(), vec![(s, 10)]);
+            c.clear();
+            assert_eq!(c.take_delta(), vec![], "shrunk counts report nothing");
+            c.add_slot(s, 3);
+            assert_eq!(c.take_delta(), vec![(s, 3)], "baseline rebased to zero");
+        }
+    }
+
+    #[test]
+    fn record_hit_publishes_instead_of_counting() {
+        let c = Counters::sampling_manual();
+        let s0 = c.resolve(p(0));
+        let s1 = c.resolve(p(1));
+        c.record_hit(s0);
+        assert_eq!(c.count_slot(s0), 0, "a hit alone tallies nothing");
+        c.sample_now();
+        c.sample_now();
+        assert_eq!(c.count_slot(s0), 2, "each sample tallies the beacon");
+        c.record_hit(s1);
+        c.sample_now();
+        assert_eq!(c.count_slot(s0), 2);
+        assert_eq!(c.count_slot(s1), 1);
+        let shared = c.sampling_shared().unwrap();
+        assert_eq!(shared.stats(), (3, 3, 0));
+    }
+
+    #[test]
+    fn park_stops_attribution() {
+        let c = Counters::sampling_manual();
+        let s = c.resolve(p(0));
+        c.record_hit(s);
+        c.park();
+        c.sample_now();
+        assert_eq!(c.count_slot(s), 0, "parked beacon attributes nothing");
+        assert_eq!(c.sampling_shared().unwrap().stats(), (1, 0, 1));
+    }
+
+    #[test]
+    fn dense_record_hit_counts_exactly() {
         let c = Counters::new();
         let s = c.resolve(p(0));
-        c.add_slot(s, 10);
-        assert_eq!(c.take_delta(), vec![(s, 10)]);
-        c.clear();
-        assert_eq!(c.take_delta(), vec![], "shrunk counts report nothing");
-        c.add_slot(s, 3);
-        assert_eq!(c.take_delta(), vec![(s, 3)], "baseline rebased to zero");
+        c.record_hit(s);
+        c.record_hit(s);
+        assert_eq!(c.count_slot(s), 2);
+    }
+
+    #[test]
+    fn sampling_preloaded_slot_table_skips_interning() {
+        let c = Counters::new();
+        let s0 = c.resolve(p(0));
+        let table = c.slot_table().unwrap();
+        let warm = Counters::with_slot_table_sampling(table, 101);
+        assert_eq!(warm.resolved_slots(), 1, "slots preloaded");
+        assert_eq!(warm.resolve(p(0)), s0, "same slot ids as the saver");
+        assert_eq!(warm.impl_kind(), CounterImpl::Sampling);
+        assert_eq!(warm.sample_hz(), Some(101));
+        assert_eq!(Counters::new().sample_hz(), None);
     }
 
     #[test]

@@ -46,13 +46,15 @@
 
 mod counters;
 mod info;
+pub mod sampling;
 mod slots;
 mod store;
 
 pub use counters::{CounterImpl, Counters, Dataset};
+pub use sampling::{Sampler, SamplingShared, DEFAULT_SAMPLE_HZ};
 pub use slots::{SlotCompat, SlotMap, SlotTableMismatch};
 pub use info::ProfileInformation;
-pub use store::{write_atomic, ProfileStoreError, StoredProfile};
+pub use store::{write_atomic, ProfileStoreError, Provenance, StoredProfile};
 
 /// How the evaluator instruments a program for profiling.
 ///

@@ -1,0 +1,234 @@
+//! Statistical sampling support for [`crate::Counters`] and the VM's
+//! block counters: a *current-position beacon* plus a sampler that turns
+//! periodic reads of it into estimated hit counts.
+//!
+//! Exact counters pay one counter update per profiled event; always-on
+//! production profiling cannot afford that (E7: 1.45× interp overhead
+//! even dense). The sampling backend inverts the cost model the way the
+//! systems-PGO world did (AutoFDO lineage): the *mutator* only publishes
+//! where it is — one relaxed atomic store per profile-point entry — and a
+//! decoupled sampler thread ticking at `hz` reads the beacon and
+//! accumulates tallies into an [`AtomicSlotArray`]. Estimated counts live
+//! in the same slot space as exact ones, so weight normalization (§3 of
+//! the paper: weights are `count / max_count`, exactness never required),
+//! §3.2 merging, deltas, and the v2 store all work unchanged.
+//!
+//! # Beacon encoding
+//!
+//! The beacon is a single `AtomicU64`:
+//!
+//! - `0` — *idle*: no profiled code is running (run exited, or a blocking
+//!   native parked the beacon). Ticks that land here count as `missed`
+//!   and attribute nothing.
+//! - otherwise — `(identity << 32) | (slot + 1)`: the low half is the
+//!   dense slot currently executing, biased by one so slot 0 is
+//!   distinguishable from idle; the high half carries the publisher's
+//!   identity (the interpreter's `map_id`, the VM's chunk id) for
+//!   debuggability. The sampler only consumes the low half — the shared
+//!   state is private to one registry, so identity mismatches cannot
+//!   occur by construction.
+//!
+//! All beacon accesses are `Relaxed`: a torn or stale read costs at most
+//! one misattributed sample, which the estimator model absorbs (see
+//! DESIGN.md §4h).
+
+use pgmp_observe::{emit, metrics, EventKind};
+use pgmp_rt::AtomicSlotArray;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default sampler rate for `--counter-impl sampling`. Prime, so periodic
+/// workloads do not resonate with the tick train.
+pub const DEFAULT_SAMPLE_HZ: u32 = 997;
+
+/// State shared between one profiled registry (the publisher) and its
+/// sampler (the consumer). `Send + Sync`; the registry handle itself
+/// stays single-threaded.
+#[derive(Debug, Default)]
+pub struct SamplingShared {
+    /// Current-position beacon (see module docs for the encoding).
+    beacon: AtomicU64,
+    /// Estimated per-slot hit tallies, one sample = one hit.
+    tallies: AtomicSlotArray,
+    /// Total sampler ticks taken.
+    ticks: AtomicU64,
+    /// Ticks that found a published position and tallied it.
+    hits: AtomicU64,
+    /// Ticks that found the beacon idle (beacon = 0).
+    missed: AtomicU64,
+    /// Tells the sampler thread to exit.
+    stop: AtomicBool,
+}
+
+impl SamplingShared {
+    /// Fresh shared state: idle beacon, empty tallies.
+    pub fn new() -> SamplingShared {
+        SamplingShared::default()
+    }
+
+    /// Publishes the current position: one relaxed store, the entire
+    /// per-event cost of the sampling backend.
+    #[inline]
+    pub fn publish(&self, identity: u32, slot: u32) {
+        self.beacon
+            .store(((identity as u64) << 32) | (slot as u64 + 1), Ordering::Relaxed);
+    }
+
+    /// Clears the published position so samples taken while the publisher
+    /// is idle (run exited, blocking native, slow-path wait) attribute
+    /// nothing instead of inflating the last-seen point.
+    #[inline]
+    pub fn park(&self) {
+        self.beacon.store(0, Ordering::Relaxed);
+    }
+
+    /// Takes one sample: reads the beacon and tallies the published slot,
+    /// if any. This is the sampler thread's tick body, exposed so tests
+    /// and benchmarks can drive sampling deterministically (no thread, no
+    /// wall clock).
+    pub fn sample_now(&self) {
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        let word = self.beacon.load(Ordering::Relaxed);
+        let biased = word & 0xFFFF_FFFF;
+        if biased == 0 {
+            self.missed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.tallies.add((biased - 1) as u32, 1);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The estimated tallies (sample counts per slot).
+    pub fn tallies(&self) -> &AtomicSlotArray {
+        &self.tallies
+    }
+
+    /// `(ticks, hits, missed)` so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.ticks.load(Ordering::Relaxed),
+            self.hits.load(Ordering::Relaxed),
+            self.missed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Publishes sampler totals into the metrics registry
+    /// (`profiler.sample_ticks` / `sample_hits` / `sample_missed`).
+    /// Called at boundaries only — run exit, sampler shutdown — never on
+    /// the tick path.
+    pub fn publish_metrics(&self) {
+        let (ticks, hits, missed) = self.stats();
+        let m = metrics();
+        m.gauge_set("profiler.sample_ticks", ticks as f64);
+        m.gauge_set("profiler.sample_hits", hits as f64);
+        m.gauge_set("profiler.sample_missed", missed as f64);
+    }
+}
+
+/// A wall-clock sampler thread ticking a [`SamplingShared`] at a fixed
+/// rate. Stops (and joins) on drop, publishing final metrics and one
+/// summary [`EventKind::SamplerTick`] event — the tick path itself never
+/// touches the event bus or the metrics registry.
+#[derive(Debug)]
+pub struct Sampler {
+    shared: Arc<SamplingShared>,
+    hz: u32,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Spawns the sampler thread at `hz` ticks per second (clamped to at
+    /// least 1).
+    pub fn spawn(shared: Arc<SamplingShared>, hz: u32) -> Sampler {
+        let hz = hz.max(1);
+        let period = Duration::from_nanos(1_000_000_000 / hz as u64);
+        let worker = shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("pgmp-sampler".into())
+            .spawn(move || {
+                while !worker.stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(period);
+                    worker.sample_now();
+                }
+            })
+            .expect("failed to spawn pgmp-sampler thread");
+        Sampler {
+            shared,
+            hz,
+            handle: Some(handle),
+        }
+    }
+
+    /// The configured tick rate.
+    pub fn hz(&self) -> u32 {
+        self.hz
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        self.shared.publish_metrics();
+        let (ticks, hits, missed) = self.shared.stats();
+        emit(EventKind::SamplerTick {
+            hz: self.hz,
+            ticks,
+            hits,
+            missed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_beacon_counts_as_missed() {
+        let s = SamplingShared::new();
+        s.sample_now();
+        assert_eq!(s.stats(), (1, 0, 1));
+        assert_eq!(s.tallies().get(0), 0);
+    }
+
+    #[test]
+    fn published_slot_zero_is_distinguishable_from_idle() {
+        let s = SamplingShared::new();
+        s.publish(7, 0);
+        s.sample_now();
+        assert_eq!(s.stats(), (1, 1, 0));
+        assert_eq!(s.tallies().get(0), 1);
+    }
+
+    #[test]
+    fn park_clears_the_position() {
+        let s = SamplingShared::new();
+        s.publish(7, 3);
+        s.sample_now();
+        s.park();
+        s.sample_now();
+        assert_eq!(s.stats(), (2, 1, 1));
+        assert_eq!(s.tallies().get(3), 1);
+    }
+
+    #[test]
+    fn sampler_thread_ticks_and_stops() {
+        let shared = Arc::new(SamplingShared::new());
+        shared.publish(1, 5);
+        let sampler = Sampler::spawn(shared.clone(), 10_000);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while shared.stats().0 == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(sampler);
+        let (ticks, hits, _) = shared.stats();
+        assert!(ticks > 0, "sampler never ticked");
+        assert_eq!(hits, ticks, "every tick saw the published beacon");
+        assert_eq!(shared.tallies().get(5), hits);
+    }
+}

@@ -136,6 +136,35 @@ fn load_traced(path: &Path) -> Result<StoredProfile, ProfileStoreError> {
     Ok(sp)
 }
 
+/// How a stored profile's counts were collected — exact per-event
+/// counters or statistical sampling estimates.
+///
+/// Recorded in format v2 as a `(provenance ...)` entry (omitted for
+/// [`Provenance::Exact`], so files written by exact backends — and every
+/// pre-provenance file — keep reading identically on older builds and
+/// sniff as exact here). `pgmp-profile inspect` surfaces it and `merge`
+/// warns when inputs mix provenances: §3.2 weighted averaging is still
+/// well-defined on estimates, but the merged weights inherit the sampled
+/// inputs' ε.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Provenance {
+    /// Counts came from exact per-event counters (dense or hash).
+    #[default]
+    Exact,
+    /// Counts are statistical estimates from the sampling backend ticking
+    /// at `hz` (0 when the sampler was driven manually).
+    Sampled { hz: u32 },
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Exact => write!(f, "exact"),
+            Provenance::Sampled { hz } => write!(f, "sampled@{hz}hz"),
+        }
+    }
+}
+
 /// A profile file as stored on disk: weights plus (in format v2) the dense
 /// slot table that lets a reloading process skip re-interning.
 ///
@@ -150,6 +179,9 @@ pub struct StoredProfile {
     pub slots: Option<SlotMap>,
     /// The format version the file declared (1 or 2).
     pub version: u32,
+    /// How the counts behind the weights were collected (v2 metadata;
+    /// defaults to exact when the file predates provenance).
+    pub provenance: Provenance,
 }
 
 impl StoredProfile {
@@ -159,6 +191,7 @@ impl StoredProfile {
             info,
             slots: None,
             version: 1,
+            provenance: Provenance::Exact,
         }
     }
 
@@ -168,7 +201,14 @@ impl StoredProfile {
             info,
             slots,
             version: 2,
+            provenance: Provenance::Exact,
         }
+    }
+
+    /// Sets the recorded provenance (builder-style).
+    pub fn with_provenance(mut self, provenance: Provenance) -> StoredProfile {
+        self.provenance = provenance;
+        self
     }
 
     /// Serializes to the textual profile format of [`StoredProfile::version`].
@@ -183,6 +223,12 @@ impl StoredProfile {
         let mut out = String::new();
         out.push_str("(pgmp-profile\n  (version 2)\n");
         let _ = writeln!(out, "  (datasets {})", self.info.dataset_count());
+        // Exact provenance is the default and is left implicit so that
+        // files written by exact backends stay readable by pre-provenance
+        // parsers (which reject unknown entries).
+        if let Provenance::Sampled { hz } = self.provenance {
+            let _ = writeln!(out, "  (provenance sampled {hz})");
+        }
         let empty = SlotMap::new();
         let slots = self.slots.as_ref().unwrap_or(&empty);
         if !slots.is_empty() {
@@ -288,9 +334,25 @@ impl StoredProfile {
         let mut declared_slots: Option<usize> = None;
         let mut slot_points: Vec<SourceObject> = Vec::new();
         let mut weights: Vec<(SourceObject, f64)> = Vec::new();
+        let mut provenance: Option<Provenance> = None;
         for (tag, args) in &entries {
             match (tag.as_str(), args.as_slice()) {
                 ("datasets", [Datum::Int(n)]) if *n >= 0 => dataset_count = *n as usize,
+                ("provenance", args) if version == 2 => {
+                    let p = match args {
+                        [Datum::Sym(s)] if s.as_str() == "exact" => Provenance::Exact,
+                        [Datum::Sym(s), Datum::Int(hz)]
+                            if s.as_str() == "sampled"
+                                && (0..=u32::MAX as i64).contains(hz) =>
+                        {
+                            Provenance::Sampled { hz: *hz as u32 }
+                        }
+                        _ => return Err(malformed("malformed provenance entry")),
+                    };
+                    if provenance.replace(p).is_some() {
+                        return Err(malformed("duplicate provenance entry"));
+                    }
+                }
                 ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w]) => {
                     let (p, w) = parse_point(file, *bfp, *efp, Some(w))?;
                     weights.push((p, w.expect("point weight is mandatory")));
@@ -343,6 +405,7 @@ impl StoredProfile {
             info: ProfileInformation::from_weights(weights, dataset_count),
             slots,
             version: version as u32,
+            provenance: provenance.unwrap_or_default(),
         })
     }
 
@@ -559,6 +622,14 @@ mod tests {
             // v2-only entries are not valid in a v1 file.
             "(pgmp-profile (version 1) (slot 0 \"f\" 0 1 0.5))",
             "(pgmp-profile (version 1) (slots 1))",
+            "(pgmp-profile (version 1) (provenance exact))",
+            // Malformed provenance entries.
+            "(pgmp-profile (version 2) (provenance))",
+            "(pgmp-profile (version 2) (provenance mystery))",
+            "(pgmp-profile (version 2) (provenance sampled))",
+            "(pgmp-profile (version 2) (provenance sampled -1))",
+            "(pgmp-profile (version 2) (provenance sampled 1.5))",
+            "(pgmp-profile (version 2) (provenance exact) (provenance exact))",
         ] {
             assert!(
                 ProfileInformation::load_from_str(bad).is_err(),
@@ -600,6 +671,33 @@ mod tests {
                 other => panic!("expected SlotTable error for {bad:?}, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn provenance_round_trips_and_defaults_to_exact() {
+        // Files written before provenance existed (and files written by
+        // exact backends, which leave it implicit) sniff as exact.
+        let exact = StoredProfile::v2(sample(), Some(sample_slots()));
+        let text = exact.store_to_string();
+        assert!(!text.contains("provenance"), "exact stays implicit");
+        let back = StoredProfile::load_from_str(&text).unwrap();
+        assert_eq!(back.provenance, Provenance::Exact);
+        let v1 = StoredProfile::load_from_str(&sample().store_to_string()).unwrap();
+        assert_eq!(v1.provenance, Provenance::Exact);
+
+        let sampled = StoredProfile::v2(sample(), Some(sample_slots()))
+            .with_provenance(Provenance::Sampled { hz: 997 });
+        let text = sampled.store_to_string();
+        assert!(text.contains("(provenance sampled 997)"));
+        let back = StoredProfile::load_from_str(&text).unwrap();
+        assert_eq!(back.provenance, Provenance::Sampled { hz: 997 });
+        assert_eq!(back.provenance.to_string(), "sampled@997hz");
+        assert_eq!(back.info, sampled.info);
+
+        // An explicit exact entry is also accepted.
+        let explicit =
+            StoredProfile::load_from_str("(pgmp-profile (version 2) (provenance exact))").unwrap();
+        assert_eq!(explicit.provenance, Provenance::Exact);
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Property-based equivalence oracle: the dense slot-indexed counter
-//! backend and the legacy hash-keyed backend are observationally
-//! identical. Any interleaving of increments, bulk adds, slot-cached
-//! bumps, and clears produces the same counts and the same [`Dataset`]
-//! snapshot from both representations.
+//! backend, the legacy hash-keyed backend, and the sampling backend's
+//! *exact surface* are observationally identical. Any interleaving of
+//! increments, bulk adds, slot-cached bumps, and clears produces the same
+//! counts and the same [`Dataset`] snapshot from every representation.
+//!
+//! Only [`Counters::record_hit`] diverges between backends (dense counts,
+//! sampling publishes a beacon) — everything else, including `add_slot`,
+//! `clear`, deltas, and `SlotMap` re-keying, is exact everywhere, which is
+//! what lets sampled estimates flow through §3.2 merging, the v2 store,
+//! and fleet deltas unchanged.
 
 use pgmp_profiler::{CounterImpl, Counters, Dataset};
 use pgmp_syntax::SourceObject;
@@ -12,14 +18,24 @@ fn point(n: u32) -> SourceObject {
     SourceObject::new("oracle.scm", n, n + 1)
 }
 
+/// The three registries under comparison. The sampling one is manually
+/// driven (no sampler thread), so its exact ops are fully deterministic.
+fn all() -> [Counters; 3] {
+    [
+        Counters::with_impl(CounterImpl::Dense),
+        Counters::with_impl(CounterImpl::Hash),
+        Counters::sampling_manual(),
+    ]
+}
+
 /// One step of the randomized workload.
 #[derive(Clone, Debug)]
 enum Op {
     Increment(u32),
     Add(u32, u64),
     /// Bump through the dense slot API where available (resolve + add_slot
-    /// on the dense registry, keyed add on the hash registry) — the two
-    /// paths must be indistinguishable.
+    /// on slotted registries, keyed add on the hash registry) — the paths
+    /// must be indistinguishable.
     SlotAdd(u32, u64),
     Clear,
 }
@@ -41,7 +57,9 @@ fn apply(c: &Counters, op: &Op) {
         Op::Increment(p) => c.increment(point(p)),
         Op::Add(p, n) => c.add(point(p), n),
         Op::SlotAdd(p, n) => {
-            if c.impl_kind() == CounterImpl::Dense {
+            // map_id != 0 means the registry hands out dense slots —
+            // dense and sampling both do.
+            if c.map_id() != 0 {
                 let slot = c.resolve(point(p));
                 c.add_slot(slot, n);
             } else {
@@ -53,29 +71,34 @@ fn apply(c: &Counters, op: &Op) {
 }
 
 proptest! {
-    /// Dense and hash backends agree on every observable — per-point
-    /// counts, population size, and the full snapshot — after any op
-    /// sequence.
+    /// All three backends agree on every observable — per-point counts,
+    /// population size, and the full snapshot — after any op sequence.
     #[test]
-    fn dense_and_hash_are_observationally_equal(
+    fn backends_are_observationally_equal(
         ops in proptest::collection::vec(op(), 0..80),
     ) {
-        let dense = Counters::with_impl(CounterImpl::Dense);
-        let hash = Counters::with_impl(CounterImpl::Hash);
+        let [dense, hash, sampling] = all();
         for op in &ops {
             apply(&dense, op);
             apply(&hash, op);
+            apply(&sampling, op);
         }
-        for p in 0..12 {
-            prop_assert_eq!(dense.count(point(p)), hash.count(point(p)), "point {}", p);
+        for other in [&hash, &sampling] {
+            for p in 0..12 {
+                prop_assert_eq!(
+                    dense.count(point(p)),
+                    other.count(point(p)),
+                    "point {} on {:?}", p, other.impl_kind()
+                );
+            }
+            prop_assert_eq!(dense.len(), other.len());
+            prop_assert_eq!(dense.is_empty(), other.is_empty());
+            prop_assert_eq!(dense.snapshot(), other.snapshot());
         }
-        prop_assert_eq!(dense.len(), hash.len());
-        prop_assert_eq!(dense.is_empty(), hash.is_empty());
-        prop_assert_eq!(dense.snapshot(), hash.snapshot());
     }
 
     /// Snapshots round-trip through the dataset pipeline identically:
-    /// feeding both backends the same dataset reproduces it.
+    /// feeding every backend the same dataset reproduces it.
     #[test]
     fn absorbed_datasets_round_trip(
         counts in proptest::collection::vec((0u32..16, 1u64..500), 0..32),
@@ -87,29 +110,51 @@ proptest! {
             }
             m.into_iter().collect()
         };
-        for kind in [CounterImpl::Dense, CounterImpl::Hash] {
-            let c = Counters::with_impl(kind);
+        for c in all() {
             for (p, n) in &counts {
                 c.add(point(*p), *n);
             }
-            prop_assert_eq!(c.snapshot(), expected.clone(), "{:?}", kind);
+            prop_assert_eq!(c.snapshot(), expected.clone(), "{:?}", c.impl_kind());
         }
     }
 
-    /// Dense slot ids are stable across clears for the registry's whole
-    /// lifetime: whatever ops ran in between, re-resolving a point always
-    /// yields its original slot.
+    /// Slot ids are stable across clears for the registry's whole
+    /// lifetime, on both slotted backends: whatever ops ran in between,
+    /// re-resolving a point always yields its original slot.
     #[test]
     fn slots_stay_stable_under_any_workload(
         ops in proptest::collection::vec(op(), 0..60),
     ) {
-        let c = Counters::new();
-        let pinned: Vec<u32> = (0..4).map(|p| c.resolve(point(p))).collect();
-        for op in &ops {
-            apply(&c, op);
+        for c in [Counters::new(), Counters::sampling_manual()] {
+            let pinned: Vec<u32> = (0..4).map(|p| c.resolve(point(p))).collect();
+            for op in &ops {
+                apply(&c, op);
+            }
+            for (p, slot) in pinned.iter().enumerate() {
+                prop_assert_eq!(c.resolve(point(p as u32)), *slot);
+            }
         }
-        for (p, slot) in pinned.iter().enumerate() {
-            prop_assert_eq!(c.resolve(point(p as u32)), *slot);
+    }
+
+    /// `take_delta` partitions hits identically on both slotted backends,
+    /// across clears (which rebase the reported baseline) and re-keying.
+    #[test]
+    fn take_delta_agrees_across_slotted_backends(
+        ops in proptest::collection::vec(op(), 0..60),
+        cut in 0usize..60,
+    ) {
+        let dense = Counters::new();
+        let sampling = Counters::sampling_manual();
+        let cut = cut.min(ops.len());
+        for op in &ops[..cut] {
+            apply(&dense, op);
+            apply(&sampling, op);
         }
+        prop_assert_eq!(dense.take_delta(), sampling.take_delta());
+        for op in &ops[cut..] {
+            apply(&dense, op);
+            apply(&sampling, op);
+        }
+        prop_assert_eq!(dense.take_delta(), sampling.take_delta());
     }
 }

@@ -82,7 +82,6 @@ fn if_r_runs_correctly_in_both_orders() {
         let program = format!(
             "{}\n(list (classify \"PLDI deadline\") (classify \"buy now\"))",
             classifier_program(important, spam)
-                .replace("(run-inbox)", "(run-inbox)")
         );
         let result = two_pass(&[Lib::IfR], &program, "classify.scm").unwrap();
         assert_eq!(result.optimized_result, "(important spam)");

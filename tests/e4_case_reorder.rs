@@ -52,7 +52,7 @@ fn figure8_input() -> String {
     s.push_str(&" ".repeat(55));
     s.push_str(&"(".repeat(23));
     s.push_str(&")".repeat(23));
-    s.push_str(&"0123456789".to_string());
+    s.push_str("0123456789");
     s
 }
 

@@ -258,7 +258,7 @@ proptest! {
             h = (h ^ b as u64).wrapping_mul(0x100000001b3);
         }
         for b in 0..chunk.block_count() as u32 {
-            let count = (h.rotate_left(b) % 100) as u64;
+            let count = h.rotate_left(b) % 100;
             for _ in 0..count {
                 counters.increment(chunk.id, b);
             }
@@ -327,13 +327,13 @@ proptest! {
         let hot_pos = classify_line.find(&format!("(quote k{hottest})")).unwrap();
         // No other clause body may appear between the first test and the
         // hottest body.
-        for i in 0..n {
+        for (i, c) in counts.iter().enumerate() {
             if i != hottest {
                 let p = classify_line.find(&format!("(quote k{i})")).unwrap();
                 prop_assert!(
                     p > hot_pos || p < first_clause,
                     "clause k{} (count {}) precedes hottest k{} in {}",
-                    i, counts[i], hottest, classify_line
+                    i, c, hottest, classify_line
                 );
             }
         }
