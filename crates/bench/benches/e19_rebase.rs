@@ -1,0 +1,91 @@
+//! E19 bench — what does rebasing a stale profile cost, and what does it
+//! save?
+//!
+//! The matcher is O(n·m) in toplevel-form count (the LCS dynamic
+//! program) plus a lockstep walk per matched form, so rebasing must stay
+//! comfortably below a single re-expansion even at large programs for
+//! "rebase, then warm-start" to beat "throw the profile away and
+//! recompile cold". This bench times [`pgmp_profiler::rebase`] across
+//! program sizes under the E19 edit script shape (inserts at the top and
+//! middle plus same-length renames), and prints the retained-weight
+//! fraction per size on stderr so the ≥ 80% acceptance claim of
+//! `docs/EXPERIMENTS.md` §E19 is visible next to the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pgmp_profiler::{rebase, ProfileInformation, RebaseConfig, SlotMap, StoredProfile};
+use pgmp_reader::read_str;
+use pgmp_syntax::SourceObject;
+use std::hint::black_box;
+
+const FILE: &str = "e19.scm";
+
+fn program(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("(define (f{i} x) (+ (* x {i}) 1))"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The E19 edit shape scaled to `n` forms: one insert at the top, one in
+/// the middle, and every tenth define renamed (same length, `f` -> `q`).
+fn edited(n: usize) -> String {
+    let mut forms: Vec<String> = (0..n)
+        .map(|i| {
+            if i % 10 == 3 {
+                format!("(define (q{i} x) (+ (* x {i}) 1))")
+            } else {
+                format!("(define (f{i} x) (+ (* x {i}) 1))")
+            }
+        })
+        .collect();
+    forms.insert(n / 2, "(define (mid a) (list a a))".to_string());
+    forms.insert(0, "(define (top a) (list a a))".to_string());
+    forms.join("\n")
+}
+
+/// One weighted point per toplevel form root span, plus a slot table.
+fn profile_for(src: &str) -> StoredProfile {
+    let forms = read_str(src, FILE).expect("bench program reads");
+    let n = forms.len() as f64;
+    let weights: Vec<(SourceObject, f64)> = forms
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.source.expect("root span"), (i as f64 + 1.0) / n))
+        .collect();
+    let points: Vec<SourceObject> = weights.iter().map(|(p, _)| *p).collect();
+    let slots = SlotMap::from_points(points).expect("distinct points");
+    StoredProfile::v2(ProfileInformation::from_weights(weights, 1), Some(slots))
+}
+
+fn bench_rebase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e19_rebase");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000] {
+        let old_src = program(n);
+        let new_src = edited(n);
+        let old = profile_for(&old_src);
+
+        let r = rebase(&old, &old_src, &new_src, FILE, &RebaseConfig::default())
+            .expect("bench rebase");
+        eprintln!(
+            "e19_rebase n={n}: retained {:.1}% ({} exact, {} shifted, {} structural, {} dead)",
+            100.0 * r.report.retained_weight_fraction(),
+            r.report.exact,
+            r.report.shifted,
+            r.report.structural,
+            r.report.dead,
+        );
+
+        group.bench_with_input(BenchmarkId::new("rebase", n), &n, |b, _| {
+            b.iter(|| {
+                let r = rebase(&old, &old_src, &new_src, FILE, &RebaseConfig::default())
+                    .expect("bench rebase");
+                black_box(r.report.retained_weight)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebase);
+criterion_main!(benches);

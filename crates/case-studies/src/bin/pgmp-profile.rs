@@ -41,6 +41,18 @@
 //!     the profile queries it issued while ranking alternatives — is
 //!     listed under it, so "this weight changed" connects directly to
 //!     "these decisions would be revisited".
+//!
+//! pgmp-profile rebase [--min-confidence X] [--trace <out.jsonl>]
+//!                     -o <out.pgmp> <old.pgmp> <old-src> <new-src>
+//!     Re-anchors a stale profile onto edited source with the tiered
+//!     matcher of `docs/REBASE.md`: unchanged forms keep their points
+//!     bit-identically, moved-but-unchanged forms re-anchor at full
+//!     confidence, edited forms re-anchor at a decayed confidence
+//!     (recorded as v2 `(confidence ...)` provenance), and unmatched
+//!     points die. The output is always format v2. With --trace, every
+//!     per-point decision is recorded as a `profile_rebase` event so
+//!     `pgmp-trace explain <point>` can answer why a point matched,
+//!     decayed, or died.
 //! ```
 //!
 //! All writes are atomic (temp file + rename); corrupt inputs fail with a
@@ -49,6 +61,7 @@
 
 use pgmp_adaptive::{drift, DriftMetric};
 use pgmp_observe as observe;
+use pgmp_profiler::rebase::{rebase as run_rebase, RebaseConfig};
 use pgmp_profiler::{ProfileInformation, Provenance, SlotCompat, SlotMap, StoredProfile};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -58,7 +71,9 @@ fn usage() -> ! {
         "usage: pgmp-profile inspect <file.pgmp>\n\
          \u{20}      pgmp-profile merge [--to 1|2] -o <out.pgmp> <in.pgmp>...\n\
          \u{20}      pgmp-profile convert --to 1|2 [--slots] -o <out.pgmp> <in.pgmp>\n\
-         \u{20}      pgmp-profile diff [--top N] [--explain <trace.jsonl>] <a.pgmp> <b.pgmp>"
+         \u{20}      pgmp-profile diff [--top N] [--explain <trace.jsonl>] <a.pgmp> <b.pgmp>\n\
+         \u{20}      pgmp-profile rebase [--min-confidence X] [--trace <out.jsonl>] \
+         -o <out.pgmp> <old.pgmp> <old-src> <new-src>"
     );
     std::process::exit(2)
 }
@@ -82,6 +97,14 @@ fn inspect(out: &mut String, args: &[String]) -> Result<(), String> {
         None => {
             let _ = writeln!(out, "slots:    (none)");
         }
+    }
+    if !stored.confidence.is_empty() {
+        let min = stored.confidence.values().copied().fold(1.0, f64::min);
+        let _ = writeln!(
+            out,
+            "rebased:  {} decayed point(s) (min confidence {min:.4})",
+            stored.confidence.len()
+        );
     }
     let mut points: Vec<_> = stored.info.iter().collect();
     points.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -168,7 +191,9 @@ fn merge(args: &[String]) -> Result<(), String> {
     // tables share no point describe a different program and are
     // refused with the typed mismatch.
     let mut table = SlotMap::new();
-    let mut provenances: Vec<Provenance> = Vec::new();
+    // Provenance kinds seen, each with the inputs that carried it, so a
+    // mixed-provenance warning can say *which* files brought estimates in.
+    let mut provenances: Vec<(Provenance, Vec<String>)> = Vec::new();
     for path in &opts.inputs {
         let stored = load(path)?;
         eprintln!(
@@ -178,8 +203,9 @@ fn merge(args: &[String]) -> Result<(), String> {
             stored.info.dataset_count(),
             stored.info.len()
         );
-        if !provenances.contains(&stored.provenance) {
-            provenances.push(stored.provenance);
+        match provenances.iter_mut().find(|(p, _)| *p == stored.provenance) {
+            Some((_, paths)) => paths.push(path.clone()),
+            None => provenances.push((stored.provenance, vec![path.clone()])),
         }
         if let Some(slots) = &stored.slots {
             match table
@@ -203,14 +229,14 @@ fn merge(args: &[String]) -> Result<(), String> {
     // inherit the estimates' sampling error. A uniform provenance is
     // carried through to a v2 output; a mix degrades to implicit exact.
     let provenance = match provenances.as_slice() {
-        [one] => *one,
+        [(one, _)] => *one,
         mixed => {
             eprintln!(
                 "pgmp-profile: warning: merging profiles of mixed provenance ({}); \
                  merged weights inherit the estimates' sampling error",
                 mixed
                     .iter()
-                    .map(Provenance::to_string)
+                    .map(|(p, paths)| format!("{p}: {}", paths.join(", ")))
                     .collect::<Vec<_>>()
                     .join(" + ")
             );
@@ -373,6 +399,114 @@ fn diff(out: &mut String, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `rebase -o <out> <old.pgmp> <old-src> <new-src>` — re-anchor a stale
+/// profile onto edited source (the CLI face of
+/// [`pgmp_profiler::rebase::rebase`]; normative spec in `docs/REBASE.md`).
+fn rebase_cmd(out: &mut String, args: &[String]) -> Result<(), String> {
+    let mut out_path: Option<String> = None;
+    let mut min_confidence: Option<f64> = None;
+    let mut trace: Option<String> = None;
+    let mut inputs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--min-confidence" => {
+                min_confidence = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--trace" => trace = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            other if !other.starts_with('-') => inputs.push(other.to_owned()),
+            _ => usage(),
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| usage());
+    let [profile_path, old_src_path, new_src_path] = inputs.as_slice() else {
+        usage()
+    };
+    let mut cfg = RebaseConfig::default();
+    if let Some(mc) = min_confidence {
+        if !(0.0..=1.0).contains(&mc) {
+            return Err(format!("--min-confidence {mc} outside [0,1]"));
+        }
+        cfg.min_confidence = mc;
+    }
+    let stored = load(profile_path)?;
+    let old_src = std::fs::read_to_string(old_src_path)
+        .map_err(|e| format!("{old_src_path}: {e}"))?;
+    let new_src = std::fs::read_to_string(new_src_path)
+        .map_err(|e| format!("{new_src_path}: {e}"))?;
+
+    // The file name the profile's points carry: the most common base file
+    // (generated `%pgmp` suffixes stripped) — that is the file the two
+    // source texts are versions of.
+    let mut by_file: Vec<(String, usize)> = Vec::new();
+    for (p, _) in stored.info.iter() {
+        let s = p.file.as_str();
+        let base = match s.find("%pgmp") {
+            Some(i) => &s[..i],
+            None => s,
+        };
+        match by_file.iter_mut().find(|(f, _)| f == base) {
+            Some((_, n)) => *n += 1,
+            None => by_file.push((base.to_owned(), 1)),
+        }
+    }
+    let file = by_file
+        .iter()
+        .max_by_key(|(_, n)| *n)
+        .map(|(f, _)| f.clone())
+        .ok_or_else(|| format!("{profile_path}: profile has no points to rebase"))?;
+
+    if trace.is_some() {
+        observe::start(observe::TraceConfig::default()).map_err(|e| e.to_string())?;
+    }
+    let result = run_rebase(&stored, &old_src, &new_src, &file, &cfg);
+    if let Some(path) = &trace {
+        match &result {
+            Ok(_) => {
+                let (events, bytes) =
+                    observe::stop_and_write(path).map_err(|e| format!("{path}: {e}"))?;
+                eprintln!("pgmp-profile: wrote {path}: {events} event(s), {bytes} byte(s)");
+            }
+            Err(_) => {
+                observe::stop();
+            }
+        }
+    }
+    let result = result.map_err(|e| e.to_string())?;
+    result
+        .profile
+        .store_file(&out_path)
+        .map_err(|e| format!("{out_path}: {e}"))?;
+
+    let r = &result.report;
+    let _ = writeln!(
+        out,
+        "rebased {file}: {} exact, {} shifted, {} structural (decayed), {} dead, \
+         {} carried (other files)",
+        r.exact, r.shifted, r.structural, r.dead, r.carried
+    );
+    let _ = writeln!(
+        out,
+        "retained weight: {:.1}% (total {:.4} -> {:.4}; min confidence {})",
+        r.retained_weight_fraction() * 100.0,
+        r.old_weight_total,
+        r.retained_weight,
+        cfg.min_confidence
+    );
+    eprintln!(
+        "pgmp-profile: wrote {out_path}: v{}, {} dataset(s), {} point(s)",
+        result.profile.version,
+        result.profile.info.dataset_count(),
+        result.profile.info.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = String::new();
@@ -382,6 +516,7 @@ fn main() -> ExitCode {
             "merge" => merge(rest),
             "convert" => convert(rest),
             "diff" => diff(&mut out, rest),
+            "rebase" => rebase_cmd(&mut out, rest),
             "--help" | "-h" => usage(),
             other => Err(format!("unknown command `{other}`")),
         },

@@ -52,6 +52,7 @@ use pgmp_bytecode::{canonical_form, compile_chunk, Chunk};
 use pgmp_eval::{core_to_datum_with, Core, StringTable};
 use pgmp_expander::form_hash;
 use pgmp_observe as observe;
+use pgmp_profiler::rebase::{lcs_align, span_map_lockstep, struct_hash};
 use pgmp_profiler::{write_atomic, ProfileInformation, ProfileStoreError};
 use pgmp_reader::read_str;
 use pgmp_syntax::{Datum, SourceFactory, SourceObject, Syntax};
@@ -219,8 +220,21 @@ impl IncrementalEngine {
     }
 
     /// Replaces the program text, invalidating exactly the forms whose
-    /// fingerprint changed (forms downstream of a changed `define-syntax`
+    /// *structure* changed (forms downstream of a changed `define-syntax`
     /// are caught at compile time via the meta-dirty flag).
+    ///
+    /// Old and new toplevel forms are aligned by LCS over
+    /// position-independent structural fingerprints
+    /// ([`pgmp_profiler::rebase::struct_hash`]), so inserting or deleting
+    /// a toplevel form no longer dirties every later form: a form whose
+    /// text merely *moved* carries its cache entry to the new position,
+    /// with the entry's recorded profile reads re-keyed to the shifted
+    /// spans (matching what a rebased profile — `pgmp-profile rebase` —
+    /// keys its weights on). Factory snapshots need no re-keying: point
+    /// generation is keyed by file symbol, which an offset shift does not
+    /// change. Carried artifacts (cores, chunks) still instrument the
+    /// *old* spans until the form next re-expands — see `docs/REBASE.md`
+    /// for this limitation.
     ///
     /// # Errors
     ///
@@ -229,12 +243,38 @@ impl IncrementalEngine {
     pub fn set_source(&mut self, src: &str, file: &str) -> Result<(), Error> {
         let forms = read_str(src, file)?;
         let hashes: Vec<u64> = forms.iter().map(|f| form_hash(f)).collect();
-        let mut entries: Vec<Option<FormEntry>> = Vec::with_capacity(forms.len());
-        for (i, h) in hashes.iter().enumerate() {
-            if self.hashes.get(i) == Some(h) {
-                entries.push(self.entries[i].take());
-            } else {
-                entries.push(None);
+
+        let old_struct: Vec<u64> = self.forms.iter().map(|f| struct_hash(f)).collect();
+        let new_struct: Vec<u64> = forms.iter().map(|f| struct_hash(f)).collect();
+        let pairs = lcs_align(&old_struct, &new_struct);
+
+        let mut entries: Vec<Option<FormEntry>> = (0..forms.len()).map(|_| None).collect();
+        // old span -> new span, unioned over every carried-but-shifted
+        // form; spans within one file are unique, so a flat map suffices.
+        let mut spans: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+        for (i, j) in pairs {
+            let Some(entry) = self.entries[i].take() else {
+                continue;
+            };
+            if self.hashes[i] != hashes[j] {
+                // Structurally identical but moved: every span inside the
+                // form shifted in lockstep.
+                span_map_lockstep(&self.forms[i], &forms[j], &mut spans);
+            }
+            entries[j] = Some(entry);
+        }
+        if !spans.is_empty() {
+            // Re-key recorded reads through the alignment — including
+            // cross-form reads and generated `file%pgmpN` points, whose
+            // spans are their base form's (the file symbol keeps the
+            // suffix and does not move).
+            for entry in entries.iter_mut().flatten() {
+                for (p, _) in entry.reads.points.iter_mut() {
+                    if let Some((nb, ne)) = spans.get(&(p.bfp, p.efp)) {
+                        p.bfp = *nb;
+                        p.efp = *ne;
+                    }
+                }
             }
         }
         self.forms = forms;
@@ -889,6 +929,66 @@ mod tests {
         let unit = incr.compile(&w).unwrap();
         assert_eq!(unit.stats.reused, 1);
         assert_eq!(unit.stats.reexpanded, 1);
+    }
+
+    #[test]
+    fn inserted_toplevel_form_no_longer_dirties_downstream() {
+        // Before LCS alignment, inserting `zz` shifted every later form's
+        // positional fingerprint and re-expanded the whole program.
+        let v1 = "(define (a x) x)\n(define (b x) x)\n(define (c x) x)";
+        let v2 =
+            "(define (zz x) (* x 2))\n(define (a x) x)\n(define (b x) x)\n(define (c x) x)";
+        let mut incr =
+            IncrementalEngine::new(v1, "s.scm", IncrementalConfig::default()).unwrap();
+        let w = ProfileInformation::empty();
+        incr.compile(&w).unwrap();
+        incr.set_source(v2, "s.scm").unwrap();
+        let unit = incr.compile(&w).unwrap();
+        assert_eq!(unit.stats.reexpanded, 1, "stats: {:?}", unit.stats);
+        assert_eq!(unit.stats.reused, 3);
+        // Deleting it again re-aligns back: nothing re-expands.
+        incr.set_source(v1, "s.scm").unwrap();
+        let unit = incr.compile(&w).unwrap();
+        assert!(unit.stats.all_reused(), "stats: {:?}", unit.stats);
+    }
+
+    #[test]
+    fn shifted_profile_reads_rekey_through_the_alignment() {
+        // A profile-dependent form that merely *moved* keeps its cache
+        // entry, with its recorded reads re-keyed to the shifted spans —
+        // so a rebased profile (weights on the new spans) reuses it.
+        let mut incr =
+            IncrementalEngine::new(PROGRAM, "i.scm", IncrementalConfig::default()).unwrap();
+        let (t, f) = branch_points("i.scm");
+        let w1 = ProfileInformation::from_weights([(t, 0.9), (f, 0.1)], 1);
+        let first = incr.compile(&w1).unwrap();
+
+        let prefix = "(define (zz q) q)\n";
+        let shifted_src = format!("{prefix}{PROGRAM}");
+        incr.set_source(&shifted_src, "i.scm").unwrap();
+        let shift = prefix.len() as u32;
+        let t2 = SourceObject {
+            file: t.file,
+            bfp: t.bfp + shift,
+            efp: t.efp + shift,
+        };
+        let f2 = SourceObject {
+            file: f.file,
+            bfp: f.bfp + shift,
+            efp: f.efp + shift,
+        };
+        let w2 = ProfileInformation::from_weights([(t2, 0.9), (f2, 0.1)], 1);
+        let unit = incr.compile(&w2).unwrap();
+        assert_eq!(unit.stats.reexpanded, 1, "only zz is new: {:?}", unit.stats);
+        assert_eq!(unit.stats.reused, 5);
+        // The reused profile-guided expansion is the one those weights
+        // picked originally.
+        let hot = first
+            .expansion
+            .iter()
+            .find(|s| s.contains("rare"))
+            .unwrap();
+        assert!(unit.expansion.iter().any(|s| &s == &hot));
     }
 
     #[test]

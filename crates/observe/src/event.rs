@@ -222,6 +222,22 @@ pub enum EventKind {
         hits: u64,
         missed: u64,
     },
+    /// Stale-profile rebasing re-anchored (or killed) one profile point
+    /// (`pgmp-profile rebase`; see `docs/REBASE.md`).
+    ProfileRebase {
+        /// The point in the old profile, printed as `file:bfp-efp`.
+        point: String,
+        /// Where it re-anchored in the edited source; `None` when dead.
+        new_point: Option<String>,
+        /// Matcher tier: `exact`, `shifted`, `structural`, `dead`.
+        tier: String,
+        /// Match confidence of this rebase step (1.0 exact/shifted,
+        /// 0.0 dead).
+        confidence: f64,
+        old_weight: f64,
+        /// `old_weight × confidence` — never larger than `old_weight`.
+        new_weight: f64,
+    },
 }
 
 impl EventKind {
@@ -250,6 +266,7 @@ impl EventKind {
             EventKind::BackpressureDrop { .. } => "backpressure_drop",
             EventKind::Decision { .. } => "decision",
             EventKind::SamplerTick { .. } => "sampler_tick",
+            EventKind::ProfileRebase { .. } => "profile_rebase",
         }
     }
 
@@ -516,6 +533,27 @@ impl TraceEvent {
                 push("hits", num(*hits));
                 push("missed", num(*missed));
             }
+            EventKind::ProfileRebase {
+                point,
+                new_point,
+                tier,
+                confidence,
+                old_weight,
+                new_weight,
+            } => {
+                push("point", Json::Str(point.clone()));
+                push(
+                    "new_point",
+                    match new_point {
+                        Some(p) => Json::Str(p.clone()),
+                        None => Json::Null,
+                    },
+                );
+                push("tier", Json::Str(tier.clone()));
+                push("confidence", Json::Num(*confidence));
+                push("old_weight", Json::Num(*old_weight));
+                push("new_weight", Json::Num(*new_weight));
+            }
         }
         Json::Obj(fields).to_string()
     }
@@ -749,6 +787,22 @@ impl TraceEvent {
                 ticks: get_u64(obj, "ticks")?,
                 hits: get_u64(obj, "hits")?,
                 missed: get_u64(obj, "missed")?,
+            },
+            "profile_rebase" => EventKind::ProfileRebase {
+                point: get_str(obj, "point")?,
+                new_point: match obj.get("new_point") {
+                    None => return Err(DecodeError::MissingField("new_point")),
+                    Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or(DecodeError::BadField("new_point"))?,
+                    ),
+                },
+                tier: get_str(obj, "tier")?,
+                confidence: get_f64(obj, "confidence")?,
+                old_weight: get_f64(obj, "old_weight")?,
+                new_weight: get_f64(obj, "new_weight")?,
             },
             other => return Err(DecodeError::UnknownType(other.to_string())),
         };

@@ -25,6 +25,12 @@ pub fn matches_query(kind: &EventKind, query: &str) -> bool {
         EventKind::CacheHit { form } | EventKind::CacheMiss { form, .. } => {
             Some(*form) == form_query
         }
+        EventKind::ProfileRebase {
+            point, new_point, ..
+        } => {
+            point.contains(query)
+                || new_point.as_ref().is_some_and(|p| p.contains(query))
+        }
         _ => false,
     }
 }
@@ -107,6 +113,25 @@ pub fn explain_query(events: &[TraceEvent], query: &str) -> (String, usize) {
             EventKind::CacheMiss { form, reason } => {
                 let _ = writeln!(out, "[{}] form {form}: re-expanded ({reason})", e.seq);
             }
+            EventKind::ProfileRebase {
+                point,
+                new_point,
+                tier,
+                confidence,
+                old_weight,
+                new_weight,
+            } => {
+                let dest = match new_point {
+                    Some(p) => format!("-> {p}"),
+                    None => "dropped".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "[{}] rebase {point} {dest} ({tier}, confidence {confidence:.4}, \
+                     weight {old_weight:.4} -> {new_weight:.4})",
+                    e.seq,
+                );
+            }
             _ => {}
         }
     }
@@ -160,5 +185,41 @@ mod tests {
         let (empty, none) = explain_query(&events, "no-such-point");
         assert_eq!(none, 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn rebase_events_match_by_old_and_new_point() {
+        let events = vec![
+            ev(
+                1,
+                EventKind::ProfileRebase {
+                    point: "m.scm:10-20".into(),
+                    new_point: Some("m.scm:30-40".into()),
+                    tier: "shifted".into(),
+                    confidence: 1.0,
+                    old_weight: 0.5,
+                    new_weight: 0.5,
+                },
+            ),
+            ev(
+                2,
+                EventKind::ProfileRebase {
+                    point: "m.scm:50-60".into(),
+                    new_point: None,
+                    tier: "dead".into(),
+                    confidence: 0.0,
+                    old_weight: 0.25,
+                    new_weight: 0.0,
+                },
+            ),
+        ];
+        let (text, n) = explain_query(&events, "m.scm:30-40");
+        assert_eq!(n, 1, "new-point substring matches");
+        assert!(text.contains("rebase m.scm:10-20 -> m.scm:30-40"));
+        assert!(text.contains("(shifted, confidence 1.0000"));
+
+        let (text, n) = explain_query(&events, "m.scm:50-60");
+        assert_eq!(n, 1);
+        assert!(text.contains("rebase m.scm:50-60 dropped (dead"));
     }
 }

@@ -156,6 +156,22 @@ fn exemplar_events() -> Vec<TraceEvent> {
             hits: 9400,
             missed: 600,
         },
+        EventKind::ProfileRebase {
+            point: "prog.scm:10-25".into(),
+            new_point: Some("prog.scm:40-55".into()),
+            tier: "structural".into(),
+            confidence: 0.75,
+            old_weight: 0.5,
+            new_weight: 0.375,
+        },
+        EventKind::ProfileRebase {
+            point: "prog.scm:60-70".into(),
+            new_point: None,
+            tier: "dead".into(),
+            confidence: 0.0,
+            old_weight: 0.25,
+            new_weight: 0.0,
+        },
     ];
     kinds
         .into_iter()
@@ -200,7 +216,7 @@ fn every_kind_is_covered_by_the_fixture() {
         .iter()
         .map(|e| e.kind.type_tag())
         .collect();
-    assert_eq!(tags.len(), 22, "fixture must exemplify every event kind");
+    assert_eq!(tags.len(), 23, "fixture must exemplify every event kind");
 }
 
 #[test]

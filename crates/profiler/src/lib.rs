@@ -46,11 +46,15 @@
 
 mod counters;
 mod info;
+pub mod rebase;
 pub mod sampling;
 mod slots;
 mod store;
 
 pub use counters::{CounterImpl, Counters, Dataset};
+pub use rebase::{
+    rebase, MatchTier, RebaseConfig, RebaseError, RebaseOutcome, RebaseReport, RebaseResult,
+};
 pub use sampling::{Sampler, SamplingShared, DEFAULT_SAMPLE_HZ};
 pub use slots::{SlotCompat, SlotMap, SlotTableMismatch};
 pub use info::ProfileInformation;

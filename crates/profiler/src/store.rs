@@ -41,6 +41,7 @@ use crate::slots::SlotMap;
 use pgmp_observe as observe;
 use pgmp_reader::read_datums;
 use pgmp_syntax::{Datum, SourceObject};
+use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -182,6 +183,15 @@ pub struct StoredProfile {
     /// How the counts behind the weights were collected (v2 metadata;
     /// defaults to exact when the file predates provenance).
     pub provenance: Provenance,
+    /// Per-point match confidence from stale-profile rebasing (v2
+    /// metadata; see [`crate::rebase()`] and `docs/REBASE.md`). A point
+    /// absent from this map has confidence 1.0 — it was either recorded
+    /// directly or rebased by an exact match — and the canonical writer
+    /// leaves 1.0 implicit, so non-rebased files stay byte-identical to
+    /// pre-confidence output. Stored weights are already decayed; the
+    /// confidence entry records *why* a weight is lower than what was
+    /// originally collected.
+    pub confidence: HashMap<SourceObject, f64>,
 }
 
 impl StoredProfile {
@@ -192,6 +202,7 @@ impl StoredProfile {
             slots: None,
             version: 1,
             provenance: Provenance::Exact,
+            confidence: HashMap::new(),
         }
     }
 
@@ -202,6 +213,7 @@ impl StoredProfile {
             slots,
             version: 2,
             provenance: Provenance::Exact,
+            confidence: HashMap::new(),
         }
     }
 
@@ -209,6 +221,22 @@ impl StoredProfile {
     pub fn with_provenance(mut self, provenance: Provenance) -> StoredProfile {
         self.provenance = provenance;
         self
+    }
+
+    /// Sets per-point rebase confidences (builder-style). Entries at
+    /// exactly 1.0 are dropped — full confidence is the implicit default.
+    pub fn with_confidences(
+        mut self,
+        confidence: impl IntoIterator<Item = (SourceObject, f64)>,
+    ) -> StoredProfile {
+        self.confidence = confidence.into_iter().filter(|(_, c)| *c < 1.0).collect();
+        self
+    }
+
+    /// The rebase match confidence of point `p` (1.0 unless a rebase
+    /// decayed it).
+    pub fn confidence(&self, p: SourceObject) -> f64 {
+        self.confidence.get(&p).copied().unwrap_or(1.0)
     }
 
     /// Serializes to the textual profile format of [`StoredProfile::version`].
@@ -244,7 +272,11 @@ impl StoredProfile {
                 );
                 match self.info.lookup(*p) {
                     Some(w) => {
-                        let _ = writeln!(out, " {})", Datum::Float(w));
+                        let _ = write!(out, " {}", Datum::Float(w));
+                        if let Some(c) = self.confidence.get(p).filter(|c| **c < 1.0) {
+                            let _ = write!(out, " (confidence {})", Datum::Float(*c));
+                        }
+                        out.push_str(")\n");
                     }
                     None => out.push_str(")\n"),
                 }
@@ -257,14 +289,18 @@ impl StoredProfile {
             .collect();
         loose.sort_by_key(|a| a.0);
         for (p, w) in loose {
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "  (point {} {} {} {})",
+                "  (point {} {} {} {}",
                 Datum::string(p.file.as_str()),
                 p.bfp,
                 p.efp,
                 Datum::Float(w)
             );
+            if let Some(c) = self.confidence.get(&p).filter(|c| **c < 1.0) {
+                let _ = write!(out, " (confidence {})", Datum::Float(*c));
+            }
+            out.push_str(")\n");
         }
         out.push(')');
         out
@@ -335,6 +371,7 @@ impl StoredProfile {
         let mut slot_points: Vec<SourceObject> = Vec::new();
         let mut weights: Vec<(SourceObject, f64)> = Vec::new();
         let mut provenance: Option<Provenance> = None;
+        let mut confidence: HashMap<SourceObject, f64> = HashMap::new();
         for (tag, args) in &entries {
             match (tag.as_str(), args.as_slice()) {
                 ("datasets", [Datum::Int(n)]) if *n >= 0 => dataset_count = *n as usize,
@@ -353,8 +390,13 @@ impl StoredProfile {
                         return Err(malformed("duplicate provenance entry"));
                     }
                 }
-                ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w]) => {
+                ("point", [Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), w, rest @ ..])
+                    if rest.len() <= usize::from(version == 2) =>
+                {
                     let (p, w) = parse_point(file, *bfp, *efp, Some(w))?;
+                    if let Some(c) = rest.first() {
+                        confidence.insert(p, parse_confidence(c)?);
+                    }
                     weights.push((p, w.expect("point weight is mandatory")));
                 }
                 ("slots", [Datum::Int(n)]) if version == 2 && *n >= 0 => {
@@ -367,7 +409,7 @@ impl StoredProfile {
                 (
                     "slot",
                     [Datum::Int(i), Datum::Str(file), Datum::Int(bfp), Datum::Int(efp), rest @ ..],
-                ) if version == 2 && rest.len() <= 1 => {
+                ) if version == 2 && rest.len() <= 2 => {
                     if *i != slot_points.len() as i64 {
                         return Err(ProfileStoreError::SlotTable(format!(
                             "slot index {i} out of order (expected {})",
@@ -376,6 +418,12 @@ impl StoredProfile {
                     }
                     let (p, w) = parse_point(file, *bfp, *efp, rest.first())?;
                     slot_points.push(p);
+                    if let Some(c) = rest.get(1) {
+                        // A confidence sub-entry is only meaningful on a
+                        // weighted row (enforced structurally: `rest[1]`
+                        // exists only after a weight datum in `rest[0]`).
+                        confidence.insert(p, parse_confidence(c)?);
+                    }
                     if let Some(w) = w {
                         weights.push((p, w));
                     }
@@ -406,6 +454,7 @@ impl StoredProfile {
             slots,
             version: version as u32,
             provenance: provenance.unwrap_or_default(),
+            confidence,
         })
     }
 
@@ -428,6 +477,24 @@ impl StoredProfile {
     pub fn load_file(path: impl AsRef<Path>) -> Result<StoredProfile, ProfileStoreError> {
         load_traced(path.as_ref())
     }
+}
+
+/// Validates a `(confidence c)` sub-entry: `c` must be a number in
+/// `(0, 1]` — a zero-confidence point is a dead point and must simply be
+/// absent, and values above 1 would let a rebase *amplify* weights.
+fn parse_confidence(d: &Datum) -> Result<f64, ProfileStoreError> {
+    let c = match d.list_elems().as_deref() {
+        Some([Datum::Sym(tag), c]) if tag.as_str() == "confidence" => match c {
+            Datum::Float(x) => *x,
+            Datum::Int(n) => *n as f64,
+            _ => return Err(malformed(format!("bad confidence {c}"))),
+        },
+        _ => return Err(malformed(format!("malformed confidence entry {d}"))),
+    };
+    if !(c > 0.0 && c <= 1.0) {
+        return Err(malformed(format!("confidence {c} outside (0,1]")));
+    }
+    Ok(c)
 }
 
 /// Validates one profile point's fields; `w` is the optional weight datum.
@@ -698,6 +765,68 @@ mod tests {
         let explicit =
             StoredProfile::load_from_str("(pgmp-profile (version 2) (provenance exact))").unwrap();
         assert_eq!(explicit.provenance, Provenance::Exact);
+    }
+
+    #[test]
+    fn confidence_round_trips_and_defaults_to_full() {
+        let decayed = SourceObject::new("a.scm", 0, 5);
+        let sp = StoredProfile::v2(sample(), Some(sample_slots()))
+            .with_confidences([(decayed, 0.75), (SourceObject::new("a.scm", 10, 20), 1.0)]);
+        // 1.0 entries are dropped at construction: full confidence is
+        // implicit, keeping non-rebased files byte-identical.
+        assert_eq!(sp.confidence.len(), 1);
+        let text = sp.store_to_string();
+        assert!(text.contains("(confidence 0.75)"), "{text}");
+        let back = StoredProfile::load_from_str(&text).unwrap();
+        assert_eq!(back.confidence(decayed), 0.75);
+        assert_eq!(back.confidence(SourceObject::new("a.scm", 10, 20)), 1.0);
+        assert_eq!(back.info, sp.info);
+        // And a confidence on a loose (non-slot) point round-trips too.
+        let loose = SourceObject::new("b.scm%pgmp0", 3, 4);
+        let sp = StoredProfile::v2(sample(), None).with_confidences([(loose, 0.5)]);
+        let back = StoredProfile::load_from_str(&sp.store_to_string()).unwrap();
+        assert_eq!(back.confidence(loose), 0.5);
+    }
+
+    #[test]
+    fn files_without_confidence_stay_byte_identical() {
+        // The confidence extension must not change the output of profiles
+        // that never went through a rebase.
+        let sp = StoredProfile::v2(sample(), Some(sample_slots()));
+        let text = sp.store_to_string();
+        assert!(!text.contains("confidence"));
+        let rebased_free = StoredProfile::v2(sample(), Some(sample_slots()))
+            .with_confidences(std::iter::empty());
+        assert_eq!(rebased_free.store_to_string(), text);
+    }
+
+    #[test]
+    fn malformed_confidence_entries_are_rejected() {
+        for bad in [
+            // Confidence is v2-only.
+            "(pgmp-profile (version 1) (point \"f\" 0 1 0.5 (confidence 0.5)))",
+            // Out of range: dead points must be absent, >1 would amplify.
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence 0.0)))",
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence -0.5)))",
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence 1.5)))",
+            // Wrong shape.
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence)))",
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence \"x\")))",
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 0.9))",
+            // A slot row needs a weight before a confidence.
+            "(pgmp-profile (version 2) (slot 0 \"f\" 0 1 (confidence 0.5)))",
+        ] {
+            assert!(
+                StoredProfile::load_from_str(bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+        // Integer confidence 1 is within (0,1] and accepted.
+        let ok = StoredProfile::load_from_str(
+            "(pgmp-profile (version 2) (point \"f\" 0 1 0.5 (confidence 1)))",
+        )
+        .unwrap();
+        assert_eq!(ok.confidence(SourceObject::new("f", 0, 1)), 1.0);
     }
 
     #[test]

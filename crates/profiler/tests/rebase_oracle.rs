@@ -1,0 +1,257 @@
+//! Property-based edit-script oracle for profile rebasing.
+//!
+//! Programs are a sequence of distinct toplevel defines; edit scripts
+//! insert fresh forms, rename defines, delete forms, and swap pairs.
+//! The properties pin down the guarantees `docs/REBASE.md` makes
+//! normative:
+//!
+//! 1. **Identity** — an empty edit script rebases bit-identically: the
+//!    stored text of the rebased profile equals the original.
+//! 2. **Pure insertion is lossless** — inserting toplevel forms never
+//!    kills or decays a point; every weight survives exactly, merely
+//!    re-anchored (the failure mode of positional invalidation).
+//! 3. **Soundness** — under *arbitrary* edit scripts, no weight ever
+//!    amplifies, confidences stay in [0,1], untouched forms keep their
+//!    weights bit-exactly, and the rebased profile round-trips through
+//!    the v2 store text with its confidence provenance intact
+//!    (DESIGN.md §4i).
+//! 4. **Monotone decay** — over prefixes of a rename-only (resp.
+//!    delete-only) script targeting distinct forms, retained weight is
+//!    monotonically non-increasing in edit distance.
+
+use pgmp_profiler::{rebase, ProfileInformation, RebaseConfig, SlotMap, StoredProfile};
+use pgmp_reader::read_str;
+use pgmp_syntax::SourceObject;
+use proptest::prelude::*;
+
+const FILE: &str = "oracle.scm";
+
+/// Form `i` of the base program. Distinct body constants keep structural
+/// fingerprints distinct and make the shape-tier argmax unambiguous.
+fn form(i: usize) -> String {
+    format!("(define (f{i} x) (+ x {i}))")
+}
+
+/// Same form with its define renamed (same length, so offsets past the
+/// name do not move — the decay measured is purely structural).
+fn renamed(i: usize) -> String {
+    format!("(define (r{i} x) (+ x {i}))")
+}
+
+/// A freshly inserted form, unrelated to any base form.
+fn inserted(k: usize) -> String {
+    format!("(define (z{k} a) (list a a {k}))")
+}
+
+fn program(forms: &[String]) -> String {
+    forms.join("\n")
+}
+
+/// One point per toplevel-form root span, weights `(i+1)/n` so every
+/// form carries distinct, nonzero weight; slot table in point order.
+fn profile_for(src: &str) -> StoredProfile {
+    let forms = read_str(src, FILE).expect("oracle program reads");
+    let n = forms.len() as f64;
+    let points: Vec<SourceObject> = forms
+        .iter()
+        .map(|f| f.source.expect("toplevel forms carry spans"))
+        .collect();
+    let weights: Vec<(SourceObject, f64)> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, (i as f64 + 1.0) / n))
+        .collect();
+    let slots = SlotMap::from_points(points).expect("distinct points");
+    StoredProfile::v2(ProfileInformation::from_weights(weights, 1), Some(slots))
+}
+
+fn retained(old: &StoredProfile, old_src: &str, new_src: &str) -> f64 {
+    rebase(old, old_src, new_src, FILE, &RebaseConfig::default())
+        .expect("oracle rebase")
+        .report
+        .retained_weight_fraction()
+}
+
+/// `0 = keep, 1 = rename, 2 = delete` per base form, from a raw byte.
+fn op_of(b: u8) -> u8 {
+    b % 3
+}
+
+proptest! {
+    #[test]
+    fn empty_edit_script_is_bit_identical(nforms in 1usize..12) {
+        let src = program(&(0..nforms).map(form).collect::<Vec<_>>());
+        let old = profile_for(&src);
+        let r = rebase(&old, &src, &src, FILE, &RebaseConfig::default()).unwrap();
+        prop_assert_eq!(r.report.exact, nforms);
+        prop_assert_eq!(r.report.dead + r.report.shifted + r.report.structural, 0);
+        prop_assert_eq!(r.profile.store_to_string(), old.store_to_string());
+    }
+
+    #[test]
+    fn insertion_only_scripts_are_lossless(
+        nforms in 1usize..10,
+        inserts in proptest::collection::vec(0usize..64, 1..5),
+    ) {
+        let base: Vec<String> = (0..nforms).map(form).collect();
+        let src = program(&base);
+        let mut edited = base;
+        for (k, pos) in inserts.iter().enumerate() {
+            edited.insert(pos % (edited.len() + 1), inserted(k));
+        }
+        let old = profile_for(&src);
+        let r = rebase(&old, &src, &program(&edited), FILE, &RebaseConfig::default())
+            .unwrap();
+        prop_assert_eq!(r.report.dead, 0);
+        prop_assert_eq!(r.report.structural, 0);
+        prop_assert_eq!(r.report.retained_weight_fraction(), 1.0);
+        for o in &r.outcomes {
+            prop_assert_eq!(o.new_weight, o.old_weight);
+            prop_assert_eq!(r.profile.confidence(o.new_point.unwrap()), 1.0);
+        }
+    }
+
+    #[test]
+    fn arbitrary_edit_scripts_are_sound(
+        ops in proptest::collection::vec(0u8..6, 3..12),
+        inserts in proptest::collection::vec(0usize..64, 0..4),
+        swap in proptest::collection::vec(0usize..64, 0..3),
+    ) {
+        let nforms = ops.len();
+        let base: Vec<String> = (0..nforms).map(form).collect();
+        let src = program(&base);
+        // Per-form op, then optional swap of two kept survivors, then
+        // inserts — a representative mixed script.
+        let mut edited: Vec<String> = Vec::new();
+        let mut untouched: Vec<usize> = Vec::new();
+        for (i, b) in ops.iter().enumerate() {
+            match op_of(*b) {
+                0 => {
+                    untouched.push(i);
+                    edited.push(form(i));
+                }
+                1 => edited.push(renamed(i)),
+                _ => {} // delete
+            }
+        }
+        if let [a, b] = swap[..] {
+            if edited.len() >= 2 {
+                let (a, b) = (a % edited.len(), b % edited.len());
+                edited.swap(a, b);
+                // A swap is an inversion: the LCS can keep only one side
+                // of it, so every form in the swapped range (inclusive)
+                // may fall out of the alignment and re-anchor decayed.
+                let range = &edited[a.min(b)..=a.max(b)];
+                if a != b {
+                    untouched.retain(|i| !range.contains(&form(*i)));
+                }
+            }
+        }
+        for (k, pos) in inserts.iter().enumerate() {
+            edited.insert(pos % (edited.len() + 1), inserted(k));
+        }
+        let old = profile_for(&src);
+        let r = rebase(&old, &src, &program(&edited), FILE, &RebaseConfig::default())
+            .unwrap();
+
+        // Soundness: decay only — no weight amplifies, ever.
+        let mut total_outcomes = 0;
+        for o in &r.outcomes {
+            total_outcomes += 1;
+            prop_assert!(o.new_weight <= o.old_weight + 1e-12, "{:?}", o);
+            prop_assert!((0.0..=1.0).contains(&o.confidence));
+        }
+        prop_assert_eq!(total_outcomes, nforms, "one outcome per old point");
+        prop_assert!(r.report.retained_weight_fraction() <= 1.0 + 1e-12);
+
+        // Untouched forms (kept, not swapped) survive bit-exactly.
+        let forms_new = read_str(&program(&edited), FILE).unwrap();
+        for i in &untouched {
+            let text = form(*i);
+            let target = forms_new
+                .iter()
+                .find(|f| f.to_datum().to_string() == read_str(&text, FILE).unwrap()[0].to_datum().to_string())
+                .and_then(|f| f.source)
+                .expect("untouched form present in edited program");
+            let o = r
+                .outcomes
+                .iter()
+                .find(|o| o.new_point == Some(target))
+                .expect("untouched form rebased");
+            prop_assert_eq!(o.new_weight, o.old_weight);
+            prop_assert_eq!(o.confidence, 1.0);
+        }
+
+        // The rebased profile round-trips through the v2 store text with
+        // weights and confidence provenance intact.
+        let text = r.profile.store_to_string();
+        let back = StoredProfile::load_from_str(&text).unwrap();
+        prop_assert_eq!(&back.info, &r.profile.info);
+        prop_assert_eq!(&back.confidence, &r.profile.confidence);
+        for c in back.confidence.values() {
+            prop_assert!(*c > 0.0 && *c < 1.0, "stored confidence must be decayed");
+        }
+    }
+
+    #[test]
+    fn rename_scripts_decay_monotonically_with_edit_distance(
+        targets in proptest::collection::vec(0usize..64, 1..8),
+        nforms in 8usize..12,
+    ) {
+        let base: Vec<String> = (0..nforms).map(form).collect();
+        let src = program(&base);
+        let old = profile_for(&src);
+        // Distinct targets, one per prefix step.
+        let mut seen = std::collections::HashSet::new();
+        let targets: Vec<usize> = targets
+            .iter()
+            .map(|t| t % nforms)
+            .filter(|t| seen.insert(*t))
+            .collect();
+        let mut edited = base;
+        let mut last = retained(&old, &src, &program(&edited));
+        prop_assert_eq!(last, 1.0);
+        for t in targets {
+            edited[t] = renamed(t);
+            let now = retained(&old, &src, &program(&edited));
+            prop_assert!(
+                now < last,
+                "renaming f{t} must strictly decay retention: {last} -> {now}"
+            );
+            prop_assert!(now > 0.0, "renames decay, they do not kill");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn delete_scripts_decay_monotonically_with_edit_distance(
+        targets in proptest::collection::vec(0usize..64, 1..6),
+        nforms in 8usize..12,
+    ) {
+        let base: Vec<String> = (0..nforms).map(form).collect();
+        let src = program(&base);
+        let old = profile_for(&src);
+        let mut seen = std::collections::HashSet::new();
+        let targets: Vec<usize> = targets
+            .iter()
+            .map(|t| t % nforms)
+            .filter(|t| seen.insert(*t))
+            .collect();
+        // Delete by emptying slots so remaining indices stay aligned.
+        let mut edited: Vec<Option<String>> = (0..nforms).map(|i| Some(form(i))).collect();
+        let mut last = 1.0;
+        for t in targets {
+            edited[t] = None;
+            let text = program(&edited.iter().flatten().cloned().collect::<Vec<_>>());
+            let r = rebase(&old, &src, &text, FILE, &RebaseConfig::default()).unwrap();
+            let now = r.report.retained_weight_fraction();
+            prop_assert!(
+                now < last,
+                "deleting f{t} must strictly lose its weight: {last} -> {now}"
+            );
+            // With no other edits there is nothing to pair with: dead.
+            prop_assert!(r.outcomes.iter().any(|o| o.new_point.is_none()));
+            last = now;
+        }
+    }
+}

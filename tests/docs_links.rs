@@ -1,0 +1,103 @@
+//! Docs link-check: every relative markdown link in the repo's normative
+//! docs must point at a file that exists. Guards the docs index in
+//! README.md and the cross-link web between `docs/*.md` against drift
+//! (a renamed doc, a dropped section file) without any network access —
+//! external `http(s)` links are ignored.
+
+use std::path::{Path, PathBuf};
+
+/// Every `](target)` of an inline markdown link in `text`, with the
+/// optional `#anchor` suffix stripped. Good enough for the house style
+/// (no reference-style links, no titles inside the parens).
+fn relative_link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(open) = text[i..].find("](") {
+        let start = i + open + 2;
+        let Some(close) = text[start..].find(')') else {
+            break;
+        };
+        let target = &text[start..start + close];
+        i = start + close;
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        let path = target.split('#').next().unwrap_or(target);
+        if !path.is_empty() {
+            out.push(path.to_string());
+        }
+    }
+    out
+}
+
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "md"))
+        .collect();
+    for top in [
+        "README.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "ROADMAP.md",
+        "RELEASES.md",
+        "PAPERS.md",
+    ] {
+        let p = root.join(top);
+        if p.exists() {
+            files.push(p);
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn every_relative_doc_link_resolves() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken: Vec<String> = Vec::new();
+    let mut checked = 0;
+    for file in doc_files(root) {
+        let text = std::fs::read_to_string(&file).expect("doc reads");
+        let dir = file.parent().unwrap();
+        for target in relative_link_targets(&text) {
+            checked += 1;
+            let resolved = dir.join(&target);
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{} -> {target}",
+                    file.strip_prefix(root).unwrap().display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked > 10,
+        "link check found only {checked} links — is the parser broken?"
+    );
+    assert!(broken.is_empty(), "broken doc links:\n  {}", broken.join("\n  "));
+}
+
+#[test]
+fn the_normative_rebase_doc_is_cross_linked() {
+    // The rebase matcher's normative spec must exist and be reachable
+    // from the user-facing surfaces: the README docs index and the
+    // format spec it extends.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(root.join("docs/REBASE.md").exists());
+    for (file, needle) in [
+        ("README.md", "REBASE.md"),
+        ("docs/PROFILE_FORMAT.md", "REBASE.md"),
+        ("docs/GUIDE.md", "rebase"),
+    ] {
+        let text = std::fs::read_to_string(root.join(file)).expect("doc reads");
+        assert!(text.contains(needle), "{file} must reference {needle}");
+    }
+}
