@@ -651,7 +651,9 @@ impl AdaptiveEngine {
         let next_gen = self.current_program().generation + 1;
         let program = self.compile(weights.clone(), next_gen)?;
         let swap_us = {
-            let swap_timer = observe::timer();
+            // A plain clock, not an observe span: the swap is interior
+            // to the reoptimize span and reported as its `swap_us`.
+            let swap_timer = observe::enabled().then(std::time::Instant::now);
             let mut cell = self
                 .shared
                 .program
@@ -908,6 +910,23 @@ impl AdaptiveEngine {
         &mut self,
         weights: &ProfileInformation,
     ) -> Result<Option<Arc<CompiledProgram>>, Error> {
+        self.apply_fleet_epoch(weights, 0, 0)
+    }
+
+    /// [`AdaptiveEngine::apply_fleet_profile`], stamped with the
+    /// broadcast's correlation ids: the daemon's
+    /// [`pgmp_observe::instance_id`] and merge epoch from the
+    /// `EpochUpdate` frame. Emits a `fleet_apply` trace event carrying
+    /// them — the join key `pgmp-trace merge` uses to order this
+    /// process's re-optimization after the exact daemon merge that
+    /// caused it. Zero ids (a v1 daemon, or no daemon at all) still
+    /// record the local decision; they just cannot be joined.
+    pub fn apply_fleet_epoch(
+        &mut self,
+        weights: &ProfileInformation,
+        daemon_inst: u64,
+        epoch: u64,
+    ) -> Result<Option<Arc<CompiledProgram>>, Error> {
         let value = {
             let agg = self
                 .shared
@@ -917,7 +936,16 @@ impl AdaptiveEngine {
             drift(weights, &agg.baseline, self.config.metric)
         };
         observe::metrics().gauge_set("adaptive.fleet_drift", value);
-        if value <= self.config.drift_threshold {
+        let reoptimized = value > self.config.drift_threshold;
+        // Emitted before the recompile so the merged timeline reads
+        // decision-then-work: fleet_apply, then the reoptimize span.
+        observe::emit(observe::EventKind::FleetApply {
+            daemon_inst,
+            epoch,
+            drift: value,
+            reoptimized,
+        });
+        if !reoptimized {
             return Ok(None);
         }
         let program = self.reoptimize(weights.clone())?;

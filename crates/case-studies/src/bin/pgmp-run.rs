@@ -92,6 +92,11 @@
 //!   --metrics                    print the metrics-registry snapshot as
 //!                                JSON on stderr after the run
 //!   --metrics-out <file>         write the same snapshot to a file
+//!   --metrics-listen <addr>      serve the live registry over HTTP while
+//!                                the run executes (`/metrics` Prometheus
+//!                                text, `/metrics.json` snapshot);
+//!                                `127.0.0.1:0` picks a free port, printed
+//!                                to stderr as `metrics: listening on`
 //! ```
 //!
 //! The paper's basic cycle:
@@ -150,6 +155,7 @@ struct Options {
     trace: Option<String>,
     metrics: bool,
     metrics_out: Option<String>,
+    metrics_listen: Option<String>,
 }
 
 fn usage() -> ! {
@@ -164,7 +170,8 @@ fn usage() -> ! {
          \u{20}               [--cooldown N] [--no-incremental] [--coalesce N]]\n\
          \u{20}               [--dispatch flat|match] [--fuse] [--vm-metrics]\n\
          \u{20}               [--publish SOCKET] [--subscribe SOCKET]\n\
-         \u{20}               [--trace OUT.jsonl] [--metrics] [--metrics-out F] file.scm"
+         \u{20}               [--trace OUT.jsonl] [--metrics] [--metrics-out F]\n\
+         \u{20}               [--metrics-listen ADDR] file.scm"
     );
     std::process::exit(2)
 }
@@ -231,6 +238,7 @@ fn parse_args() -> Options {
         trace: None,
         metrics: false,
         metrics_out: None,
+        metrics_listen: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -281,6 +289,9 @@ fn parse_args() -> Options {
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics" => opts.metrics = true,
             "--metrics-out" => opts.metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-listen" => {
+                opts.metrics_listen = Some(args.next().unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             file if !file.starts_with('-') && opts.file.is_none() => {
                 opts.file = Some(file.to_owned());
@@ -513,7 +524,7 @@ fn apply_fleet_updates(
     let stored = pgmp_profiler::StoredProfile::load_from_str(&update.profile)
         .map_err(|e| format!("fleet epoch {}: {e}", update.epoch))?;
     match engine
-        .apply_fleet_profile(&stored.info)
+        .apply_fleet_epoch(&stored.info, update.inst, update.epoch)
         .map_err(|e| e.to_string())?
     {
         Some(program) => eprintln!(
@@ -661,8 +672,12 @@ fn publish_counters(engine: &Engine, socket: &str) -> Result<(), String> {
         .slot_table()
         .ok_or("--publish requires slotted counters (drop --counter-impl hash)")?;
     let delta = counters.take_delta();
-    let mut publisher = pgmp_profiled::Publisher::connect(socket, &table, 64)
-        .map_err(|e| format!("{socket}: {e}"))?;
+    // A sampling registry's estimates carry their rate to the daemon,
+    // which records `sampled@hz` provenance on the canonical profile.
+    let sampled_hz = counters.sample_hz().unwrap_or(0);
+    let mut publisher =
+        pgmp_profiled::Publisher::connect_with_provenance(socket, &table, 64, sampled_hz)
+            .map_err(|e| format!("{socket}: {e}"))?;
     let dataset = publisher.dataset();
     publisher.publish(&delta);
     let stats = publisher
@@ -713,6 +728,18 @@ fn run(opts: Options) -> Result<(), String> {
     if opts.trace.is_some() {
         observe::start(observe::TraceConfig::default()).map_err(|e| e.to_string())?;
     }
+    // Bound before the run so a scraper can watch the whole execution
+    // live; dropped (listener joined) after the final snapshot, so the
+    // endpoint also serves the run's complete totals until exit.
+    let _metrics_server = match &opts.metrics_listen {
+        Some(addr) => {
+            let server = observe::MetricsServer::bind(addr)
+                .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
+            eprintln!("metrics: listening on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     let result = run_mode(&opts, &source, &file);
     if let Some(path) = &opts.trace {
         // Write the trace even when the run failed: a trace of a failing

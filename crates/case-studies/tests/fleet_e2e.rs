@@ -11,6 +11,7 @@
 //! texts that differ only in same-width numeric literals: identical
 //! byte offsets, identical points, different behavior.
 
+use pgmp_observe::{merge_traces, read_trace_lenient, EventKind, TraceEvent};
 use pgmp_profiler::StoredProfile;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output, Stdio};
@@ -224,6 +225,209 @@ fn fleet_daemon_merges_three_skewed_writers_and_drives_a_subscriber() {
             "daemon and offline merge disagree at {p}: {live} vs {offline}"
         );
     }
+}
+
+/// Reads a trace file, failing the test on any corrupt line (these are
+/// freshly recorded, so leniency would only hide a writer bug).
+fn load_trace(path: &Path) -> Vec<TraceEvent> {
+    let (events, errors) = read_trace_lenient(path).expect("trace file reads");
+    assert!(errors.is_empty(), "corrupt lines in {}: {errors:?}", path.display());
+    assert!(!events.is_empty(), "{} recorded no events", path.display());
+    events
+}
+
+/// The full causal-observability loop across real processes: a traced
+/// daemon, a traced publisher, and a traced subscriber — each pinned to
+/// a known instance id via `PGMP_INSTANCE_ID` — produce three JSONL
+/// files that `merge_traces` interleaves into one timeline where the
+/// publisher's delta precedes the daemon's ingest, the daemon's
+/// handshake precedes the peer's connect, and the daemon's merge
+/// precedes the subscriber's apply. The `pgmp-trace` CLI must agree
+/// with the library merge byte for byte, and the flame export must
+/// attribute frames to the right processes.
+#[test]
+fn merged_fleet_traces_form_one_causal_timeline() {
+    if !sibling_bin("pgmp-profiled").exists() || !sibling_bin("pgmp-trace").exists() {
+        eprintln!("skipping: sibling binaries not built");
+        return;
+    }
+    const DAEMON_INST: u64 = 9001;
+    const WRITER_INST: u64 = 9101;
+    const SUB_INST: u64 = 9301;
+    let dir = scratch("trace-merge");
+    let socket = dir.join("fleet.sock");
+    let profile = dir.join("fleet.pgmp");
+    let daemon_trace = dir.join("daemon.jsonl");
+
+    let child = Command::new(sibling_bin("pgmp-profiled"))
+        .args(["serve", "--socket"])
+        .arg(&socket)
+        .arg("--profile")
+        .arg(&profile)
+        .args(["--interval-ms", "40", "--trace"])
+        .arg(&daemon_trace)
+        .env("PGMP_INSTANCE_ID", DAEMON_INST.to_string())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("pgmp-profiled spawns");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {}", socket.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let daemon = DaemonGuard(Some(child));
+
+    // One mid-heavy writer: the subscriber's low-heavy local profile
+    // must drift against the fleet aggregate it publishes.
+    let wdir = dir.join("writer");
+    std::fs::create_dir_all(&wdir).unwrap();
+    std::fs::write(wdir.join("prog.scm"), program(500, 800)).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pgmp-run"))
+        .current_dir(&wdir)
+        .args(["--libs", "case", "--instrument", "every", "--publish"])
+        .arg(&socket)
+        .args(["--trace", "trace.jsonl", "prog.scm"])
+        .env("PGMP_INSTANCE_ID", WRITER_INST.to_string())
+        .output()
+        .expect("writer spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("fleet: published"), "{stderr}");
+
+    let sdir = dir.join("sub");
+    std::fs::create_dir_all(&sdir).unwrap();
+    std::fs::write(sdir.join("prog.scm"), program(300, 600)).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_pgmp-run"))
+        .current_dir(&sdir)
+        .args([
+            "--libs", "case",
+            "--adaptive", "--epochs", "3", "--threads", "1", "--epoch-ms", "120",
+            "--drift-threshold", "0.02",
+            "--subscribe",
+        ])
+        .arg(&socket)
+        .args(["--trace", "trace.jsonl", "prog.scm"])
+        .env("PGMP_INSTANCE_ID", SUB_INST.to_string())
+        .output()
+        .expect("subscriber spawns");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("fleet: subscribed to"), "{stderr}");
+
+    let out = Command::new(sibling_bin("pgmp-profiled"))
+        .args(["shutdown", "--socket"])
+        .arg(&socket)
+        .output()
+        .expect("shutdown spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = daemon.wait();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let writer_trace = wdir.join("trace.jsonl");
+    let sub_trace = sdir.join("trace.jsonl");
+    let traces = vec![
+        load_trace(&daemon_trace),
+        load_trace(&writer_trace),
+        load_trace(&sub_trace),
+    ];
+    // Every event carries its recorder's pinned instance id.
+    for (trace, inst) in traces.iter().zip([DAEMON_INST, WRITER_INST, SUB_INST]) {
+        assert!(trace.iter().all(|e| e.inst == inst), "wrong inst stamps for {inst}");
+    }
+
+    let merged = merge_traces(&traces).expect("fleet traces merge");
+    assert_eq!(merged.deduped, 0);
+    assert!(
+        merged.cross_edges >= 3,
+        "expected handshake + delta + apply edges, got {}",
+        merged.cross_edges
+    );
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| merged.events.iter().position(|e| pred(e));
+
+    // Handshake: the daemon greeted the writer before the writer's
+    // fleet_connect (it only fires after reading the Ack).
+    let hello = pos(&|e| {
+        e.inst == DAEMON_INST
+            && matches!(&e.kind, EventKind::FleetHello { role, peer_inst, .. }
+                if role == "publisher" && *peer_inst == WRITER_INST)
+    })
+    .expect("daemon recorded the writer's handshake");
+    let connect = pos(&|e| {
+        e.inst == WRITER_INST
+            && matches!(&e.kind, EventKind::FleetConnect { role, daemon_inst, .. }
+                if role == "publisher" && *daemon_inst == DAEMON_INST)
+    })
+    .expect("writer recorded its fleet_connect");
+    assert!(hello < connect, "hello at {hello} must precede connect at {connect}");
+
+    // Delta: the writer's first publish precedes the daemon's first
+    // ingest of it, joined on (peer_inst, epoch).
+    let publish = pos(&|e| {
+        e.inst == WRITER_INST && matches!(e.kind, EventKind::PublishDelta { epoch: 1, .. })
+    })
+    .expect("writer recorded publish_delta");
+    let ingest = pos(&|e| {
+        e.inst == DAEMON_INST
+            && matches!(e.kind, EventKind::IngestBatch { epoch: 1, peer_inst, .. }
+                if peer_inst == WRITER_INST)
+    })
+    .expect("daemon recorded the ingest of the writer's delta");
+    assert!(publish < ingest, "publish at {publish} must precede ingest at {ingest}");
+
+    // Apply: whichever merge epoch the subscriber consumed, the daemon's
+    // merge event for it comes first in the merged timeline.
+    let (apply, apply_epoch) = merged
+        .events
+        .iter()
+        .enumerate()
+        .find_map(|(i, e)| match &e.kind {
+            EventKind::FleetApply { daemon_inst, epoch, .. }
+                if e.inst == SUB_INST && *daemon_inst == DAEMON_INST =>
+            {
+                Some((i, *epoch))
+            }
+            _ => None,
+        })
+        .expect("subscriber recorded fleet_apply");
+    let merge = pos(&|e| {
+        e.inst == DAEMON_INST
+            && matches!(e.kind, EventKind::Merge { epoch, .. } if epoch == apply_epoch)
+    })
+    .expect("daemon recorded the merge the subscriber applied");
+    assert!(merge < apply, "merge at {merge} must precede apply at {apply}");
+
+    // The CLI agrees with the library, file for file.
+    let merged_path = dir.join("merged.jsonl");
+    let out = Command::new(sibling_bin("pgmp-trace"))
+        .arg("merge")
+        .arg(&daemon_trace)
+        .arg(&writer_trace)
+        .arg(&sub_trace)
+        .arg("-o")
+        .arg(&merged_path)
+        .output()
+        .expect("pgmp-trace spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("cross-process edge"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(load_trace(&merged_path), merged.events);
+
+    // And the flame export attributes frames per process.
+    let out = Command::new(sibling_bin("pgmp-trace"))
+        .arg("flame")
+        .arg(&merged_path)
+        .output()
+        .expect("pgmp-trace spawns");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let flame = String::from_utf8_lossy(&out.stdout);
+    assert!(flame.contains(&format!("process:{DAEMON_INST};")), "{flame}");
+    assert!(flame.contains(&format!("process:{SUB_INST};")), "{flame}");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

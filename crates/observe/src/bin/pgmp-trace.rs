@@ -5,13 +5,18 @@
 //! pgmp-trace decisions <trace.jsonl>           every optimization decision, one per line
 //! pgmp-trace explain <trace.jsonl> <query>     provenance for a form index or point/site substring
 //! pgmp-trace compare <a.jsonl> <b.jsonl>       decisions whose outcome differs between two traces
+//! pgmp-trace merge <t.jsonl>... [-o out]       interleave N process traces into one causal timeline
+//! pgmp-trace flame <t.jsonl>...                collapsed flamegraph stacks from span trees
 //! ```
 //!
 //! Traces are read leniently: corrupt lines (a truncated tail, interleaved
 //! garbage) are reported on stderr and skipped, so a crash mid-write never
 //! hides the events that did land.
 
-use pgmp_observe::{explain_query, read_trace_lenient, DecisionAlt, EventKind, TraceEvent};
+use pgmp_observe::{
+    collapse_stacks, dedupe_events, explain_query, merge_traces, read_trace_lenient, to_jsonl,
+    DecisionAlt, EventKind, TraceEvent,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -19,7 +24,11 @@ const USAGE: &str = "usage: pgmp-trace <command> ...
   summary <trace.jsonl>            event counts, span time by type, ring-buffer drops
   decisions <trace.jsonl>          optimization decisions with chosen order and rank
   explain <trace.jsonl> <query>    provenance for a decision point, profile point, or form index
-  compare <a.jsonl> <b.jsonl>      decisions whose chosen order differs between two traces";
+  compare <a.jsonl> <b.jsonl>      decisions whose chosen order differs between two traces
+  merge <trace.jsonl>... [-o out]  interleave per-process traces into one causal timeline
+                                   (happens-before from fleet frames, no clock trust)
+  flame <trace.jsonl>...           collapsed stacks (flamegraph.pl format) from span trees
+                                   and sampler estimates; merges multiple traces first";
 
 /// Appends a line to the output buffer (infallible — `String` sink).
 macro_rules! outln {
@@ -44,6 +53,8 @@ fn main() -> ExitCode {
             }
             (Err(e), _) | (_, Err(e)) => Err(e),
         },
+        ["merge", rest @ ..] if !rest.is_empty() => merge_cmd(&mut out, rest),
+        ["flame", paths @ ..] if !paths.is_empty() => flame_cmd(&mut out, paths),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
@@ -69,6 +80,64 @@ fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
         eprintln!("pgmp-trace: warning: {e} (line skipped)");
     }
     Ok(events)
+}
+
+/// `merge <trace>... [-o out.jsonl]`: one causal timeline from N
+/// per-process traces, ordered by happens-before edges derived from the
+/// fleet correlation events — never by cross-host timestamps.
+fn merge_cmd(out: &mut String, args: &[&str]) -> Result<(), String> {
+    let mut paths: Vec<&str> = Vec::new();
+    let mut out_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if *a == "-o" {
+            out_path = Some(it.next().ok_or("-o needs a path")?);
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.is_empty() {
+        return Err("merge needs at least one trace".into());
+    }
+    let traces = paths
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = merge_traces(&traces).map_err(|e| e.to_string())?;
+    eprintln!(
+        "pgmp-trace: merged {} trace(s): {} event(s), {} cross-process edge(s), {} duplicate(s) dropped",
+        paths.len(),
+        merged.events.len(),
+        merged.cross_edges,
+        merged.deduped
+    );
+    let text = to_jsonl(&merged.events);
+    match out_path {
+        Some(p) => std::fs::write(p, text).map_err(|e| format!("{p}: {e}"))?,
+        None => out.push_str(&text),
+    }
+    Ok(())
+}
+
+/// `flame <trace>...`: collapsed stacks, one `frame;frame count` line
+/// per unique stack — pipe into `flamegraph.pl`. Multiple traces are
+/// causally merged first so one flame graph spans the whole fleet.
+fn flame_cmd(out: &mut String, paths: &[&str]) -> Result<(), String> {
+    let traces = paths
+        .iter()
+        .map(|p| load(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let events = if traces.len() == 1 {
+        traces.into_iter().next().unwrap()
+    } else {
+        merge_traces(&traces).map_err(|e| e.to_string())?.events
+    };
+    let stacks = collapse_stacks(&events);
+    if stacks.is_empty() {
+        eprintln!("pgmp-trace: no spans or sampler estimates in trace");
+    }
+    out.push_str(&stacks);
+    Ok(())
 }
 
 /// Sequence-number gaps mean the ring buffer dropped events mid-recording.
@@ -180,8 +249,14 @@ fn decisions(out: &mut String, events: &[TraceEvent]) {
 
 /// Provenance rendering lives in the library (`pgmp_observe::explain_query`)
 /// so `pgmp-profile diff --explain` shares it byte for byte.
+///
+/// The trace may be a `pgmp-trace merge` output whose inputs overlapped
+/// (the same daemon trace merged twice, a re-merged merge): events are
+/// first deduplicated by `(inst, seq)` so no decision or counter is
+/// explained twice.
 fn explain(out: &mut String, events: &[TraceEvent], query: &str) {
-    let (text, n) = explain_query(events, query);
+    let events = dedupe_events(events.to_vec());
+    let (text, n) = explain_query(&events, query);
     out.push_str(&text);
     if n == 0 {
         outln!(

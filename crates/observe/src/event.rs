@@ -3,15 +3,30 @@
 //! Every event serializes to one JSON object per line with a fixed field
 //! order: `v` (schema version, currently [`SCHEMA_VERSION`]), `seq`
 //! (monotone per recording), `t_us` (microseconds since the recording
-//! started), `type` (the kind tag), then the kind-specific fields in
-//! declaration order. The encoding is fixture-pinned by
-//! `tests/schema.rs`: changing any field name, order, or number
-//! formatting is a schema break and must bump `SCHEMA_VERSION`.
+//! started), `inst` (the process instance id), then — only when present
+//! — `span` and `parent` (the span-hierarchy ids), `type` (the kind
+//! tag), and the kind-specific fields in declaration order. The encoding
+//! is fixture-pinned by `tests/schema.rs`: changing any field name,
+//! order, or number formatting is a schema break and must bump
+//! [`SCHEMA_VERSION`].
+//!
+//! The reader accepts every version from [`MIN_SCHEMA_VERSION`] up:
+//! v1 lines (no `inst`/`span`/`parent`) decode with `inst = 0` and no
+//! span links, so pre-v2 traces keep working everywhere.
 
 use crate::json::Json;
 
 /// Version stamped into every event line as `"v"`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 (this version) added cross-process correlation: the `inst`
+/// process instance id on every event, optional `span`/`parent` span
+/// hierarchy ids, the fleet correlation events (`publish_delta`,
+/// `fleet_hello`, `fleet_connect`, `fleet_apply`), and the
+/// `peer_inst` join key on `ingest_batch`.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`TraceEvent::from_json`] still decodes.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One recorded event: bus-assigned sequencing plus the typed payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,7 +36,32 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Microseconds since the recording started.
     pub t_us: u64,
+    /// Process instance id of the emitting process (see
+    /// `pgmp_observe::instance_id`); `0` in v1 traces, where it was not
+    /// recorded. `(inst, seq)` identifies an event across merged traces.
+    pub inst: u64,
+    /// Span id for span-like events (assigned by the bus when the span
+    /// opened); `None` for point events and v1 traces.
+    pub span: Option<u64>,
+    /// Span id of the enclosing span on the emitting thread; `None` at
+    /// top level and in v1 traces.
+    pub parent: Option<u64>,
     pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// A bare event with no instance id or span links — the shape every
+    /// v1 trace decodes to, and the natural constructor for tests.
+    pub fn new(seq: u64, t_us: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            seq,
+            t_us,
+            inst: 0,
+            span: None,
+            parent: None,
+            kind,
+        }
+    }
 }
 
 /// One alternative considered by a profile-guided decision: a printable
@@ -166,6 +206,10 @@ pub enum EventKind {
         slots: u32,
         /// Total hits carried by the frame (sum of counts).
         hits: u64,
+        /// Instance id of the publishing process (0 when the publisher
+        /// spoke wire v1 and never declared one). With `epoch` this is
+        /// the join key back to the publisher's `publish_delta` event.
+        peer_inst: u64,
     },
     /// The profile daemon merged every dataset into the canonical
     /// profile (span over snapshot + §3.2 merge + atomic write).
@@ -238,6 +282,53 @@ pub enum EventKind {
         /// `old_weight × confidence` — never larger than `old_weight`.
         new_weight: f64,
     },
+    /// A fleet publisher flushed one delta frame to the daemon (the
+    /// success-path twin of `backpressure_drop`). `(inst, epoch)` of
+    /// this event joins to the daemon's `ingest_batch`
+    /// `(peer_inst, epoch)`.
+    PublishDelta {
+        /// The publisher's own epoch counter for this flush.
+        epoch: u64,
+        /// Distinct slots carried by the frame.
+        slots: u32,
+        /// Total hits carried by the frame (sum of counts).
+        hits: u64,
+    },
+    /// The daemon completed a handshake (`Hello`/`Ack`) with a peer.
+    /// Happens-before the peer's matching `fleet_connect`.
+    FleetHello {
+        /// Peer role as declared in `Hello`: `publisher`, `subscriber`.
+        role: String,
+        /// Instance id the peer declared (0 for wire-v1 peers).
+        peer_inst: u64,
+        /// Dataset id assigned to a publisher; 0 for subscribers.
+        dataset: u32,
+    },
+    /// A client (publisher or subscriber) received the daemon's `Ack`.
+    /// Happens-after the daemon's matching `fleet_hello`.
+    FleetConnect {
+        /// This client's role: `publisher`, `subscriber`.
+        role: String,
+        /// The daemon's instance id from `Ack` (0 for wire-v1 daemons).
+        daemon_inst: u64,
+        /// Dataset id the daemon assigned; 0 for subscribers.
+        dataset: u32,
+    },
+    /// A subscriber applied a fleet epoch to its adaptive engine.
+    /// Happens-after the daemon's `merge` with the same
+    /// `(daemon_inst, epoch)`; the subscriber's `reoptimize` (if drift
+    /// fired) follows in the same trace.
+    FleetApply {
+        /// Instance id of the daemon that merged this epoch (0 when
+        /// unknown, e.g. a wire-v1 daemon).
+        daemon_inst: u64,
+        /// The daemon's merge epoch being applied.
+        epoch: u64,
+        /// Fleet drift vs the engine's last-optimized baseline.
+        drift: f64,
+        /// Whether the drift threshold fired a reoptimization.
+        reoptimized: bool,
+    },
 }
 
 impl EventKind {
@@ -267,6 +358,10 @@ impl EventKind {
             EventKind::Decision { .. } => "decision",
             EventKind::SamplerTick { .. } => "sampler_tick",
             EventKind::ProfileRebase { .. } => "profile_rebase",
+            EventKind::PublishDelta { .. } => "publish_delta",
+            EventKind::FleetHello { .. } => "fleet_hello",
+            EventKind::FleetConnect { .. } => "fleet_connect",
+            EventKind::FleetApply { .. } => "fleet_apply",
         }
     }
 
@@ -309,8 +404,15 @@ impl TraceEvent {
             ("v".into(), num(SCHEMA_VERSION)),
             ("seq".into(), num(self.seq)),
             ("t_us".into(), num(self.t_us)),
-            ("type".into(), Json::Str(self.kind.type_tag().into())),
+            ("inst".into(), num(self.inst)),
         ];
+        if let Some(span) = self.span {
+            fields.push(("span".into(), num(span)));
+        }
+        if let Some(parent) = self.parent {
+            fields.push(("parent".into(), num(parent)));
+        }
+        fields.push(("type".into(), Json::Str(self.kind.type_tag().into())));
         let mut push = |k: &str, v: Json| fields.push((k.into(), v));
         match &self.kind {
             EventKind::ExpandForm {
@@ -459,11 +561,13 @@ impl TraceEvent {
                 epoch,
                 slots,
                 hits,
+                peer_inst,
             } => {
                 push("dataset", num(*dataset as u64));
                 push("epoch", num(*epoch));
                 push("slots", num(*slots as u64));
                 push("hits", num(*hits));
+                push("peer_inst", num(*peer_inst));
             }
             EventKind::Merge {
                 epoch,
@@ -554,6 +658,40 @@ impl TraceEvent {
                 push("old_weight", Json::Num(*old_weight));
                 push("new_weight", Json::Num(*new_weight));
             }
+            EventKind::PublishDelta { epoch, slots, hits } => {
+                push("epoch", num(*epoch));
+                push("slots", num(*slots as u64));
+                push("hits", num(*hits));
+            }
+            EventKind::FleetHello {
+                role,
+                peer_inst,
+                dataset,
+            } => {
+                push("role", Json::Str(role.clone()));
+                push("peer_inst", num(*peer_inst));
+                push("dataset", num(*dataset as u64));
+            }
+            EventKind::FleetConnect {
+                role,
+                daemon_inst,
+                dataset,
+            } => {
+                push("role", Json::Str(role.clone()));
+                push("daemon_inst", num(*daemon_inst));
+                push("dataset", num(*dataset as u64));
+            }
+            EventKind::FleetApply {
+                daemon_inst,
+                epoch,
+                drift,
+                reoptimized,
+            } => {
+                push("daemon_inst", num(*daemon_inst));
+                push("epoch", num(*epoch));
+                push("drift", Json::Num(*drift));
+                push("reoptimized", Json::Bool(*reoptimized));
+            }
         }
         Json::Obj(fields).to_string()
     }
@@ -596,6 +734,24 @@ fn get_u32(obj: &Json, name: &'static str) -> Result<u32, DecodeError> {
     u32::try_from(get_u64(obj, name)?).map_err(|_| DecodeError::BadField(name))
 }
 
+/// An optional numeric field with a default: absent decodes to `default`
+/// (how v1 lines, which predate the field, read), present-but-malformed
+/// is still a typed error.
+fn get_u64_or(obj: &Json, name: &'static str, default: u64) -> Result<u64, DecodeError> {
+    match obj.get(name) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or(DecodeError::BadField(name)),
+    }
+}
+
+/// An optional numeric field: absent or `null` decodes to `None`.
+fn get_opt_u64(obj: &Json, name: &'static str) -> Result<Option<u64>, DecodeError> {
+    match obj.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or(DecodeError::BadField(name)),
+    }
+}
+
 fn get_f64(obj: &Json, name: &'static str) -> Result<f64, DecodeError> {
     obj.get(name)
         .ok_or(DecodeError::MissingField(name))?
@@ -627,15 +783,22 @@ fn get_bool(obj: &Json, name: &'static str) -> Result<bool, DecodeError> {
 }
 
 impl TraceEvent {
-    /// Decodes one parsed JSON object into a typed event.
+    /// Decodes one parsed JSON object into a typed event. Accepts every
+    /// schema version in `MIN_SCHEMA_VERSION..=SCHEMA_VERSION`: v1 lines
+    /// decode with `inst = 0` and no span links.
     pub fn from_json(obj: &Json) -> Result<TraceEvent, DecodeError> {
         match obj.get("v") {
-            Some(v) if v.as_u64() == Some(SCHEMA_VERSION) => {}
+            Some(v)
+                if v.as_u64()
+                    .is_some_and(|v| (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&v)) => {}
             Some(v) => return Err(DecodeError::BadVersion(v.to_string())),
             None => return Err(DecodeError::BadVersion("<missing>".into())),
         }
         let seq = get_u64(obj, "seq")?;
         let t_us = get_u64(obj, "t_us")?;
+        let inst = get_u64_or(obj, "inst", 0)?;
+        let span = get_opt_u64(obj, "span")?;
+        let parent = get_opt_u64(obj, "parent")?;
         let ty = get_str(obj, "type")?;
         let kind = match ty.as_str() {
             "expand_form" => EventKind::ExpandForm {
@@ -730,6 +893,7 @@ impl TraceEvent {
                 epoch: get_u64(obj, "epoch")?,
                 slots: get_u32(obj, "slots")?,
                 hits: get_u64(obj, "hits")?,
+                peer_inst: get_u64_or(obj, "peer_inst", 0)?,
             },
             "merge" => EventKind::Merge {
                 epoch: get_u64(obj, "epoch")?,
@@ -804,8 +968,36 @@ impl TraceEvent {
                 old_weight: get_f64(obj, "old_weight")?,
                 new_weight: get_f64(obj, "new_weight")?,
             },
+            "publish_delta" => EventKind::PublishDelta {
+                epoch: get_u64(obj, "epoch")?,
+                slots: get_u32(obj, "slots")?,
+                hits: get_u64(obj, "hits")?,
+            },
+            "fleet_hello" => EventKind::FleetHello {
+                role: get_str(obj, "role")?,
+                peer_inst: get_u64(obj, "peer_inst")?,
+                dataset: get_u32(obj, "dataset")?,
+            },
+            "fleet_connect" => EventKind::FleetConnect {
+                role: get_str(obj, "role")?,
+                daemon_inst: get_u64(obj, "daemon_inst")?,
+                dataset: get_u32(obj, "dataset")?,
+            },
+            "fleet_apply" => EventKind::FleetApply {
+                daemon_inst: get_u64(obj, "daemon_inst")?,
+                epoch: get_u64(obj, "epoch")?,
+                drift: get_f64(obj, "drift")?,
+                reoptimized: get_bool(obj, "reoptimized")?,
+            },
             other => return Err(DecodeError::UnknownType(other.to_string())),
         };
-        Ok(TraceEvent { seq, t_us, kind })
+        Ok(TraceEvent {
+            seq,
+            t_us,
+            inst,
+            span,
+            parent,
+            kind,
+        })
     }
 }

@@ -144,7 +144,7 @@ mod tests {
     use crate::DecisionAlt;
 
     fn ev(seq: u64, kind: EventKind) -> TraceEvent {
-        TraceEvent { seq, t_us: 0, kind }
+        TraceEvent::new(seq, 0, kind)
     }
 
     #[test]

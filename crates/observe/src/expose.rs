@@ -1,0 +1,239 @@
+//! Live metrics exposition: a std-only, bounded, single-threaded HTTP
+//! listener serving the process-global metrics registry.
+//!
+//! Long-lived processes (`pgmp-profiled`, `pgmp-run --adaptive`) bind it
+//! with `--metrics-listen 127.0.0.1:0` and scrapers poll:
+//!
+//! - `GET /metrics` — Prometheus text format ([`render_prometheus`]),
+//!   every name prefixed `pgmp_` with dots mapped to underscores, in
+//!   deterministic (sorted) order;
+//! - `GET /metrics.json` — the same snapshot as the
+//!   [`MetricsSnapshot::to_json`] document `pgmp-run --metrics` prints.
+//!
+//! The listener is deliberately minimal: one thread, one connection at a
+//! time, a 4 KiB request cap, a read timeout, `Connection: close` on
+//! every response. Serving a scrape takes one registry snapshot (a
+//! mutex hold and three map clones) — **no instrumentation is added to
+//! any hot path**; the cost is entirely on the scraper's schedule.
+
+use crate::metrics::{metrics, MetricsSnapshot};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Turns a metric name into a valid Prometheus identifier: `pgmp_`
+/// prefix, every character outside `[A-Za-z0-9_]` replaced by `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("pgmp_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Renders a snapshot as Prometheus text exposition format (version
+/// 0.0.4): counters, then gauges, then histograms, each sorted by name,
+/// so equal snapshots render byte-identically (the output is
+/// golden-pinned by `tests/expose.rs`). Histograms expose the registry's
+/// log2 buckets cumulatively: bucket `[2^(i-1), 2^i)` renders as
+/// `le="2^i"` (its exclusive upper bound), zeros as `le="0"`, plus the
+/// standard `+Inf`/`_sum`/`_count` series.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cum = 0u64;
+        for (lo, count) in h.nonzero_buckets() {
+            cum += count;
+            let le = if lo == 0 { 0 } else { lo * 2 };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+        out.push_str(&format!("{n}_sum {}\n", h.sum()));
+        out.push_str(&format!("{n}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// The live exposition listener. Binding spawns one serving thread;
+/// dropping the server stops it and joins the thread.
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an OS-assigned port) and
+    /// starts serving the process-global registry.
+    pub fn bind(addr: &str) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = thread::Builder::new()
+            .name("pgmp-metrics".into())
+            .spawn(move || serve_loop(listener, &stop2))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One connection at a time, bounded reads, best-effort
+                // writes: a slow or hostile scraper can stall this
+                // thread for at most the read timeout, never the
+                // process being observed.
+                let _ = handle_conn(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut buf = [0u8; 4096];
+    let mut len = 0usize;
+    // Read until the header terminator or the cap; the request line is
+    // all we route on.
+    loop {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") || len == buf.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => {
+                metrics().counter_add("observe.scrapes", 1);
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    render_prometheus(&metrics().snapshot()),
+                )
+            }
+            "/metrics.json" => {
+                metrics().counter_add("observe.scrapes", 1);
+                (
+                    "200 OK",
+                    "application/json",
+                    format!("{}\n", metrics().snapshot().to_json()),
+                )
+            }
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /metrics.json)\n".to_string(),
+            ),
+        }
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn renderer_is_deterministic_and_prefixed() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        let snap = MetricsSnapshot {
+            counters: [("events.run".to_string(), 2u64)].into_iter().collect(),
+            gauges: [("adaptive.fleet_drift".to_string(), 0.25f64)]
+                .into_iter()
+                .collect(),
+            histograms: [("span.run_us".to_string(), h)].into_iter().collect(),
+        };
+        let text = render_prometheus(&snap);
+        assert_eq!(
+            text,
+            "# TYPE pgmp_events_run counter\n\
+             pgmp_events_run 2\n\
+             # TYPE pgmp_adaptive_fleet_drift gauge\n\
+             pgmp_adaptive_fleet_drift 0.25\n\
+             # TYPE pgmp_span_run_us histogram\n\
+             pgmp_span_run_us_bucket{le=\"0\"} 1\n\
+             pgmp_span_run_us_bucket{le=\"4\"} 3\n\
+             pgmp_span_run_us_bucket{le=\"+Inf\"} 3\n\
+             pgmp_span_run_us_sum 6\n\
+             pgmp_span_run_us_count 3\n"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = MetricsSnapshot {
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        assert_eq!(render_prometheus(&snap), "");
+    }
+}

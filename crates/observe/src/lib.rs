@@ -42,14 +42,20 @@
 
 mod event;
 mod explain;
+pub mod expose;
 pub mod json;
+pub mod merge;
 mod metrics;
 mod reader;
 mod sink;
 mod stream;
 
-pub use event::{DecisionAlt, DecodeError, EventKind, TraceEvent, SCHEMA_VERSION};
+pub use event::{
+    DecisionAlt, DecodeError, EventKind, TraceEvent, MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 pub use explain::{explain_query, matches_query};
+pub use expose::{render_prometheus, MetricsServer};
+pub use merge::{collapse_stacks, dedupe_events, merge_traces, MergeError, Merged};
 pub use metrics::{metrics, Histogram, MetricsSnapshot, Registry};
 pub use reader::{
     parse_trace, parse_trace_lenient, read_trace, read_trace_lenient, TraceError,
@@ -57,8 +63,9 @@ pub use reader::{
 pub use sink::{to_jsonl, write_atomic, write_trace};
 pub use stream::{BoundedWriter, WriterStats};
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
@@ -66,6 +73,67 @@ use std::time::Instant;
 /// Relaxed is sufficient: recording start/stop does not need to order
 /// against event payload reads, only to eventually flip the gate.
 static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Span-id allocator: process-global and monotone, so span ids stay
+/// unique across recordings. Cross-process uniqueness comes from
+/// qualifying with [`instance_id`] — `(inst, span)` is the global key.
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Bumped by every recording start so a span stack left over from a
+/// previous recording (a `timer` whose `finish` never ran) can't become
+/// the parent of events in the next one.
+static RECORDING_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Open span ids on this thread, innermost last, tagged with the
+    /// recording epoch they belong to.
+    static SPAN_STACK: RefCell<(u64, Vec<u64>)> = const { RefCell::new((0, Vec::new())) };
+}
+
+fn with_span_stack<R>(f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    let epoch = RECORDING_EPOCH.load(Ordering::Relaxed);
+    SPAN_STACK.with(|s| {
+        let mut st = s.borrow_mut();
+        if st.0 != epoch {
+            st.0 = epoch;
+            st.1.clear();
+        }
+        f(&mut st.1)
+    })
+}
+
+/// This process's stable instance id: nonzero, unique-enough across a
+/// fleet (48 bits of pid × start-time hash, so it also survives an f64
+/// metrics-gauge round-trip exactly), and constant for the process
+/// lifetime. Stamped on every emitted event and exchanged on the fleet
+/// wire, it is the join key that lets `pgmp-trace merge` correlate
+/// traces from different processes. Set `PGMP_INSTANCE_ID` (a nonzero
+/// integer) to pin it for deterministic tests.
+pub fn instance_id() -> u64 {
+    static INSTANCE: OnceLock<u64> = OnceLock::new();
+    *INSTANCE.get_or_init(|| {
+        if let Some(id) = std::env::var("PGMP_INSTANCE_ID")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&id| id != 0)
+        {
+            return id;
+        }
+        let pid = std::process::id() as u64;
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        // splitmix64 finalizer over (pid, wall nanos), truncated to 48
+        // bits so the id is exactly representable as an f64 gauge.
+        let mut x = pid.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ t;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x & 0xFFFF_FFFF_FFFF).max(1)
+    })
+}
 
 struct Recording {
     start: Instant,
@@ -159,6 +227,7 @@ fn start_with(config: TraceConfig, stream: Option<BoundedWriter>) -> Result<(), 
     if g.is_some() {
         return Err(ObserveError::AlreadyRecording);
     }
+    RECORDING_EPOCH.fetch_add(1, Ordering::Relaxed);
     let ring_capacity = if stream.is_some() { 0 } else { config.capacity.min(1 << 20) };
     *g = Some(Recording {
         start: Instant::now(),
@@ -173,11 +242,21 @@ fn start_with(config: TraceConfig, stream: Option<BoundedWriter>) -> Result<(), 
     Ok(())
 }
 
-/// Records one event (no-op when no recording is active). The bus stamps
-/// the sequence number and relative timestamp, appends to the ring
-/// buffer, and mirrors the event into the metrics registry
-/// (`events.<type>` counter; `span.<type>_us` histogram for spans).
+/// Records one point event (no-op when no recording is active). The bus
+/// stamps the sequence number, relative timestamp, [`instance_id`], and
+/// the enclosing span (the top of this thread's span stack) as `parent`,
+/// appends to the ring buffer, and mirrors the event into the metrics
+/// registry (`events.<type>` counter; `span.<type>_us` histogram for
+/// spans).
 pub fn emit(kind: EventKind) {
+    if !enabled() {
+        return;
+    }
+    let parent = with_span_stack(|s| s.last().copied());
+    emit_spanned(None, parent, kind);
+}
+
+fn emit_spanned(span: Option<u64>, parent: Option<u64>, kind: EventKind) {
     if !enabled() {
         return;
     }
@@ -191,6 +270,9 @@ pub fn emit(kind: EventKind) {
     let ev = TraceEvent {
         seq: rec.next_seq,
         t_us: rec.start.elapsed().as_micros() as u64,
+        inst: instance_id(),
+        span,
+        parent,
         kind,
     };
     rec.next_seq += 1;
@@ -211,23 +293,61 @@ pub fn emit(kind: EventKind) {
     rec.ring.push_back(ev);
 }
 
-/// Starts a span clock: `Some(Instant)` while recording, `None` (free)
-/// otherwise. Pair with [`finish`].
-#[inline]
-pub fn timer() -> Option<Instant> {
-    if enabled() {
-        Some(Instant::now())
-    } else {
-        None
+/// An open span: the clock started by [`timer`] plus the span id pushed
+/// onto this thread's span stack. Close it with [`finish`], on the same
+/// thread, to emit the span event with its `span`/`parent` links.
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+    id: u64,
+}
+
+impl SpanTimer {
+    /// The bus-assigned span id (stamped as `span` on the close event
+    /// and as `parent` on everything emitted inside the span).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Microseconds elapsed since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
     }
 }
 
-/// Closes a span started with [`timer`]: builds the event from the
-/// elapsed microseconds and emits it. Free when the timer was `None`.
-pub fn finish(timer: Option<Instant>, make: impl FnOnce(u64) -> EventKind) {
-    if let Some(t0) = timer {
-        emit(make(t0.elapsed().as_micros() as u64));
+/// Opens a span: `Some(SpanTimer)` while recording, `None` (free)
+/// otherwise. The span id goes onto this thread's span stack, so events
+/// emitted before the matching [`finish`] — including nested spans —
+/// record it as their `parent`. Pair with [`finish`]; a span that is
+/// never finished is simply absent from the trace (its children then
+/// name a parent id no event carries, which readers treat as a root).
+#[inline]
+pub fn timer() -> Option<SpanTimer> {
+    if !enabled() {
+        return None;
     }
+    let id = NEXT_SPAN.fetch_add(1, Ordering::Relaxed);
+    with_span_stack(|s| s.push(id));
+    Some(SpanTimer {
+        start: Instant::now(),
+        id,
+    })
+}
+
+/// Closes a span started with [`timer`]: pops it off the span stack
+/// (discarding any nested spans that never finished), builds the event
+/// from the elapsed microseconds, and emits it with `span` = its id and
+/// `parent` = the enclosing span. Free when the timer was `None`.
+pub fn finish(timer: Option<SpanTimer>, make: impl FnOnce(u64) -> EventKind) {
+    let Some(t) = timer else { return };
+    let duration_us = t.start.elapsed().as_micros() as u64;
+    let parent = with_span_stack(|s| {
+        if let Some(pos) = s.iter().rposition(|&id| id == t.id) {
+            s.truncate(pos);
+        }
+        s.last().copied()
+    });
+    emit_spanned(Some(t.id), parent, make(duration_us));
 }
 
 /// Events dropped so far in the active recording — by the ring buffer
@@ -378,6 +498,59 @@ mod tests {
         let summary = stop_streaming().unwrap();
         assert_eq!(summary.dropped, 1);
         assert_eq!(summary.events, 0);
+    }
+
+    #[test]
+    fn spans_nest_via_thread_local_stack() {
+        let _g = exclusive();
+        start(TraceConfig::default()).unwrap();
+        let outer = timer();
+        let outer_id = outer.as_ref().unwrap().id();
+        emit(EventKind::CacheHit { form: 1 });
+        let inner = timer();
+        let inner_id = inner.as_ref().unwrap().id();
+        finish(inner, |duration_us| EventKind::SlotResolve {
+            resolved: 1,
+            duration_us,
+        });
+        finish(outer, |duration_us| EventKind::Run {
+            file: "x.scm".into(),
+            mode: "none".into(),
+            duration_us,
+        });
+        let events = stop();
+        assert_eq!(events.len(), 3);
+        // The point event inside the outer span is parented to it.
+        assert_eq!(events[0].span, None);
+        assert_eq!(events[0].parent, Some(outer_id));
+        // The inner span closes first and names the outer as parent.
+        assert_eq!(events[1].span, Some(inner_id));
+        assert_eq!(events[1].parent, Some(outer_id));
+        // The outer span is a root.
+        assert_eq!(events[2].span, Some(outer_id));
+        assert_eq!(events[2].parent, None);
+        assert!(events.iter().all(|e| e.inst == instance_id()));
+        assert_ne!(instance_id(), 0);
+    }
+
+    #[test]
+    fn unfinished_nested_span_does_not_leak_into_siblings() {
+        let _g = exclusive();
+        start(TraceConfig::default()).unwrap();
+        let outer = timer();
+        let outer_id = outer.as_ref().unwrap().id();
+        let leaked = timer(); // never finished
+        drop(leaked);
+        finish(outer, |duration_us| EventKind::SlotResolve {
+            resolved: 0,
+            duration_us,
+        });
+        // Closing the outer span discarded the leaked child, so the next
+        // top-level event is a root again.
+        emit(EventKind::CacheHit { form: 2 });
+        let events = stop();
+        assert_eq!(events[0].span, Some(outer_id));
+        assert_eq!(events[1].parent, None);
     }
 
     #[test]

@@ -33,7 +33,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    fn record(&mut self, value: u64) {
+    pub(crate) fn record(&mut self, value: u64) {
         let idx = if value == 0 {
             0
         } else {
@@ -152,8 +152,9 @@ impl Registry {
 }
 
 impl MetricsSnapshot {
-    /// Renders the snapshot as a single JSON object:
-    /// `{"v":1,"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,"sum":..,"mean":..,"buckets":[[lo,count],...]}}}`.
+    /// Renders the snapshot as a single JSON object, versioned in step
+    /// with the trace schema:
+    /// `{"v":2,"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,"sum":..,"mean":..,"buckets":[[lo,count],...]}}}`.
     pub fn to_json(&self) -> String {
         let counters = Json::Obj(
             self.counters

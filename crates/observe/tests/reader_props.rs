@@ -92,15 +92,36 @@ fn arb_kind() -> BoxedStrategy<EventKind> {
     .boxed()
 }
 
+/// Optional span ids: `None` (point events / v1) or a small id.
+fn arb_span() -> BoxedStrategy<Option<u64>> {
+    prop_oneof![Just(None), (1u64..1000).prop_map(Some)].boxed()
+}
+
 fn arb_events() -> impl Strategy<Value = Vec<TraceEvent>> {
-    proptest::collection::vec((0u64..10_000, 0u64..1_000_000, arb_kind()), 0..12).prop_map(
-        |triples| {
-            triples
-                .into_iter()
-                .map(|(seq, t_us, kind)| TraceEvent { seq, t_us, kind })
-                .collect()
-        },
+    proptest::collection::vec(
+        (
+            0u64..10_000,
+            0u64..1_000_000,
+            0u64..500,
+            arb_span(),
+            arb_span(),
+            arb_kind(),
+        ),
+        0..12,
     )
+    .prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .map(|(seq, t_us, inst, span, parent, kind)| TraceEvent {
+                seq,
+                t_us,
+                inst,
+                span,
+                parent,
+                kind,
+            })
+            .collect()
+    })
 }
 
 /// Garbage lines: never empty, never whitespace-only (those are silently
@@ -166,6 +187,34 @@ proptest! {
         if !garbage.is_empty() {
             prop_assert!(parse_trace(&text).is_err());
         }
+    }
+
+    #[test]
+    fn v2_reader_accepts_v1_lines(events in arb_events()) {
+        // A v1 line is a v2 line minus the v2 header fields: strip
+        // `inst` (after zeroing the v2-only data, which v1 could not
+        // express) and rewrite the version tag. The first occurrence is
+        // always the header — payload strings encode `"` escaped, so
+        // the pattern cannot appear in one earlier.
+        let events: Vec<TraceEvent> = events
+            .into_iter()
+            .map(|mut e| {
+                e.inst = 0;
+                e.span = None;
+                e.parent = None;
+                e
+            })
+            .collect();
+        let v1_text: String = to_jsonl(&events)
+            .lines()
+            .map(|l| {
+                let l = l.replacen("{\"v\":2,", "{\"v\":1,", 1);
+                format!("{}\n", l.replacen("\"inst\":0,", "", 1))
+            })
+            .collect();
+        let back = parse_trace(&v1_text);
+        prop_assert!(back.is_ok(), "v1 lines must decode: {:?}", back.err());
+        prop_assert_eq!(back.unwrap(), events);
     }
 
     #[test]

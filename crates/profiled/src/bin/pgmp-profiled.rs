@@ -11,6 +11,10 @@
 //!   --trace <out.jsonl>    stream a structured trace of the daemon
 //!                          (ingest batches, merges, broadcasts) while
 //!                          it runs; inspect with `pgmp-trace`
+//!   --metrics-listen <addr> serve the live metrics registry over HTTP
+//!                          (`/metrics` Prometheus text, `/metrics.json`
+//!                          snapshot); `127.0.0.1:0` picks a free port,
+//!                          printed to stderr as `metrics: listening on`
 //! ```
 //!
 //! `serve` blocks until a `shutdown` request arrives, then performs one
@@ -25,7 +29,8 @@ use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pgmp-profiled serve --socket S --profile P [--interval-ms MS] [--trace OUT.jsonl]\n\
+        "usage: pgmp-profiled serve --socket S --profile P [--interval-ms MS] [--trace OUT.jsonl] \
+         [--metrics-listen ADDR]\n\
          \u{20}      pgmp-profiled shutdown --socket S"
     );
     std::process::exit(2)
@@ -36,6 +41,7 @@ fn serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
     let mut profile = None;
     let mut interval_ms = 250u64;
     let mut trace = None;
+    let mut metrics_listen = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--socket" => socket = Some(args.next().unwrap_or_else(|| usage())),
@@ -47,6 +53,7 @@ fn serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
                     .unwrap_or_else(|| usage())
             }
             "--trace" => trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-listen" => metrics_listen = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -59,6 +66,19 @@ fn serve(mut args: impl Iterator<Item = String>) -> Result<(), String> {
         observe::start_streaming(path, observe::TraceConfig::default())
             .map_err(|e| e.to_string())?;
     }
+    // Held for the daemon's lifetime; dropped (and joined) on the way
+    // out so the last scrape either completes or gets a clean close.
+    let _metrics_server = match &metrics_listen {
+        Some(addr) => {
+            let server = observe::MetricsServer::bind(addr)
+                .map_err(|e| format!("--metrics-listen {addr}: {e}"))?;
+            // The bound address on its own line, parseable by scripts
+            // (with port 0 the kernel picked the real one).
+            eprintln!("metrics: listening on http://{}/metrics", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
     let mut config = DaemonConfig::new(socket, profile);
     config.merge_interval = Duration::from_millis(interval_ms.max(1));
     eprintln!(

@@ -17,7 +17,7 @@
 //! `update.profile` and hands the weights to
 //! `AdaptiveEngine::apply_fleet_profile`.
 
-use crate::wire::{self, Delta, EpochUpdate, Frame, Hello, Role, WireError};
+use crate::wire::{self, ByeInfo, Delta, EpochUpdate, Frame, Hello, Role, WireError};
 use pgmp_observe::{self as observe, BoundedWriter};
 use pgmp_profiler::SlotMap;
 use std::io;
@@ -106,6 +106,7 @@ pub struct Publisher {
     reader: wire::FrameReader<UnixStream>,
     writer: Option<BoundedWriter>,
     dataset: u32,
+    daemon_inst: u64,
     epoch: u64,
     stats: PublishStats,
 }
@@ -125,19 +126,35 @@ impl Publisher {
         table: &SlotMap,
         capacity: usize,
     ) -> Result<Publisher, ClientError> {
+        Publisher::connect_with_provenance(socket, table, capacity, 0)
+    }
+
+    /// [`Publisher::connect`], declaring the counters' provenance: 0 for
+    /// exact counts, otherwise the sampling rate in Hz. A sampling-rate
+    /// declaration makes the daemon record `sampled@hz` provenance on
+    /// the canonical profile it merges this dataset into (and warn when
+    /// the fleet mixes exact and sampled publishers).
+    pub fn connect_with_provenance(
+        socket: impl AsRef<Path>,
+        table: &SlotMap,
+        capacity: usize,
+        sampled_hz: u32,
+    ) -> Result<Publisher, ClientError> {
         let mut stream = UnixStream::connect(socket.as_ref())?;
         wire::write_frame(
             &mut stream,
             &Frame::Hello(Hello {
                 role: Role::Publisher,
                 pid: u64::from(std::process::id()),
+                inst: observe::instance_id(),
+                sampled_hz,
                 points: table.points().to_vec(),
             }),
         )?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         let mut reader = wire::FrameReader::new(stream.try_clone()?);
-        let dataset = match reader.next_frame()? {
-            Frame::Ack(ack) => ack.dataset,
+        let (dataset, daemon_inst) = match reader.next_frame()? {
+            Frame::Ack(ack) => (ack.dataset, ack.inst),
             Frame::Error(reason) => return Err(ClientError::Refused(reason)),
             other => {
                 return Err(ClientError::Protocol(format!(
@@ -145,12 +162,20 @@ impl Publisher {
                 )))
             }
         };
+        // The client half of the correlation handshake — pairs with the
+        // daemon's `fleet_hello` event for this connection.
+        observe::emit(observe::EventKind::FleetConnect {
+            role: "publisher".to_string(),
+            daemon_inst,
+            dataset,
+        });
         let writer = BoundedWriter::spawn(stream.try_clone()?, capacity.max(1));
         Ok(Publisher {
             stream,
             reader,
             writer: Some(writer),
             dataset,
+            daemon_inst,
             epoch: 0,
             stats: PublishStats::default(),
         })
@@ -159,6 +184,12 @@ impl Publisher {
     /// The dataset id the daemon assigned this process.
     pub fn dataset(&self) -> u32 {
         self.dataset
+    }
+
+    /// The daemon's `pgmp_observe::instance_id`, learned from its ack
+    /// (0 when talking to a v1 daemon).
+    pub fn daemon_inst(&self) -> u64 {
+        self.daemon_inst
     }
 
     /// Queues one delta (as from [`pgmp_profiler::Counters::take_delta`])
@@ -183,6 +214,14 @@ impl Publisher {
         if accepted {
             self.stats.frames += 1;
             self.stats.published_hits += hits;
+            // The publisher half of the delta join key: this event's
+            // (inst, epoch) matches the daemon's `ingest_batch`
+            // (peer_inst, epoch) for the same frame.
+            observe::emit(observe::EventKind::PublishDelta {
+                epoch: self.epoch,
+                slots: counts.len() as u32,
+                hits,
+            });
         } else {
             self.stats.dropped_frames += 1;
             self.stats.dropped_hits += hits;
@@ -209,7 +248,13 @@ impl Publisher {
         if let Some(writer) = self.writer.take() {
             writer.close().map_err(ClientError::Io)?;
         }
-        wire::write_frame(&mut self.stream, &Frame::Bye)?;
+        wire::write_frame(
+            &mut self.stream,
+            &Frame::Bye(ByeInfo {
+                inst: observe::instance_id(),
+                epoch: self.epoch,
+            }),
+        )?;
         self.stream
             .set_read_timeout(Some(Duration::from_secs(10)))?;
         match self.reader.next_frame()? {
@@ -226,6 +271,7 @@ impl Publisher {
 pub struct Subscriber {
     stream: UnixStream,
     reader: wire::FrameReader<UnixStream>,
+    daemon_inst: u64,
 }
 
 impl Subscriber {
@@ -237,18 +283,37 @@ impl Subscriber {
             &Frame::Hello(Hello {
                 role: Role::Subscriber,
                 pid: u64::from(std::process::id()),
+                inst: observe::instance_id(),
+                sampled_hz: 0,
                 points: Vec::new(),
             }),
         )?;
         stream.set_read_timeout(Some(Duration::from_secs(10)))?;
         let mut reader = wire::FrameReader::new(stream.try_clone()?);
         match reader.next_frame()? {
-            Frame::Ack(_) => Ok(Subscriber { stream, reader }),
+            Frame::Ack(ack) => {
+                observe::emit(observe::EventKind::FleetConnect {
+                    role: "subscriber".to_string(),
+                    daemon_inst: ack.inst,
+                    dataset: 0,
+                });
+                Ok(Subscriber {
+                    stream,
+                    reader,
+                    daemon_inst: ack.inst,
+                })
+            }
             Frame::Error(reason) => Err(ClientError::Refused(reason)),
             other => Err(ClientError::Protocol(format!(
                 "expected ack to hello, got {other:?}"
             ))),
         }
+    }
+
+    /// The daemon's `pgmp_observe::instance_id`, learned from its ack
+    /// (0 when talking to a v1 daemon).
+    pub fn daemon_inst(&self) -> u64 {
+        self.daemon_inst
     }
 
     /// Blocks until the next [`EpochUpdate`] arrives, up to `timeout`.

@@ -39,7 +39,7 @@
 use crate::wire::{self, Ack, EpochUpdate, Frame, Hello, Role, WireError};
 use pgmp_adaptive::{drift, DriftMetric};
 use pgmp_observe as observe;
-use pgmp_profiler::{Dataset, ProfileInformation, SlotMap, StoredProfile};
+use pgmp_profiler::{Dataset, ProfileInformation, Provenance, SlotMap, StoredProfile};
 use pgmp_rt::AtomicSlotArray;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -112,6 +112,17 @@ impl From<pgmp_profiler::ProfileStoreError> for DaemonError {
     }
 }
 
+/// What the daemon remembers about a dataset's publisher, from its
+/// [`Hello`]: the correlation id for trace joins and the declared
+/// counter provenance for the merged profile.
+#[derive(Debug, Clone, Copy)]
+struct PublisherMeta {
+    /// The publisher's `pgmp_observe::instance_id` (0: v1 client).
+    peer_inst: u64,
+    /// 0 for exact counters, else the declared sampling rate in Hz.
+    sampled_hz: u32,
+}
+
 struct State {
     config: DaemonConfig,
     /// The canonical slot table; grows monotonically as publishers with
@@ -119,12 +130,17 @@ struct State {
     table: Mutex<SlotMap>,
     /// One cumulative counter array per publisher that ever connected.
     datasets: Mutex<Vec<Arc<AtomicSlotArray>>>,
+    /// Handshake-declared provenance per dataset, parallel to `datasets`.
+    meta: Mutex<Vec<PublisherMeta>>,
     /// Epoch streams of connected subscribers.
     subscribers: Mutex<Vec<UnixStream>>,
     /// Merge epochs completed so far.
     epoch: AtomicU64,
     /// The previous merge's weights, for drift.
     last_merged: Mutex<ProfileInformation>,
+    /// Whether the mixed-provenance warning has been printed yet (it is
+    /// worth one line per daemon lifetime, not one per 250 ms merge).
+    mixed_warned: AtomicBool,
     shutdown: AtomicBool,
 }
 
@@ -145,9 +161,11 @@ impl Daemon {
                 config,
                 table: Mutex::new(SlotMap::new()),
                 datasets: Mutex::new(Vec::new()),
+                meta: Mutex::new(Vec::new()),
                 subscribers: Mutex::new(Vec::new()),
                 epoch: AtomicU64::new(0),
                 last_merged: Mutex::new(ProfileInformation::empty()),
+                mixed_warned: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
             }),
         }
@@ -172,6 +190,9 @@ impl Daemon {
         }
         let listener = UnixListener::bind(&state.config.socket)?;
         listener.set_nonblocking(true)?;
+        // The daemon's own correlation id, visible on the metrics
+        // endpoint so a scrape can be joined to merged traces.
+        observe::metrics().gauge_set("profiled.inst", observe::instance_id() as f64);
         let mut last_merge = Instant::now();
         let mut serving = Vec::new();
         while !state.shutdown.load(Ordering::SeqCst) {
@@ -244,7 +265,7 @@ fn serve_connection(state: &Arc<State>, mut stream: UnixStream) {
     };
     match hello.role {
         Role::Publisher => serve_publisher(state, stream, reader, hello),
-        Role::Subscriber => serve_subscriber(state, stream, reader),
+        Role::Subscriber => serve_subscriber(state, stream, reader, &hello),
     }
 }
 
@@ -302,16 +323,39 @@ fn serve_publisher(
         let mut datasets = state.datasets.lock().expect("datasets lock poisoned");
         let array = Arc::new(AtomicSlotArray::new());
         datasets.push(Arc::clone(&array));
+        state
+            .meta
+            .lock()
+            .expect("meta lock poisoned")
+            .push(PublisherMeta {
+                peer_inst: hello.inst,
+                sampled_hz: hello.sampled_hz,
+            });
         ((datasets.len() - 1) as u32, array, remap)
     };
+    // The daemon half of the correlation handshake: this event and the
+    // client's `fleet_connect` carry each other's instance ids, giving
+    // `pgmp-trace merge` its cross-process happens-before edge.
+    observe::emit(observe::EventKind::FleetHello {
+        role: "publisher".to_string(),
+        peer_inst: hello.inst,
+        dataset,
+    });
     let ack = Frame::Ack(Ack {
         dataset,
         epoch: state.epoch.load(Ordering::SeqCst),
+        inst: observe::instance_id(),
     });
     if wire::write_frame(&mut stream, &ack).is_err() {
         return;
     }
     observe::metrics().counter_add("profiled.publishers", 1);
+    if hello.sampled_hz > 0 {
+        observe::metrics().gauge_set(
+            &format!("profiled.provenance_sampled_hz.{dataset}"),
+            f64::from(hello.sampled_hz),
+        );
+    }
     loop {
         match reader.next_frame() {
             Ok(Frame::Delta(delta)) => {
@@ -338,17 +382,19 @@ fn serve_publisher(
                     epoch: delta.epoch,
                     slots: delta.counts.len() as u32,
                     hits,
+                    peer_inst: hello.inst,
                 });
                 let m = observe::metrics();
                 m.counter_add("profiled.ingest_batches", 1);
                 m.counter_add("profiled.ingest_hits", hits);
             }
-            Ok(Frame::Bye) => {
+            Ok(Frame::Bye(_)) => {
                 let _ = wire::write_frame(
                     &mut stream,
                     &Frame::Ack(Ack {
                         dataset,
                         epoch: state.epoch.load(Ordering::SeqCst),
+                        inst: observe::instance_id(),
                     }),
                 );
                 return;
@@ -375,10 +421,17 @@ fn serve_subscriber(
     state: &Arc<State>,
     mut stream: UnixStream,
     mut reader: wire::FrameReader<UnixStream>,
+    hello: &Hello,
 ) {
+    observe::emit(observe::EventKind::FleetHello {
+        role: "subscriber".to_string(),
+        peer_inst: hello.inst,
+        dataset: 0,
+    });
     let ack = Frame::Ack(Ack {
         dataset: 0,
         epoch: state.epoch.load(Ordering::SeqCst),
+        inst: observe::instance_id(),
     });
     if wire::write_frame(&mut stream, &ack).is_err() {
         return;
@@ -399,7 +452,7 @@ fn serve_subscriber(
                 state.shutdown.store(true, Ordering::SeqCst);
                 return;
             }
-            Ok(Frame::Bye) => return,
+            Ok(Frame::Bye(_)) => return,
             Err(WireError::Io(e)) if would_block(&e) && state.shutdown.load(Ordering::SeqCst) => {
                 return;
             }
@@ -414,31 +467,46 @@ fn serve_subscriber(
 /// `force_write` (the shutdown path) writes the canonical profile even
 /// when no dataset has any hits yet, so the file always exists.
 fn merge_epoch(state: &Arc<State>, force_write: bool) -> Result<(), DaemonError> {
-    let timer = observe::timer().or(Some(Instant::now()));
     let table = state.table.lock().expect("slot table lock poisoned").clone();
-    let arrays: Vec<Arc<AtomicSlotArray>> = state
-        .datasets
-        .lock()
-        .expect("datasets lock poisoned")
-        .clone();
+    let (arrays, meta) = {
+        let datasets = state.datasets.lock().expect("datasets lock poisoned");
+        let meta = state.meta.lock().expect("meta lock poisoned");
+        (datasets.clone(), meta.clone())
+    };
+    let m = observe::metrics();
     let mut datasets = Vec::new();
-    for array in &arrays {
+    let mut participating: Vec<usize> = Vec::new();
+    for (i, array) in arrays.iter().enumerate() {
         let mut d = Dataset::new();
+        let mut hits = 0u64;
         for slot in 0..table.len() as u32 {
             // `get`, not `take`: datasets are cumulative so the merge
             // always equals the offline merge of full per-process runs.
             let count = array.get(slot);
             if count > 0 {
                 d.record(table.point(slot), count);
+                hits += count;
             }
         }
         if !d.is_empty() {
+            // Per-publisher fleet gauges, keyed by dataset id: the
+            // cumulative hits and the publisher's correlation id, so a
+            // metrics scrape can be joined to merged traces.
+            m.gauge_set(&format!("profiled.dataset_hits.{i}"), hits as f64);
+            if let Some(pm) = meta.get(i) {
+                m.gauge_set(&format!("profiled.dataset_inst.{i}"), pm.peer_inst as f64);
+            }
+            participating.push(i);
             datasets.push(d);
         }
     }
     if datasets.is_empty() && !force_write {
         return Ok(());
     }
+    // The merge span: everything from the fold to the canonical write
+    // is one timed `merge` event (snapshotting above is excluded so an
+    // idle tick leaves no half-open span behind).
+    let span = observe::timer();
     let merged = datasets
         .iter()
         .map(ProfileInformation::from_dataset)
@@ -452,26 +520,66 @@ fn merge_epoch(state: &Arc<State>, force_write: bool) -> Result<(), DaemonError>
         )
     };
     let epoch = state.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-    let stored = StoredProfile::v2(merged.clone(), Some(table));
+    // Provenance of the canonical profile, from the handshake-declared
+    // provenance of every dataset that contributed: a uniform fleet
+    // carries its provenance through; a mix of exact counters and
+    // sampled estimates degrades to implicit exact with a warning —
+    // the same policy as `pgmp-profile merge`.
+    let mut provs: Vec<Provenance> = Vec::new();
+    for &i in &participating {
+        let p = match meta.get(i) {
+            Some(pm) if pm.sampled_hz > 0 => Provenance::Sampled { hz: pm.sampled_hz },
+            _ => Provenance::Exact,
+        };
+        if !provs.contains(&p) {
+            provs.push(p);
+        }
+    }
+    let provenance = match provs.as_slice() {
+        [] => Provenance::Exact,
+        [one] => *one,
+        mixed => {
+            m.counter_add("profiled.mixed_provenance_merges", 1);
+            if !state.mixed_warned.swap(true, Ordering::SeqCst) {
+                eprintln!(
+                    "pgmp-profiled: warning: fleet mixes publisher provenances ({}); \
+                     merged weights inherit the estimates' sampling error",
+                    mixed
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" + ")
+                );
+            }
+            Provenance::Exact
+        }
+    };
+    let stored = StoredProfile::v2(merged.clone(), Some(table)).with_provenance(provenance);
     stored.store_file(&state.config.profile)?;
-    let elapsed_us = timer.map_or(0, |t0| t0.elapsed().as_micros() as u64);
-    observe::emit(observe::EventKind::Merge {
+    observe::finish(span, |duration_us| observe::EventKind::Merge {
         epoch,
         datasets: datasets.len() as u32,
         points: merged.len() as u32,
         l1,
         tv,
-        duration_us: elapsed_us,
+        duration_us,
     });
-    let m = observe::metrics();
     m.counter_add("profiled.merges", 1);
     m.gauge_set("profiled.fleet_l1", l1);
     m.gauge_set("profiled.fleet_tv", tv);
     m.gauge_set("profiled.datasets", datasets.len() as f64);
+    m.gauge_set(
+        "profiled.merged_sampled_hz",
+        match provenance {
+            Provenance::Sampled { hz } => f64::from(hz),
+            _ => 0.0,
+        },
+    );
     *state.last_merged.lock().expect("last-merged lock poisoned") = merged.clone();
 
     let update = Frame::Epoch(EpochUpdate {
         epoch,
+        inst: observe::instance_id(),
         datasets: datasets.len() as u32,
         points: merged.len() as u32,
         l1,

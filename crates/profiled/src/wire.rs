@@ -22,7 +22,18 @@ use pgmp_syntax::SourceObject;
 use std::io::{Read, Write};
 
 /// Version stamped into every JSON control payload as `"v"`.
-pub const WIRE_VERSION: u64 = 1;
+///
+/// v2 added causal-correlation fields: `inst` (the sender's
+/// `pgmp_observe::instance_id`) and `sampled_hz` provenance on
+/// [`Hello`], the daemon's `inst` on [`Ack`] and [`EpochUpdate`], and a
+/// `{v, inst, epoch}` payload on [`Frame::Bye`]. Every v2 field has a
+/// zero/absent default, so v1 peers keep decoding: the reader accepts
+/// any version in `MIN_WIRE_VERSION..=WIRE_VERSION` and fills the
+/// missing fields with those defaults.
+pub const WIRE_VERSION: u64 = 2;
+
+/// Oldest control-payload version the decoder still accepts.
+pub const MIN_WIRE_VERSION: u64 = 1;
 
 /// Upper bound on one frame's length field. Anything larger is rejected
 /// before allocation — a garbage or hostile header cannot make the
@@ -56,6 +67,15 @@ pub struct Hello {
     pub role: Role,
     /// Client process id, for provenance in daemon logs and traces.
     pub pid: u64,
+    /// The client's `pgmp_observe::instance_id` — the join key that
+    /// correlates this connection's daemon-side trace events with the
+    /// client's own trace. 0 from v1 clients (unknown).
+    pub inst: u64,
+    /// Counter provenance a publisher declares: 0 for exact counts,
+    /// otherwise the sampling rate in Hz (`sampled@hz`). The daemon
+    /// records it on the merged canonical profile and warns when a
+    /// fleet mixes exact and sampled publishers.
+    pub sampled_hz: u32,
     /// The client's slot table: `points[i]` is the point its deltas call
     /// slot `i`. Gated by `SlotMap::check_mergeable` against the daemon's
     /// canonical table — order-compatible tables stream untranslated,
@@ -71,6 +91,9 @@ pub struct Ack {
     pub dataset: u32,
     /// The daemon's current merge epoch at accept time.
     pub epoch: u64,
+    /// The daemon's `pgmp_observe::instance_id`, so client traces can
+    /// name which daemon they joined. 0 from v1 daemons.
+    pub inst: u64,
 }
 
 /// The hot-path frame: counts accrued since the publisher's previous
@@ -89,6 +112,11 @@ pub struct Delta {
 pub struct EpochUpdate {
     /// Daemon merge epoch (monotone).
     pub epoch: u64,
+    /// The daemon's `pgmp_observe::instance_id`: together with `epoch`
+    /// this is the join key a subscriber stamps on its `fleet_apply`
+    /// trace event, linking its re-optimization back to the exact
+    /// daemon merge that caused it. 0 from v1 daemons.
+    pub inst: u64,
     /// Datasets that participated in the merge.
     pub datasets: u32,
     /// Profile points in the merged result.
@@ -103,6 +131,17 @@ pub struct EpochUpdate {
     /// v2 format — subscribers re-optimize from this without touching
     /// the filesystem.
     pub profile: String,
+}
+
+/// Correlation ids carried on a publisher's drain barrier (v2). A v1
+/// `Bye` has no payload and decodes as the all-zero default.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByeInfo {
+    /// The departing client's `pgmp_observe::instance_id` (0: unknown).
+    pub inst: u64,
+    /// The publisher's final flush epoch, so the daemon trace records
+    /// exactly how much of the client's stream it drained.
+    pub epoch: u64,
 }
 
 /// Every message the protocol knows.
@@ -121,7 +160,7 @@ pub enum Frame {
     Epoch(EpochUpdate),
     /// Publisher → daemon: drain barrier before disconnect. The daemon
     /// replies [`Frame::Ack`] once every earlier delta is ingested.
-    Bye,
+    Bye(ByeInfo),
     /// Control client → daemon: merge once more, write the canonical
     /// profile, and exit (`pgmp-profiled shutdown`).
     Shutdown,
@@ -196,6 +235,17 @@ fn get_u64(obj: &Json, name: &str) -> Result<u64, WireError> {
         .ok_or_else(|| bad(format!("missing or malformed field `{name}`")))
 }
 
+/// A field added by a later wire version: absent (a v1 peer) means
+/// `default`, present-but-malformed is still a typed error.
+fn get_u64_or(obj: &Json, name: &str, default: u64) -> Result<u64, WireError> {
+    match obj.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(format!("malformed field `{name}`"))),
+    }
+}
+
 fn get_f64(obj: &Json, name: &str) -> Result<f64, WireError> {
     obj.get(name)
         .and_then(Json::as_f64)
@@ -208,12 +258,15 @@ fn get_str<'a>(obj: &'a Json, name: &str) -> Result<&'a str, WireError> {
         .ok_or_else(|| bad(format!("missing or malformed field `{name}`")))
 }
 
-/// Parses and version-checks a JSON control payload.
+/// Parses and version-checks a JSON control payload. Any version in
+/// `MIN_WIRE_VERSION..=WIRE_VERSION` is accepted — later-version fields
+/// default when absent — so a v2 daemon serves a v1 fleet unchanged;
+/// versions outside the range are the typed [`WireError::BadVersion`].
 fn control_payload(payload: &[u8]) -> Result<Json, WireError> {
     let text = std::str::from_utf8(payload).map_err(|_| bad("control payload not UTF-8"))?;
     let obj = json::parse(text).map_err(|e| bad(format!("control payload: {e}")))?;
     match obj.get("v").and_then(Json::as_u64) {
-        Some(WIRE_VERSION) => Ok(obj),
+        Some(v) if (MIN_WIRE_VERSION..=WIRE_VERSION).contains(&v) => Ok(obj),
         Some(v) => Err(WireError::BadVersion(v)),
         None => Err(bad("control payload missing version")),
     }
@@ -227,7 +280,7 @@ impl Frame {
             Frame::Error(_) => KIND_ERROR,
             Frame::Delta(_) => KIND_DELTA,
             Frame::Epoch(_) => KIND_EPOCH,
-            Frame::Bye => KIND_BYE,
+            Frame::Bye(_) => KIND_BYE,
             Frame::Shutdown => KIND_SHUTDOWN,
         }
     }
@@ -250,6 +303,8 @@ impl Frame {
                     ("v".into(), num(WIRE_VERSION)),
                     ("role".into(), Json::Str(h.role.as_str().into())),
                     ("pid".into(), num(h.pid)),
+                    ("inst".into(), num(h.inst)),
+                    ("sampled_hz".into(), num(u64::from(h.sampled_hz))),
                     ("slots".into(), Json::Arr(slots)),
                 ])
                 .to_string()
@@ -259,6 +314,7 @@ impl Frame {
                 ("v".into(), num(WIRE_VERSION)),
                 ("dataset".into(), num(u64::from(a.dataset))),
                 ("epoch".into(), num(a.epoch)),
+                ("inst".into(), num(a.inst)),
             ])
             .to_string()
             .into_bytes(),
@@ -281,6 +337,7 @@ impl Frame {
             Frame::Epoch(e) => Json::Obj(vec![
                 ("v".into(), num(WIRE_VERSION)),
                 ("epoch".into(), num(e.epoch)),
+                ("inst".into(), num(e.inst)),
                 ("datasets".into(), num(u64::from(e.datasets))),
                 ("points".into(), num(u64::from(e.points))),
                 ("l1".into(), Json::Num(e.l1)),
@@ -290,7 +347,18 @@ impl Frame {
             ])
             .to_string()
             .into_bytes(),
-            Frame::Bye | Frame::Shutdown => Vec::new(),
+            // A correlation-free Bye keeps the v1 empty payload, so old
+            // daemons still drain gracefully behind a new client that
+            // has nothing to correlate.
+            Frame::Bye(b) if *b == ByeInfo::default() => Vec::new(),
+            Frame::Bye(b) => Json::Obj(vec![
+                ("v".into(), num(WIRE_VERSION)),
+                ("inst".into(), num(b.inst)),
+                ("epoch".into(), num(b.epoch)),
+            ])
+            .to_string()
+            .into_bytes(),
+            Frame::Shutdown => Vec::new(),
         }
     }
 
@@ -316,6 +384,9 @@ impl Frame {
                     other => return Err(bad(format!("unknown role `{other}`"))),
                 };
                 let pid = get_u64(&obj, "pid")?;
+                let inst = get_u64_or(&obj, "inst", 0)?;
+                let sampled_hz = u32::try_from(get_u64_or(&obj, "sampled_hz", 0)?)
+                    .map_err(|_| bad("sampled_hz out of range"))?;
                 let slots = obj
                     .get("slots")
                     .and_then(Json::as_arr)
@@ -337,7 +408,13 @@ impl Frame {
                         .ok_or_else(|| bad("slot efp"))?;
                     points.push(SourceObject::new(file, bfp, efp));
                 }
-                Ok(Frame::Hello(Hello { role, pid, points }))
+                Ok(Frame::Hello(Hello {
+                    role,
+                    pid,
+                    inst,
+                    sampled_hz,
+                    points,
+                }))
             }
             KIND_ACK => {
                 let obj = control_payload(payload)?;
@@ -345,6 +422,7 @@ impl Frame {
                     dataset: u32::try_from(get_u64(&obj, "dataset")?)
                         .map_err(|_| bad("dataset id out of range"))?,
                     epoch: get_u64(&obj, "epoch")?,
+                    inst: get_u64_or(&obj, "inst", 0)?,
                 }))
             }
             KIND_ERROR => {
@@ -376,6 +454,7 @@ impl Frame {
                 let obj = control_payload(payload)?;
                 Ok(Frame::Epoch(EpochUpdate {
                     epoch: get_u64(&obj, "epoch")?,
+                    inst: get_u64_or(&obj, "inst", 0)?,
                     datasets: u32::try_from(get_u64(&obj, "datasets")?)
                         .map_err(|_| bad("datasets out of range"))?,
                     points: u32::try_from(get_u64(&obj, "points")?)
@@ -387,10 +466,15 @@ impl Frame {
                 }))
             }
             KIND_BYE => {
+                // v1 sends no payload; v2 carries the correlation ids.
                 if payload.is_empty() {
-                    Ok(Frame::Bye)
+                    Ok(Frame::Bye(ByeInfo::default()))
                 } else {
-                    Err(bad("bye carries no payload"))
+                    let obj = control_payload(payload)?;
+                    Ok(Frame::Bye(ByeInfo {
+                        inst: get_u64_or(&obj, "inst", 0)?,
+                        epoch: get_u64_or(&obj, "epoch", 0)?,
+                    }))
                 }
             }
             KIND_SHUTDOWN => {
@@ -513,16 +597,21 @@ mod tests {
             Frame::Hello(Hello {
                 role: Role::Publisher,
                 pid: 4242,
+                inst: 0xBEEF_CAFE,
+                sampled_hz: 997,
                 points: vec![p(0), p(1), SourceObject::new("lib/\"q\".scm", 7, 9)],
             }),
             Frame::Hello(Hello {
                 role: Role::Subscriber,
                 pid: 7,
+                inst: 0,
+                sampled_hz: 0,
                 points: vec![],
             }),
             Frame::Ack(Ack {
                 dataset: 3,
                 epoch: 17,
+                inst: 0xD00D,
             }),
             Frame::Error("incompatible slot tables: slot 4 differs".into()),
             Frame::Delta(Delta {
@@ -535,6 +624,7 @@ mod tests {
             }),
             Frame::Epoch(EpochUpdate {
                 epoch: 6,
+                inst: 0xD00D,
                 datasets: 3,
                 points: 57,
                 l1: 12.5,
@@ -542,7 +632,11 @@ mod tests {
                 path: "/tmp/fleet.pgmp".into(),
                 profile: "(pgmp-profile\n  (version 2)\n  (datasets 3))".into(),
             }),
-            Frame::Bye,
+            Frame::Bye(ByeInfo::default()),
+            Frame::Bye(ByeInfo {
+                inst: 0xBEEF_CAFE,
+                epoch: 12,
+            }),
             Frame::Shutdown,
         ]
     }
@@ -616,10 +710,11 @@ mod tests {
         let bytes = Frame::Ack(Ack {
             dataset: 0,
             epoch: 0,
+            inst: 0,
         })
         .encode();
         let text = String::from_utf8(bytes[5..].to_vec()).unwrap();
-        let skewed = text.replace("\"v\":1", "\"v\":9");
+        let skewed = text.replace("\"v\":2", "\"v\":9");
         let mut frame = ((skewed.len() + 1) as u32).to_le_bytes().to_vec();
         frame.push(KIND_ACK);
         frame.extend_from_slice(skewed.as_bytes());
@@ -627,5 +722,53 @@ mod tests {
             Frame::decode(&frame),
             Err(WireError::BadVersion(9))
         ));
+    }
+
+    /// Builds a raw control frame from a literal payload, as a v1 peer
+    /// would put it on the wire.
+    fn raw(kind: u8, payload: &str) -> Vec<u8> {
+        let mut frame = ((payload.len() + 1) as u32).to_le_bytes().to_vec();
+        frame.push(kind);
+        frame.extend_from_slice(payload.as_bytes());
+        frame
+    }
+
+    #[test]
+    fn v1_control_frames_decode_with_zero_defaults() {
+        // Frames exactly as a v1 build wrote them: no inst, no
+        // sampled_hz, empty bye. A v2 daemon must serve that fleet.
+        let hello = raw(
+            KIND_HELLO,
+            r#"{"v":1,"role":"publisher","pid":42,"slots":[["w.scm",0,1]]}"#,
+        );
+        match Frame::decode(&hello).unwrap().0 {
+            Frame::Hello(h) => {
+                assert_eq!((h.pid, h.inst, h.sampled_hz), (42, 0, 0));
+                assert_eq!(h.points, vec![SourceObject::new("w.scm", 0, 1)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let ack = raw(KIND_ACK, r#"{"v":1,"dataset":3,"epoch":17}"#);
+        assert_eq!(
+            Frame::decode(&ack).unwrap().0,
+            Frame::Ack(Ack {
+                dataset: 3,
+                epoch: 17,
+                inst: 0
+            })
+        );
+        let epoch = raw(
+            KIND_EPOCH,
+            r#"{"v":1,"epoch":6,"datasets":1,"points":2,"l1":0.5,"tv":0.25,"path":"p","profile":"q"}"#,
+        );
+        match Frame::decode(&epoch).unwrap().0 {
+            Frame::Epoch(e) => assert_eq!((e.epoch, e.inst), (6, 0)),
+            other => panic!("unexpected {other:?}"),
+        }
+        let bye = raw(KIND_BYE, "");
+        assert_eq!(
+            Frame::decode(&bye).unwrap().0,
+            Frame::Bye(ByeInfo::default())
+        );
     }
 }

@@ -13,6 +13,20 @@ use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::time::Duration;
 
+/// Minimal raw-socket HTTP GET against the metrics listener; returns the
+/// response body. The server sends `Connection: close`, so read-to-end
+/// terminates.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics listener");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "scrape failed: {head}");
+    body.to_string()
+}
+
 fn scratch(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pgmp-profiled-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -219,15 +233,30 @@ fn backpressure_drops_are_accounted_exactly() {
             Frame::Hello(h) => assert!(!h.points.is_empty()),
             other => panic!("expected hello, got {other:?}"),
         }
-        wire::write_frame(&mut stream, &Frame::Ack(Ack { dataset: 0, epoch: 0 })).unwrap();
+        wire::write_frame(
+            &mut stream,
+            &Frame::Ack(Ack {
+                dataset: 0,
+                epoch: 0,
+                inst: 0,
+            }),
+        )
+        .unwrap();
         drain_rx.recv().unwrap();
         let mut received = 0u64;
         loop {
             match wire::read_frame(&mut stream).unwrap() {
                 Frame::Delta(d) => received += d.counts.iter().map(|(_, c)| c).sum::<u64>(),
-                Frame::Bye => {
-                    wire::write_frame(&mut stream, &Frame::Ack(Ack { dataset: 0, epoch: 0 }))
-                        .unwrap();
+                Frame::Bye(_) => {
+                    wire::write_frame(
+                        &mut stream,
+                        &Frame::Ack(Ack {
+                            dataset: 0,
+                            epoch: 0,
+                            inst: 0,
+                        }),
+                    )
+                    .unwrap();
                     return received;
                 }
                 other => panic!("unexpected frame {other:?}"),
@@ -265,6 +294,86 @@ fn backpressure_drops_are_accounted_exactly() {
     assert!(stats.dropped_hits > 0);
     assert_eq!(stats.dropped_hits, stats.dropped_frames * per_frame);
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The live metrics endpoint tells the fleet-health story: a scrape of
+/// an in-process daemon (the registry is process-global, exactly as in
+/// `pgmp-profiled --metrics-listen`) must expose the handshake remap
+/// counter, the per-dataset sampled-provenance gauge declared in the
+/// publisher's `Hello`, and the merged profile's provenance.
+///
+/// Metrics are shared with every other test in this binary, so counter
+/// assertions are monotone (`>= 1`, not `== 1`) and gauges that other
+/// daemons overwrite are polled until our daemon's value lands.
+#[test]
+fn metrics_scrape_shows_remaps_and_sampled_provenance() {
+    let dir = scratch("scrape");
+    let socket = dir.join("d.sock");
+    let profile = dir.join("fleet.pgmp");
+    let mut config = DaemonConfig::new(&socket, &profile);
+    config.merge_interval = Duration::from_millis(25);
+    let daemon = spawn_daemon(config);
+    let server = pgmp_observe::MetricsServer::bind("127.0.0.1:0").expect("bind metrics");
+
+    // A sampling-backed publisher declares `sampled@997hz` at handshake …
+    let mut first =
+        Publisher::connect_with_provenance(&socket, &table(&[p(0), p(1)]), 8, 997).expect("first");
+    assert!(first.publish(&[(0, 8), (1, 2)]));
+    first.close().expect("close first");
+    // … and an order-divergent table from the same program forces a
+    // handshake remap.
+    let mut swapped =
+        Publisher::connect_with_provenance(&socket, &table(&[p(1), p(0)]), 8, 997).expect("swap");
+    assert!(swapped.publish(&[(0, 6)]));
+    swapped.close().expect("close swapped");
+
+    let metric = |body: &str, name: &str| -> Option<f64> {
+        body.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.parse().ok())
+    };
+
+    // Poll until a scrape observes our daemon's post-merge state: the
+    // uniform sampled provenance of a 997 Hz fleet. Gauges written only
+    // by this test (the per-dataset ones) must already be exact.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        let body = scrape(server.addr(), "/metrics");
+        if metric(&body, "pgmp_profiled_merged_sampled_hz") == Some(997.0) {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "merged sampled provenance never reached the scrape:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        metric(&body, "pgmp_profiled_handshake_remaps").is_some_and(|v| v >= 1.0),
+        "remap counter missing:\n{body}"
+    );
+    assert_eq!(
+        metric(&body, "pgmp_profiled_provenance_sampled_hz_0"),
+        Some(997.0),
+        "dataset 0 provenance gauge:\n{body}"
+    );
+    assert_eq!(
+        metric(&body, "pgmp_profiled_provenance_sampled_hz_1"),
+        Some(997.0),
+        "dataset 1 provenance gauge:\n{body}"
+    );
+    assert!(
+        metric(&body, "pgmp_profiled_inst").is_some_and(|v| v >= 1.0),
+        "daemon instance gauge missing:\n{body}"
+    );
+    assert!(
+        body.contains("# TYPE pgmp_profiled_handshake_remaps counter"),
+        "type metadata missing:\n{body}"
+    );
+
+    Daemon::request_shutdown(&socket).expect("shutdown");
+    daemon.join().expect("daemon thread");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -3,7 +3,7 @@
 //! round-trips exactly — the same discipline `pgmp-observe`'s trace
 //! reader pins for its JSONL codec, applied to the socket protocol.
 
-use pgmp_profiled::wire::{Frame, WireError, MAX_FRAME_LEN};
+use pgmp_profiled::wire::{ByeInfo, Frame, WireError, MAX_FRAME_LEN};
 use pgmp_profiled::{Ack, Delta, EpochUpdate, Hello, Role};
 use pgmp_syntax::SourceObject;
 use proptest::prelude::*;
@@ -20,11 +20,11 @@ fn arb_point() -> impl Strategy<Value = SourceObject> {
 fn arb_frame() -> BoxedStrategy<Frame> {
     prop_oneof![
         (
-            any::<bool>(),
-            0u64..1 << 48,
+            (any::<bool>(), 0u64..1 << 48),
+            (0u64..1 << 48, 0u32..10_000),
             proptest::collection::vec(arb_point(), 0..8)
         )
-            .prop_map(|(publisher, pid, points)| {
+            .prop_map(|((publisher, pid), (inst, sampled_hz), points)| {
                 Frame::Hello(Hello {
                     role: if publisher {
                         Role::Publisher
@@ -32,11 +32,17 @@ fn arb_frame() -> BoxedStrategy<Frame> {
                         Role::Subscriber
                     },
                     pid,
+                    inst,
+                    sampled_hz,
                     points,
                 })
             }),
-        (0u32..1000, 0u64..1 << 48)
-            .prop_map(|(dataset, epoch)| Frame::Ack(Ack { dataset, epoch })),
+        (0u32..1000, 0u64..1 << 48, 0u64..1 << 48)
+            .prop_map(|(dataset, epoch, inst)| Frame::Ack(Ack {
+                dataset,
+                epoch,
+                inst
+            })),
         LABEL.prop_map(Frame::Error),
         (
             0u64..1 << 48,
@@ -44,23 +50,28 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         )
             .prop_map(|(epoch, counts)| Frame::Delta(Delta { epoch, counts })),
         (
-            (0u64..1 << 48, 0u32..64, 0u32..10_000),
+            (0u64..1 << 48, 0u64..1 << 48, 0u32..64, 0u32..10_000),
             (0u32..4096, 0u32..1025, LABEL, LABEL)
         )
-            .prop_map(|((epoch, datasets, points), (l1_8ths, tv_1024ths, path, profile))| {
-                // Dyadic drift values are exact in binary, so float
-                // round-trips through JSON are the identity.
-                Frame::Epoch(EpochUpdate {
-                    epoch,
-                    datasets,
-                    points,
-                    l1: f64::from(l1_8ths) / 8.0,
-                    tv: f64::from(tv_1024ths) / 1024.0,
-                    path,
-                    profile,
-                })
-            }),
-        Just(Frame::Bye),
+            .prop_map(
+                |((epoch, inst, datasets, points), (l1_8ths, tv_1024ths, path, profile))| {
+                    // Dyadic drift values are exact in binary, so float
+                    // round-trips through JSON are the identity.
+                    Frame::Epoch(EpochUpdate {
+                        epoch,
+                        inst,
+                        datasets,
+                        points,
+                        l1: f64::from(l1_8ths) / 8.0,
+                        tv: f64::from(tv_1024ths) / 1024.0,
+                        path,
+                        profile,
+                    })
+                }
+            ),
+        (0u64..1 << 48, 0u64..1 << 48)
+            .prop_map(|(inst, epoch)| Frame::Bye(ByeInfo { inst, epoch })),
+        Just(Frame::Bye(ByeInfo::default())),
         Just(Frame::Shutdown),
     ]
     .boxed()

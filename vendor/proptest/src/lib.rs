@@ -10,7 +10,7 @@
 //! Supported surface:
 //!
 //! - [`Strategy`] with `prop_map`, `prop_recursive`, `boxed`
-//! - [`BoxedStrategy`], [`Just`], [`any`], integer ranges, tuples (2–4)
+//! - [`BoxedStrategy`], [`Just`], [`any`], integer ranges, tuples (2–6)
 //! - `&str` regex-subset strategies (char classes + `{m,n}` quantifiers)
 //! - [`collection::vec`], [`char::range`]
 //! - `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
@@ -303,6 +303,8 @@ tuple_strategy! {
     (A:0, B:1)
     (A:0, B:1, C:2)
     (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
 }
 
 // ---------------------------------------------------------------------------
